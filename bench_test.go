@@ -1,0 +1,76 @@
+package xpgraph_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// One benchmark per table/figure of the paper's evaluation. Each runs the
+// full experiment harness at a reduced edge scale so the whole suite
+// finishes quickly; `go run ./cmd/xpgraph bench -exp all -scale 1`
+// regenerates the full-scale numbers recorded in EXPERIMENTS.md.
+//
+// Reported metrics: sim_ms_row0 is the simulated time of the experiment's
+// first measured cell, so regressions in the modelled systems (not just
+// in Go implementation speed) show up in benchmark diffs.
+
+const benchScale = 0.08
+
+func runExp(b *testing.B, name string, datasets ...string) {
+	b.Helper()
+	cfg := bench.Config{EdgeScale: benchScale, Datasets: datasets,
+		ArchiveThreads: 16, QueryThreads: 32}
+	for i := 0; i < b.N; i++ {
+		tb, err := bench.Run(name, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+// Fig. 3: GraphOne-D vs GraphOne-P phase split and PMEM amplification.
+func BenchmarkFig03_Motivation(b *testing.B) { runExp(b, "fig3", "FS") }
+
+// Fig. 4: NUMA effect and archive-thread sweep for GraphOne.
+func BenchmarkFig04_GraphOneNUMA(b *testing.B) { runExp(b, "fig4", "FS") }
+
+// Fig. 11: ingestion time of the non-volatile systems on two
+// representative graphs (full seven-graph run via the CLI).
+func BenchmarkFig11_IngestNonVolatile(b *testing.B) { runExp(b, "fig11", "TT", "FS") }
+
+// Fig. 12: ingestion time of the volatile systems.
+func BenchmarkFig12_IngestVolatile(b *testing.B) { runExp(b, "fig12", "TT", "FS") }
+
+// Fig. 13: PMEM read/write data amount.
+func BenchmarkFig13_PMEMTraffic(b *testing.B) { runExp(b, "fig13", "TT", "FS") }
+
+// Fig. 14: query performance (1-hop, BFS, PageRank, CC).
+func BenchmarkFig14_Queries(b *testing.B) { runExp(b, "fig14", "FS") }
+
+// Fig. 15: recovery performance.
+func BenchmarkFig15_Recovery(b *testing.B) { runExp(b, "fig15", "FS") }
+
+// Fig. 16: fixed per-vertex buffer size sweep.
+func BenchmarkFig16_FixedBuffers(b *testing.B) { runExp(b, "fig16", "YW") }
+
+// Fig. 17: hierarchical buffers vs fixed.
+func BenchmarkFig17_HierBuffers(b *testing.B) { runExp(b, "fig17", "YW") }
+
+// Fig. 18: NUMA accessing strategies.
+func BenchmarkFig18_NUMAStrategies(b *testing.B) { runExp(b, "fig18", "FS") }
+
+// Fig. 19: vertex-buffer pool size sweep.
+func BenchmarkFig19_PoolSweep(b *testing.B) { runExp(b, "fig19", "FS") }
+
+// Fig. 20: XPGraph archive-thread sweep.
+func BenchmarkFig20_ThreadSweep(b *testing.B) { runExp(b, "fig20", "FS") }
+
+// Table II: dataset statistics.
+func BenchmarkTable2_Datasets(b *testing.B) { runExp(b, "table2", "TT", "FS") }
+
+// Table III: memory usage breakdown.
+func BenchmarkTable3_MemoryUsage(b *testing.B) { runExp(b, "table3", "TT", "FS") }

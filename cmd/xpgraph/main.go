@@ -1,0 +1,373 @@
+// Command xpgraph drives the XPGraph reproduction: it generates workloads,
+// ingests and queries graphs on the simulated Optane machine, exercises
+// crash recovery, and regenerates every table and figure of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	xpgraph bench   -exp fig11 [-scale 1] [-datasets TT,FS] [-threads 16]
+//	xpgraph bench   -exp all   # every experiment, printed in order
+//	xpgraph ingest  -dataset FS [-scale 0.25] [-system xpgraph|xpgraph-b|graphone-p|graphone-n|graphone-d]
+//	xpgraph query   -dataset FS [-scale 0.25] [-algo bfs|pagerank|cc|onehop]
+//	xpgraph recover -dataset FS [-scale 0.25]
+//	xpgraph gen     -dataset FS -out fs.bin [-scale 1]
+//	xpgraph list    # datasets and experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analytics"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphone"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "ingest":
+		err = cmdIngest(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "list":
+		err = cmdList()
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xpgraph:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xpgraph <bench|ingest|query|recover|gen|list> [flags]
+  bench   -exp <fig3..fig20|table2|table3|ablation|ext-*|all> [-scale f] [-datasets A,B]
+          [-threads n] [-qthreads n] [-format table|csv] [-lat model.json]
+  ingest  -dataset D [-scale f] [-system s] [-threads n] [-save state.xpg]
+  query   -dataset D [-scale f] [-algo bfs|pagerank|cc|onehop|khop|triangles] [-qthreads n]
+  recover -dataset D [-scale f] [-load state.xpg]
+  gen     -dataset D -out file [-scale f]
+  list`)
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	exp := fs.String("exp", "all", "experiment name or 'all'")
+	scale := fs.Float64("scale", 1.0, "edge-count scale factor")
+	datasets := fs.String("datasets", "", "comma-separated dataset filter")
+	threads := fs.Int("threads", 16, "archive threads")
+	qthreads := fs.Int("qthreads", 96, "query threads")
+	format := fs.String("format", "table", "output format: table|csv")
+	latPath := fs.String("lat", "", "JSON latency-model override (see xpsim.LoadLatency)")
+	fs.Parse(args)
+
+	cfg := bench.Config{EdgeScale: *scale, ArchiveThreads: *threads, QueryThreads: *qthreads}
+	if *latPath != "" {
+		lat, err := xpsim.LoadLatency(*latPath)
+		if err != nil {
+			return err
+		}
+		cfg.Latency = &lat
+	}
+	if *datasets != "" {
+		cfg.Datasets = strings.Split(*datasets, ",")
+	}
+	emit := func(t bench.Table) {
+		if *format == "csv" {
+			fmt.Printf("# %s: %s\n%s\n", t.Exp, t.Title, t.CSV())
+			return
+		}
+		fmt.Println(t)
+	}
+	if *exp != "all" {
+		t, err := bench.Run(*exp, cfg)
+		if err != nil {
+			return err
+		}
+		emit(t)
+		return nil
+	}
+	for _, e := range bench.Experiments() {
+		fmt.Fprintf(os.Stderr, "running %s: %s...\n", e.Name, e.Title)
+		t, err := bench.Run(e.Name, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		emit(t)
+	}
+	return nil
+}
+
+// cliAdjBytes sizes adjacency regions consistently across CLI commands so
+// that `recover -load` re-attaches to regions created by `ingest -save`.
+func cliAdjBytes(edges int) int64 { return int64(edges)*16 + (16 << 20) }
+
+func loadDataset(name string, scale float64) (gen.Dataset, []graph.Edge, error) {
+	ds, err := gen.ByName(name)
+	if err != nil {
+		return gen.Dataset{}, nil, err
+	}
+	n := int64(float64(ds.Edges) * scale)
+	if n < 1024 {
+		n = 1024
+	}
+	return ds, gen.RMAT(ds.Scale, n, ds.Seed), nil
+}
+
+func cmdIngest(args []string) error {
+	fs := flag.NewFlagSet("ingest", flag.ExitOnError)
+	dataset := fs.String("dataset", "FS", "catalog dataset")
+	scale := fs.Float64("scale", 0.25, "edge-count scale factor")
+	system := fs.String("system", "xpgraph", "xpgraph|xpgraph-b|xpgraph-d|graphone-p|graphone-n|graphone-d")
+	threads := fs.Int("threads", 16, "archive threads")
+	save := fs.String("save", "", "write the simulated PMEM to this file after ingesting (xpgraph systems only)")
+	fs.Parse(args)
+
+	ds, edges, err := loadDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	m := xpsim.NewMachine(2, int64(len(edges))*48+(256<<20), xpsim.DefaultLatency())
+	adjBytes := int64(len(edges))*32 + (32 << 20)
+
+	switch *system {
+	case "xpgraph", "xpgraph-b", "xpgraph-d":
+		opts := core.Options{Name: "cli", NumVertices: ds.NumVertices(),
+			ArchiveThreads: *threads, NUMA: core.NUMASubgraph, AdjBytes: cliAdjBytes(len(edges)),
+			Battery: *system == "xpgraph-b"}
+		var h *pmem.Heap
+		if *system == "xpgraph-d" {
+			opts.Medium = core.MediumDRAM
+			opts.NUMA = core.NUMANone
+		} else {
+			h = pmem.NewHeap(m)
+		}
+		s, err := core.New(m, h, nil, opts)
+		if err != nil {
+			return err
+		}
+		m.ResetStats()
+		rep, err := s.Ingest(edges)
+		if err != nil {
+			return err
+		}
+		st := m.TotalStats()
+		u := s.MemUsage()
+		fmt.Printf("%s ingested %d edges of %s\n", *system, rep.Edges, ds.Full)
+		fmt.Printf("  sim total %.3fs (log %.3fs, buffer %.3fs, flush %.3fs; %d batches, %d flush-alls)\n",
+			f(rep.TotalNs()), f(rep.LogNs), f(rep.BufferNs), f(rep.FlushNs), rep.Batches, rep.FlushAlls)
+		fmt.Printf("  pmem media read %.3f GB, write %.3f GB\n",
+			float64(st.MediaReadBytes())/1e9, float64(st.MediaWriteBytes())/1e9)
+		fmt.Printf("  memory: meta %.1f MB DRAM, vbuf %.1f MB DRAM, elog %.1f MB, pblk %.1f MB PMEM\n",
+			mbf(u.MetaDRAM), mbf(u.VbufDRAM), mbf(u.ElogPMEM), mbf(u.PblkPMEM))
+		if *save != "" {
+			if h == nil {
+				return fmt.Errorf("-save needs a PMEM-backed system")
+			}
+			if err := pmem.SaveFile(*save, h); err != nil {
+				return err
+			}
+			fmt.Printf("  simulated PMEM saved to %s (recover with: xpgraph recover -load %s)\n", *save, *save)
+		}
+	case "graphone-p", "graphone-n", "graphone-d":
+		variant := map[string]graphone.Variant{
+			"graphone-p": graphone.VariantP,
+			"graphone-n": graphone.VariantN,
+			"graphone-d": graphone.VariantD,
+		}[*system]
+		var h *pmem.Heap
+		if variant != graphone.VariantD {
+			h = pmem.NewHeap(m)
+		}
+		s, err := graphone.New(m, h, nil, graphone.Options{Name: "cli",
+			NumVertices: ds.NumVertices(), ArchiveThreads: *threads,
+			AdjBytes: adjBytes, Variant: variant})
+		if err != nil {
+			return err
+		}
+		m.ResetStats()
+		rep, err := s.Ingest(edges)
+		if err != nil {
+			return err
+		}
+		st := m.TotalStats()
+		fmt.Printf("%s ingested %d edges of %s\n", *system, rep.Edges, ds.Full)
+		fmt.Printf("  sim total %.3fs (log %.3fs, archive %.3fs; %d batches)\n",
+			f(rep.TotalNs()), f(rep.LogNs), f(rep.ArchiveNs), rep.Batches)
+		fmt.Printf("  pmem media read %.3f GB, write %.3f GB\n",
+			float64(st.MediaReadBytes())/1e9, float64(st.MediaWriteBytes())/1e9)
+	default:
+		return fmt.Errorf("unknown system %q", *system)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dataset := fs.String("dataset", "FS", "catalog dataset")
+	scale := fs.Float64("scale", 0.25, "edge-count scale factor")
+	algo := fs.String("algo", "bfs", "bfs|pagerank|cc|onehop|khop|triangles")
+	qthreads := fs.Int("qthreads", 96, "query threads")
+	fs.Parse(args)
+
+	ds, edges, err := loadDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	m := xpsim.NewMachine(2, int64(len(edges))*48+(256<<20), xpsim.DefaultLatency())
+	s, err := core.New(m, pmem.NewHeap(m), nil, core.Options{Name: "cli",
+		NumVertices: ds.NumVertices(), ArchiveThreads: 16, NUMA: core.NUMASubgraph,
+		AdjBytes: int64(len(edges))*16 + (32 << 20)})
+	if err != nil {
+		return err
+	}
+	if _, err := s.Ingest(edges); err != nil {
+		return err
+	}
+	e := analytics.NewEngine(s, &m.Lat, *qthreads)
+	switch *algo {
+	case "bfs":
+		r := e.BFS(1)
+		fmt.Printf("BFS from 1 on %s: visited %d vertices in %d levels, sim %.3fs\n",
+			ds.Full, r.Visited, r.Levels, f(r.SimNs))
+	case "pagerank":
+		r := e.PageRank(10)
+		best, bi := 0.0, 0
+		for i, v := range r.Ranks {
+			if v > best {
+				best, bi = v, i
+			}
+		}
+		fmt.Printf("PageRank(10) on %s: top vertex %d (rank %.6f), sim %.3fs\n", ds.Full, bi, best, f(r.SimNs))
+	case "cc":
+		r := e.CC()
+		fmt.Printf("CC on %s: %d components, sim %.3fs\n", ds.Full, r.Components, f(r.SimNs))
+	case "onehop":
+		r := e.OneHop(1<<14, 0xBEEF)
+		fmt.Printf("1-hop on %s: %d queries touched %d neighbors, sim %.3fs\n",
+			ds.Full, r.Queried, r.Touched, f(r.SimNs))
+	case "khop":
+		r := e.KHop(1, 3)
+		fmt.Printf("3-hop from 1 on %s: reached %d vertices %v, sim %.3fs\n",
+			ds.Full, r.Reached, r.PerHop, f(r.SimNs))
+	case "triangles":
+		r := e.Triangles()
+		fmt.Printf("triangles on %s: %d, sim %.3fs\n", ds.Full, r.Triangles, f(r.SimNs))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+	return nil
+}
+
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dataset := fs.String("dataset", "FS", "catalog dataset")
+	scale := fs.Float64("scale", 0.25, "edge-count scale factor")
+	load := fs.String("load", "", "recover from a PMEM image written by 'ingest -save' instead of ingesting in-process")
+	fs.Parse(args)
+
+	ds, edges, err := loadDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Name: "cli", NumVertices: ds.NumVertices(),
+		ArchiveThreads: 16, NUMA: core.NUMASubgraph,
+		AdjBytes: cliAdjBytes(len(edges))}
+
+	var m *xpsim.Machine
+	var h *pmem.Heap
+	if *load != "" {
+		// Cross-process: only the image file survived the "power loss".
+		m, h, err = pmem.LoadFile(*load)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded simulated PMEM from %s; recovering...\n", *load)
+	} else {
+		m = xpsim.NewMachine(2, int64(len(edges))*48+(256<<20), xpsim.DefaultLatency())
+		h = pmem.NewHeap(m)
+		s, err := core.New(m, h, nil, opts)
+		if err != nil {
+			return err
+		}
+		if _, err := s.Ingest(edges); err != nil {
+			return err
+		}
+		fmt.Printf("ingested %d edges of %s; simulating power failure...\n", len(edges), ds.Full)
+		s = nil // crash: every DRAM structure is gone
+	}
+	_ = ds
+	rs, rep, err := core.Recover(m, h, nil, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recovered: %d blocks scanned, %d log edges replayed (%d deduped), sim %.3fs\n",
+		rep.BlocksScanned, rep.Replayed, rep.DedupSkipped, f(rep.SimNs))
+	vctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	vrep, err := rs.Verify(vctx)
+	if err != nil {
+		return fmt.Errorf("post-recovery verify FAILED: %w", err)
+	}
+	fmt.Printf("verified: %d chains, %d PMEM records, %d buffered records — consistent\n",
+		vrep.ChainsWalked, vrep.AdjRecords, vrep.BufRecords)
+	return nil
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "FS", "catalog dataset")
+	scale := fs.Float64("scale", 1.0, "edge-count scale factor")
+	out := fs.String("out", "", "output file (binary edge list)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	ds, edges, err := loadDataset(*dataset, *scale)
+	if err != nil {
+		return err
+	}
+	if err := gen.WriteEdgeFile(*out, edges); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d edges of %s to %s (%.1f MB)\n", len(edges), ds.Full, *out,
+		float64(len(edges)*8)/1e6)
+	return nil
+}
+
+func cmdList() error {
+	fmt.Println("datasets (scaled ~1/1024 stand-ins of Table II):")
+	for _, d := range gen.Catalog() {
+		fmt.Printf("  %-4s %-12s 2^%d vertices, %d edges (paper: %s vertices, %s edges)\n",
+			d.Name, d.Full, d.Scale, d.Edges, d.PaperV, d.PaperE)
+	}
+	fmt.Println("experiments:")
+	for _, e := range bench.Experiments() {
+		fmt.Printf("  %-7s %s\n", e.Name, e.Title)
+	}
+	return nil
+}
+
+func f(ns int64) float64  { return float64(ns) / 1e9 }
+func mbf(b int64) float64 { return float64(b) / 1e6 }

@@ -1,0 +1,69 @@
+// Command xpgraphd runs an XPGraph store as an HTTP graph service on the
+// simulated Optane machine — the application-server deployment a
+// downstream adopter would build on the library.
+//
+//	xpgraphd -addr :7611 -vertices 1048576
+//
+//	curl -X POST localhost:7611/edges -d '{"edges":[{"src":1,"dst":2}]}'
+//	curl localhost:7611/vertices/1/out
+//	curl -X POST localhost:7611/query/bfs -d '{"root":1}'
+//	curl localhost:7611/stats
+//
+// Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
+// service starts with a realistic graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/pmem"
+	"repro/internal/server"
+	"repro/internal/xpsim"
+)
+
+func main() {
+	addr := flag.String("addr", ":7611", "listen address")
+	vertices := flag.Uint("vertices", 1<<20, "initial vertex-ID space")
+	pmemGB := flag.Int64("pmem-gb", 4, "simulated PMEM per NUMA node (GiB)")
+	threads := flag.Int("threads", 16, "archive threads")
+	qthreads := flag.Int("qthreads", 32, "query threads")
+	preload := flag.String("preload", "", "catalog dataset to pre-load (TT, FS, ...)")
+	scale := flag.Float64("scale", 0.1, "pre-load edge scale")
+	flag.Parse()
+
+	machine := xpsim.NewMachine(2, *pmemGB<<30, xpsim.DefaultLatency())
+	store, err := core.New(machine, pmem.NewHeap(machine), nil, core.Options{
+		Name:           "xpgraphd",
+		NumVertices:    uint32(*vertices),
+		ArchiveThreads: *threads,
+		NUMA:           core.NUMASubgraph,
+		AdjBytes:       (*pmemGB << 30) / 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *preload != "" {
+		ds, err := gen.ByName(*preload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := int64(float64(ds.Edges) * *scale)
+		fmt.Fprintf(os.Stderr, "pre-loading %d edges of %s...\n", n, ds.Full)
+		rep, err := store.Ingest(gen.RMAT(ds.Scale, n, ds.Seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded in %.3fs simulated\n", float64(rep.TotalNs())/1e9)
+	}
+
+	srv := server.New(store, machine, *qthreads)
+	fmt.Fprintf(os.Stderr, "xpgraphd listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

@@ -1,0 +1,529 @@
+// Package adj implements persistent adjacency-list storage: per-vertex
+// chains of neighbor blocks living in PMEM (or DRAM for the volatile
+// variants). Blocks carry a persisted header {vid, cnt, cap, prev} so a
+// recovering process can rebuild every chain with one sequential scan of
+// the arena — the recovery scheme of §V-D.
+//
+// XPGraph appends whole drained vertex buffers (up to 63 neighbors) as one
+// contiguous write — the single-XPLine flush of §III-B — while GraphOne's
+// edge-centric archiving appends one 4-byte neighbor at a time; both paths
+// go through Append, so the amplification difference between the two
+// systems emerges purely from access patterns, as in the paper.
+package adj
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/xpsim"
+)
+
+// blockHeader is {vid u32, cnt u32, cap u32, prev u32}; prev is the
+// 16-byte-aligned offset of the previous block divided by headerAlign
+// (0 = none).
+const (
+	headerBytes = 16
+	headerAlign = 16
+)
+
+// deadVID marks a recycled block's header so the recovery scan skips it.
+// The ID is reserved: no vertex may use it (it is also graph.DelFlag|...,
+// which real vertex IDs cannot carry).
+const deadVID = ^uint32(0)
+
+// Sizing decides the capacity (in neighbors) of a new block for a vertex
+// that already stores `degree` records and is receiving `incoming` more.
+type Sizing func(degree, incoming int) int
+
+// XPGraphSizing grows blocks with the vertex: small vertices get small
+// blocks, hot vertices get room to absorb future flushes (amortizing
+// block-chain overhead), capped at 1024 neighbors per block.
+func XPGraphSizing(degree, incoming int) int {
+	c := degree / 2
+	if c < 12 {
+		c = 12
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	if c < incoming {
+		c = incoming
+	}
+	return c
+}
+
+// ExactSizing allocates exactly the incoming count (no growth headroom).
+func ExactSizing(_, incoming int) int { return incoming }
+
+// GraphOneSizing models GraphOne's adjacency chunks, which grow
+// geometrically with the vertex degree (its store chains chunks of
+// increasing sizes): a degree-d vertex's next chunk holds ~d more
+// neighbors, so chains stay logarithmic in degree and queries touch a
+// handful of chunks — Fig. 14's one-hop numbers are comparable between
+// the systems for exactly this reason. What stays pathological on PMEM is
+// the write pattern: archiving still fills these chunks one 4-byte
+// neighbor at a time.
+func GraphOneSizing(degree, incoming int) int {
+	c := 4
+	for c < degree {
+		c *= 2
+	}
+	if c > 1024 {
+		c = 1024
+	}
+	if c < incoming {
+		c = incoming
+	}
+	return c
+}
+
+// Options configure a Store.
+type Options struct {
+	Sizing         Sizing
+	ProactiveFlush bool // clwb adjacency data >= one XPLine (§IV-A)
+	// VolatileCounts keeps per-block record counts in DRAM instead of
+	// persisting them on every append. GraphOne keeps all metadata in
+	// DRAM (§V-A) and recovers by re-archiving, so it never pays the
+	// per-edge header write; XPGraph persists counts (amortized over
+	// whole-buffer flushes) so its scan-based recovery works.
+	VolatileCounts bool
+}
+
+// Store is one adjacency arena: one direction (out or in) of one
+// partition of the graph.
+type Store struct {
+	m    mem.Mem
+	lat  *xpsim.LatencyModel
+	opts Options
+
+	tail    []int64  // per-vertex offset of the newest block; 0 = none
+	tailCnt []uint32 // DRAM mirror of the tail block's cnt
+	tailCap []uint32 // DRAM mirror of the tail block's cap
+	records []uint32 // total records (incl. tombstones) per vertex
+	blocks  int64    // blocks allocated
+	bytes   int64    // bytes allocated
+	// partialCnt records counts of retired-but-not-full blocks when
+	// counts are volatile (DRAM metadata); retired blocks are otherwise
+	// exactly full.
+	partialCnt map[int64]uint32
+	// freeBlocks recycles compacted-away blocks by capacity, so repeated
+	// compaction does not leak the bump-allocated arena.
+	freeBlocks map[int][]int64
+}
+
+// New builds a store over m for vertices [0, maxV].
+func New(m mem.Mem, lat *xpsim.LatencyModel, maxV graph.VID, opts Options) *Store {
+	if opts.Sizing == nil {
+		opts.Sizing = XPGraphSizing
+	}
+	s := &Store{m: m, lat: lat, opts: opts}
+	s.EnsureVertices(maxV + 1)
+	return s
+}
+
+// Mem exposes the backing memory.
+func (s *Store) Mem() mem.Mem { return s.m }
+
+// EnsureVertices grows the index to hold at least n vertices.
+func (s *Store) EnsureVertices(n graph.VID) {
+	for uint32(len(s.tail)) < n {
+		s.tail = append(s.tail, make([]int64, int(n)-len(s.tail))...)
+		s.tailCnt = append(s.tailCnt, make([]uint32, int(n)-len(s.tailCnt))...)
+		s.tailCap = append(s.tailCap, make([]uint32, int(n)-len(s.tailCap))...)
+		s.records = append(s.records, make([]uint32, int(n)-len(s.records))...)
+	}
+}
+
+// NumVertices reports the index size.
+func (s *Store) NumVertices() graph.VID { return graph.VID(len(s.tail)) }
+
+// Records reports how many neighbor records (including deletion
+// tombstones) vertex v stores.
+func (s *Store) Records(v graph.VID) int {
+	if int(v) >= len(s.records) {
+		return 0
+	}
+	return int(s.records[v])
+}
+
+// Blocks reports total allocated blocks.
+func (s *Store) Blocks() int64 { return s.blocks }
+
+// Bytes reports total allocated block bytes (the paper's "Pblk" usage).
+func (s *Store) Bytes() int64 { return s.bytes }
+
+// Append stores nbrs for vertex v. Contiguous neighbors are written with
+// a single memory operation, so a 63-neighbor vertex-buffer flush costs
+// one XPLine-sized write while single-neighbor appends behave like
+// GraphOne's scattered 4-byte stores.
+func (s *Store) Append(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) error {
+	s.EnsureVertices(v + 1)
+	for len(nbrs) > 0 {
+		free := int(s.tailCap[v] - s.tailCnt[v])
+		if s.tail[v] == 0 || free == 0 {
+			if err := s.newBlock(ctx, v, len(nbrs)); err != nil {
+				return err
+			}
+			free = int(s.tailCap[v])
+		}
+		n := len(nbrs)
+		if n > free {
+			n = free
+		}
+		off := s.tail[v] + headerBytes + int64(s.tailCnt[v])*4
+		buf := make([]byte, n*4)
+		for i, nb := range nbrs[:n] {
+			binary.LittleEndian.PutUint32(buf[i*4:], nb)
+		}
+		s.m.Write(ctx, off, buf)
+		s.tailCnt[v] += uint32(n)
+		if !s.opts.VolatileCounts {
+			// Persist the record count in the block header.
+			mem.WriteU32(s.m, ctx, s.tail[v]+4, s.tailCnt[v])
+		}
+		if s.opts.ProactiveFlush && int64(n*4) >= xpsim.XPLineSize {
+			s.m.Flush(ctx, off, int64(n*4))
+		}
+		s.records[v] += uint32(n)
+		nbrs = nbrs[n:]
+	}
+	return nil
+}
+
+// Reserve ensures v's tail block has room for at least n more neighbors,
+// allocating a fresh block sized by the sizing policy otherwise. GraphOne's
+// archiving uses it to allocate each vertex's per-batch chunk up front
+// (degree counting pass, §II-B) before appending neighbors one by one.
+func (s *Store) Reserve(ctx *xpsim.Ctx, v graph.VID, n int) error {
+	s.EnsureVertices(v + 1)
+	if s.tail[v] != 0 && int(s.tailCap[v]-s.tailCnt[v]) >= n {
+		return nil
+	}
+	return s.newBlock(ctx, v, n)
+}
+
+// blockCnt resolves a block's record count honoring volatile counts.
+func (s *Store) blockCnt(v graph.VID, off int64, persisted, capacity uint32) uint32 {
+	if !s.opts.VolatileCounts {
+		return persisted
+	}
+	if off == s.tail[v] {
+		return s.tailCnt[v]
+	}
+	if c, ok := s.partialCnt[off]; ok {
+		return c
+	}
+	return capacity // retired blocks are full unless recorded otherwise
+}
+
+func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
+	if s.opts.VolatileCounts && s.tail[v] != 0 && s.tailCnt[v] < s.tailCap[v] {
+		if s.partialCnt == nil {
+			s.partialCnt = make(map[int64]uint32)
+		}
+		s.partialCnt[s.tail[v]] = s.tailCnt[v]
+	}
+	capacity := s.opts.Sizing(int(s.records[v]), incoming)
+	size := int64(headerBytes + 4*capacity)
+	var off int64
+	if lst := s.freeBlocks[capacity]; len(lst) > 0 {
+		off = lst[len(lst)-1]
+		s.freeBlocks[capacity] = lst[:len(lst)-1]
+		s.bytes -= size // re-added below; recycled blocks are not new bytes
+		s.blocks--
+	} else {
+		var err error
+		off, err = s.m.Alloc(ctx, size, headerAlign)
+		if err != nil {
+			return fmt.Errorf("adj: block for vertex %d: %w", v, err)
+		}
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], v)
+	binary.LittleEndian.PutUint32(hdr[4:8], 0)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(capacity))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(s.tail[v]/headerAlign))
+	if s.opts.VolatileCounts {
+		// GraphOne keeps chunk metadata (sizes, links) in its DRAM
+		// vertex index, not in the chunk itself; charge a DRAM metadata
+		// update and write the header bytes cost-free so the shared
+		// on-media block format stays walkable in the simulation.
+		free := &xpsim.Ctx{Cost: &xpsim.Cost{}, Node: ctx.Node, Worker: ctx.Worker, Workers: ctx.Workers}
+		s.m.Write(free, off, hdr[:])
+		s.lat.DRAM(ctx, headerBytes, true, false)
+	} else {
+		s.m.Write(ctx, off, hdr[:])
+	}
+	s.tail[v] = off
+	s.tailCnt[v] = 0
+	s.tailCap[v] = uint32(capacity)
+	s.blocks++
+	s.bytes += size
+	return nil
+}
+
+// Neighbors appends vertex v's stored records to dst, newest block first
+// (records inside a block stay in insertion order). Deletion tombstones
+// are returned as-is; merging is the caller's concern.
+func (s *Store) Neighbors(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	if int(v) >= len(s.tail) {
+		return dst
+	}
+	off := s.tail[v]
+	for off != 0 {
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		if cnt > 0 {
+			buf := make([]byte, cnt*4)
+			s.m.Read(ctx, off+headerBytes, buf)
+			for i := uint32(0); i < cnt; i++ {
+				dst = append(dst, binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+		}
+		off = prev
+	}
+	return dst
+}
+
+// Visit streams vertex v's stored records to fn, newest block first,
+// without allocating. Deletion tombstones are streamed as-is; callers
+// needing resolved views use Neighbors.
+func (s *Store) Visit(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	if int(v) >= len(s.tail) {
+		return
+	}
+	off := s.tail[v]
+	var buf [4 * 256]byte
+	for off != 0 {
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		data := off + headerBytes
+		for cnt > 0 {
+			n := cnt
+			if n > uint32(len(buf)/4) {
+				n = uint32(len(buf) / 4)
+			}
+			s.m.Read(ctx, data, buf[:4*n])
+			for i := uint32(0); i < n; i++ {
+				fn(binary.LittleEndian.Uint32(buf[i*4:]))
+			}
+			data += int64(4 * n)
+			cnt -= n
+		}
+		off = prev
+	}
+}
+
+// NeighborsOldestFirst appends vertex v's stored records to dst in
+// insertion order (oldest block first) — the order snapshot-bounded reads
+// need.
+func (s *Store) NeighborsOldestFirst(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	if int(v) >= len(s.tail) {
+		return dst
+	}
+	// Collect the chain tail->head, then read blocks in reverse.
+	var chain []int64
+	off := s.tail[v]
+	for off != 0 {
+		chain = append(chain, off)
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		off = int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		b := chain[i]
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, b, hdr[:])
+		cnt := s.blockCnt(v, b, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
+		if cnt > 0 {
+			buf := make([]byte, cnt*4)
+			s.m.Read(ctx, b+headerBytes, buf)
+			for j := uint32(0); j < cnt; j++ {
+				dst = append(dst, binary.LittleEndian.Uint32(buf[j*4:]))
+			}
+		}
+	}
+	return dst
+}
+
+// Contains reports whether nbr already appears in v's stored records —
+// the recovery dedup check of §III-B.
+func (s *Store) Contains(ctx *xpsim.Ctx, v graph.VID, nbr uint32) bool {
+	if int(v) >= len(s.tail) {
+		return false
+	}
+	off := s.tail[v]
+	for off != 0 {
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		if cnt > 0 {
+			buf := make([]byte, cnt*4)
+			s.m.Read(ctx, off+headerBytes, buf)
+			for i := uint32(0); i < cnt; i++ {
+				if binary.LittleEndian.Uint32(buf[i*4:]) == nbr {
+					return true
+				}
+			}
+		}
+		off = prev
+	}
+	return false
+}
+
+// Compact merges all of v's blocks (resolving deletion tombstones) into a
+// single exactly-sized block — compact_adjs of Table I. The old blocks
+// are marked dead on media (so scan recovery skips them) and recycled
+// through per-capacity free lists.
+func (s *Store) Compact(ctx *xpsim.Ctx, v graph.VID) error {
+	if int(v) >= len(s.tail) || s.tail[v] == 0 {
+		return nil
+	}
+	recs := s.Neighbors(ctx, v, nil)
+	live := resolveTombstones(recs)
+
+	// Release the old chain.
+	off := s.tail[v]
+	for off != 0 {
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		capacity := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		s.free(ctx, off, capacity)
+		off = prev
+	}
+	s.tail[v] = 0
+	s.tailCnt[v] = 0
+	s.tailCap[v] = 0
+	s.records[v] = 0
+	if len(live) == 0 {
+		return nil
+	}
+	old := s.opts.Sizing
+	s.opts.Sizing = ExactSizing
+	err := s.Append(ctx, v, live)
+	s.opts.Sizing = old
+	return err
+}
+
+// free marks a block dead on media and recycles it.
+func (s *Store) free(ctx *xpsim.Ctx, off int64, capacity int) {
+	mem.WriteU32(s.m, ctx, off, deadVID)
+	if s.freeBlocks == nil {
+		s.freeBlocks = make(map[int][]int64)
+	}
+	s.freeBlocks[capacity] = append(s.freeBlocks[capacity], off)
+	delete(s.partialCnt, off)
+}
+
+// resolveTombstones removes, for every deletion record, one matching
+// neighbor record, returning the surviving neighbors.
+func resolveTombstones(recs []uint32) []uint32 {
+	var dels map[uint32]int
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			if dels == nil {
+				dels = make(map[uint32]int)
+			}
+			dels[r&^graph.DelFlag]++
+		}
+	}
+	if dels == nil {
+		return recs
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			continue
+		}
+		if n := dels[r]; n > 0 {
+			dels[r] = n - 1
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// RecoverableMem is the extra surface recovery needs: where the arena
+// starts and how far it had grown before the crash.
+type RecoverableMem interface {
+	mem.Mem
+	PersistedAllocOffset(ctx *xpsim.Ctx) int64
+	UserStart() int64
+}
+
+// Recover rebuilds the DRAM index (tails, counts, degrees) by scanning
+// the arena sequentially from its start to the persisted allocation
+// pointer. Chains come back because each block persists its prev link;
+// the tail of a chain is the one block no other block points to (offset
+// order is not enough once compaction recycles blocks).
+func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Options) (*Store, error) {
+	if opts.VolatileCounts {
+		return nil, fmt.Errorf("adj: stores with volatile counts are not scan-recoverable (GraphOne recovers by re-archiving)")
+	}
+	s := New(m, lat, 0, opts)
+	end := m.PersistedAllocOffset(ctx)
+	off := align(m.UserStart(), headerAlign)
+	type blk struct {
+		off      int64
+		cnt, cap uint32
+	}
+	live := make(map[graph.VID][]blk)
+	pointedTo := make(map[int64]bool)
+	for off+headerBytes <= end {
+		var hdr [headerBytes]byte
+		m.Read(ctx, off, hdr[:])
+		v := binary.LittleEndian.Uint32(hdr[0:4])
+		cnt := binary.LittleEndian.Uint32(hdr[4:8])
+		capacity := binary.LittleEndian.Uint32(hdr[8:12])
+		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		size := int64(headerBytes + 4*capacity)
+		if capacity == 0 || off+size > end {
+			return nil, fmt.Errorf("adj: corrupt block header at %d (cap=%d)", off, capacity)
+		}
+		if v == deadVID {
+			// Recycled block awaiting reuse: skip, but remember it so
+			// the recovered store keeps recycling.
+			if s.freeBlocks == nil {
+				s.freeBlocks = make(map[int][]int64)
+			}
+			s.freeBlocks[int(capacity)] = append(s.freeBlocks[int(capacity)], off)
+			off = align(off+size, headerAlign)
+			continue
+		}
+		s.EnsureVertices(v + 1)
+		live[v] = append(live[v], blk{off: off, cnt: cnt, cap: capacity})
+		if prev != 0 {
+			pointedTo[prev] = true
+		}
+		s.records[v] += cnt
+		s.blocks++
+		s.bytes += size
+		off = align(off+size, headerAlign)
+	}
+	for v, blks := range live {
+		tails := 0
+		for _, b := range blks {
+			if !pointedTo[b.off] {
+				s.tail[v] = b.off
+				s.tailCnt[v] = b.cnt
+				s.tailCap[v] = b.cap
+				tails++
+			}
+		}
+		if tails != 1 {
+			return nil, fmt.Errorf("adj: vertex %d chain has %d tails (corrupt prev links)", v, tails)
+		}
+	}
+	return s, nil
+}
+
+func align(x, a int64) int64 { return (x + a - 1) / a * a }

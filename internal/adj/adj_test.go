@@ -1,0 +1,389 @@
+package adj
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func testStore(t *testing.T) (*Store, *pmem.Region, *xpsim.Machine, *xpsim.Ctx) {
+	t.Helper()
+	m := xpsim.NewMachine(2, 64<<20, xpsim.DefaultLatency())
+	h := pmem.NewHeap(m)
+	r, err := h.Map("pblk", 16<<20, pmem.Placement{Kind: pmem.Bind, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := &m.Lat
+	return New(r, lat, 16, Options{}), r, m, xpsim.NewCtx(0)
+}
+
+func sorted(u []uint32) []uint32 {
+	v := append([]uint32(nil), u...)
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+	return v
+}
+
+func equalMultiset(a, b []uint32) bool {
+	a, b = sorted(a), sorted(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAppendNeighbors(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	if err := s.Append(ctx, 3, []uint32{10, 11, 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(ctx, 3, []uint32{13}); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Neighbors(ctx, 3, nil)
+	if !equalMultiset(got, []uint32{10, 11, 12, 13}) {
+		t.Fatalf("neighbors = %v", got)
+	}
+	if s.Records(3) != 4 {
+		t.Fatalf("records = %d", s.Records(3))
+	}
+	if got := s.Neighbors(ctx, 9, nil); len(got) != 0 {
+		t.Fatalf("vertex 9 neighbors = %v, want none", got)
+	}
+}
+
+func TestChainAcrossBlocks(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	var want []uint32
+	for i := uint32(0); i < 500; i++ {
+		if err := s.Append(ctx, 1, []uint32{i}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, i)
+	}
+	if s.Blocks() < 2 {
+		t.Fatalf("expected multiple blocks, got %d", s.Blocks())
+	}
+	if got := s.Neighbors(ctx, 1, nil); !equalMultiset(got, want) {
+		t.Fatalf("%d neighbors back, want %d", len(got), len(want))
+	}
+}
+
+func TestContains(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	s.Append(ctx, 2, []uint32{5, 6})
+	if !s.Contains(ctx, 2, 5) || s.Contains(ctx, 2, 7) || s.Contains(ctx, 99, 5) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestCompactResolvesTombstones(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	s.Append(ctx, 4, []uint32{1, 2, 3, 2})
+	s.Append(ctx, 4, []uint32{2 | graph.DelFlag})
+	if err := s.Compact(ctx, 4); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Neighbors(ctx, 4, nil)
+	if !equalMultiset(got, []uint32{1, 2, 3}) {
+		t.Fatalf("after compact: %v", got)
+	}
+	// Everything now sits in one block.
+	if s.tail[4] == 0 || s.tailCnt[4] != 3 {
+		t.Fatalf("compact left tailCnt=%d", s.tailCnt[4])
+	}
+}
+
+func TestCompactEmptiesFullyDeletedVertex(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	s.Append(ctx, 5, []uint32{9})
+	s.Append(ctx, 5, []uint32{9 | graph.DelFlag})
+	if err := s.Compact(ctx, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Neighbors(ctx, 5, nil); len(got) != 0 {
+		t.Fatalf("after full delete: %v", got)
+	}
+}
+
+func TestRecoverRebuildsChains(t *testing.T) {
+	s, r, _, ctx := testStore(t)
+	want := map[graph.VID][]uint32{}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		v := graph.VID(rng.Intn(50))
+		nbr := rng.Uint32() >> 1
+		if err := s.Append(ctx, v, []uint32{nbr}); err != nil {
+			t.Fatal(err)
+		}
+		want[v] = append(want[v], nbr)
+	}
+	// Crash: all DRAM state is lost; rebuild from the region alone.
+	rs, err := Recover(ctx, r, s.lat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Blocks() != s.Blocks() || rs.Bytes() != s.Bytes() {
+		t.Fatalf("recovered blocks=%d bytes=%d, want %d/%d", rs.Blocks(), rs.Bytes(), s.Blocks(), s.Bytes())
+	}
+	for v, w := range want {
+		if got := rs.Neighbors(ctx, v, nil); !equalMultiset(got, w) {
+			t.Fatalf("vertex %d: recovered %d nbrs, want %d", v, len(got), len(w))
+		}
+		if rs.Records(v) != s.Records(v) {
+			t.Fatalf("vertex %d: records %d vs %d", v, rs.Records(v), s.Records(v))
+		}
+	}
+}
+
+// Property: Append then Neighbors is a multiset identity under random
+// interleavings of vertices and batch sizes.
+func TestAppendNeighborsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := xpsim.NewMachine(1, 32<<20, xpsim.DefaultLatency())
+		h := pmem.NewHeap(m)
+		r, err := h.Map("p", 8<<20, pmem.Placement{Kind: pmem.Bind, Node: 0})
+		if err != nil {
+			return false
+		}
+		s := New(r, &m.Lat, 8, Options{})
+		ctx := xpsim.NewCtx(0)
+		want := map[graph.VID][]uint32{}
+		for i := 0; i < 120; i++ {
+			v := graph.VID(rng.Intn(8))
+			n := rng.Intn(70) + 1
+			nbrs := make([]uint32, n)
+			for j := range nbrs {
+				nbrs[j] = rng.Uint32() >> 1
+			}
+			if err := s.Append(ctx, v, nbrs); err != nil {
+				return false
+			}
+			want[v] = append(want[v], nbrs...)
+		}
+		for v, w := range want {
+			if !equalMultiset(s.Neighbors(ctx, v, nil), w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchedFlushCheaperThanPerEdge(t *testing.T) {
+	// The core XPGraph claim (§III-B): flushing 63 buffered neighbors in
+	// one contiguous write costs far less PMEM traffic than 63 separate
+	// single-neighbor appends across many vertices.
+	m := xpsim.NewMachine(1, 64<<20, xpsim.DefaultLatency())
+	h := pmem.NewHeap(m)
+	r, _ := h.Map("a", 32<<20, pmem.Placement{Kind: pmem.Bind, Node: 0})
+	s := New(r, &m.Lat, 4096, Options{})
+	ctx := xpsim.NewCtx(0)
+
+	// Scattered: one neighbor to each of 63*64 distinct vertices.
+	m.ResetStats()
+	scattered := xpsim.NewCtx(0)
+	for round := 0; round < 64; round++ {
+		for v := graph.VID(0); v < 63; v++ {
+			s.Append(scattered, v+graph.VID(round)*63, []uint32{1})
+		}
+	}
+	scatterWrites := m.TotalStats().MediaWriteBytes()
+
+	// Batched: the same edge count, 63 at a time.
+	m.ResetStats()
+	batched := xpsim.NewCtx(0)
+	nbrs := make([]uint32, 63)
+	for round := 0; round < 64; round++ {
+		s.Append(batched, 5000, nbrs)
+	}
+	batchWrites := m.TotalStats().MediaWriteBytes()
+	_ = ctx
+
+	if batchWrites*2 > scatterWrites {
+		t.Errorf("batched media writes %d vs scattered %d; want >=2x reduction", batchWrites, scatterWrites)
+	}
+	if batched.Cost.Ns()*2 > scattered.Cost.Ns() {
+		t.Errorf("batched cost %dns vs scattered %dns; want >=2x cheaper", batched.Cost.Ns(), scattered.Cost.Ns())
+	}
+}
+
+func TestCompactRecyclesBlocks(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	for i := uint32(0); i < 200; i++ {
+		if err := s.Append(ctx, 1, []uint32{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	base := s.Mem().AllocBytes()
+	// Repeated compaction of the same content must reuse the freed
+	// exact-size block instead of growing the arena.
+	for round := 0; round < 5; round++ {
+		if err := s.Compact(ctx, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if grew := s.Mem().AllocBytes() - base; grew != 0 {
+		t.Fatalf("repeated compaction leaked %d arena bytes", grew)
+	}
+	got := s.Neighbors(ctx, 1, nil)
+	if len(got) != 200 {
+		t.Fatalf("after compactions: %d nbrs, want 200", len(got))
+	}
+}
+
+func TestRecoverSkipsDeadBlocks(t *testing.T) {
+	s, r, _, ctx := testStore(t)
+	for i := uint32(0); i < 100; i++ {
+		s.Append(ctx, 2, []uint32{i})
+		s.Append(ctx, 3, []uint32{i + 1000})
+	}
+	if err := s.Compact(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Recover(ctx, r, s.lat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Neighbors(ctx, 2, nil); len(got) != 100 {
+		t.Fatalf("recovered vertex 2: %d nbrs, want 100 (dead blocks must not resurrect)", len(got))
+	}
+	if got := rs.Neighbors(ctx, 3, nil); len(got) != 100 {
+		t.Fatalf("recovered vertex 3: %d nbrs, want 100", len(got))
+	}
+	// The recovered store keeps recycling the dead blocks.
+	if len(rs.freeBlocks) == 0 {
+		t.Fatal("recovered store lost the free-block lists")
+	}
+}
+
+func TestRecoverAfterRecycleReorder(t *testing.T) {
+	// Regression: a compacted vertex reuses a low-offset dead block, so
+	// its chain is NOT offset-ordered; recovery must find the tail via
+	// prev-links, not arena order.
+	s, r, _, ctx := testStore(t)
+	// Vertex 1 builds a chain, then compacts (freeing its blocks).
+	for i := uint32(0); i < 100; i++ {
+		s.Append(ctx, 1, []uint32{i})
+	}
+	if err := s.Compact(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 2 appends, compacts into a REUSED low-offset block, then
+	// appends more so its tail is a fresh high-offset block... and then
+	// compacts vertex 2 again so its single block is recycled and its
+	// chain grows from a low offset.
+	for i := uint32(0); i < 100; i++ {
+		s.Append(ctx, 2, []uint32{1000 + i})
+	}
+	if err := s.Compact(ctx, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 50; i++ {
+		s.Append(ctx, 2, []uint32{2000 + i})
+	}
+	want2 := s.Neighbors(ctx, 2, nil)
+
+	rs, err := Recover(ctx, r, s.lat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rs.Neighbors(ctx, 2, nil)
+	if !equalMultiset(got, want2) {
+		t.Fatalf("recovered vertex 2: %d records, want %d", len(got), len(want2))
+	}
+	if rs.Records(2) != len(want2) {
+		t.Fatalf("records = %d, want %d", rs.Records(2), len(want2))
+	}
+}
+
+func TestVisitAndOldestFirst(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	var want []uint32
+	for i := uint32(0); i < 300; i++ {
+		s.Append(ctx, 7, []uint32{i})
+		want = append(want, i)
+	}
+	var visited []uint32
+	s.Visit(ctx, 7, func(n uint32) { visited = append(visited, n) })
+	if !equalMultiset(visited, want) {
+		t.Fatalf("Visit yielded %d records, want %d", len(visited), len(want))
+	}
+	old := s.NeighborsOldestFirst(ctx, 7, nil)
+	if len(old) != len(want) {
+		t.Fatalf("oldest-first %d records", len(old))
+	}
+	for i := range want {
+		if old[i] != want[i] {
+			t.Fatalf("oldest-first out of order at %d: %d != %d", i, old[i], want[i])
+		}
+	}
+	// Out-of-range vertices are no-ops.
+	s.Visit(ctx, 9999, func(uint32) { t.Fatal("visited missing vertex") })
+	if got := s.NeighborsOldestFirst(ctx, 9999, nil); len(got) != 0 {
+		t.Fatal("missing vertex has records")
+	}
+}
+
+func TestReserveAndSizings(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	if err := s.Reserve(ctx, 3, 10); err != nil {
+		t.Fatal(err)
+	}
+	blocks := s.Blocks()
+	// Space already reserved: appending 10 must not allocate again.
+	if err := s.Append(ctx, 3, make([]uint32, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != blocks {
+		t.Fatal("Append allocated despite Reserve")
+	}
+	if err := s.Reserve(ctx, 3, 5); err != nil { // tail has only 2 free
+		t.Fatal(err)
+	}
+	if s.Blocks() != blocks+1 {
+		t.Fatal("Reserve beyond the tail's free space must allocate")
+	}
+	if s.NumVertices() == 0 {
+		t.Fatal("NumVertices")
+	}
+	// GraphOneSizing doubles with degree and respects floors/caps.
+	if GraphOneSizing(0, 1) != 4 || GraphOneSizing(5, 1) != 8 ||
+		GraphOneSizing(100, 1) != 128 || GraphOneSizing(5000, 1) != 1024 ||
+		GraphOneSizing(0, 50) != 50 {
+		t.Fatal("GraphOneSizing shape wrong")
+	}
+}
+
+func TestVolatileCountsVisit(t *testing.T) {
+	s, _, _, ctx := testStore(t)
+	s.opts.VolatileCounts = true
+	// Fill past one block so retired-full and partial paths both run.
+	for i := uint32(0); i < 30; i++ {
+		s.Append(ctx, 1, []uint32{i})
+	}
+	s.Reserve(ctx, 1, 25) // retire a partial tail
+	s.Append(ctx, 1, []uint32{999})
+	var got []uint32
+	s.Visit(ctx, 1, func(n uint32) { got = append(got, n) })
+	if len(got) != 31 {
+		t.Fatalf("volatile-count visit = %d records, want 31", len(got))
+	}
+}

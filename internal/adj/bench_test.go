@@ -1,0 +1,60 @@
+package adj
+
+import (
+	"testing"
+
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func benchStore(b *testing.B) (*Store, *xpsim.Ctx) {
+	b.Helper()
+	m := xpsim.NewMachine(1, 1<<30, xpsim.DefaultLatency())
+	h := pmem.NewHeap(m)
+	r, err := h.Map("bench", 768<<20, pmem.Placement{Kind: pmem.Bind, Node: 0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(r, &m.Lat, 1<<16, Options{}), xpsim.NewCtx(0)
+}
+
+func BenchmarkAppendSingle(b *testing.B) {
+	s, ctx := benchStore(b)
+	one := []uint32{42}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(ctx, uint32(i)&0xFFFF, one); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendBatch63(b *testing.B) {
+	// The XPGraph flush granularity: 63 neighbors in one write.
+	s, ctx := benchStore(b)
+	nbrs := make([]uint32, 63)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Append(ctx, uint32(i)&0xFFFF, nbrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNeighbors(b *testing.B) {
+	s, ctx := benchStore(b)
+	nbrs := make([]uint32, 63)
+	for i := 0; i < 1024; i++ {
+		if err := s.Append(ctx, uint32(i), nbrs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var dst []uint32
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.Neighbors(ctx, uint32(i)&1023, dst[:0])
+	}
+}

@@ -1,0 +1,295 @@
+// Package bench is the experiment harness: one function per table and
+// figure of the paper's evaluation (§II-C and §V), each building the
+// workload, running the systems under comparison, and returning a
+// printable table. The regenerated quantity is simulated time / simulated
+// device traffic; the reproduction target is the paper's shape (who wins,
+// by what factor, where crossovers fall), not absolute numbers.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/graphone"
+	"repro/internal/mem"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+// Config tunes a run.
+type Config struct {
+	// EdgeScale scales the catalog edge counts (1.0 = the full ~1/1024
+	// scale of DESIGN.md; benches use smaller values for quick runs).
+	EdgeScale float64
+	// Datasets restricts the experiment to these catalog names (nil:
+	// per-experiment defaults).
+	Datasets []string
+	// ArchiveThreads is the unified archiving parallelism (§V-B: 16).
+	ArchiveThreads int
+	// QueryThreads is the query parallelism (§V-C: 96).
+	QueryThreads int
+	// Latency overrides the calibrated machine model (nil: defaults).
+	Latency *xpsim.LatencyModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.EdgeScale <= 0 {
+		c.EdgeScale = 1
+	}
+	if c.ArchiveThreads <= 0 {
+		c.ArchiveThreads = 16
+	}
+	if c.QueryThreads <= 0 {
+		c.QueryThreads = 96
+	}
+	return c
+}
+
+// ScaledDRAMBytes is the machine DRAM capacity used by the volatile-system
+// experiments. The paper's testbed has 128 GB; the scaled value is chosen
+// so the paper's OOM boundary (YahooWeb, Kron29 and Kron30 fail on
+// DRAM-only systems; Kron28 and smaller fit — §II-C, Fig. 12) falls in
+// the same place against this implementation's memory layout constants.
+const ScaledDRAMBytes = 120 << 20
+
+// Table is one regenerated table/figure.
+type Table struct {
+	Exp     string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table as aligned text.
+func (t Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.Exp, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment describes a runnable experiment.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Config) (Table, error)
+}
+
+var registry []Experiment
+
+func register(name, title string, run func(Config) (Table, error)) {
+	registry = append(registry, Experiment{Name: name, Title: title, Run: run})
+}
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment { return registry }
+
+// Run executes one experiment by name.
+func Run(name string, cfg Config) (Table, error) {
+	latOverride = cfg.Latency
+	for _, e := range registry {
+		if e.Name == name {
+			return e.Run(cfg.withDefaults())
+		}
+	}
+	names := make([]string, len(registry))
+	for i, e := range registry {
+		names[i] = e.Name
+	}
+	sort.Strings(names)
+	return Table{}, fmt.Errorf("bench: unknown experiment %q (have: %s)", name, strings.Join(names, ", "))
+}
+
+// ---- workload cache ----
+
+var (
+	edgeCacheMu sync.Mutex
+	edgeCache   = map[string][]graph.Edge{}
+)
+
+// edgesFor materializes (and caches) a dataset's edge stream at the
+// configured scale.
+func edgesFor(ds gen.Dataset, cfg Config) []graph.Edge {
+	n := int64(float64(ds.Edges) * cfg.EdgeScale)
+	if n < 1024 {
+		n = 1024
+	}
+	key := fmt.Sprintf("%s/%d", ds.Name, n)
+	edgeCacheMu.Lock()
+	defer edgeCacheMu.Unlock()
+	if e, ok := edgeCache[key]; ok {
+		return e
+	}
+	e := gen.RMAT(ds.Scale, n, ds.Seed)
+	edgeCache[key] = e
+	return e
+}
+
+// datasets resolves the experiment's dataset list.
+func datasets(cfg Config, defaults ...string) ([]gen.Dataset, error) {
+	names := cfg.Datasets
+	if len(names) == 0 {
+		names = defaults
+	}
+	var out []gen.Dataset
+	for _, n := range names {
+		ds, err := gen.ByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// allNames is the full Table II list.
+var allNames = []string{"TT", "FS", "UK", "YW", "K28", "K29", "K30"}
+
+// ---- machine and store builders ----
+
+// latOverride holds the CLI's latency override for machine construction.
+// It is set once by Run before dispatching (experiments build machines
+// deep inside helpers; threading it everywhere would add noise).
+var latOverride *xpsim.LatencyModel
+
+// newMachine sizes a simulated two-socket testbed for the workload.
+func newMachine(edges int64) *xpsim.Machine {
+	lat := xpsim.DefaultLatency()
+	if latOverride != nil {
+		lat = *latOverride
+	}
+	per := edges*48 + (256 << 20)
+	return xpsim.NewMachine(2, per, lat)
+}
+
+// adjBytesFor sizes adjacency regions generously for the edge count.
+func adjBytesFor(edges int64, parts int) int64 {
+	return edges*32/int64(parts) + (32 << 20)
+}
+
+type xpOpt func(*core.Options)
+
+// newXPGraph builds an XPGraph (or variant) over a fresh machine.
+func newXPGraph(edges []graph.Edge, numV uint32, cfg Config, opts ...xpOpt) (*core.Store, *xpsim.Machine, error) {
+	o := core.Options{
+		Name:           "xp",
+		NumVertices:    numV,
+		ArchiveThreads: cfg.ArchiveThreads,
+		NUMA:           core.NUMASubgraph,
+	}
+	for _, f := range opts {
+		f(&o)
+	}
+	m := newMachine(int64(len(edges)))
+	parts := 1
+	if o.NUMA == core.NUMASubgraph {
+		parts = m.Sockets
+	}
+	if o.AdjBytes == 0 {
+		o.AdjBytes = adjBytesFor(int64(len(edges)), parts)
+	}
+	var h *pmem.Heap
+	var budget *mem.Budget
+	if o.Medium == core.MediumPMEM {
+		h = pmem.NewHeap(m)
+	}
+	if o.Medium == core.MediumDRAM {
+		budget = mem.NewBudget(ScaledDRAMBytes)
+	}
+	s, err := core.New(m, h, budget, o)
+	return s, m, err
+}
+
+// newGraphOne builds a GraphOne variant over a fresh machine.
+func newGraphOne(edges []graph.Edge, numV uint32, cfg Config, variant graphone.Variant, bind bool, threads int) (*graphone.Store, *xpsim.Machine, error) {
+	m := newMachine(int64(len(edges)))
+	var h *pmem.Heap
+	var budget *mem.Budget
+	switch variant {
+	case graphone.VariantP, graphone.VariantN:
+		h = pmem.NewHeap(m)
+	case graphone.VariantD:
+		budget = mem.NewBudget(ScaledDRAMBytes)
+	}
+	if threads <= 0 {
+		threads = cfg.ArchiveThreads
+	}
+	s, err := graphone.New(m, h, budget, graphone.Options{
+		Name:           "go",
+		NumVertices:    numV,
+		ArchiveThreads: threads,
+		AdjBytes:       adjBytesFor(int64(len(edges)), 1),
+		Variant:        variant,
+		BindSingleNode: bind,
+	})
+	return s, m, err
+}
+
+// ---- formatting ----
+
+// pmemHeap builds a heap over the machine.
+func pmemHeap(m *xpsim.Machine) *pmem.Heap { return pmem.NewHeap(m) }
+
+func secs(ns int64) string  { return fmt.Sprintf("%.3f", float64(ns)/1e9) }
+func gb(bytes int64) string { return fmt.Sprintf("%.3f", float64(bytes)/1e9) }
+func mb(bytes int64) string { return fmt.Sprintf("%.1f", float64(bytes)/1e6) }
+func ratio(a, b int64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}
+
+// CSV renders the table as RFC-4180-ish CSV for machine consumption.
+func (t Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

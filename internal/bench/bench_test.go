@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps unit-test runs fast; shape assertions still hold at this
+// scale.
+func quickCfg(datasets ...string) Config {
+	return Config{EdgeScale: 0.04, Datasets: datasets, ArchiveThreads: 16, QueryThreads: 16}
+}
+
+func cellF(t *testing.T, tb Table, row int, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, c := range tb.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("no column %q in %v", col, tb.Columns)
+	}
+	v := strings.TrimSuffix(tb.Rows[row][ci], "x")
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		t.Fatalf("cell %d/%s = %q: %v", row, col, tb.Rows[row][ci], err)
+	}
+	return f
+}
+
+func TestAllExperimentsRegistered(t *testing.T) {
+	want := []string{"fig3", "fig4", "fig11", "fig12", "fig13", "fig14",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "table2", "table3"}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.Name] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %s not registered", w)
+		}
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	tb, err := Run("fig3", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 = GraphOne-D, row 1 = GraphOne-P.
+	d := cellF(t, tb, 0, "total_s")
+	p := cellF(t, tb, 1, "total_s")
+	if p <= d*2 {
+		t.Errorf("GraphOne-P (%f) should be several times GraphOne-D (%f)", p, d)
+	}
+	if amp := cellF(t, tb, 1, "w_amp"); amp < 2 {
+		t.Errorf("write amplification %f, want heavy", amp)
+	}
+	// Archiving dominates logging on PMEM.
+	if cellF(t, tb, 1, "archive_s") <= cellF(t, tb, 1, "log_s") {
+		t.Error("archiving should dominate on PMEM")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tb, err := Run("fig11", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goP := cellF(t, tb, 0, "GraphOne-P")
+	goN := cellF(t, tb, 0, "GraphOne-N")
+	xp := cellF(t, tb, 0, "XPGraph")
+	xpB := cellF(t, tb, 0, "XPGraph-B")
+	if xp >= goP {
+		t.Errorf("XPGraph (%f) should beat GraphOne-P (%f)", xp, goP)
+	}
+	if goN < goP*4 {
+		t.Errorf("GraphOne-N (%f) should be much slower than GraphOne-P (%f)", goN, goP)
+	}
+	if xpB > xp*1.05 {
+		t.Errorf("XPGraph-B (%f) should not be slower than XPGraph (%f)", xpB, xp)
+	}
+}
+
+func TestFig14Shape(t *testing.T) {
+	tb, err := Run("fig14", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: 0 = GraphOne-P, 1 = XPGraph.
+	if bfsGo, bfsXp := cellF(t, tb, 0, "bfs_s"), cellF(t, tb, 1, "bfs_s"); bfsXp >= bfsGo {
+		t.Errorf("XPGraph BFS (%f) should beat GraphOne-P (%f)", bfsXp, bfsGo)
+	}
+	if prGo, prXp := cellF(t, tb, 0, "pagerank_s"), cellF(t, tb, 1, "pagerank_s"); prXp >= prGo {
+		t.Errorf("XPGraph PageRank (%f) should beat GraphOne-P (%f)", prXp, prGo)
+	}
+}
+
+func TestFig15Shape(t *testing.T) {
+	tb, err := Run("fig15", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The replay window covers the whole stream at this tiny scale (no
+	// flush-all ever triggers), so the quick-run speedup is a floor; the
+	// full-scale run lands near the paper's 5.2-9.5x band.
+	if sp := cellF(t, tb, 0, "speedup"); sp < 1.4 {
+		t.Errorf("XPGraph recovery speedup %fx, want >= 1.4x (paper: 5.2-9.5x)", sp)
+	}
+}
+
+func TestFig16And17Shape(t *testing.T) {
+	tb, err := Run("fig16", quickCfg("YW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger buffers => faster ingest (compare 8B vs 256B rows).
+	var t8, t256 float64
+	for i, r := range tb.Rows {
+		switch r[1] {
+		case "8":
+			t8 = cellF(t, tb, i, "ingest_s")
+		case "256":
+			t256 = cellF(t, tb, i, "ingest_s")
+		}
+	}
+	if t256 >= t8 {
+		t.Errorf("256B buffers (%f) should ingest faster than 8B (%f)", t256, t8)
+	}
+
+	tb17, err := Run("fig17", quickCfg("YW"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixed256T, fixed256M, hier256T, hier256M float64
+	for i, r := range tb17.Rows {
+		switch r[1] {
+		case "fixed-256":
+			fixed256T, fixed256M = cellF(t, tb17, i, "ingest_s"), cellF(t, tb17, i, "vbuf_peak_MB")
+		case "hier-16..256":
+			hier256T, hier256M = cellF(t, tb17, i, "ingest_s"), cellF(t, tb17, i, "vbuf_peak_MB")
+		}
+	}
+	if hier256M >= fixed256M*0.7 {
+		t.Errorf("hierarchical DRAM %fMB should be well under fixed %fMB", hier256M, fixed256M)
+	}
+	if hier256T > fixed256T*1.3 {
+		t.Errorf("hierarchical time %f should stay near fixed %f", hier256T, fixed256T)
+	}
+}
+
+func TestFig20Shape(t *testing.T) {
+	tb, err := Run("fig20", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cellF(t, tb, 0, "ingest_s")
+	last := cellF(t, tb, len(tb.Rows)-1, "ingest_s")
+	if last >= first {
+		t.Errorf("XPGraph at 95 threads (%f) should beat 1 thread (%f)", last, first)
+	}
+}
+
+func TestTables(t *testing.T) {
+	tb2, err := Run("table2", quickCfg("TT", "FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb2.Rows) != 2 {
+		t.Fatalf("table2 rows = %d", len(tb2.Rows))
+	}
+	tb3, err := Run("table3", quickCfg("TT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellF(t, tb3, 0, "pblk_MB") <= 0 {
+		t.Error("pblk usage must be positive")
+	}
+	if s := tb3.String(); !strings.Contains(s, "table3") {
+		t.Error("String() should include the experiment name")
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tb := Table{Exp: "x", Columns: []string{"a", "b"},
+		Rows: [][]string{{"1", "two, \"quoted\""}}}
+	got := tb.CSV()
+	want := "a,b\n1,\"two, \"\"quoted\"\"\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	tb, err := Run("fig4", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pNormal, pBound, p8, p32 float64
+	for i, r := range tb.Rows {
+		switch {
+		case r[1] == "GraphOne-P" && r[2] == "normal":
+			pNormal = cellF(t, tb, i, "ingest_s")
+		case r[1] == "GraphOne-P" && r[2] == "bind-1-node":
+			pBound = cellF(t, tb, i, "ingest_s")
+		case r[1] == "GraphOne-P" && r[2] == "threads=8":
+			p8 = cellF(t, tb, i, "ingest_s")
+		case r[1] == "GraphOne-P" && r[2] == "threads=32":
+			p32 = cellF(t, tb, i, "ingest_s")
+		}
+	}
+	if pBound >= pNormal {
+		t.Errorf("bound GraphOne-P (%f) should beat unbound (%f)", pBound, pNormal)
+	}
+	if p32 <= p8 {
+		t.Errorf("GraphOne-P at 32 threads (%f) should be slower than at 8 (%f)", p32, p8)
+	}
+}
+
+func TestFig19Shape(t *testing.T) {
+	tb, err := Run("fig19", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t32 float64
+	for i, r := range tb.Rows {
+		switch r[1] {
+		case "1":
+			t1 = cellF(t, tb, i, "ingest_s")
+		case "32":
+			t32 = cellF(t, tb, i, "ingest_s")
+		}
+	}
+	if t32 >= t1 {
+		t.Errorf("32MB pool (%f) should beat 1MB pool (%f)", t32, t1)
+	}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import "testing"
+
+func TestAblationShape(t *testing.T) {
+	tb, err := Run("ablation", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full, noBuf float64
+	for i, r := range tb.Rows {
+		switch r[1] {
+		case "full":
+			full = cellF(t, tb, i, "ingest_s")
+		case "no-buffering":
+			noBuf = cellF(t, tb, i, "ingest_s")
+		}
+	}
+	if noBuf <= full {
+		t.Errorf("disabling vertex buffering (%f) should cost more than full XPGraph (%f)", noBuf, full)
+	}
+}
+
+func TestExtSSDShape(t *testing.T) {
+	tb, err := Run("ext-ssd", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := cellF(t, tb, 0, "ingest_s")
+	tiered := cellF(t, tb, 1, "ingest_s")
+	ssdMB := cellF(t, tb, 1, "ssd_MB")
+	if tiered <= pm {
+		t.Errorf("tiered ingest (%f) should cost more than pure PMEM (%f)", tiered, pm)
+	}
+	if ssdMB <= 0 {
+		t.Error("overflow run should place bytes on the SSD")
+	}
+}
+
+func TestExtHotColdShape(t *testing.T) {
+	tb, err := Run("ext-hotcold", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotRead := cellF(t, tb, 0, "pmem_read_GB")
+	coldRead := cellF(t, tb, 1, "pmem_read_GB")
+	if hotRead >= coldRead {
+		t.Errorf("hot-buffer queries read %f GB from PMEM vs flushed %f GB; buffers should absorb reads", hotRead, coldRead)
+	}
+}
+
+func TestExtEvolvingShape(t *testing.T) {
+	tb, err := Run("ext-evolving", quickCfg("FS"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	goP := cellF(t, tb, 0, "ingest_s")
+	xp := cellF(t, tb, 1, "ingest_s")
+	if xp >= goP {
+		t.Errorf("XPGraph (%f) should beat GraphOne-P (%f) on evolving streams too", xp, goP)
+	}
+}

@@ -1,0 +1,35 @@
+package bench
+
+import "testing"
+
+// TestAllExperimentsSmoke runs every registered experiment at a tiny scale
+// so each code path (including the extension experiments and error
+// handling) executes in CI. Shape assertions live in the dedicated tests;
+// this one only demands successful, non-empty output.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke sweep skipped in -short mode")
+	}
+	cfg := Config{EdgeScale: 0.01, ArchiveThreads: 8, QueryThreads: 8,
+		Datasets: []string{"TT"}}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			dss := cfg
+			switch e.Name {
+			case "fig16", "fig17":
+				dss.Datasets = []string{"YW"}
+			}
+			tb, err := e.Run(dss.withDefaults())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if tb.String() == "" || tb.CSV() == "" {
+				t.Fatal("empty rendering")
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+func TestCompactLifecycle(t *testing.T) {
+	s := newStore(t, Options{Name: "iso", NumVertices: 16, LogCapacity: 1 << 10,
+		ArchiveThreshold: 4, ArchiveThreads: 2})
+	ctx := xpsim.NewCtx(0)
+	var batch []graph.Edge
+	for i := uint32(0); i < 40; i++ {
+		batch = append(batch, graph.Edge{Src: 1, Dst: 100 + i})
+	}
+	if _, err := s.Ingest(batch); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(ctx); err != nil {
+		t.Fatalf("pre-compact: %v", err)
+	}
+	if err := s.CompactAdjs(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(ctx); err != nil {
+		t.Fatalf("post-compact: %v", err)
+	}
+	var batch2 []graph.Edge
+	for i := uint32(0); i < 40; i++ {
+		batch2 = append(batch2, graph.Edge{Src: 1, Dst: 200 + i})
+	}
+	if _, err := s.Ingest(batch2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(ctx); err != nil {
+		t.Fatalf("post-append: %v", err)
+	}
+	if err := s.FlushAllVbufs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Verify(ctx); err != nil {
+		t.Fatalf("post-flush: %v", err)
+	}
+	m, h, opts := s.Machine(), s.Heap(), s.Options()
+	s = nil
+	rs, _, err := Recover(m, h, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Verify(ctx); err != nil {
+		t.Fatalf("post-recover: %v", err)
+	}
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/elog"
+	"repro/internal/graph"
+	"repro/internal/mempool"
+	"repro/internal/shard"
+	"repro/internal/vbuf"
+	"repro/internal/xpsim"
+)
+
+// IngestReport summarizes one ingestion run in simulated time. Logging
+// runs on a dedicated thread in parallel with archiving (§IV-A), so the
+// total is the maximum of the two pipelines.
+type IngestReport struct {
+	Edges         int64
+	LogNs         int64 // logging-thread simulated time
+	BufferNs      int64 // buffering phases (max-worker per phase, summed)
+	FlushNs       int64 // flushing phases
+	Batches       int64 // buffering phases executed
+	FlushAlls     int64 // full flush phases executed
+	PoolFallbacks int64 // buffer allocations that fell back to direct writes
+}
+
+// ArchiveNs is the archiving pipeline total (buffering + flushing).
+func (r IngestReport) ArchiveNs() int64 { return r.BufferNs + r.FlushNs }
+
+// TotalNs is the simulated wall time of the overlapped pipelines.
+func (r IngestReport) TotalNs() int64 {
+	if r.LogNs > r.ArchiveNs() {
+		return r.LogNs
+	}
+	return r.ArchiveNs()
+}
+
+// Add accumulates another report (for multi-call ingestion).
+func (r *IngestReport) Add(o IngestReport) {
+	r.Edges += o.Edges
+	r.LogNs += o.LogNs
+	r.BufferNs += o.BufferNs
+	r.FlushNs += o.FlushNs
+	r.Batches += o.Batches
+	r.FlushAlls += o.FlushAlls
+	r.PoolFallbacks += o.PoolFallbacks
+}
+
+// Report returns the accumulated ingestion report.
+func (s *Store) Report() IngestReport { return s.report }
+
+// ResetReport clears the accumulated report.
+func (s *Store) ResetReport() { s.report = IngestReport{} }
+
+// logChunk is how many edges the logging thread appends per call — the
+// granularity at which it checks archive triggers, as GraphOne's logging
+// loop does.
+const logChunk = 4096
+
+// Ingest streams the edges through the full logging → buffering →
+// flushing pipeline and leaves the store queryable (hot vertex buffers
+// included). It is the batch path the paper's ingestion experiments use.
+func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
+	before := s.report
+	s.ensureVertices(graph.MaxVID(edges) + 1)
+	logCtx := xpsim.NewCtx(xpsim.NodeUnbound)
+	i := 0
+	for i < len(edges) {
+		end := i + logChunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		n, err := s.log.Append(logCtx, edges[i:end])
+		i += n
+		s.report.Edges += int64(n)
+		if err != nil && err != elog.ErrFull {
+			return IngestReport{}, err
+		}
+		if err == elog.ErrFull {
+			// The head caught the flushing cursor: archive synchronously.
+			if aerr := s.archiveStep(true); aerr != nil {
+				return IngestReport{}, aerr
+			}
+			continue
+		}
+		if s.log.PendingBuffer() >= s.opts.ArchiveThreshold {
+			if aerr := s.archiveStep(false); aerr != nil {
+				return IngestReport{}, aerr
+			}
+		}
+	}
+	// Buffer the tail so every logged edge is queryable through the
+	// adjacency view. Vertex buffers intentionally stay resident: they
+	// double as a query cache (§III-B).
+	if err := s.BufferAllEdges(); err != nil {
+		return IngestReport{}, err
+	}
+	s.report.LogNs += logCtx.Cost.Ns()
+	r := s.report
+	r.Edges -= before.Edges
+	r.LogNs -= before.LogNs
+	r.BufferNs -= before.BufferNs
+	r.FlushNs -= before.FlushNs
+	r.Batches -= before.Batches
+	r.FlushAlls -= before.FlushAlls
+	r.PoolFallbacks -= before.PoolFallbacks
+	return r, nil
+}
+
+// archiveStep runs one buffering phase plus, when thresholds demand it, a
+// full flushing phase. The log-space trigger does not apply to the
+// battery-backed variant: its vertex buffers are in the power-fail
+// protected domain, so the log head may overwrite buffered edges and
+// flushing is only ever needed for pool pressure (§IV-C — this is where
+// XPGraph-B's up-to-23% win comes from).
+func (s *Store) archiveStep(force bool) error {
+	if err := s.bufferPhase(); err != nil {
+		return err
+	}
+	logPressure := false
+	if !s.opts.Battery {
+		flushLimit := int64(float64(s.log.Cap()) * s.opts.FlushFraction)
+		logPressure = s.log.PendingFlush() >= flushLimit
+	}
+	if force || logPressure || s.pool.NeedsFlush() {
+		return s.FlushAllVbufs()
+	}
+	return nil
+}
+
+// AddEdge logs one edge update — add_edge(src, dst) of Table I — running
+// archive phases synchronously when thresholds trip.
+func (s *Store) AddEdge(src, dst graph.VID) error {
+	return s.AddEdges([]graph.Edge{{Src: src, Dst: dst}})
+}
+
+// DelEdge logs one edge deletion — del_edge(src, dst) of Table I.
+func (s *Store) DelEdge(src, dst graph.VID) error {
+	return s.AddEdges([]graph.Edge{graph.Del(src, dst)})
+}
+
+// AddEdges logs a batch of edge updates — add_edges(buf, size) of
+// Table I.
+func (s *Store) AddEdges(edges []graph.Edge) error {
+	_, err := s.Ingest(edges)
+	return err
+}
+
+// BufferEdges logs a batch and immediately stages it into vertex buffers
+// — buffer_edges(buf, size) of Table I. It returns the number of edges
+// accepted.
+func (s *Store) BufferEdges(edges []graph.Edge) (int, error) {
+	before := s.log.Head()
+	if err := s.AddEdges(edges); err != nil {
+		return int(s.log.Head() - before), err
+	}
+	return int(s.log.Head() - before), s.BufferAllEdges()
+}
+
+// BufferAllEdges stages every logged-but-unbuffered edge into vertex
+// buffers — buffer_all_edges of Table I.
+func (s *Store) BufferAllEdges() error {
+	for s.log.PendingBuffer() > 0 {
+		if err := s.bufferPhase(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bufferPhase stages one batch of logged edges into DRAM vertex buffers:
+// the batch is sharded into per-(direction, partition) ranged edge lists
+// (the GraphOne edge-sharding approach, §IV-A), then worker groups bound
+// to the owning NUMA nodes drain their shards in parallel.
+func (s *Store) bufferPhase() error {
+	from, to := s.log.Buffered(), s.log.Head()
+	if to == from {
+		return nil
+	}
+	if max := from + 4*s.opts.ArchiveThreshold; to > max {
+		to = max // bound batch size so flush thresholds stay responsive
+	}
+	s.epoch++
+	s.report.Batches++
+
+	shardCtx := xpsim.NewCtx(xpsim.NodeUnbound)
+	batch := s.log.Read(shardCtx, from, to, nil)
+	s.ensureVertices(graph.MaxVID(batch) + 1)
+
+	wpg := s.workersPerGroup()
+	nRanges := shard.RangesPerWorker * wpg
+	rangeWidth := shard.Width(int64(s.NumVertices()), nRanges)
+
+	// Shard into [dir][part][range] lists and count per-vertex batch
+	// increments for skip-layer buffer allocation.
+	shards := make([][][]shard.Entry, 2)
+	for d := 0; d < 2; d++ {
+		shards[d] = make([][]shard.Entry, s.nparts*nRanges)
+	}
+	for _, e := range batch {
+		for d := 0; d < 2; d++ {
+			var v graph.VID
+			var nbr uint32
+			if Direction(d) == Out {
+				v, nbr = e.Src, e.Dst
+			} else {
+				v, nbr = e.Target(), e.Src|(e.Dst&graph.DelFlag)
+			}
+			p := s.partOf(v)
+			r := shard.RangeOf(v, rangeWidth, nRanges)
+			shards[d][p*nRanges+r] = append(shards[d][p*nRanges+r], shard.Entry{V: v, Nbr: nbr})
+			if s.batchEpoch[d][v] != s.epoch {
+				s.batchEpoch[d][v] = s.epoch
+				s.batchCnt[d][v] = 0
+			}
+			s.batchCnt[d][v]++
+		}
+	}
+	// Sharding cost: the temporary ranged edge lists live in DRAM.
+	s.lat.DRAM(shardCtx, int64(len(batch))*graph.EdgeBytes*2, true, true)
+	s.lat.CPU(shardCtx, int64(len(batch))*2)
+	if extra := int64(len(batch)) * graph.EdgeBytes * 2; extra > s.metaPeakExtra {
+		s.metaPeakExtra = extra
+	}
+
+	// Drain shards: all 2*nparts groups run concurrently; the phase's
+	// simulated time is the slowest group.
+	var phaseNs int64
+	var insertErr error
+	contention := s.contentionFor()
+	for d := 0; d < 2; d++ {
+		for p := 0; p < s.nparts; p++ {
+			g := s.groups[d][p]
+			ranges := shards[d][p*nRanges : (p+1)*nRanges]
+			assign := shard.Balance(ranges, wpg)
+			dur := xpsim.ParallelN(wpg, contention, nodeOfFn(g.node), func(w int, ctx *xpsim.Ctx) {
+				scratch := make([]uint32, 0, vbuf.Cap(s.opts.maxClass()))
+				thread := (d*s.nparts+p)*wpg + w
+				for _, ri := range assign[w] {
+					for _, se := range ranges[ri] {
+						if err := s.bufferInsert(ctx, thread, Direction(d), p, se.V, se.Nbr, &scratch); err != nil {
+							insertErr = err
+							return
+						}
+					}
+				}
+			})
+			if int64(dur) > phaseNs {
+				phaseNs = int64(dur)
+			}
+			if insertErr != nil {
+				return insertErr
+			}
+		}
+	}
+	s.log.MarkBuffered(shardCtx, to)
+	s.report.BufferNs += shardCtx.Cost.Ns() + phaseNs
+	return nil
+}
+
+func nodeOfFn(node int) func(int) int {
+	return func(int) int { return node }
+}
+
+// bufferInsert stages one neighbor into v's vertex buffer, promoting or
+// flushing the buffer as required (§III-B, §III-C).
+func (s *Store) bufferInsert(ctx *xpsim.Ctx, thread int, d Direction, p int, v graph.VID, nbr uint32, scratch *[]uint32) error {
+	g := s.groups[d][p]
+	s.records[d][v]++
+	s.lat.CPU(ctx, 12) // vertex-index lookup and bookkeeping
+	if nbr&graph.DelFlag != 0 {
+		if s.delVerts[d] == nil {
+			s.delVerts[d] = make(map[graph.VID]struct{})
+		}
+		s.delVerts[d][v] = struct{}{}
+	}
+
+	if s.opts.Buffer == BufferNone {
+		return g.adj.Append(ctx, v, []uint32{nbr})
+	}
+
+	h, c := s.vbH[d][v], int(s.vbC[d][v])
+	if h == mempool.None {
+		cls := s.initialClass(d, v)
+		nh, err := s.bufs.NewBuf(ctx, thread, cls)
+		if err != nil {
+			// Pool exhausted mid-phase: degrade to a direct write; the
+			// phase driver will flush-all at the next boundary.
+			s.report.PoolFallbacks++
+			return g.adj.Append(ctx, v, []uint32{nbr})
+		}
+		h, c = nh, cls
+		s.vbH[d][v], s.vbC[d][v] = h, uint8(c)
+	}
+	if s.bufs.Full(h, c) {
+		if s.opts.Buffer == BufferHierarchical && c < s.opts.maxClass() {
+			nh, err := s.bufs.Promote(ctx, thread, h, c, c+1)
+			if err == nil {
+				h, c = nh, c+1
+				s.vbH[d][v], s.vbC[d][v] = h, uint8(c)
+			} else {
+				// No room to grow: flush in place instead.
+				*scratch = s.bufs.Drain(ctx, h, c, (*scratch)[:0])
+				if aerr := g.adj.Append(ctx, v, *scratch); aerr != nil {
+					return aerr
+				}
+			}
+		} else {
+			// Max layer full: flush the whole buffer to the PMEM
+			// adjacency list with one contiguous write (§III-B).
+			*scratch = s.bufs.Drain(ctx, h, c, (*scratch)[:0])
+			if aerr := g.adj.Append(ctx, v, *scratch); aerr != nil {
+				return aerr
+			}
+		}
+	}
+	s.bufs.Append(ctx, h, c, nbr)
+	return nil
+}
+
+// initialClass picks the first buffer layer for a vertex, skipping lower
+// layers when the current batch already brings more neighbors (§III-C).
+func (s *Store) initialClass(d Direction, v graph.VID) int {
+	if s.opts.Buffer == BufferFixed {
+		return s.opts.maxClass()
+	}
+	cls := s.opts.minClass()
+	if s.batchEpoch[d][v] == s.epoch {
+		want := vbuf.ClassForCount(int(s.batchCnt[d][v]))
+		if want > cls {
+			cls = want
+		}
+	}
+	if max := s.opts.maxClass(); cls > max {
+		cls = max
+	}
+	return cls
+}
+
+// FlushAllVbufs drains every vertex buffer to the PMEM adjacency lists,
+// advances the flushing cursor, and recycles the whole pool —
+// flush_all_vbufs of Table I and the flushing phase of §IV-A.
+func (s *Store) FlushAllVbufs() error {
+	if s.opts.Buffer == BufferNone {
+		ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+		s.log.MarkFlushed(ctx, s.log.Buffered())
+		s.report.FlushNs += ctx.Cost.Ns()
+		return nil
+	}
+	s.report.FlushAlls++
+	wpg := s.workersPerGroup()
+	contention := s.contentionFor()
+	var phaseNs int64
+	var flushErr error
+	numV := s.NumVertices()
+	for d := 0; d < 2; d++ {
+		for p := 0; p < s.nparts; p++ {
+			g := s.groups[d][p]
+			dur := xpsim.ParallelN(wpg, contention, nodeOfFn(g.node), func(w int, ctx *xpsim.Ctx) {
+				scratch := make([]uint32, 0, vbuf.Cap(s.opts.maxClass()))
+				thread := (d*s.nparts+p)*wpg + w
+				for v := graph.VID(w); v < numV; v += graph.VID(wpg) {
+					if s.partOf(v) != p {
+						continue
+					}
+					h := s.vbH[d][v]
+					if h == mempool.None {
+						continue
+					}
+					c := int(s.vbC[d][v])
+					s.lat.CPU(ctx, 2)
+					if s.bufs.Count(h, c) > 0 {
+						scratch = s.bufs.Drain(ctx, h, c, scratch[:0])
+						if err := g.adj.Append(ctx, v, scratch); err != nil {
+							flushErr = err
+							return
+						}
+					}
+					s.bufs.Free(thread, h, c)
+					s.vbH[d][v] = mempool.None
+					s.vbC[d][v] = 0
+				}
+			})
+			if int64(dur) > phaseNs {
+				phaseNs = int64(dur)
+			}
+			if flushErr != nil {
+				return flushErr
+			}
+		}
+	}
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	s.log.MarkFlushed(ctx, s.log.Buffered())
+	s.pool.Reset()
+	s.report.FlushNs += phaseNs + ctx.Cost.Ns()
+	return nil
+}
+
+// CompactAdjs merges all of one vertex's adjacency blocks (DRAM buffer
+// included) into a single PMEM block — compact_adjs(vid) of Table I.
+func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
+	if v >= s.NumVertices() {
+		return fmt.Errorf("core: vertex %d out of range", v)
+	}
+	s.compactGen++
+	for d := 0; d < 2; d++ {
+		p := s.partOf(v)
+		g := s.groups[d][p]
+		h := s.vbH[d][v]
+		if h != mempool.None {
+			c := int(s.vbC[d][v])
+			if s.bufs.Count(h, c) > 0 {
+				drained := s.bufs.Drain(ctx, h, c, nil)
+				if err := g.adj.Append(ctx, v, drained); err != nil {
+					return err
+				}
+			}
+		}
+		if err := g.adj.Compact(ctx, v); err != nil {
+			return err
+		}
+		s.records[d][v] = uint32(g.adj.Records(v))
+		if h != mempool.None {
+			cnt := s.bufs.Count(h, int(s.vbC[d][v]))
+			s.records[d][v] += uint32(cnt)
+		}
+	}
+	return nil
+}
+
+// CompactAllAdjs compacts every vertex — compact_all_adjs of Table I.
+func (s *Store) CompactAllAdjs(ctx *xpsim.Ctx) error {
+	for v := graph.VID(0); v < s.NumVertices(); v++ {
+		if err := s.CompactAdjs(ctx, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

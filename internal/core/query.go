@@ -1,0 +1,186 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mempool"
+	"repro/internal/xpsim"
+)
+
+// The graph querying interfaces of Table I. All return neighbor IDs with
+// deletion tombstones already resolved unless stated otherwise.
+
+// Nbrs returns the merged neighbor view of v in direction d: PMEM
+// adjacency blocks plus the DRAM vertex buffer — get_nebrs_{out/in}(vid).
+func (s *Store) Nbrs(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	if v >= s.NumVertices() {
+		return dst
+	}
+	start := len(dst)
+	dst = s.groups[d][s.partOf(v)].adj.Neighbors(ctx, v, dst)
+	dst = s.nbrsBufRaw(ctx, d, v, dst)
+	return resolveInPlace(dst, start)
+}
+
+// NbrsOut and NbrsIn are direction-fixed conveniences.
+func (s *Store) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	return s.Nbrs(ctx, Out, v, dst)
+}
+
+// NbrsIn returns v's in-neighbors.
+func (s *Store) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	return s.Nbrs(ctx, In, v, dst)
+}
+
+// VisitNbrs streams v's merged neighbor view (PMEM blocks then the DRAM
+// vertex buffer) to fn without allocating. Vertices that ever received a
+// deletion tombstone fall back to the materializing path so the resolved
+// view stays correct.
+func (s *Store) VisitNbrs(ctx *xpsim.Ctx, d Direction, v graph.VID, fn func(nbr uint32)) {
+	if v >= s.NumVertices() {
+		return
+	}
+	_, tombstoned := s.delVerts[d][v]
+	if tombstoned || s.delsUnknown {
+		for _, nbr := range s.Nbrs(ctx, d, v, nil) {
+			fn(nbr)
+		}
+		return
+	}
+	s.groups[d][s.partOf(v)].adj.Visit(ctx, v, fn)
+	h := s.vbH[d][v]
+	if h != mempool.None {
+		s.bufs.Visit(ctx, h, int(s.vbC[d][v]), fn)
+	}
+}
+
+// VisitOut and VisitIn are direction-fixed conveniences.
+func (s *Store) VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	s.VisitNbrs(ctx, Out, v, fn)
+}
+
+// VisitIn streams v's in-neighbors.
+func (s *Store) VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	s.VisitNbrs(ctx, In, v, fn)
+}
+
+// NbrsFlush returns only the PMEM-resident neighbors —
+// get_nebrs_flush_{out/in}(vid).
+func (s *Store) NbrsFlush(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	if v >= s.NumVertices() {
+		return dst
+	}
+	start := len(dst)
+	dst = s.groups[d][s.partOf(v)].adj.Neighbors(ctx, v, dst)
+	return resolveInPlace(dst, start)
+}
+
+// NbrsBuf returns only the DRAM-buffered neighbors —
+// get_nebrs_buf_{out/in}(vid).
+func (s *Store) NbrsBuf(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	if v >= s.NumVertices() {
+		return dst
+	}
+	start := len(dst)
+	dst = s.nbrsBufRaw(ctx, d, v, dst)
+	return resolveInPlace(dst, start)
+}
+
+func (s *Store) nbrsBufRaw(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	h := s.vbH[d][v]
+	if h == mempool.None {
+		return dst
+	}
+	return s.bufs.Neighbors(ctx, h, int(s.vbC[d][v]), dst)
+}
+
+// NbrsLog scans the unbuffered window of the circular edge log for v's
+// neighbors — get_nebrs_log_{out/in}(vid). This is an O(window) scan; it
+// exists for completeness of the phase-separated view interfaces.
+func (s *Store) NbrsLog(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	edges := s.log.Read(ctx, s.log.Buffered(), s.log.Head(), nil)
+	for _, e := range edges {
+		if Direction(d) == Out && e.Src == v {
+			dst = append(dst, e.Dst)
+		} else if Direction(d) == In && e.Target() == v {
+			dst = append(dst, e.Src|(e.Dst&graph.DelFlag))
+		}
+	}
+	return dst
+}
+
+// LoggedEdges returns the edges still waiting in the log window —
+// get_logged_edges() of Table I.
+func (s *Store) LoggedEdges(ctx *xpsim.Ctx) []graph.Edge {
+	return s.log.Read(ctx, s.log.Buffered(), s.log.Head(), nil)
+}
+
+// OutNode and InNode report the NUMA home of v's adjacency data for query
+// classification (§III-D).
+func (s *Store) OutNode(v graph.VID) int { return s.PartitionNode(Out, v) }
+
+// InNode reports the NUMA home of v's in-adjacency.
+func (s *Store) InNode(v graph.VID) int { return s.PartitionNode(In, v) }
+
+// OutDegree reports the record count of v's out-adjacency.
+func (s *Store) OutDegree(v graph.VID) int { return s.Degree(Out, v) }
+
+// Degree reports the number of live records known for v (records minus
+// nothing — tombstones still count as records; use Nbrs for the resolved
+// view). It is the cheap DRAM-side degree GraphOne also maintains.
+func (s *Store) Degree(d Direction, v graph.VID) int {
+	if v >= s.NumVertices() {
+		return 0
+	}
+	return int(s.records[d][v])
+}
+
+// resolveInPlace removes deletion tombstones (and one matching neighbor
+// each) from dst[start:], returning the shortened slice.
+func resolveInPlace(dst []uint32, start int) []uint32 {
+	recs := dst[start:]
+	var dels map[uint32]int
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			if dels == nil {
+				dels = make(map[uint32]int)
+			}
+			dels[r&^graph.DelFlag]++
+		}
+	}
+	if dels == nil {
+		return dst
+	}
+	// Forward compaction is alias-safe (the write index never passes the
+	// read index); which matching insert a deletion cancels is
+	// irrelevant under multiset semantics.
+	out := recs[:0]
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			continue
+		}
+		if n := dels[r]; n > 0 {
+			dels[r] = n - 1
+			continue
+		}
+		out = append(out, r)
+	}
+	return dst[:start+len(out)]
+}
+
+// Edges streams every live edge (tombstones resolved) to fn in vertex
+// order — the export path for backups and migrations. It reflects the
+// store's current adjacency view; edges still waiting in the log window
+// are included only once buffered (call BufferAllEdges first for an exact
+// cut).
+func (s *Store) Edges(ctx *xpsim.Ctx, fn func(graph.Edge)) {
+	var scratch []uint32
+	for v := graph.VID(0); v < s.NumVertices(); v++ {
+		if s.records[Out][v] == 0 {
+			continue
+		}
+		scratch = s.Nbrs(ctx, Out, v, scratch[:0])
+		for _, dst := range scratch {
+			fn(graph.Edge{Src: v, Dst: dst})
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/elog"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+// RecoveryReport summarizes a crash recovery.
+type RecoveryReport struct {
+	SimNs         int64 // simulated recovery time
+	BlocksScanned int64 // adjacency blocks reloaded from PMEM
+	Replayed      int64 // log edges replayed into fresh vertex buffers
+	DedupSkipped  int64 // replayed records already found in PMEM (§III-B)
+}
+
+// Recover re-attaches to the PMEM of a crashed store and rebuilds all
+// DRAM state: the adjacency arenas are scanned sequentially to reload the
+// vertex index, then the edge-log window [flushing, head) is replayed into
+// fresh vertex buffers, checking each record against the PMEM adjacency
+// list to avoid duplicating edges whose buffers had already been flushed
+// (the recovery scheme of §III-B / §V-D).
+//
+// opts must describe the same geometry the crashed store was created
+// with (name, log capacity, NUMA mode, region sizes).
+func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Options) (*Store, RecoveryReport, error) {
+	opts = opts.withDefaults()
+	if opts.Medium != MediumPMEM {
+		return nil, RecoveryReport{}, fmt.Errorf("core: only PMEM stores are recoverable")
+	}
+	if opts.SSDOverflow > 0 {
+		return nil, RecoveryReport{}, fmt.Errorf("core: SSD-tiered stores are not yet recoverable (extension prototype)")
+	}
+	if opts.Battery {
+		// XPGraph-B's persistence domain includes DRAM (battery-backed):
+		// a power failure does not lose the vertex buffers, so there is
+		// nothing to replay — and the edge log may legitimately have
+		// overwritten buffered-but-unflushed edges, so log replay would
+		// be wrong as well as unnecessary (§IV-C).
+		return nil, RecoveryReport{}, fmt.Errorf("core: battery-backed stores (XPGraph-B) keep DRAM across power loss; crash recovery does not apply")
+	}
+	s := &Store{
+		opts:    opts,
+		machine: machine,
+		heap:    heap,
+		budget:  budget,
+		lat:     &machine.Lat,
+	}
+	if opts.NUMA == NUMASubgraph {
+		s.nparts = machine.Sockets
+	} else {
+		s.nparts = 1
+	}
+
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	if err := s.mapMemories(ctx, true); err != nil {
+		return nil, RecoveryReport{}, err
+	}
+
+	// Re-attach the edge log: its header and ring sit at deterministic
+	// offsets inside the dedicated log region.
+	logRegion, ok := s.heap.Get(opts.Name + "-elog")
+	if !ok {
+		return nil, RecoveryReport{}, fmt.Errorf("core: log region for %q not found", opts.Name)
+	}
+	hdr := alignUp(logRegion.UserStart(), xpsim.XPLineSize)
+	base := alignUp(hdr+elog.HeaderBytes, xpsim.XPLineSize)
+	var err error
+	s.log, err = elog.Attach(ctx, logRegion, hdr, base, opts.Battery)
+	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+
+	s.initPool()
+	s.delsUnknown = true // pre-crash tombstones cannot be re-discovered cheaply
+	var rep RecoveryReport
+
+	// Rebuild vertex-level DRAM state from the recovered arenas.
+	maxV := opts.NumVertices
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			if n := g.adj.NumVertices(); n > maxV {
+				maxV = n
+			}
+			rep.BlocksScanned += g.adj.Blocks()
+		}
+	}
+	s.ensureVertices(maxV)
+	for d := 0; d < 2; d++ {
+		for p, g := range s.groups[d] {
+			for v := graph.VID(0); v < g.adj.NumVertices(); v++ {
+				if s.partOf(v) == p {
+					s.records[d][v] += uint32(g.adj.Records(v))
+				}
+			}
+		}
+	}
+
+	// Replay the window that may have lived in lost DRAM vertex buffers.
+	// Some of these edges already reached PMEM through buffer-full
+	// flushes before the crash; to avoid duplicating them (§III-B) each
+	// window vertex's stored adjacency is scanned once and matching
+	// records consume "skip credits" against the window's occurrences.
+	replay := s.log.Read(ctx, s.log.Flushed(), s.log.Head(), nil)
+	s.ensureVertices(graph.MaxVID(replay) + 1)
+	scratch := make([]uint32, 0, opts.maxBufNeighbors())
+	for d := 0; d < 2; d++ {
+		need := make(map[uint64]int32, len(replay))
+		for _, e := range replay {
+			v, nbr := replayRecord(Direction(d), e)
+			need[packVN(v, nbr)]++
+		}
+		// Scan each window vertex once; existing records convert window
+		// occurrences into skips.
+		skip := make(map[uint64]int32)
+		seen := make(map[graph.VID]bool)
+		var nbrScratch []uint32
+		for _, e := range replay {
+			v, _ := replayRecord(Direction(d), e)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			nbrScratch = s.groups[d][s.partOf(v)].adj.Neighbors(ctx, v, nbrScratch[:0])
+			for _, nbr := range nbrScratch {
+				k := packVN(v, nbr)
+				if need[k] > skip[k] {
+					skip[k]++
+				}
+			}
+		}
+		for _, e := range replay {
+			v, nbr := replayRecord(Direction(d), e)
+			k := packVN(v, nbr)
+			if skip[k] > 0 {
+				skip[k]--
+				rep.DedupSkipped++
+				continue
+			}
+			if err := s.bufferInsert(ctx, 0, Direction(d), s.partOf(v), v, nbr, &scratch); err != nil {
+				return nil, RecoveryReport{}, err
+			}
+		}
+	}
+	rep.Replayed = int64(len(replay))
+	s.log.MarkBuffered(ctx, s.log.Head())
+	rep.SimNs = ctx.Cost.Ns()
+	return s, rep, nil
+}
+
+// replayRecord extracts the (vertex, neighbor-record) pair an edge
+// contributes in direction d.
+func replayRecord(d Direction, e graph.Edge) (graph.VID, uint32) {
+	if d == Out {
+		return e.Src, e.Dst
+	}
+	return e.Target(), e.Src | (e.Dst & graph.DelFlag)
+}
+
+func packVN(v graph.VID, nbr uint32) uint64 { return uint64(v)<<32 | uint64(nbr) }
+
+func alignUp(x, a int64) int64 { return (x + a - 1) / a * a }

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+func TestSnapshotIsolation(t *testing.T) {
+	s := newStore(t, Options{Name: "snap", NumVertices: 64, LogCapacity: 1 << 10,
+		ArchiveThreshold: 8, ArchiveThreads: 2})
+	first := []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 4, Dst: 1}}
+	if _, err := s.Ingest(first); err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	snap := s.Snapshot(ctx)
+	if snap.Edges(Out) != 3 {
+		t.Fatalf("snapshot edges = %d", snap.Edges(Out))
+	}
+
+	// Updates after the snapshot are invisible through it.
+	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 9}, {Src: 1, Dst: 10}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snap.NbrsOut(ctx, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got, []uint32{2, 3}) {
+		t.Fatalf("snapshot out(1) = %v, want {2,3}", got)
+	}
+	// The live view sees everything.
+	if live := s.NbrsOut(ctx, 1, nil); !sameMultiset(live, []uint32{2, 3, 9, 10}) {
+		t.Fatalf("live out(1) = %v", live)
+	}
+	// A fresh snapshot sees the new state.
+	snap2 := s.Snapshot(ctx)
+	got2, err := snap2.NbrsOut(ctx, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameMultiset(got2, []uint32{2, 3, 9, 10}) {
+		t.Fatalf("snapshot2 out(1) = %v", got2)
+	}
+}
+
+func TestSnapshotSurvivesFlush(t *testing.T) {
+	// Flushing buffers to PMEM must not change what a snapshot sees:
+	// order is preserved end to end.
+	s := newStore(t, Options{Name: "snapf", NumVertices: 64, LogCapacity: 1 << 10,
+		ArchiveThreshold: 8, ArchiveThreads: 2})
+	if _, err := s.Ingest(gen.RMAT(6, 300, 31)); err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	snap := s.Snapshot(ctx)
+	want := map[graph.VID][]uint32{}
+	for v := graph.VID(0); v < 64; v++ {
+		nbrs, err := snap.NbrsOut(ctx, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[v] = append([]uint32(nil), nbrs...)
+	}
+	if err := s.FlushAllVbufs(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest(gen.RMAT(6, 200, 32)); err != nil {
+		t.Fatal(err)
+	}
+	for v := graph.VID(0); v < 64; v++ {
+		got, err := snap.NbrsOut(ctx, v, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameMultiset(got, want[v]) {
+			t.Fatalf("vertex %d: snapshot changed after flush+ingest: %v vs %v", v, got, want[v])
+		}
+	}
+}
+
+func TestSnapshotInvalidatedByCompaction(t *testing.T) {
+	s := newStore(t, Options{Name: "snapc", NumVertices: 16, LogCapacity: 256,
+		ArchiveThreshold: 4, ArchiveThreads: 2})
+	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	snap := s.Snapshot(ctx)
+	if err := s.CompactAdjs(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.NbrsOut(ctx, 1, nil); err == nil {
+		t.Fatal("snapshot must be invalidated by compaction")
+	}
+}
+
+// Property: a snapshot taken after a random ingest prefix always equals
+// the reference built from exactly that prefix, regardless of how much
+// more is ingested afterwards.
+func TestSnapshotPrefixProperty(t *testing.T) {
+	all := gen.RMAT(8, 2000, 33)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cut := 1 + rng.Intn(len(all)-1)
+		m, h := testMachine()
+		s, err := New(m, h, nil, Options{Name: "snapp",
+			NumVertices: 256, LogCapacity: 1 << 11, ArchiveThreshold: 1 << 6, ArchiveThreads: 3})
+		if err != nil {
+			return false
+		}
+		if _, err := s.Ingest(all[:cut]); err != nil {
+			return false
+		}
+		ctx := xpsim.NewCtx(0)
+		snap := s.Snapshot(ctx)
+		if _, err := s.Ingest(all[cut:]); err != nil {
+			return false
+		}
+		ref := buildReference(all[:cut])
+		for v := graph.VID(0); v < 256; v++ {
+			got, err := snap.NbrsOut(ctx, v, nil)
+			if err != nil || !sameMultiset(got, ref.out[v]) {
+				return false
+			}
+			gotIn, err := snap.NbrsIn(ctx, v, nil)
+			if err != nil || !sameMultiset(gotIn, ref.in[v]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+// TestSoak interleaves every store operation — batch ingest, deletions,
+// flush-all, per-vertex compaction, snapshots, verification, and
+// crash+recovery — against a reference model, for several seeds. This is
+// the cross-feature interaction test: each operation is individually
+// covered elsewhere; here they collide.
+func TestSoak(t *testing.T) {
+	const numV = 96
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(string(rune('a'+seed)), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m, h := testMachine()
+			opts := Options{Name: "soak", NumVertices: numV,
+				LogCapacity: 1 << 11, ArchiveThreshold: 1 << 6, ArchiveThreads: 3,
+				NUMA: NUMAMode(rng.Intn(3))}
+			s, err := New(m, h, nil, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ref := &reference{out: map[graph.VID][]uint32{}, in: map[graph.VID][]uint32{}}
+			ctx := xpsim.NewCtx(0)
+			nextEdge := uint32(0) // unique (src,dst) pairs so recovery dedup is exact
+
+			type pendingSnap struct {
+				snap *Snapshot
+				out  map[graph.VID][]uint32
+			}
+			var snaps []pendingSnap
+
+			apply := func(edges []graph.Edge) {
+				for _, e := range edges {
+					if e.IsDelete() {
+						ref.out[e.Src] = removeOne(ref.out[e.Src], e.Target())
+						ref.in[e.Target()] = removeOne(ref.in[e.Target()], e.Src)
+					} else {
+						ref.out[e.Src] = append(ref.out[e.Src], e.Dst)
+						ref.in[e.Dst] = append(ref.in[e.Dst], e.Src)
+					}
+				}
+			}
+
+			for op := 0; op < 60; op++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2, 3, 4: // ingest a batch of fresh edges (+ some deletions)
+					n := 1 + rng.Intn(400)
+					batch := make([]graph.Edge, 0, n)
+					for i := 0; i < n; i++ {
+						if rng.Intn(8) == 0 && len(ref.out) > 0 {
+							// Delete a random live edge.
+							for v, outs := range ref.out {
+								if len(outs) > 0 {
+									batch = append(batch, graph.Del(v, outs[rng.Intn(len(outs))]))
+									break
+								}
+							}
+							continue
+						}
+						// Unique edge: encode a counter into (src, dst).
+						src := graph.VID(nextEdge % numV)
+						dst := (nextEdge / numV) % (1 << 24)
+						nextEdge++
+						batch = append(batch, graph.Edge{Src: src, Dst: dst})
+					}
+					if _, err := s.Ingest(batch); err != nil {
+						t.Fatalf("op %d ingest: %v", op, err)
+					}
+					apply(batch)
+				case 5: // flush everything to PMEM
+					if err := s.FlushAllVbufs(); err != nil {
+						t.Fatalf("op %d flush: %v", op, err)
+					}
+				case 6: // compact a random vertex (invalidates snapshots)
+					if err := s.CompactAdjs(ctx, graph.VID(rng.Intn(numV))); err != nil {
+						t.Fatalf("op %d compact: %v", op, err)
+					}
+					snaps = nil
+				case 7: // take a snapshot of the current out-view
+					ps := pendingSnap{snap: s.Snapshot(ctx), out: map[graph.VID][]uint32{}}
+					for v, outs := range ref.out {
+						ps.out[v] = append([]uint32(nil), outs...)
+					}
+					snaps = append(snaps, ps)
+				case 8: // verify structural invariants
+					if _, err := s.Verify(ctx); err != nil {
+						t.Fatalf("op %d verify: %v", op, err)
+					}
+				case 9: // crash and recover
+					s = nil
+					rs, _, err := Recover(m, h, nil, opts)
+					if err != nil {
+						t.Fatalf("op %d recover: %v", op, err)
+					}
+					s = rs
+					snaps = nil // snapshots do not survive the crash (DRAM)
+				}
+
+				// Spot-check a few random vertices against the model.
+				for i := 0; i < 4; i++ {
+					v := graph.VID(rng.Intn(numV))
+					if got := s.Nbrs(ctx, Out, v, nil); !sameMultiset(got, ref.out[v]) {
+						t.Fatalf("op %d: out(%d) = %d records, want %d", op, v, len(got), len(ref.out[v]))
+					}
+					if got := s.Nbrs(ctx, In, v, nil); !sameMultiset(got, ref.in[v]) {
+						t.Fatalf("op %d: in(%d) mismatch", op, v)
+					}
+				}
+				// Check every live snapshot still reports its frozen view.
+				for si, ps := range snaps {
+					v := graph.VID(rng.Intn(numV))
+					got, err := ps.snap.NbrsOut(ctx, v, nil)
+					if err != nil {
+						t.Fatalf("op %d snapshot %d: %v", op, si, err)
+					}
+					if !sameMultiset(got, ps.out[v]) {
+						t.Fatalf("op %d snapshot %d: out(%d) drifted", op, si, v)
+					}
+				}
+			}
+
+			// Final full sweep.
+			checkAgainstReference(t, s, ref, numV)
+			if _, err := s.Verify(ctx); err != nil {
+				t.Fatalf("final verify: %v", err)
+			}
+		})
+	}
+}

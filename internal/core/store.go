@@ -1,0 +1,337 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/adj"
+	"repro/internal/elog"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/mempool"
+	"repro/internal/pmem"
+	"repro/internal/ssd"
+	"repro/internal/vbuf"
+	"repro/internal/xpsim"
+)
+
+// Direction selects out-neighbors or in-neighbors.
+type Direction int
+
+// Out and In are the two adjacency directions every edge updates.
+const (
+	Out Direction = 0
+	In  Direction = 1
+)
+
+// perVertexMetaBytes approximates the DRAM metadata per vertex per
+// direction (vertex index entry, degree, batch counters) for the Table III
+// accounting.
+const perVertexMetaBytes = 24
+
+// group is one adjacency arena: one direction of one partition, placed on
+// (and, when binding is enabled, accessed from) one NUMA node.
+type group struct {
+	adj  *adj.Store
+	node int // node to bind accessing threads to; xpsim.NodeUnbound = no binding
+}
+
+// Store is an XPGraph instance.
+type Store struct {
+	opts    Options
+	machine *xpsim.Machine
+	heap    *pmem.Heap
+	budget  *mem.Budget
+	lat     *xpsim.LatencyModel
+
+	log    *elog.Log
+	logMem mem.Mem
+
+	nparts int
+	groups [2][]*group
+
+	pool *mempool.Pool
+	bufs *vbuf.Buffers
+
+	// Per-direction, per-vertex DRAM state (the "Meta" of Table III).
+	vbH     [2][]mempool.Handle
+	vbC     [2][]uint8
+	records [2][]uint32 // total records ingested (adjacency + buffered)
+
+	// Per-batch counters for skip-layer buffer allocation (§III-C).
+	epoch      uint32
+	batchEpoch [2][]uint32
+	batchCnt   [2][]uint32
+
+	metaBytes     int64
+	metaPeakExtra int64 // shard scratch high-water mark
+	report        IngestReport
+
+	// delVerts tracks vertices that ever received a deletion tombstone,
+	// per direction. Queries on every other vertex can stream neighbors
+	// without materializing a slice for tombstone resolution. After a
+	// recovery the pre-crash tombstone set is unknown (block headers do
+	// not record it), so delsUnknown forces the resolving path.
+	delVerts    [2]map[graph.VID]struct{}
+	delsUnknown bool
+
+	// compactGen increments whenever a compaction rewrites chains,
+	// invalidating outstanding snapshots.
+	compactGen uint64
+}
+
+// New creates an XPGraph store on the machine. For PMEM media a heap is
+// required; budget caps DRAM usage (nil: unlimited).
+func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{
+		opts:    opts,
+		machine: machine,
+		heap:    heap,
+		budget:  budget,
+		lat:     &machine.Lat,
+	}
+	switch opts.NUMA {
+	case NUMASubgraph:
+		s.nparts = machine.Sockets
+	default:
+		s.nparts = 1
+	}
+
+	ctx := xpsim.NewCtx(0)
+	if err := s.mapMemories(ctx, false); err != nil {
+		return nil, err
+	}
+	var err error
+	s.log, err = elog.Create(ctx, s.logMem, opts.LogCapacity, opts.Battery)
+	if err != nil {
+		return nil, err
+	}
+	s.initPool()
+	s.ensureVertices(opts.NumVertices)
+	return s, nil
+}
+
+// mapMemories creates (or, for recovery, re-attaches) the log memory and
+// the adjacency groups.
+func (s *Store) mapMemories(ctx *xpsim.Ctx, reattach bool) error {
+	opts := s.opts
+	logBytes := opts.LogCapacity*graph.EdgeBytes + 4096
+	adjOpts := adj.Options{ProactiveFlush: opts.ProactiveFlush && opts.Medium == MediumPMEM}
+
+	newSpace := func(size int64) mem.Mem {
+		if opts.Medium == MediumMemoryMode {
+			return mem.NewMemoryMode(s.lat, size)
+		}
+		return mem.NewDRAM(s.lat, size, s.budget)
+	}
+
+	if opts.Medium != MediumPMEM {
+		s.logMem = newSpace(logBytes)
+		for d := 0; d < 2; d++ {
+			m := newSpace(opts.AdjBytes)
+			s.groups[d] = []*group{{adj: adj.New(m, s.lat, opts.NumVertices, adjOpts), node: xpsim.NodeUnbound}}
+		}
+		return nil
+	}
+
+	if s.heap == nil {
+		return fmt.Errorf("core: PMEM medium requires a heap")
+	}
+	logRegion, err := s.heap.Map(opts.Name+"-elog", logBytes, pmem.Placement{Kind: pmem.Interleave})
+	if err != nil {
+		return err
+	}
+	s.logMem = logRegion
+
+	place := func(d, p int) pmem.Placement {
+		switch opts.NUMA {
+		case NUMAOutIn:
+			return pmem.Placement{Kind: pmem.Bind, Node: d % s.machine.Sockets}
+		case NUMASubgraph:
+			return pmem.Placement{Kind: pmem.Bind, Node: p}
+		default:
+			return pmem.Placement{Kind: pmem.Interleave}
+		}
+	}
+	bindNode := func(d, p int) int {
+		switch opts.NUMA {
+		case NUMAOutIn:
+			return d % s.machine.Sockets
+		case NUMASubgraph:
+			return p
+		default:
+			return xpsim.NodeUnbound
+		}
+	}
+
+	dirName := [2]string{"out", "in"}
+	for d := 0; d < 2; d++ {
+		s.groups[d] = nil
+		for p := 0; p < s.nparts; p++ {
+			r, err := s.heap.Map(fmt.Sprintf("%s-adj-%s-%d", opts.Name, dirName[d], p),
+				opts.AdjBytes, place(d, p))
+			if err != nil {
+				return err
+			}
+			var st *adj.Store
+			if reattach {
+				st, err = adj.Recover(ctx, r, s.lat, adjOpts)
+				if err != nil {
+					return err
+				}
+			} else if opts.SSDOverflow > 0 {
+				// SSD-supported XPGraph: overflow adjacency blocks onto
+				// a simulated NVMe namespace once the PMEM arena fills.
+				tier := mem.NewTiered(r, ssd.New(s.lat, opts.SSDOverflow/int64(2*s.nparts)))
+				st = adj.New(tier, s.lat, s.opts.NumVertices, adjOpts)
+			} else {
+				st = adj.New(r, s.lat, s.opts.NumVertices, adjOpts)
+			}
+			s.groups[d] = append(s.groups[d], &group{adj: st, node: bindNode(d, p)})
+		}
+	}
+	return nil
+}
+
+// SSDBytes reports adjacency bytes that overflowed onto the SSD tier
+// (zero unless the SSDOverflow extension is enabled).
+func (s *Store) SSDBytes() int64 {
+	var n int64
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			if t, ok := g.adj.Mem().(*mem.Tiered); ok {
+				n += t.SlowBytes() - 64 // namespace header
+			}
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+func (s *Store) initPool() {
+	threads := s.workersPerGroup() * 2 * s.nparts
+	bulk := s.opts.PoolBulk
+	// A capped pool must fit at least two bulks per thread, or the pool
+	// reports pressure permanently and every batch degenerates into a
+	// flush-all.
+	if s.opts.PoolMax > 0 {
+		if cap := s.opts.PoolMax / int64(2*threads); bulk > cap {
+			bulk = cap
+		}
+		if bulk < 64<<10 {
+			bulk = 64 << 10
+		}
+	}
+	s.pool = mempool.New(mempool.Config{
+		BulkSize: bulk,
+		MaxBytes: s.opts.PoolMax,
+		Threads:  threads,
+		Budget:   s.budget,
+	})
+	s.bufs = vbuf.New(s.pool, s.lat)
+}
+
+// workersPerGroup divides the archive threads over the 2*nparts
+// direction/partition groups that buffer concurrently.
+func (s *Store) workersPerGroup() int {
+	w := s.opts.ArchiveThreads / (2 * s.nparts)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// contentionFor reports how many workers concurrently hit the devices the
+// given group lives on: with binding, the out- and in-groups of the same
+// node; without, every archive thread everywhere.
+func (s *Store) contentionFor() int {
+	if s.opts.NUMA == NUMANone {
+		return s.opts.ArchiveThreads
+	}
+	if s.opts.NUMA == NUMAOutIn {
+		return s.workersPerGroup()
+	}
+	return s.workersPerGroup() * 2
+}
+
+// partOf maps a vertex to its partition.
+func (s *Store) partOf(v graph.VID) int {
+	if s.nparts == 1 {
+		return 0
+	}
+	return int(v) % s.nparts
+}
+
+// PartitionNode reports the NUMA node that owns vertex v's adjacency data
+// in the given direction (xpsim.NodeUnbound when interleaved). Query
+// engines use it to classify work per node before binding (§III-D).
+func (s *Store) PartitionNode(d Direction, v graph.VID) int {
+	return s.groups[d][s.partOf(v)].node
+}
+
+// NumPartitions reports the sub-graph count.
+func (s *Store) NumPartitions() int { return s.nparts }
+
+// ensureVertices grows all per-vertex DRAM state to cover n vertices.
+func (s *Store) ensureVertices(n graph.VID) {
+	cur := graph.VID(len(s.vbH[0]))
+	if n <= cur {
+		return
+	}
+	grow := int(n - cur)
+	for d := 0; d < 2; d++ {
+		s.vbH[d] = append(s.vbH[d], make([]mempool.Handle, grow)...)
+		s.vbC[d] = append(s.vbC[d], make([]uint8, grow)...)
+		s.records[d] = append(s.records[d], make([]uint32, grow)...)
+		s.batchEpoch[d] = append(s.batchEpoch[d], make([]uint32, grow)...)
+		s.batchCnt[d] = append(s.batchCnt[d], make([]uint32, grow)...)
+		s.groups[d][0].adj.EnsureVertices(n) // others grow lazily on access
+	}
+	s.metaBytes += int64(grow) * perVertexMetaBytes * 2
+	_ = s.budget.Charge(int64(grow) * perVertexMetaBytes * 2)
+}
+
+// NumVertices reports the current vertex-ID space.
+func (s *Store) NumVertices() graph.VID { return graph.VID(len(s.vbH[0])) }
+
+// Options returns the effective configuration.
+func (s *Store) Options() Options { return s.opts }
+
+// Machine returns the simulated machine the store runs on.
+func (s *Store) Machine() *xpsim.Machine { return s.machine }
+
+// Heap returns the PMEM heap (nil for volatile variants); recovery after
+// a simulated crash re-attaches through it.
+func (s *Store) Heap() *pmem.Heap { return s.heap }
+
+// Pool exposes the vertex-buffer memory pool (for usage accounting).
+func (s *Store) Pool() *mempool.Pool { return s.pool }
+
+// Log exposes the circular edge log (read-only use).
+func (s *Store) Log() *elog.Log { return s.log }
+
+// MemUsage is the Table III breakdown.
+type MemUsage struct {
+	MetaDRAM int64 // vertex indexes, batch counters, shard scratch
+	VbufDRAM int64 // vertex-buffer pool footprint
+	ElogPMEM int64 // circular edge log
+	PblkPMEM int64 // persistent adjacency blocks
+}
+
+// MemUsage reports the store's memory breakdown.
+func (s *Store) MemUsage() MemUsage {
+	var pblk int64
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			pblk += g.adj.Bytes()
+		}
+	}
+	return MemUsage{
+		MetaDRAM: s.metaBytes + s.metaPeakExtra,
+		VbufDRAM: s.pool.Peak(),
+		ElogPMEM: s.log.Bytes(),
+		PblkPMEM: pblk - s.SSDBytes(), // SSD-tier blocks are not PMEM
+	}
+}

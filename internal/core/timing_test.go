@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func TestHostTiming(t *testing.T) {
+	ds, _ := gen.ByName("FS")
+	t0 := time.Now()
+	edges := ds.Generate()
+	t.Logf("gen %d edges: %v", len(edges), time.Since(t0))
+	m := xpsim.NewMachine(2, 2<<30, xpsim.DefaultLatency())
+	h := pmem.NewHeap(m)
+	s, err := New(m, h, nil, Options{Name: "fs", NumVertices: ds.NumVertices(),
+		AdjBytes: 512 << 20, ArchiveThreads: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 = time.Now()
+	rep, err := s.Ingest(edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("XPGraph ingest host=%v sim=%v log=%v buf=%v flush=%v batches=%d",
+		time.Since(t0), time.Duration(rep.TotalNs()), time.Duration(rep.LogNs),
+		time.Duration(rep.BufferNs), time.Duration(rep.FlushNs), rep.Batches)
+}

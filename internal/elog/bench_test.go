@@ -1,0 +1,28 @@
+package elog
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/xpsim"
+)
+
+func BenchmarkAppend(b *testing.B) {
+	lat := xpsim.DefaultLatency()
+	space := mem.NewDRAM(&lat, 64<<20, nil)
+	ctx := xpsim.NewCtx(0)
+	l, err := Create(ctx, space, 1<<20, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]graph.Edge, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(ctx, batch); err != nil {
+			l.MarkBuffered(ctx, l.Head())
+			l.MarkFlushed(ctx, l.Buffered())
+		}
+	}
+}

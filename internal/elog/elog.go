@@ -1,0 +1,187 @@
+// Package elog implements the consistency-guaranteed circular edge log of
+// XPGraph (§III-B, Fig. 7). New edges append at the head; a buffering
+// cursor tracks edges staged into DRAM vertex buffers; a flushing cursor
+// tracks edges durably in PMEM adjacency lists. The log refuses to
+// overwrite edges that are not yet flushed, so after a crash the edges in
+// [flushed, head) can be replayed to rebuild the lost DRAM vertex buffers.
+//
+// The battery-backed variant (XPGraph-B, §IV-C) treats DRAM vertex buffers
+// as part of the persistence domain, so the head may overwrite any edge
+// that has been buffered, whether or not it was flushed.
+package elog
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/xpsim"
+)
+
+// ErrFull is returned by Append when advancing the head would overwrite
+// edges the consistency rule still protects; the caller must run a
+// buffering and/or flushing phase and retry.
+var ErrFull = errors.New("elog: log full: flush required before overwriting")
+
+// HeaderBytes is the size of the persisted cursor block; recovery uses it
+// to locate the ring after the header.
+const HeaderBytes = hdrBytes
+
+const (
+	hdrBytes = 64 // persisted cursor block: head, buffered, flushed
+	offHead  = 0
+	offBuf   = 8
+	offFlush = 16
+	offCap   = 24
+)
+
+// Log is the circular edge log.
+type Log struct {
+	m       mem.Mem
+	hdr     int64 // header offset within m
+	base    int64 // data area offset
+	cap     int64 // capacity in edges
+	battery bool
+
+	// DRAM mirrors of the persisted cursors. All are monotonic edge
+	// counters; ring positions are counter % cap.
+	head     int64
+	buffered int64
+	flushed  int64
+}
+
+// Create allocates and initializes a log of capEntries edges inside m.
+func Create(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, battery bool) (*Log, error) {
+	if capEntries <= 0 {
+		return nil, fmt.Errorf("elog: capacity must be positive")
+	}
+	hdr, err := m.Alloc(ctx, hdrBytes, xpsim.XPLineSize)
+	if err != nil {
+		return nil, fmt.Errorf("elog: %w", err)
+	}
+	base, err := m.Alloc(ctx, capEntries*graph.EdgeBytes, xpsim.XPLineSize)
+	if err != nil {
+		return nil, fmt.Errorf("elog: %w", err)
+	}
+	l := &Log{m: m, hdr: hdr, base: base, cap: capEntries, battery: battery}
+	mem.WriteU64(m, ctx, hdr+offHead, 0)
+	mem.WriteU64(m, ctx, hdr+offBuf, 0)
+	mem.WriteU64(m, ctx, hdr+offFlush, 0)
+	mem.WriteU64(m, ctx, hdr+offCap, uint64(capEntries))
+	return l, nil
+}
+
+// Attach reopens a log previously created at hdr/base in m — the recovery
+// path: cursors are read back from persistent memory.
+func Attach(ctx *xpsim.Ctx, m mem.Mem, hdr, base int64, battery bool) (*Log, error) {
+	l := &Log{m: m, hdr: hdr, base: base, battery: battery}
+	l.head = int64(mem.ReadU64(m, ctx, hdr+offHead))
+	l.buffered = int64(mem.ReadU64(m, ctx, hdr+offBuf))
+	l.flushed = int64(mem.ReadU64(m, ctx, hdr+offFlush))
+	l.cap = int64(mem.ReadU64(m, ctx, hdr+offCap))
+	if l.cap <= 0 || l.flushed > l.buffered || l.buffered > l.head {
+		return nil, fmt.Errorf("elog: corrupt header: head=%d buffered=%d flushed=%d cap=%d",
+			l.head, l.buffered, l.flushed, l.cap)
+	}
+	return l, nil
+}
+
+// HeaderOffset and BaseOffset locate the log inside its memory for later
+// Attach calls.
+func (l *Log) HeaderOffset() int64 { return l.hdr }
+
+// BaseOffset reports the data area offset.
+func (l *Log) BaseOffset() int64 { return l.base }
+
+// Cap reports the log capacity in edges.
+func (l *Log) Cap() int64 { return l.cap }
+
+// Head reports the total number of edges ever appended.
+func (l *Log) Head() int64 { return l.head }
+
+// Buffered reports how many edges have been staged to vertex buffers.
+func (l *Log) Buffered() int64 { return l.buffered }
+
+// Flushed reports how many edges are durable in PMEM adjacency lists.
+func (l *Log) Flushed() int64 { return l.flushed }
+
+// PendingBuffer reports edges logged but not yet buffered.
+func (l *Log) PendingBuffer() int64 { return l.head - l.buffered }
+
+// PendingFlush reports edges buffered but not yet flush-acknowledged.
+func (l *Log) PendingFlush() int64 { return l.buffered - l.flushed }
+
+// freeSpace is how many edges may be appended without violating the
+// overwrite rule.
+func (l *Log) freeSpace() int64 {
+	guard := l.flushed
+	if l.battery {
+		guard = l.buffered
+	}
+	return l.cap - (l.head - guard)
+}
+
+// Append logs as many of the edges as currently fit and returns how many
+// were accepted, with ErrFull if fewer than all (the logging thread then
+// triggers buffering/flushing and retries, §IV-A). The head cursor is
+// persisted after the batch, making the accepted edges durable.
+func (l *Log) Append(ctx *xpsim.Ctx, edges []graph.Edge) (int, error) {
+	n := int64(len(edges))
+	if free := l.freeSpace(); n > free {
+		n = free
+	}
+	if n == 0 && len(edges) > 0 {
+		return 0, ErrFull
+	}
+	var rec [graph.EdgeBytes]byte
+	for i := int64(0); i < n; i++ {
+		edges[i].Encode(rec[:])
+		pos := (l.head + i) % l.cap
+		l.m.Write(ctx, l.base+pos*graph.EdgeBytes, rec[:])
+	}
+	l.head += n
+	mem.WriteU64(l.m, ctx, l.hdr+offHead, uint64(l.head))
+	if n < int64(len(edges)) {
+		return int(n), ErrFull
+	}
+	return int(n), nil
+}
+
+// Read copies the edges with counters [from, to) into dst (wrapping
+// around the ring as needed) and returns dst. The range must still be
+// resident: from >= head-cap.
+func (l *Log) Read(ctx *xpsim.Ctx, from, to int64, dst []graph.Edge) []graph.Edge {
+	if from < l.head-l.cap || to > l.head || from > to {
+		panic(fmt.Sprintf("elog: read [%d,%d) outside resident window [%d,%d]", from, to, l.head-l.cap, l.head))
+	}
+	var rec [graph.EdgeBytes]byte
+	for i := from; i < to; i++ {
+		pos := i % l.cap
+		l.m.Read(ctx, l.base+pos*graph.EdgeBytes, rec[:])
+		dst = append(dst, graph.DecodeEdge(rec[:]))
+	}
+	return dst
+}
+
+// MarkBuffered advances the buffered cursor to upTo and persists it.
+func (l *Log) MarkBuffered(ctx *xpsim.Ctx, upTo int64) {
+	if upTo < l.buffered || upTo > l.head {
+		panic(fmt.Sprintf("elog: MarkBuffered(%d) outside [%d,%d]", upTo, l.buffered, l.head))
+	}
+	l.buffered = upTo
+	mem.WriteU64(l.m, ctx, l.hdr+offBuf, uint64(upTo))
+}
+
+// MarkFlushed advances the flushing cursor to upTo and persists it. Only
+// buffered edges can be flush-acknowledged.
+func (l *Log) MarkFlushed(ctx *xpsim.Ctx, upTo int64) {
+	if upTo < l.flushed || upTo > l.buffered {
+		panic(fmt.Sprintf("elog: MarkFlushed(%d) outside [%d,%d]", upTo, l.flushed, l.buffered))
+	}
+	l.flushed = upTo
+	mem.WriteU64(l.m, ctx, l.hdr+offFlush, uint64(upTo))
+}
+
+// Bytes reports the PMEM footprint of the log (header + ring).
+func (l *Log) Bytes() int64 { return hdrBytes + l.cap*graph.EdgeBytes }

@@ -1,0 +1,217 @@
+package elog
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+var lastMachine *xpsim.Machine
+
+func testLog(t *testing.T, capEntries int64, battery bool) (*Log, *pmem.Region, *xpsim.Ctx) {
+	t.Helper()
+	m := xpsim.NewMachine(2, 32<<20, xpsim.DefaultLatency())
+	lastMachine = m
+	h := pmem.NewHeap(m)
+	r, err := h.Map("elog", 1<<20, pmem.Placement{Kind: pmem.Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	l, err := Create(ctx, r, capEntries, battery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, r, ctx
+}
+
+func edges(n int, start uint32) []graph.Edge {
+	es := make([]graph.Edge, n)
+	for i := range es {
+		es[i] = graph.Edge{Src: start + uint32(i), Dst: start + uint32(i) + 1}
+	}
+	return es
+}
+
+func TestAppendRead(t *testing.T) {
+	l, _, ctx := testLog(t, 128, false)
+	es := edges(10, 100)
+	n, err := l.Append(ctx, es)
+	if err != nil || n != 10 {
+		t.Fatalf("Append = %d, %v", n, err)
+	}
+	got := l.Read(ctx, 0, 10, nil)
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("edge %d: got %v want %v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestOverwriteProtection(t *testing.T) {
+	l, _, ctx := testLog(t, 16, false)
+	if n, err := l.Append(ctx, edges(16, 0)); err != nil || n != 16 {
+		t.Fatalf("fill: %d %v", n, err)
+	}
+	// Nothing buffered or flushed: a further append must refuse.
+	if n, err := l.Append(ctx, edges(1, 99)); !errors.Is(err, ErrFull) || n != 0 {
+		t.Fatalf("overfull append = %d, %v; want 0, ErrFull", n, err)
+	}
+	// Buffering alone is NOT enough in the standard (non-battery)
+	// variant: buffered-but-unflushed edges live only in DRAM.
+	l.MarkBuffered(ctx, 16)
+	if _, err := l.Append(ctx, edges(1, 99)); !errors.Is(err, ErrFull) {
+		t.Fatal("non-battery log must not overwrite unflushed edges")
+	}
+	// After flushing they may be overwritten.
+	l.MarkFlushed(ctx, 16)
+	if n, err := l.Append(ctx, edges(8, 50)); err != nil || n != 8 {
+		t.Fatalf("append after flush = %d, %v", n, err)
+	}
+}
+
+func TestBatteryVariantOverwritesBuffered(t *testing.T) {
+	l, _, ctx := testLog(t, 16, true)
+	l.Append(ctx, edges(16, 0))
+	l.MarkBuffered(ctx, 16)
+	// XPGraph-B: buffered edges are protected by the battery; the head
+	// may overwrite them without a flush.
+	if n, err := l.Append(ctx, edges(4, 77)); err != nil || n != 4 {
+		t.Fatalf("battery append = %d, %v", n, err)
+	}
+}
+
+func TestPartialAppend(t *testing.T) {
+	l, _, ctx := testLog(t, 16, false)
+	n, err := l.Append(ctx, edges(20, 0))
+	if !errors.Is(err, ErrFull) || n != 16 {
+		t.Fatalf("partial append = %d, %v; want 16, ErrFull", n, err)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	l, _, ctx := testLog(t, 8, false)
+	l.Append(ctx, edges(8, 0))
+	l.MarkBuffered(ctx, 8)
+	l.MarkFlushed(ctx, 8)
+	es := edges(6, 100)
+	if n, err := l.Append(ctx, es); err != nil || n != 6 {
+		t.Fatalf("wrap append = %d, %v", n, err)
+	}
+	got := l.Read(ctx, 8, 14, nil)
+	for i := range es {
+		if got[i] != es[i] {
+			t.Fatalf("wrapped edge %d: got %v want %v", i, got[i], es[i])
+		}
+	}
+}
+
+func TestAttachRecoversCursors(t *testing.T) {
+	l, r, ctx := testLog(t, 64, false)
+	l.Append(ctx, edges(40, 0))
+	l.MarkBuffered(ctx, 30)
+	l.MarkFlushed(ctx, 20)
+
+	// Simulated crash: rebuild the Log object purely from PMEM.
+	l2, err := Attach(ctx, r, l.HeaderOffset(), l.BaseOffset(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Head() != 40 || l2.Buffered() != 30 || l2.Flushed() != 20 || l2.Cap() != 64 {
+		t.Fatalf("recovered cursors head=%d buffered=%d flushed=%d cap=%d",
+			l2.Head(), l2.Buffered(), l2.Flushed(), l2.Cap())
+	}
+	// The replay window [flushed, head) survives verbatim.
+	got := l2.Read(ctx, 20, 40, nil)
+	for i, e := range got {
+		want := graph.Edge{Src: uint32(20 + i), Dst: uint32(21 + i)}
+		if e != want {
+			t.Fatalf("replay edge %d = %v, want %v", i, e, want)
+		}
+	}
+}
+
+func TestDeletionFlagSurvivesLog(t *testing.T) {
+	l, _, ctx := testLog(t, 16, false)
+	del := graph.Del(3, 4)
+	l.Append(ctx, []graph.Edge{del})
+	got := l.Read(ctx, 0, 1, nil)
+	if !got[0].IsDelete() || got[0].Target() != 4 || got[0].Src != 3 {
+		t.Fatalf("deletion round-trip: %v", got[0])
+	}
+}
+
+// Property: cursors stay ordered (flushed <= buffered <= head) and
+// head-flushed never exceeds capacity, across random operation sequences.
+func TestCursorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lat := xpsim.DefaultLatency()
+		space := mem.NewDRAM(&lat, 1<<20, nil)
+		ctx := xpsim.NewCtx(0)
+		l, err := Create(ctx, space, 32, false)
+		if err != nil {
+			return false
+		}
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				l.Append(ctx, edges(rng.Intn(10)+1, rng.Uint32()>>8))
+			case 1:
+				room := l.Head() - l.Buffered()
+				if room > 0 {
+					l.MarkBuffered(ctx, l.Buffered()+rng.Int63n(room)+1)
+				}
+			case 2:
+				room := l.Buffered() - l.Flushed()
+				if room > 0 {
+					l.MarkFlushed(ctx, l.Flushed()+rng.Int63n(room)+1)
+				}
+			}
+			if !(l.Flushed() <= l.Buffered() && l.Buffered() <= l.Head()) {
+				return false
+			}
+			if l.Head()-l.Flushed() > l.Cap() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogAppendIsSequentialOnPMEM(t *testing.T) {
+	// Logging is the cheap phase (Fig. 3a): appends must not incur
+	// read-modify-write media reads.
+	l, _, ctx := testLog(t, 4096, false)
+	m := lastMachine
+	m.ResetStats()
+	l.Append(ctx, edges(4096, 0))
+	s := m.TotalStats()
+	if s.MediaReadLines > 8 {
+		t.Fatalf("log append caused %d media reads; appends must stream", s.MediaReadLines)
+	}
+}
+
+func TestPendingAndBytes(t *testing.T) {
+	l, _, ctx := testLog(t, 32, false)
+	l.Append(ctx, edges(10, 0))
+	if l.PendingBuffer() != 10 || l.PendingFlush() != 0 {
+		t.Fatalf("pending: buffer=%d flush=%d", l.PendingBuffer(), l.PendingFlush())
+	}
+	l.MarkBuffered(ctx, 6)
+	if l.PendingBuffer() != 4 || l.PendingFlush() != 6 {
+		t.Fatalf("pending after buffer: %d/%d", l.PendingBuffer(), l.PendingFlush())
+	}
+	if l.Bytes() != 64+32*8 {
+		t.Fatalf("bytes = %d", l.Bytes())
+	}
+}

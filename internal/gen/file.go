@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/graph"
+)
+
+// WriteEdgeFile saves edges in the binary edge-list format (8 bytes per
+// edge), the input format of the paper's artifact.
+func WriteEdgeFile(path string, edges []graph.Edge) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	var rec [graph.EdgeBytes]byte
+	for _, e := range edges {
+		e.Encode(rec[:])
+		if _, err := w.Write(rec[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadEdgeFile loads a binary edge list.
+func ReadEdgeFile(path string) ([]graph.Edge, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size()%graph.EdgeBytes != 0 {
+		return nil, fmt.Errorf("gen: %s: size %d not a multiple of %d", path, st.Size(), graph.EdgeBytes)
+	}
+	edges := make([]graph.Edge, 0, st.Size()/graph.EdgeBytes)
+	r := bufio.NewReaderSize(f, 1<<20)
+	var rec [graph.EdgeBytes]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return edges, nil
+			}
+			return nil, err
+		}
+		edges = append(edges, graph.DecodeEdge(rec[:]))
+	}
+}

@@ -1,0 +1,30 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTextEdges must never panic and must only return edges for
+// parseable lines.
+func FuzzReadTextEdges(f *testing.F) {
+	f.Add("1 2\n3 4\n")
+	f.Add("# comment\n\n5 6 99\n")
+	f.Add("garbage line")
+	f.Fuzz(func(t *testing.T, input string) {
+		edges, err := ReadTextEdges(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		nonComment := 0
+		for _, line := range strings.Split(input, "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" && line[0] != '#' && line[0] != '%' {
+				nonComment++
+			}
+		}
+		if len(edges) != nonComment {
+			t.Fatalf("parsed %d edges from %d data lines", len(edges), nonComment)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package gen
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestReadTextEdges(t *testing.T) {
+	in := `# SNAP-style comment
+% KONECT-style comment
+
+1 2
+3	4
+5 6 1467552000
+`
+	edges, err := ReadTextEdges(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}, {Src: 5, Dst: 6}}
+	if len(edges) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(edges), len(want))
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestReadTextEdgesErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "x 2\n", "1 y\n"} {
+		if _, err := ReadTextEdges(strings.NewReader(bad)); err == nil {
+			t.Errorf("input %q should fail", bad)
+		}
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	want := RMAT(8, 200, 4)
+	var buf bytes.Buffer
+	if err := WriteTextEdges(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTextEdges(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d edges back, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("text round trip mismatch")
+		}
+	}
+}

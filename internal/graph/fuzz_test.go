@@ -1,0 +1,46 @@
+package graph
+
+import "testing"
+
+// FuzzEdgeCodec exercises the binary edge codec with arbitrary bytes: a
+// decode of any 8-byte record must re-encode to the same bytes, and
+// encode(decode(x)) must round-trip for arbitrary (src, dst).
+func FuzzEdgeCodec(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(2)|DelFlag)
+	f.Add(^uint32(0), ^uint32(0))
+	f.Fuzz(func(t *testing.T, src, dst uint32) {
+		e := Edge{Src: src, Dst: dst}
+		var buf [EdgeBytes]byte
+		e.Encode(buf[:])
+		back := DecodeEdge(buf[:])
+		if back != e {
+			t.Fatalf("round trip: %v -> %v", e, back)
+		}
+		if e.IsDelete() != (dst&DelFlag != 0) {
+			t.Fatal("deletion flag misdetected")
+		}
+		if e.Target() != dst&^DelFlag {
+			t.Fatal("Target must strip the flag")
+		}
+	})
+}
+
+// FuzzDecodeEdges must never panic on arbitrary input.
+func FuzzDecodeEdges(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		edges, err := DecodeEdges(data)
+		if err != nil {
+			return
+		}
+		if len(edges) != len(data)/EdgeBytes {
+			t.Fatal("edge count mismatch")
+		}
+		if round := EncodeEdges(edges); string(round) != string(data) {
+			t.Fatal("re-encode mismatch")
+		}
+	})
+}

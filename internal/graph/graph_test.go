@@ -1,0 +1,45 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeletionFlag(t *testing.T) {
+	e := Del(3, 9)
+	if !e.IsDelete() || e.Target() != 9 || e.Src != 3 {
+		t.Fatalf("Del: %+v", e)
+	}
+	plain := Edge{Src: 3, Dst: 9}
+	if plain.IsDelete() || plain.Target() != 9 {
+		t.Fatalf("plain edge misread: %+v", plain)
+	}
+	if got := e.String(); got != "del(3->9)" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := plain.String(); got != "3->9" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEncodeRoundTrip(t *testing.T) {
+	f := func(src, dst uint32) bool {
+		e := Edge{Src: src, Dst: dst}
+		var buf [EdgeBytes]byte
+		e.Encode(buf[:])
+		return DecodeEdge(buf[:]) == e
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxVID(t *testing.T) {
+	if MaxVID(nil) != 0 {
+		t.Fatal("empty MaxVID should be 0")
+	}
+	edges := []Edge{{Src: 3, Dst: 9}, Del(100, 7), {Src: 2, Dst: 50}}
+	if got := MaxVID(edges); got != 100 {
+		t.Fatalf("MaxVID = %d, want 100 (deletion flag must not count)", got)
+	}
+}

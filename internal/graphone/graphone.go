@@ -1,0 +1,524 @@
+// Package graphone implements the comparison baseline: GraphOne (Kumar &
+// Huang, FAST'19), the state-of-the-art in-memory evolving-graph store the
+// paper evaluates against (§II-B, §V-A). It keeps the hybrid format — a
+// circular edge log for fresh updates plus per-vertex adjacency lists for
+// archived ones — and archives with the global batched *edge-centric*
+// strategy: count per-vertex degree increments, allocate each vertex's
+// chunk for the batch, then append neighbors one at a time. Those per-edge
+// 4-byte writes are exactly what read-modify-writes 256-byte XPLines when
+// the adjacency lists live on PMEM (§II-C).
+//
+// Variants follow the paper: GraphOne-D (all DRAM), GraphOne-P (edge log
+// and adjacency on interleaved PMEM via mmap), GraphOne-N (adjacency
+// through a file system), and GraphOne-D on Optane Memory Mode.
+package graphone
+
+import (
+	"fmt"
+
+	"repro/internal/adj"
+	"repro/internal/elog"
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/pmem"
+	"repro/internal/pmfs"
+	"repro/internal/shard"
+	"repro/internal/xpsim"
+)
+
+// Variant selects the storage substrate.
+type Variant int
+
+const (
+	// VariantD is the original DRAM-resident GraphOne.
+	VariantD Variant = iota
+	// VariantP moves the edge log and adjacency lists to app-direct
+	// PMEM (mmap-style, Ext4-DAX equivalent), metadata stays in DRAM.
+	VariantP
+	// VariantN stores adjacency lists through file I/O on a PMEM file
+	// system (the NOVA configuration), everything else in DRAM.
+	VariantN
+	// VariantMM runs the DRAM design on Optane in Memory Mode.
+	VariantMM
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantD:
+		return "GraphOne-D"
+	case VariantP:
+		return "GraphOne-P"
+	case VariantN:
+		return "GraphOne-N"
+	case VariantMM:
+		return "GraphOne-MM"
+	}
+	return fmt.Sprintf("GraphOne(%d)", int(v))
+}
+
+// Options configure a Store.
+type Options struct {
+	Name             string
+	NumVertices      graph.VID
+	LogCapacity      int64 // circular edge log entries (default 1M)
+	ArchiveThreshold int64 // default 2^16, as in the paper
+	ArchiveThreads   int   // default 16
+	AdjBytes         int64 // adjacency arena size (per direction)
+	Variant          Variant
+	// BindSingleNode restricts both memory placement and archiving
+	// threads to NUMA node 0 (the Fig. 4a "bind one node" run).
+	BindSingleNode bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Name == "" {
+		o.Name = "graphone"
+	}
+	if o.NumVertices == 0 {
+		o.NumVertices = 1024
+	}
+	if o.LogCapacity <= 0 {
+		o.LogCapacity = 1 << 20
+	}
+	if o.ArchiveThreshold <= 0 {
+		o.ArchiveThreshold = 1 << 16
+	}
+	if o.ArchiveThreads <= 0 {
+		o.ArchiveThreads = 16
+	}
+	if o.AdjBytes <= 0 {
+		o.AdjBytes = 64 << 20
+	}
+	return o
+}
+
+// IngestReport summarizes one ingestion in simulated time; logging and
+// archiving run as parallel pipelines (§II-B), so the total is their max.
+type IngestReport struct {
+	Edges     int64
+	LogNs     int64
+	ArchiveNs int64
+	Batches   int64
+}
+
+// TotalNs is the simulated wall time.
+func (r IngestReport) TotalNs() int64 {
+	if r.LogNs > r.ArchiveNs {
+		return r.LogNs
+	}
+	return r.ArchiveNs
+}
+
+// Store is a GraphOne instance.
+type Store struct {
+	opts    Options
+	machine *xpsim.Machine
+	heap    *pmem.Heap
+	budget  *mem.Budget
+	lat     *xpsim.LatencyModel
+
+	log  *elog.Log
+	adjs [2]*adj.Store // out, in
+
+	records  [2][]uint32
+	epoch    uint32
+	degEp    [2][]uint32
+	degInc   [2][]uint32
+	delVerts [2]map[graph.VID]struct{}
+
+	metaBytes int64
+	report    IngestReport
+}
+
+// New builds a GraphOne store. heap may be nil for VariantD/VariantMM.
+func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
+	s := &Store{opts: opts, machine: machine, heap: heap, budget: budget, lat: &machine.Lat}
+
+	logBytes := opts.LogCapacity*graph.EdgeBytes + 4096
+	var logMem mem.Mem
+	var adjMems [2]mem.Mem
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+
+	placement := pmem.Placement{Kind: pmem.Interleave}
+	if opts.BindSingleNode {
+		placement = pmem.Placement{Kind: pmem.Bind, Node: 0}
+	}
+
+	switch opts.Variant {
+	case VariantD:
+		logMem = mem.NewDRAM(s.lat, logBytes, budget)
+		adjMems[0] = mem.NewDRAM(s.lat, opts.AdjBytes, budget)
+		adjMems[1] = mem.NewDRAM(s.lat, opts.AdjBytes, budget)
+	case VariantMM:
+		logMem = mem.NewMemoryMode(s.lat, logBytes)
+		adjMems[0] = mem.NewMemoryMode(s.lat, opts.AdjBytes)
+		adjMems[1] = mem.NewMemoryMode(s.lat, opts.AdjBytes)
+	case VariantP:
+		if heap == nil {
+			return nil, fmt.Errorf("graphone: VariantP needs a PMEM heap")
+		}
+		lr, err := heap.Map(opts.Name+"-elog", logBytes, placement)
+		if err != nil {
+			return nil, err
+		}
+		logMem = lr
+		for d := 0; d < 2; d++ {
+			r, err := heap.Map(fmt.Sprintf("%s-adj-%d", opts.Name, d), opts.AdjBytes, placement)
+			if err != nil {
+				return nil, err
+			}
+			adjMems[d] = r
+		}
+	case VariantN:
+		if heap == nil {
+			return nil, fmt.Errorf("graphone: VariantN needs a PMEM heap")
+		}
+		// Log and metadata stay in DRAM; adjacency goes through the
+		// file system.
+		logMem = mem.NewDRAM(s.lat, logBytes, budget)
+		fsRegion, err := heap.Map(opts.Name+"-fs", 2*opts.AdjBytes+(4<<20), placement)
+		if err != nil {
+			return nil, err
+		}
+		fs := pmfs.NewFS(fsRegion, s.lat)
+		for d := 0; d < 2; d++ {
+			fm, err := pmfs.NewFileMem(ctx, fs, fmt.Sprintf("adj-%d.dat", d), opts.AdjBytes)
+			if err != nil {
+				return nil, err
+			}
+			adjMems[d] = fm
+		}
+	default:
+		return nil, fmt.Errorf("graphone: unknown variant %d", opts.Variant)
+	}
+
+	var err error
+	s.log, err = elog.Create(ctx, logMem, opts.LogCapacity, false)
+	if err != nil {
+		return nil, err
+	}
+	for d := 0; d < 2; d++ {
+		s.adjs[d] = adj.New(adjMems[d], s.lat, opts.NumVertices, adj.Options{Sizing: adj.GraphOneSizing, VolatileCounts: true})
+	}
+	s.ensureVertices(opts.NumVertices)
+	return s, nil
+}
+
+func (s *Store) ensureVertices(n graph.VID) {
+	cur := graph.VID(len(s.records[0]))
+	if n <= cur {
+		return
+	}
+	grow := int(n - cur)
+	for d := 0; d < 2; d++ {
+		s.records[d] = append(s.records[d], make([]uint32, grow)...)
+		s.degEp[d] = append(s.degEp[d], make([]uint32, grow)...)
+		s.degInc[d] = append(s.degInc[d], make([]uint32, grow)...)
+		s.adjs[d].EnsureVertices(n)
+	}
+	s.metaBytes += int64(grow) * 24
+	_ = s.budget.Charge(int64(grow) * 24)
+}
+
+// NumVertices reports the vertex-ID space.
+func (s *Store) NumVertices() graph.VID { return graph.VID(len(s.records[0])) }
+
+// Report returns the accumulated ingest report.
+func (s *Store) Report() IngestReport { return s.report }
+
+// ResetReport clears it.
+func (s *Store) ResetReport() { s.report = IngestReport{} }
+
+// Variant reports the configured variant.
+func (s *Store) Variant() Variant { return s.opts.Variant }
+
+const logChunk = 4096
+
+// Ingest streams edges through the logging + archiving pipeline.
+func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
+	before := s.report
+	s.ensureVertices(graph.MaxVID(edges) + 1)
+	logCtx := xpsim.NewCtx(s.logNode())
+	i := 0
+	for i < len(edges) {
+		end := i + logChunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		n, err := s.log.Append(logCtx, edges[i:end])
+		i += n
+		s.report.Edges += int64(n)
+		if err != nil && err != elog.ErrFull {
+			return IngestReport{}, err
+		}
+		if err == elog.ErrFull || s.log.PendingBuffer() >= s.opts.ArchiveThreshold {
+			if aerr := s.archive(); aerr != nil {
+				return IngestReport{}, aerr
+			}
+		}
+	}
+	if err := s.ArchiveAll(); err != nil {
+		return IngestReport{}, err
+	}
+	s.report.LogNs += logCtx.Cost.Ns()
+	r := s.report
+	r.Edges -= before.Edges
+	r.LogNs -= before.LogNs
+	r.ArchiveNs -= before.ArchiveNs
+	r.Batches -= before.Batches
+	return r, nil
+}
+
+func (s *Store) logNode() int {
+	if s.opts.BindSingleNode {
+		return 0
+	}
+	return xpsim.NodeUnbound
+}
+
+// ArchiveAll archives every logged edge.
+func (s *Store) ArchiveAll() error {
+	for s.log.PendingBuffer() > 0 {
+		if err := s.archive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// archive runs one global batched edge-centric archiving phase (§II-B):
+// degree counting, per-vertex chunk allocation, then parallel per-edge
+// neighbor appends.
+func (s *Store) archive() error {
+	from, to := s.log.Buffered(), s.log.Head()
+	if to == from {
+		return nil
+	}
+	if max := from + 4*s.opts.ArchiveThreshold; to > max {
+		to = max
+	}
+	s.epoch++
+	s.report.Batches++
+	threads := s.opts.ArchiveThreads
+
+	coord := xpsim.NewCtx(s.logNode())
+	batch := s.log.Read(coord, from, to, nil)
+	s.ensureVertices(graph.MaxVID(batch) + 1)
+
+	nRanges := shard.RangesPerWorker * threads
+	width := shard.Width(int64(s.NumVertices()), nRanges)
+	shards := make([][][]shard.Entry, 2)
+	for d := 0; d < 2; d++ {
+		shards[d] = make([][]shard.Entry, nRanges)
+	}
+	// Degree-counting pass plus sharding (both DRAM work).
+	for _, e := range batch {
+		for d := 0; d < 2; d++ {
+			var v graph.VID
+			var nbr uint32
+			if d == 0 {
+				v, nbr = e.Src, e.Dst
+			} else {
+				v, nbr = e.Target(), e.Src|(e.Dst&graph.DelFlag)
+			}
+			if s.degEp[d][v] != s.epoch {
+				s.degEp[d][v] = s.epoch
+				s.degInc[d][v] = 0
+			}
+			s.degInc[d][v]++
+			r := shard.RangeOf(v, width, nRanges)
+			shards[d][r] = append(shards[d][r], shard.Entry{V: v, Nbr: nbr})
+		}
+	}
+	s.lat.DRAM(coord, int64(len(batch))*graph.EdgeBytes*2, true, true)
+	s.lat.CPU(coord, int64(len(batch))*4)
+
+	// Parallel edge-centric archiving: each worker first allocates the
+	// exactly-sized per-vertex chunks for its ranges (the vertices of a
+	// range belong to that worker alone), then appends neighbors one at
+	// a time — each append one small write into its vertex's chunk.
+	var archiveErr error
+	nodeOf := xpsim.Unpinned
+	if s.opts.BindSingleNode {
+		nodeOf = xpsim.PinnedTo(0)
+	}
+	var phaseNs int64
+	for d := 0; d < 2; d++ {
+		assign := shard.Balance(shards[d], threads)
+		dur := xpsim.ParallelN(threads, s.opts.ArchiveThreads, nodeOf, func(w int, ctx *xpsim.Ctx) {
+			for _, ri := range assign[w] {
+				for _, se := range shards[d][ri] {
+					v := se.V
+					if s.degEp[d][v] == s.epoch && s.degInc[d][v] > 0 {
+						s.lat.CPU(ctx, 4)
+						if err := s.adjs[d].Reserve(ctx, v, int(s.degInc[d][v])); err != nil {
+							archiveErr = err
+							return
+						}
+						s.degInc[d][v] = 0 // allocate once per batch
+					}
+				}
+			}
+			var one [1]uint32
+			for _, ri := range assign[w] {
+				for _, se := range shards[d][ri] {
+					s.lat.CPU(ctx, 6)
+					s.records[d][se.V]++
+					if se.Nbr&graph.DelFlag != 0 {
+						if s.delVerts[d] == nil {
+							s.delVerts[d] = make(map[graph.VID]struct{})
+						}
+						s.delVerts[d][se.V] = struct{}{}
+					}
+					one[0] = se.Nbr
+					if err := s.adjs[d].Append(ctx, se.V, one[:]); err != nil {
+						archiveErr = err
+						return
+					}
+				}
+			}
+		})
+		if int64(dur) > phaseNs {
+			phaseNs = int64(dur)
+		}
+		if archiveErr != nil {
+			return archiveErr
+		}
+	}
+	s.log.MarkBuffered(coord, to)
+	s.log.MarkFlushed(coord, to)
+	s.report.ArchiveNs += coord.Cost.Ns() + phaseNs
+	return nil
+}
+
+// AddEdge logs one edge.
+func (s *Store) AddEdge(src, dst graph.VID) error {
+	_, err := s.Ingest([]graph.Edge{{Src: src, Dst: dst}})
+	return err
+}
+
+// DelEdge logs one deletion.
+func (s *Store) DelEdge(src, dst graph.VID) error {
+	_, err := s.Ingest([]graph.Edge{graph.Del(src, dst)})
+	return err
+}
+
+// NbrsOut returns v's archived out-neighbors (tombstones resolved).
+func (s *Store) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	return s.nbrs(ctx, 0, v, dst)
+}
+
+// NbrsIn returns v's archived in-neighbors.
+func (s *Store) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	return s.nbrs(ctx, 1, v, dst)
+}
+
+func (s *Store) nbrs(ctx *xpsim.Ctx, d int, v graph.VID, dst []uint32) []uint32 {
+	if v >= s.NumVertices() {
+		return dst
+	}
+	start := len(dst)
+	dst = s.adjs[d].Neighbors(ctx, v, dst)
+	return resolveTombstones(dst, start)
+}
+
+// VisitOut streams v's archived out-neighbors without allocating
+// (tombstoned vertices fall back to the resolved path).
+func (s *Store) VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	s.visit(ctx, 0, v, fn)
+}
+
+// VisitIn streams v's archived in-neighbors.
+func (s *Store) VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	s.visit(ctx, 1, v, fn)
+}
+
+func (s *Store) visit(ctx *xpsim.Ctx, d int, v graph.VID, fn func(nbr uint32)) {
+	if v >= s.NumVertices() {
+		return
+	}
+	if _, tombstoned := s.delVerts[d][v]; tombstoned {
+		for _, nbr := range s.nbrs(ctx, d, v, nil) {
+			fn(nbr)
+		}
+		return
+	}
+	s.adjs[d].Visit(ctx, v, fn)
+}
+
+// Degree reports archived records of v.
+func (s *Store) Degree(d int, v graph.VID) int {
+	if v >= s.NumVertices() {
+		return 0
+	}
+	return int(s.records[d][v])
+}
+
+// PartitionNode reports where v's data lives; GraphOne interleaves, so
+// queries cannot exploit locality.
+func (s *Store) PartitionNode(d int, v graph.VID) int {
+	if s.opts.BindSingleNode {
+		return 0
+	}
+	return xpsim.NodeUnbound
+}
+
+// NumPartitions reports 1: GraphOne has no NUMA-aware partitioning.
+func (s *Store) NumPartitions() int { return 1 }
+
+// OutNode and InNode report the NUMA home of v's adjacency data; GraphOne
+// interleaves everything, so queries cannot exploit locality.
+func (s *Store) OutNode(v graph.VID) int { return s.PartitionNode(0, v) }
+
+// InNode reports the NUMA home of v's in-adjacency.
+func (s *Store) InNode(v graph.VID) int { return s.PartitionNode(1, v) }
+
+// OutDegree reports the archived out-record count of v.
+func (s *Store) OutDegree(v graph.VID) int { return s.Degree(0, v) }
+
+// MemUsage mirrors core.MemUsage fields for the benches.
+type MemUsage struct {
+	MetaDRAM int64
+	ElogPMEM int64
+	PblkPMEM int64
+}
+
+// MemUsage reports the breakdown.
+func (s *Store) MemUsage() MemUsage {
+	return MemUsage{
+		MetaDRAM: s.metaBytes,
+		ElogPMEM: s.log.Bytes(),
+		PblkPMEM: s.adjs[0].Bytes() + s.adjs[1].Bytes(),
+	}
+}
+
+// resolveTombstones removes deletion records (and one matching neighbor
+// each) from dst[start:].
+func resolveTombstones(dst []uint32, start int) []uint32 {
+	recs := dst[start:]
+	var dels map[uint32]int
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			if dels == nil {
+				dels = make(map[uint32]int)
+			}
+			dels[r&^graph.DelFlag]++
+		}
+	}
+	if dels == nil {
+		return dst
+	}
+	out := recs[:0]
+	for _, r := range recs {
+		if r&graph.DelFlag != 0 {
+			continue
+		}
+		if n := dels[r]; n > 0 {
+			dels[r] = n - 1
+			continue
+		}
+		out = append(out, r)
+	}
+	return dst[:start+len(out)]
+}

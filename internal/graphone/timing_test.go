@@ -1,0 +1,34 @@
+package graphone
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func TestHostTimingG(t *testing.T) {
+	ds, _ := gen.ByName("FS")
+	edges := ds.Generate()
+	for _, v := range []Variant{VariantD, VariantP} {
+		m := xpsim.NewMachine(2, 2<<30, xpsim.DefaultLatency())
+		h := pmem.NewHeap(m)
+		s, err := New(m, h, nil, Options{Name: "fs", NumVertices: ds.NumVertices(),
+			AdjBytes: 512 << 20, ArchiveThreads: 16, Variant: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t0 := time.Now()
+		rep, err := s.Ingest(edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := m.TotalStats()
+		t.Logf("%s host=%v sim=%v log=%v archive=%v readGB=%.2f writeGB=%.2f wamp=%.2f ramp=%.2f",
+			v, time.Since(t0), time.Duration(rep.TotalNs()), time.Duration(rep.LogNs),
+			time.Duration(rep.ArchiveNs), float64(st.MediaReadBytes())/1e9,
+			float64(st.MediaWriteBytes())/1e9, st.WriteAmplification(), st.ReadAmplification())
+	}
+}

@@ -1,0 +1,38 @@
+package mem
+
+import (
+	"encoding/binary"
+
+	"repro/internal/xpsim"
+)
+
+// Little-endian scalar helpers over a Mem. These model the 4- and 8-byte
+// loads/stores graph stores issue for vertex IDs, counters and pointers.
+
+// ReadU32 loads a 4-byte value at off.
+func ReadU32(m Mem, ctx *xpsim.Ctx, off int64) uint32 {
+	var b [4]byte
+	m.Read(ctx, off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteU32 stores a 4-byte value at off.
+func WriteU32(m Mem, ctx *xpsim.Ctx, off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	m.Write(ctx, off, b[:])
+}
+
+// ReadU64 loads an 8-byte value at off.
+func ReadU64(m Mem, ctx *xpsim.Ctx, off int64) uint64 {
+	var b [8]byte
+	m.Read(ctx, off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteU64 stores an 8-byte value at off.
+func WriteU64(m Mem, ctx *xpsim.Ctx, off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	m.Write(ctx, off, b[:])
+}

@@ -1,0 +1,30 @@
+package mempool
+
+import "testing"
+
+func BenchmarkAllocFree(b *testing.B) {
+	p := New(Config{BulkSize: 16 << 20, Threads: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := p.Alloc(0, i%5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Free(0, h, i%5)
+	}
+}
+
+func BenchmarkAllocGrowthPath(b *testing.B) {
+	// The hierarchical promotion pattern: alloc small, free, alloc next
+	// class — the hot path of §III-C.
+	p := New(Config{BulkSize: 16 << 20, Threads: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h1, _ := p.Alloc(0, 1)
+		h2, _ := p.Alloc(0, 2)
+		p.Free(0, h1, 1)
+		p.Free(0, h2, 2)
+	}
+}

@@ -1,0 +1,262 @@
+// Package mempool implements the buddy-liked vertex-buffer memory pool of
+// XPGraph (§III-C, Fig. 9). The pool pre-allocates large memory bulks, one
+// in use per buffering thread to avoid allocation contention, and manages
+// power-of-two vertex buffers (8 B … 512 B) with per-size free lists and
+// buddy splitting, so the frequent allocate/free churn of hierarchical
+// vertex buffers never reaches the system allocator.
+package mempool
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// MinClassSize is the smallest vertex buffer (4-byte header + one
+// neighbor, the paper's 8-byte configuration in Fig. 16).
+const MinClassSize = 8
+
+// NumClasses covers sizes 8, 16, 32, 64, 128, 256, 512.
+const NumClasses = 7
+
+// superClass is the largest class; bulks are carved in superblocks of
+// this size and split downward (buddy style).
+const superClass = NumClasses - 1
+
+// ClassSize returns the byte size of class c.
+func ClassSize(c int) int64 { return MinClassSize << c }
+
+// ClassFor returns the smallest class holding size bytes.
+func ClassFor(size int64) int {
+	for c := 0; c < NumClasses; c++ {
+		if ClassSize(c) >= size {
+			return c
+		}
+	}
+	return NumClasses - 1
+}
+
+// Handle identifies an allocated buffer: (bulk+1)<<32 | offset. The zero
+// Handle is "no buffer".
+type Handle uint64
+
+// None is the nil Handle.
+const None Handle = 0
+
+func makeHandle(bulk int, off int64) Handle {
+	return Handle(uint64(bulk+1)<<32 | uint64(uint32(off)))
+}
+
+func (h Handle) bulk() int  { return int(uint64(h)>>32) - 1 }
+func (h Handle) off() int64 { return int64(uint32(uint64(h))) }
+
+// Config sizes a Pool.
+type Config struct {
+	BulkSize int64       // per-thread memory bulk (paper default 16 MiB)
+	MaxBytes int64       // pool size limit; <=0 means unlimited (Fig. 19 sweep)
+	Threads  int         // number of buffering threads sharing the pool
+	Budget   *mem.Budget // machine DRAM budget (nil: unaccounted)
+}
+
+// DefaultBulkSize matches the paper's 16 MB bulks.
+const DefaultBulkSize = 16 << 20
+
+// Pool is the vertex-buffer memory pool.
+type Pool struct {
+	cfg Config
+
+	mu        sync.Mutex
+	bulks     [][]byte
+	freeBulks []int // recycled whole bulks after Reset
+
+	threads []threadState
+
+	used      int64 // live allocated bytes
+	peak      int64
+	footprint int64 // bytes of bulks obtained from the budget
+}
+
+type threadState struct {
+	free    [NumClasses][]Handle
+	curBulk int   // index into pool.bulks, -1 if none
+	bump    int64 // next unused byte in curBulk
+}
+
+// New builds a pool.
+func New(cfg Config) *Pool {
+	if cfg.BulkSize <= 0 {
+		cfg.BulkSize = DefaultBulkSize
+	}
+	// Bulks are carved in superblocks; keep them aligned.
+	cfg.BulkSize = cfg.BulkSize / ClassSize(superClass) * ClassSize(superClass)
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	p := &Pool{cfg: cfg, threads: make([]threadState, cfg.Threads)}
+	for i := range p.threads {
+		p.threads[i].curBulk = -1
+	}
+	return p
+}
+
+// Alloc returns a buffer of class c for worker `thread`. The returned
+// memory is zeroed.
+func (p *Pool) Alloc(thread, c int) (Handle, error) {
+	st := &p.threads[thread]
+	// 1. Exact-size free list.
+	if n := len(st.free[c]); n > 0 {
+		h := st.free[c][n-1]
+		st.free[c] = st.free[c][:n-1]
+		p.account(ClassSize(c))
+		clear(p.bytes(h, c))
+		return h, nil
+	}
+	// 2. Split a larger free block (buddy split).
+	for d := c + 1; d < NumClasses; d++ {
+		if n := len(st.free[d]); n > 0 {
+			h := st.free[d][n-1]
+			st.free[d] = st.free[d][:n-1]
+			h = p.split(st, h, d, c)
+			p.account(ClassSize(c))
+			clear(p.bytes(h, c))
+			return h, nil
+		}
+	}
+	// 3. Carve a fresh superblock from the thread's bulk.
+	h, err := p.carve(st)
+	if err != nil {
+		return None, err
+	}
+	if c < superClass {
+		h = p.split(st, h, superClass, c)
+	}
+	p.account(ClassSize(c))
+	clear(p.bytes(h, c))
+	return h, nil
+}
+
+// split divides the block h of class d down to class c, pushing the upper
+// buddies onto the free lists, and returns the lower block of class c.
+func (p *Pool) split(st *threadState, h Handle, d, c int) Handle {
+	for lvl := d - 1; lvl >= c; lvl-- {
+		buddy := makeHandle(h.bulk(), h.off()+ClassSize(lvl))
+		st.free[lvl] = append(st.free[lvl], buddy)
+	}
+	return h
+}
+
+func (p *Pool) carve(st *threadState) (Handle, error) {
+	super := ClassSize(superClass)
+	if st.curBulk < 0 || st.bump+super > p.cfg.BulkSize {
+		if err := p.newBulk(st); err != nil {
+			return None, err
+		}
+	}
+	h := makeHandle(st.curBulk, st.bump)
+	st.bump += super
+	return h, nil
+}
+
+func (p *Pool) newBulk(st *threadState) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.freeBulks); n > 0 {
+		st.curBulk = p.freeBulks[n-1]
+		p.freeBulks = p.freeBulks[:n-1]
+		st.bump = 0
+		return nil
+	}
+	if p.cfg.MaxBytes > 0 && p.footprint+p.cfg.BulkSize > p.cfg.MaxBytes {
+		return fmt.Errorf("mempool: pool limit %d bytes reached", p.cfg.MaxBytes)
+	}
+	if err := p.cfg.Budget.Charge(p.cfg.BulkSize); err != nil {
+		return err
+	}
+	p.bulks = append(p.bulks, make([]byte, p.cfg.BulkSize))
+	p.footprint += p.cfg.BulkSize
+	st.curBulk = len(p.bulks) - 1
+	st.bump = 0
+	return nil
+}
+
+// Free recycles the buffer h of class c onto worker `thread`'s free list.
+func (p *Pool) Free(thread int, h Handle, c int) {
+	if h == None {
+		return
+	}
+	st := &p.threads[thread]
+	st.free[c] = append(st.free[c], h)
+	p.account(-ClassSize(c))
+}
+
+// Bytes returns the backing memory of h (class c).
+func (p *Pool) Bytes(h Handle, c int) []byte { return p.bytes(h, c) }
+
+func (p *Pool) bytes(h Handle, c int) []byte {
+	b := p.bulks[h.bulk()]
+	return b[h.off() : h.off()+ClassSize(c)]
+}
+
+func (p *Pool) account(delta int64) {
+	p.mu.Lock()
+	p.used += delta
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	p.mu.Unlock()
+}
+
+// Used reports live allocated bytes.
+func (p *Pool) Used() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.used
+}
+
+// Peak reports the high-water mark of live bytes — the paper's "DRAM
+// space requirement for vertex buffers" (Fig. 16b, Fig. 17b).
+func (p *Pool) Peak() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.peak
+}
+
+// Footprint reports bytes of bulks held from the DRAM budget.
+func (p *Pool) Footprint() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.footprint
+}
+
+// NeedsFlush reports whether pool usage has crossed 7/8 of the limit, the
+// signal for the store to flush all vertex buffers and recycle the pool
+// (§IV-A flushing phase trigger).
+func (p *Pool) NeedsFlush() bool {
+	if p.cfg.MaxBytes <= 0 {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.footprint >= p.cfg.MaxBytes || p.used >= p.cfg.MaxBytes*7/8
+}
+
+// Reset drops every allocation and recycles all bulks. All outstanding
+// handles become invalid; callers must have flushed their buffers first.
+func (p *Pool) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.threads {
+		st := &p.threads[i]
+		for c := range st.free {
+			st.free[c] = st.free[c][:0]
+		}
+		st.curBulk = -1
+		st.bump = 0
+	}
+	p.freeBulks = p.freeBulks[:0]
+	for i := range p.bulks {
+		p.freeBulks = append(p.freeBulks, i)
+	}
+	p.used = 0
+}

@@ -1,0 +1,212 @@
+package mempool
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestClassSizing(t *testing.T) {
+	sizes := []int64{8, 16, 32, 64, 128, 256, 512}
+	for c, want := range sizes {
+		if got := ClassSize(c); got != want {
+			t.Errorf("ClassSize(%d) = %d, want %d", c, got, want)
+		}
+	}
+	if ClassFor(8) != 0 || ClassFor(9) != 1 || ClassFor(256) != 5 || ClassFor(511) != 6 {
+		t.Errorf("ClassFor mapping wrong: %d %d %d %d",
+			ClassFor(8), ClassFor(9), ClassFor(256), ClassFor(511))
+	}
+}
+
+func TestAllocZeroedAndAligned(t *testing.T) {
+	p := New(Config{BulkSize: 1 << 16, Threads: 1})
+	for c := 0; c < NumClasses; c++ {
+		h, err := p.Alloc(0, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h == None {
+			t.Fatal("got nil handle")
+		}
+		if h.off()%ClassSize(c) != 0 {
+			t.Errorf("class %d alloc at %d, want %d-aligned", c, h.off(), ClassSize(c))
+		}
+		b := p.Bytes(h, c)
+		if int64(len(b)) != ClassSize(c) {
+			t.Errorf("class %d bytes len %d", c, len(b))
+		}
+		for i, v := range b {
+			if v != 0 {
+				t.Fatalf("class %d byte %d not zeroed", c, i)
+			}
+		}
+	}
+}
+
+func TestFreeRecyclesSameClass(t *testing.T) {
+	p := New(Config{BulkSize: 1 << 16, Threads: 1})
+	h1, _ := p.Alloc(0, 2)
+	p.Bytes(h1, 2)[0] = 0xAB
+	p.Free(0, h1, 2)
+	h2, err := p.Alloc(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h1 {
+		t.Fatalf("free list did not recycle: %v then %v", h1, h2)
+	}
+	if p.Bytes(h2, 2)[0] != 0 {
+		t.Fatal("recycled buffer not re-zeroed")
+	}
+}
+
+func TestBuddySplit(t *testing.T) {
+	p := New(Config{BulkSize: 1 << 16, Threads: 1})
+	// One small alloc splits a superblock; the buddies must serve
+	// subsequent allocations of every class without a new superblock.
+	if _, err := p.Alloc(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	carvedAfterFirst := p.threads[0].bump
+	for c := 0; c < superClass; c++ {
+		if _, err := p.Alloc(0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.threads[0].bump != carvedAfterFirst {
+		t.Fatalf("buddy halves not reused: bump moved %d -> %d", carvedAfterFirst, p.threads[0].bump)
+	}
+}
+
+// Property: no two live buffers ever overlap, and all stay class-aligned.
+func TestNoOverlapProperty(t *testing.T) {
+	type live struct {
+		h Handle
+		c int
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(Config{BulkSize: 1 << 14, Threads: 2})
+		var lives []live
+		for op := 0; op < 400; op++ {
+			th := rng.Intn(2)
+			if len(lives) > 0 && rng.Intn(3) == 0 {
+				i := rng.Intn(len(lives))
+				p.Free(th, lives[i].h, lives[i].c)
+				lives[i] = lives[len(lives)-1]
+				lives = lives[:len(lives)-1]
+				continue
+			}
+			c := rng.Intn(NumClasses)
+			h, err := p.Alloc(th, c)
+			if err != nil {
+				return false
+			}
+			if h.off()%ClassSize(c) != 0 {
+				return false
+			}
+			for _, l := range lives {
+				if l.h.bulk() != h.bulk() {
+					continue
+				}
+				a0, a1 := h.off(), h.off()+ClassSize(c)
+				b0, b1 := l.h.off(), l.h.off()+ClassSize(l.c)
+				if a0 < b1 && b0 < a1 {
+					return false // overlap
+				}
+			}
+			lives = append(lives, live{h, c})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolLimitAndNeedsFlush(t *testing.T) {
+	p := New(Config{BulkSize: 1 << 12, MaxBytes: 1 << 12, Threads: 1})
+	if p.NeedsFlush() {
+		t.Fatal("empty pool should not need flush")
+	}
+	var hs []Handle
+	for {
+		h, err := p.Alloc(0, superClass)
+		if err != nil {
+			break
+		}
+		hs = append(hs, h)
+	}
+	if len(hs) == 0 {
+		t.Fatal("no allocations succeeded")
+	}
+	if !p.NeedsFlush() {
+		t.Fatal("full pool must report NeedsFlush")
+	}
+	// Reset recycles everything.
+	p.Reset()
+	if p.Used() != 0 {
+		t.Fatalf("used after reset = %d", p.Used())
+	}
+	if _, err := p.Alloc(0, 0); err != nil {
+		t.Fatalf("alloc after reset: %v", err)
+	}
+}
+
+func TestBudgetOOM(t *testing.T) {
+	b := mem.NewBudget(1 << 12)
+	p := New(Config{BulkSize: 1 << 12, Threads: 2, Budget: b})
+	if _, err := p.Alloc(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Second thread needs its own bulk; the budget is exhausted.
+	if _, err := p.Alloc(1, 0); !errors.Is(err, mem.ErrOOM) {
+		t.Fatalf("err = %v, want ErrOOM", err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	p := New(Config{BulkSize: 1 << 14, Threads: 1})
+	h, _ := p.Alloc(0, 3) // 64 B
+	if p.Used() != 64 {
+		t.Fatalf("used = %d, want 64", p.Used())
+	}
+	p.Free(0, h, 3)
+	if p.Used() != 0 {
+		t.Fatalf("used = %d, want 0", p.Used())
+	}
+	if p.Peak() != 64 {
+		t.Fatalf("peak = %d, want 64", p.Peak())
+	}
+}
+
+func TestResetRecyclesBulks(t *testing.T) {
+	b := mem.NewBudget(1 << 20)
+	p := New(Config{BulkSize: 1 << 14, Threads: 2, Budget: b})
+	for th := 0; th < 2; th++ {
+		for i := 0; i < 10; i++ {
+			if _, err := p.Alloc(th, superClass); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	foot := p.Footprint()
+	charged := b.Used()
+	p.Reset()
+	// Bulks are retained and recycled: no new budget charge on reuse.
+	for th := 0; th < 2; th++ {
+		if _, err := p.Alloc(th, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.Footprint() != foot {
+		t.Fatalf("footprint grew across reset: %d -> %d", foot, p.Footprint())
+	}
+	if b.Used() != charged {
+		t.Fatalf("budget charged again after reset: %d -> %d", charged, b.Used())
+	}
+}

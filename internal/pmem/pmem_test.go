@@ -1,0 +1,161 @@
+package pmem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xpsim"
+)
+
+func testHeap() *Heap {
+	m := xpsim.NewMachine(2, 64<<20, xpsim.DefaultLatency())
+	return NewHeap(m)
+}
+
+func TestMapBindAndInterleave(t *testing.T) {
+	h := testHeap()
+	rb, err := h.Map("bound", 1<<20, Placement{Kind: Bind, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rb.NodeOf(12345); n != 1 {
+		t.Fatalf("bound region NodeOf = %d, want 1", n)
+	}
+	ri, err := h.Map("striped", 1<<20, Placement{Kind: Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleaved: consecutive stripes alternate nodes.
+	if a, b := ri.NodeOf(0), ri.NodeOf(DefaultStripe); a == b {
+		t.Fatalf("interleaved stripes on same node %d", a)
+	}
+}
+
+func TestReattachSameRegion(t *testing.T) {
+	h := testHeap()
+	r1, err := h.Map("elog", 1<<20, Placement{Kind: Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := h.Map("elog", 1<<20, Placement{Kind: Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("re-map should re-attach to the same region")
+	}
+	if _, err := h.Map("elog", 2<<20, Placement{Kind: Interleave}); err == nil {
+		t.Fatal("mismatched re-map should fail")
+	}
+}
+
+func TestRegionReadWriteAcrossStripes(t *testing.T) {
+	h := testHeap()
+	r, err := h.Map("data", 1<<20, Placement{Kind: Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	// Straddle a stripe boundary.
+	want := make([]byte, 3*DefaultStripe/2)
+	rand.New(rand.NewSource(7)).Read(want)
+	off := r.UserStart() + DefaultStripe/2
+	r.Write(ctx, off, want)
+	got := make([]byte, len(want))
+	r.Read(ctx, off, got)
+	if !bytes.Equal(got, want) {
+		t.Fatal("stripe-straddling write corrupted data")
+	}
+}
+
+func TestRegionMatchesShadow(t *testing.T) {
+	f := func(seed int64) bool {
+		h := testHeap()
+		r, err := h.Map("p", 1<<16, Placement{Kind: Interleave, Stripe: 4096})
+		if err != nil {
+			return false
+		}
+		ctx := xpsim.NewCtx(0)
+		rng := rand.New(rand.NewSource(seed))
+		size := int64(1 << 16)
+		shadow := make([]byte, size)
+		start := r.UserStart()
+		for i := 0; i < 200; i++ {
+			off := start + rng.Int63n(size-start-700)
+			n := 1 + rng.Int63n(600)
+			if rng.Intn(2) == 0 {
+				p := make([]byte, n)
+				rng.Read(p)
+				r.Write(ctx, off, p)
+				copy(shadow[off:], p)
+			} else {
+				p := make([]byte, n)
+				r.Read(ctx, off, p)
+				if !bytes.Equal(p, shadow[off:off+n]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocPersistsPointer(t *testing.T) {
+	h := testHeap()
+	r, err := h.Map("arena", 1<<20, Placement{Kind: Bind, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	a, err := r.Alloc(ctx, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a < r.UserStart() || a%64 != 0 {
+		t.Fatalf("bad alloc offset %d", a)
+	}
+	b, err := r.Alloc(ctx, 100, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b <= a {
+		t.Fatalf("alloc did not advance: %d then %d", a, b)
+	}
+	// The persisted pointer (what recovery reads) matches the mirror.
+	if got := r.PersistedAllocOffset(ctx); got != r.AllocBytes() {
+		t.Fatalf("persisted alloc = %d, mirror = %d", got, r.AllocBytes())
+	}
+}
+
+func TestAllocFull(t *testing.T) {
+	h := testHeap()
+	r, err := h.Map("tiny", 4096, Placement{Kind: Bind, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	if _, err := r.Alloc(ctx, 1<<20, 1); err == nil {
+		t.Fatal("expected region-full error")
+	}
+}
+
+func TestBindLocalCheaperThanRemote(t *testing.T) {
+	h := testHeap()
+	r, err := h.Map("n0", 1<<20, Placement{Kind: Bind, Node: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 8192)
+	local := xpsim.NewCtx(0)
+	remote := xpsim.NewCtx(1)
+	r.Write(local, r.UserStart(), p)
+	r.Write(remote, r.UserStart()+65536, p)
+	if remote.Cost.Ns() <= local.Cost.Ns() {
+		t.Fatalf("remote %dns <= local %dns", remote.Cost.Ns(), local.Cost.Ns())
+	}
+}

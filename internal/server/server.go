@@ -1,0 +1,383 @@
+// Package server exposes an XPGraph store as an HTTP graph service — the
+// kind of application layer a downstream adopter puts in front of the
+// library. It speaks JSON over stdlib net/http:
+//
+//	POST /edges            {"edges":[{"src":1,"dst":2}, ...]}      ingest a batch
+//	DELETE /edges          {"edges":[{"src":1,"dst":2}]}           delete edges
+//	GET  /vertices/{id}/out                                        resolved out-neighbors
+//	GET  /vertices/{id}/in                                         resolved in-neighbors
+//	GET  /vertices/{id}/degree                                     out/in record counts
+//	POST /compact/{id}                                             compact one vertex
+//	POST /flush                                                    flush all vertex buffers
+//	GET  /stats                                                    store + machine statistics
+//	POST /query/bfs        {"root":1}                              BFS traversal
+//	POST /query/pagerank   {"iterations":10,"top":5}               PageRank top-k
+//	POST /query/cc         {}                                      connected components
+//
+// The store's simulated phases are single-threaded by design (see package
+// core), so the server serializes all store access behind one mutex; the
+// HTTP layer itself is fully concurrent.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+// Server wraps a store with an http.Handler.
+type Server struct {
+	mu      sync.Mutex
+	store   *core.Store
+	machine *xpsim.Machine
+	engine  *analytics.Engine
+	mux     *http.ServeMux
+}
+
+// New builds a server over the store.
+func New(store *core.Store, machine *xpsim.Machine, queryThreads int) *Server {
+	s := &Server{
+		store:   store,
+		machine: machine,
+		engine:  analytics.NewEngine(store, &machine.Lat, queryThreads),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/edges", s.handleEdges)
+	mux.HandleFunc("/vertices/", s.handleVertex)
+	mux.HandleFunc("/compact/", s.handleCompact)
+	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/query/bfs", s.handleBFS)
+	mux.HandleFunc("/query/pagerank", s.handlePageRank)
+	mux.HandleFunc("/query/cc", s.handleCC)
+	mux.HandleFunc("/query/khop", s.handleKHop)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ---- request/response shapes ----
+
+// EdgeJSON is one edge in wire format.
+type EdgeJSON struct {
+	Src graph.VID `json:"src"`
+	Dst graph.VID `json:"dst"`
+}
+
+// EdgesRequest is the body of POST/DELETE /edges.
+type EdgesRequest struct {
+	Edges []EdgeJSON `json:"edges"`
+}
+
+// IngestResponse reports an ingestion.
+type IngestResponse struct {
+	Accepted int64   `json:"accepted"`
+	SimMs    float64 `json:"sim_ms"`
+	Batches  int64   `json:"batches"`
+}
+
+// NeighborsResponse reports a neighbor query.
+type NeighborsResponse struct {
+	Vertex    graph.VID `json:"vertex"`
+	Neighbors []uint32  `json:"neighbors"`
+	SimUs     float64   `json:"sim_us"`
+}
+
+// DegreeResponse reports record counts.
+type DegreeResponse struct {
+	Vertex graph.VID `json:"vertex"`
+	Out    int       `json:"out"`
+	In     int       `json:"in"`
+}
+
+// StatsResponse reports store and machine statistics.
+type StatsResponse struct {
+	NumVertices     graph.VID `json:"num_vertices"`
+	LoggedEdges     int64     `json:"logged_edges"`
+	MetaDRAMBytes   int64     `json:"meta_dram_bytes"`
+	VbufDRAMBytes   int64     `json:"vbuf_dram_bytes"`
+	ElogPMEMBytes   int64     `json:"elog_pmem_bytes"`
+	PblkPMEMBytes   int64     `json:"pblk_pmem_bytes"`
+	MediaReadBytes  int64     `json:"pmem_media_read_bytes"`
+	MediaWriteBytes int64     `json:"pmem_media_write_bytes"`
+}
+
+// BFSRequest selects a traversal root.
+type BFSRequest struct {
+	Root graph.VID `json:"root"`
+}
+
+// BFSResponse reports a traversal.
+type BFSResponse struct {
+	Root    graph.VID `json:"root"`
+	Visited int64     `json:"visited"`
+	Levels  int       `json:"levels"`
+	SimMs   float64   `json:"sim_ms"`
+}
+
+// PageRankRequest configures a PageRank run.
+type PageRankRequest struct {
+	Iterations int `json:"iterations"`
+	Top        int `json:"top"`
+}
+
+// RankedVertex pairs a vertex with its rank.
+type RankedVertex struct {
+	Vertex graph.VID `json:"vertex"`
+	Rank   float64   `json:"rank"`
+}
+
+// PageRankResponse reports the top-ranked vertices.
+type PageRankResponse struct {
+	Top   []RankedVertex `json:"top"`
+	SimMs float64        `json:"sim_ms"`
+}
+
+// CCResponse reports connected components.
+type CCResponse struct {
+	Components int     `json:"components"`
+	SimMs      float64 `json:"sim_ms"`
+}
+
+// KHopRequest bounds a neighborhood exploration.
+type KHopRequest struct {
+	Root graph.VID `json:"root"`
+	K    int       `json:"k"`
+}
+
+// KHopResponse reports the bounded exploration.
+type KHopResponse struct {
+	Root    graph.VID `json:"root"`
+	Reached int64     `json:"reached"`
+	PerHop  []int64   `json:"per_hop"`
+	SimMs   float64   `json:"sim_ms"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req EdgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, "no edges")
+		return
+	}
+	edges := make([]graph.Edge, len(req.Edges))
+	switch r.Method {
+	case http.MethodPost:
+		for i, e := range req.Edges {
+			edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+		}
+	case http.MethodDelete:
+		for i, e := range req.Edges {
+			edges[i] = graph.Del(e.Src, e.Dst)
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use POST or DELETE")
+		return
+	}
+
+	s.mu.Lock()
+	rep, err := s.store.Ingest(edges)
+	s.mu.Unlock()
+	if err != nil {
+		httpError(w, http.StatusInsufficientStorage, "ingest: %v", err)
+		return
+	}
+	writeJSON(w, IngestResponse{
+		Accepted: rep.Edges,
+		SimMs:    float64(rep.TotalNs()) / 1e6,
+		Batches:  rep.Batches,
+	})
+}
+
+// vertexPath parses "/vertices/{id}/{rest...}".
+func vertexPath(path string) (graph.VID, string, error) {
+	rest := strings.TrimPrefix(path, "/vertices/")
+	parts := strings.SplitN(rest, "/", 2)
+	id, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad vertex id %q", parts[0])
+	}
+	sub := ""
+	if len(parts) == 2 {
+		sub = parts[1]
+	}
+	return graph.VID(id), sub, nil
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	v, sub, err := vertexPath(r.URL.Path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx := xpsim.NewCtx(s.store.OutNode(v))
+	switch sub {
+	case "out", "in":
+		dir := core.Out
+		if sub == "in" {
+			dir = core.In
+		}
+		nbrs := s.store.Nbrs(ctx, dir, v, nil)
+		if nbrs == nil {
+			nbrs = []uint32{}
+		}
+		writeJSON(w, NeighborsResponse{Vertex: v, Neighbors: nbrs,
+			SimUs: float64(ctx.Cost.Ns()) / 1e3})
+	case "degree":
+		writeJSON(w, DegreeResponse{Vertex: v,
+			Out: s.store.Degree(core.Out, v), In: s.store.Degree(core.In, v)})
+	default:
+		httpError(w, http.StatusNotFound, "unknown vertex view %q", sub)
+	}
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/compact/")
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad vertex id %q", idStr)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	if err := s.store.CompactAdjs(ctx, graph.VID(id)); err != nil {
+		httpError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"compacted": id, "sim_us": float64(ctx.Cost.Ns()) / 1e3})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.store.FlushAllVbufs(); err != nil {
+		httpError(w, http.StatusInternalServerError, "flush: %v", err)
+		return
+	}
+	writeJSON(w, map[string]any{"flushed": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u := s.store.MemUsage()
+	st := s.machine.SnapshotStats()
+	writeJSON(w, StatsResponse{
+		NumVertices:     s.store.NumVertices(),
+		LoggedEdges:     s.store.Log().Head(),
+		MetaDRAMBytes:   u.MetaDRAM,
+		VbufDRAMBytes:   u.VbufDRAM,
+		ElogPMEMBytes:   u.ElogPMEM,
+		PblkPMEMBytes:   u.PblkPMEM,
+		MediaReadBytes:  st.MediaReadBytes(),
+		MediaWriteBytes: st.MediaWriteBytes(),
+	})
+}
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	var req BFSRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	res := s.engine.BFS(req.Root)
+	s.mu.Unlock()
+	writeJSON(w, BFSResponse{Root: req.Root, Visited: res.Visited,
+		Levels: res.Levels, SimMs: float64(res.SimNs) / 1e6})
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	var req PageRankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.Iterations <= 0 {
+		req.Iterations = 10
+	}
+	if req.Top <= 0 {
+		req.Top = 10
+	}
+	s.mu.Lock()
+	res := s.engine.PageRank(req.Iterations)
+	s.mu.Unlock()
+
+	ranked := make([]RankedVertex, len(res.Ranks))
+	for v, rk := range res.Ranks {
+		ranked[v] = RankedVertex{Vertex: graph.VID(v), Rank: rk}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Rank > ranked[j].Rank })
+	if len(ranked) > req.Top {
+		ranked = ranked[:req.Top]
+	}
+	writeJSON(w, PageRankResponse{Top: ranked, SimMs: float64(res.SimNs) / 1e6})
+}
+
+func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	res := s.engine.CC()
+	s.mu.Unlock()
+	writeJSON(w, CCResponse{Components: res.Components, SimMs: float64(res.SimNs) / 1e6})
+}
+
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
+	var req KHopRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 2
+	}
+	s.mu.Lock()
+	res := s.engine.KHop(req.Root, req.K)
+	s.mu.Unlock()
+	writeJSON(w, KHopResponse{Root: req.Root, Reached: res.Reached,
+		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The header is already out; nothing sensible left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,69 @@
+// Package shard implements the edge-sharding approach both stores use for
+// load-balanced multi-threaded archiving (§IV-A, inherited from GraphOne):
+// a batch of edges is split into many ranged edge lists keyed by vertex ID
+// range — more lists than threads — and lists are assigned to workers
+// greedily by size so every worker gets an approximately equal number of
+// edges while staying free of atomics.
+package shard
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Entry is one (vertex, neighbor) update routed to a worker. Nbr may carry
+// graph.DelFlag.
+type Entry struct {
+	V   graph.VID
+	Nbr uint32
+}
+
+// RangesPerWorker is how many ranged lists are created per worker, so the
+// greedy assignment can balance skewed batches.
+const RangesPerWorker = 4
+
+// Width returns the vertex-range width that splits numV vertices into
+// nRanges ranges.
+func Width(numV int64, nRanges int) int64 {
+	w := (numV + int64(nRanges) - 1) / int64(nRanges)
+	if w <= 0 {
+		w = 1
+	}
+	return w
+}
+
+// RangeOf maps a vertex to its range index.
+func RangeOf(v graph.VID, width int64, nRanges int) int {
+	r := int(int64(v) / width)
+	if r >= nRanges {
+		r = nRanges - 1
+	}
+	return r
+}
+
+// Balance assigns range indexes to workers greedily by descending size,
+// returning per-worker range index lists.
+func Balance[T any](ranges [][]T, workers int) [][]int {
+	order := make([]int, len(ranges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(ranges[order[a]]) > len(ranges[order[b]]) })
+	assign := make([][]int, workers)
+	load := make([]int, workers)
+	for _, ri := range order {
+		if len(ranges[ri]) == 0 {
+			continue
+		}
+		min := 0
+		for w := 1; w < workers; w++ {
+			if load[w] < load[min] {
+				min = w
+			}
+		}
+		assign[min] = append(assign[min], ri)
+		load[min] += len(ranges[ri])
+	}
+	return assign
+}

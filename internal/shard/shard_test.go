@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWidthAndRangeOf(t *testing.T) {
+	w := Width(1000, 16)
+	if w != 63 {
+		t.Fatalf("Width(1000,16) = %d, want 63", w)
+	}
+	if RangeOf(0, w, 16) != 0 {
+		t.Fatal("first vertex must land in range 0")
+	}
+	if RangeOf(999, w, 16) != 15 {
+		t.Fatalf("last vertex lands in %d, want 15", RangeOf(999, w, 16))
+	}
+	// Out-of-range vertices clamp to the last range.
+	if RangeOf(5000, w, 16) != 15 {
+		t.Fatal("overflow vertex must clamp")
+	}
+	if Width(0, 4) < 1 {
+		t.Fatal("width must stay positive")
+	}
+}
+
+// Property: Balance assigns every non-empty range exactly once, and the
+// heaviest worker carries at most the lightest worker's load plus the
+// largest single range (the greedy bound).
+func TestBalanceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nRanges := 1 + rng.Intn(64)
+		workers := 1 + rng.Intn(16)
+		ranges := make([][]Entry, nRanges)
+		largest := 0
+		total := 0
+		for i := range ranges {
+			n := rng.Intn(200)
+			ranges[i] = make([]Entry, n)
+			total += n
+			if n > largest {
+				largest = n
+			}
+		}
+		assign := Balance(ranges, workers)
+		if len(assign) != workers {
+			return false
+		}
+		seen := map[int]bool{}
+		loads := make([]int, workers)
+		for w, list := range assign {
+			for _, ri := range list {
+				if seen[ri] || len(ranges[ri]) == 0 {
+					return false
+				}
+				seen[ri] = true
+				loads[w] += len(ranges[ri])
+			}
+		}
+		assigned := 0
+		for _, l := range loads {
+			assigned += l
+		}
+		if assigned != total {
+			return false
+		}
+		min, max := loads[0], loads[0]
+		for _, l := range loads {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		return max <= min+largest
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,172 @@
+package vbuf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mempool"
+	"repro/internal/xpsim"
+)
+
+func testBuffers() (*Buffers, *xpsim.Ctx) {
+	lat := xpsim.DefaultLatency()
+	pool := mempool.New(mempool.Config{BulkSize: 1 << 16, Threads: 2})
+	return New(pool, &lat), xpsim.NewCtx(0)
+}
+
+func TestCapMatchesPaper(t *testing.T) {
+	// §III-B: a 16-byte buffer holds (16-4)/4 = 3 neighbors; the
+	// 256-byte L4 holds 63; the 8-byte minimum holds 1.
+	want := map[int]int{0: 1, 1: 3, 2: 7, 3: 15, 4: 31, 5: 63, 6: 127}
+	for c, w := range want {
+		if got := Cap(c); got != w {
+			t.Errorf("Cap(%d) = %d, want %d", c, got, w)
+		}
+	}
+}
+
+func TestAppendDrainRoundTrip(t *testing.T) {
+	b, ctx := testBuffers()
+	h, err := b.NewBuf(ctx, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 3; i++ {
+		if b.Full(h, 1) {
+			t.Fatalf("full after %d appends", i)
+		}
+		b.Append(ctx, h, 1, 100+i)
+	}
+	if !b.Full(h, 1) {
+		t.Fatal("L0 must be full after 3 appends")
+	}
+	got := b.Drain(ctx, h, 1, nil)
+	if len(got) != 3 || got[0] != 100 || got[1] != 101 || got[2] != 102 {
+		t.Fatalf("drained %v", got)
+	}
+	if b.Count(h, 1) != 0 {
+		t.Fatal("drain must reset the buffer")
+	}
+	// Buffer is reusable after drain.
+	b.Append(ctx, h, 1, 7)
+	if got := b.Neighbors(ctx, h, 1, nil); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("after reuse: %v", got)
+	}
+}
+
+func TestPromoteKeepsContents(t *testing.T) {
+	b, ctx := testBuffers()
+	h, _ := b.NewBuf(ctx, 0, 1)
+	for i := uint32(0); i < 3; i++ {
+		b.Append(ctx, h, 1, i)
+	}
+	nh, err := b.Promote(ctx, 0, h, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Full(nh, 2) {
+		t.Fatal("promoted buffer should have room")
+	}
+	b.Append(ctx, nh, 2, 3)
+	got := b.Neighbors(ctx, nh, 2, nil)
+	want := []uint32{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestClassForCount(t *testing.T) {
+	if ClassForCount(1) != 0 || ClassForCount(3) != 1 || ClassForCount(4) != 2 || ClassForCount(63) != 5 {
+		t.Fatalf("ClassForCount: %d %d %d %d",
+			ClassForCount(1), ClassForCount(3), ClassForCount(4), ClassForCount(63))
+	}
+}
+
+// Property: any sequence of appends with promotions on full preserves the
+// exact neighbor sequence.
+func TestHierarchicalGrowthProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b, ctx := testBuffers()
+		c := 1
+		h, err := b.NewBuf(ctx, 0, c)
+		if err != nil {
+			return false
+		}
+		var want []uint32
+		count := int(n)%120 + 1
+		for i := 0; i < count; i++ {
+			if b.Full(h, c) {
+				if c == 5 {
+					// Max layer: drain (flush) and continue.
+					got := b.Drain(ctx, h, c, nil)
+					for j, v := range got {
+						if v != want[j] {
+							return false
+						}
+					}
+					want = want[len(got):]
+				} else {
+					h, err = b.Promote(ctx, 0, h, c, c+1)
+					if err != nil {
+						return false
+					}
+					c++
+				}
+			}
+			v := rng.Uint32()
+			b.Append(ctx, h, c, v)
+			want = append(want, v)
+		}
+		got := b.Neighbors(ctx, h, c, nil)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCostsCharged(t *testing.T) {
+	b, ctx := testBuffers()
+	before := ctx.Cost.Ns()
+	h, _ := b.NewBuf(ctx, 0, 1)
+	b.Append(ctx, h, 1, 1)
+	if ctx.Cost.Ns() <= before {
+		t.Fatal("vertex buffer operations must charge DRAM cost")
+	}
+}
+
+func TestVisitAndFree(t *testing.T) {
+	b, ctx := testBuffers()
+	h, _ := b.NewBuf(ctx, 0, 2)
+	for i := uint32(0); i < 5; i++ {
+		b.Append(ctx, h, 2, 10+i)
+	}
+	var got []uint32
+	b.Visit(ctx, h, 2, func(n uint32) { got = append(got, n) })
+	if len(got) != 5 || got[0] != 10 || got[4] != 14 {
+		t.Fatalf("visit = %v", got)
+	}
+	if b.Pool() == nil {
+		t.Fatal("pool accessor")
+	}
+	b.Free(0, h, 2)
+	h2, _ := b.NewBuf(ctx, 0, 2)
+	if h2 != h {
+		t.Fatal("freed buffer not recycled")
+	}
+}

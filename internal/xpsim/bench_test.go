@@ -1,0 +1,53 @@
+package xpsim
+
+import "testing"
+
+// Micro-benchmarks of the device model itself: these measure host-side
+// ns/op of the simulator, not simulated time — they bound the simulation
+// overhead per modelled access.
+
+func BenchmarkDeviceSequentialWrite(b *testing.B) {
+	d := testDevice(64 << 20)
+	ctx := NewCtx(0)
+	var rec [8]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(ctx, int64(i*8)%(32<<20), rec[:])
+	}
+}
+
+func BenchmarkDeviceRandomSmallWrite(b *testing.B) {
+	d := testDevice(64 << 20)
+	ctx := NewCtx(0)
+	var rec [4]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 2654435761) % (63 << 20)
+		d.Write(ctx, off, rec[:])
+	}
+}
+
+func BenchmarkDeviceLineWrite(b *testing.B) {
+	d := testDevice(64 << 20)
+	ctx := NewCtx(0)
+	var line [XPLineSize]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(ctx, (int64(i)*XPLineSize)%(32<<20), line[:])
+	}
+}
+
+func BenchmarkDeviceRead(b *testing.B) {
+	d := testDevice(64 << 20)
+	ctx := NewCtx(0)
+	var buf [64]byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 2654435761) % (63 << 20)
+		d.Read(ctx, off, buf[:])
+	}
+}

@@ -1,0 +1,63 @@
+package xpsim
+
+import "fmt"
+
+// Machine is the simulated testbed: a multi-socket NUMA system with one
+// Optane device group per socket. The paper's testbed is two sockets with
+// 4x128 GB Optane each; the simulated capacity is configurable because the
+// reproduction runs scaled-down datasets.
+type Machine struct {
+	Lat     LatencyModel
+	Sockets int
+	devices []*Device
+}
+
+// NewMachine builds a machine with `sockets` NUMA nodes, each with
+// `pmemPerNode` bytes of simulated PMEM.
+func NewMachine(sockets int, pmemPerNode int64, lat LatencyModel) *Machine {
+	if sockets < 1 {
+		panic("xpsim: machine needs at least one socket")
+	}
+	m := &Machine{Lat: lat, Sockets: sockets}
+	for n := 0; n < sockets; n++ {
+		m.devices = append(m.devices, NewDevice(n, sockets, pmemPerNode, &m.Lat))
+	}
+	return m
+}
+
+// Device returns the PMEM device of the given NUMA node.
+func (m *Machine) Device(node int) *Device {
+	if node < 0 || node >= len(m.devices) {
+		panic(fmt.Sprintf("xpsim: no device on node %d", node))
+	}
+	return m.devices[node]
+}
+
+// Devices returns all devices, indexed by node.
+func (m *Machine) Devices() []*Device { return m.devices }
+
+// TotalStats drains all XPBuffers and returns machine-wide counters.
+func (m *Machine) TotalStats() Stats {
+	var s Stats
+	for _, d := range m.devices {
+		s.Add(d.Drain())
+	}
+	return s
+}
+
+// SnapshotStats returns machine-wide counters without draining buffers
+// (cheap; media write counts may lag by up to one XPBuffer).
+func (m *Machine) SnapshotStats() Stats {
+	var s Stats
+	for _, d := range m.devices {
+		s.Add(d.Stats())
+	}
+	return s
+}
+
+// ResetStats zeroes all device counters.
+func (m *Machine) ResetStats() {
+	for _, d := range m.devices {
+		d.ResetStats()
+	}
+}

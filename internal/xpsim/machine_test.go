@@ -1,0 +1,157 @@
+package xpsim
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+func TestMachineTopology(t *testing.T) {
+	m := NewMachine(2, 1<<20, DefaultLatency())
+	if m.Sockets != 2 || len(m.Devices()) != 2 {
+		t.Fatalf("machine shape: sockets=%d devices=%d", m.Sockets, len(m.Devices()))
+	}
+	for n := 0; n < 2; n++ {
+		d := m.Device(n)
+		if d.Node() != n {
+			t.Fatalf("device %d reports node %d", n, d.Node())
+		}
+		if d.Size() != 1<<20 {
+			t.Fatalf("device size %d", d.Size())
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Device(99) must panic")
+		}
+	}()
+	m.Device(99)
+}
+
+func TestMachineStatsAggregation(t *testing.T) {
+	m := NewMachine(2, 1<<20, DefaultLatency())
+	ctx := NewCtx(0)
+	p := make([]byte, XPLineSize)
+	m.Device(0).Write(ctx, 0, p)
+	m.Device(1).Write(ctx, 0, p)
+
+	snap := m.SnapshotStats()
+	if snap.ReqWriteBytes != 2*XPLineSize {
+		t.Fatalf("snapshot req writes = %d", snap.ReqWriteBytes)
+	}
+	total := m.TotalStats()
+	if total.MediaWriteLines < 2 {
+		t.Fatalf("drained media writes = %d, want >= 2 (one line per device)", total.MediaWriteLines)
+	}
+	if total.MediaWriteBytes() != total.MediaWriteLines*XPLineSize {
+		t.Fatal("MediaWriteBytes inconsistent")
+	}
+	if total.ReadAmplification() != 0 {
+		t.Fatalf("no reads issued, amplification = %f", total.ReadAmplification())
+	}
+
+	// Sub yields the delta of a phase.
+	before := m.SnapshotStats()
+	m.Device(0).Write(ctx, 4096, p)
+	delta := m.SnapshotStats().Sub(before)
+	if delta.ReqWriteBytes != XPLineSize {
+		t.Fatalf("delta req writes = %d", delta.ReqWriteBytes)
+	}
+
+	m.ResetStats()
+	if s := m.SnapshotStats(); s.ReqWriteBytes != 0 {
+		t.Fatalf("reset left %d req bytes", s.ReqWriteBytes)
+	}
+	if m.Device(0).TouchedBytes() == 0 {
+		t.Fatal("touched backing memory should be tracked")
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	var c Cost
+	c.Add(100)
+	c.AddF(0.5) // rounds up: nothing is free
+	if c.Ns() != 101 {
+		t.Fatalf("cost = %d, want 101", c.Ns())
+	}
+	if c.Duration() != 101*time.Nanosecond {
+		t.Fatalf("duration = %v", c.Duration())
+	}
+	c.Reset()
+	if c.Ns() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestLatencyHelpers(t *testing.T) {
+	lat := DefaultLatency()
+	ctx := NewCtx(0)
+	lat.CPU(ctx, 10)
+	if ctx.Cost.Ns() != 10*lat.CPUOp {
+		t.Fatalf("CPU charge = %d", ctx.Cost.Ns())
+	}
+	ctx.Cost.Reset()
+	lat.DRAM(ctx, 128, true, true)
+	if ctx.Cost.Ns() != 2*lat.DRAMSeqWrite {
+		t.Fatalf("sequential DRAM write = %d, want 2 lines", ctx.Cost.Ns())
+	}
+	ctx.Cost.Reset()
+	lat.DRAM(ctx, 4, false, false)
+	if ctx.Cost.Ns() != lat.DRAMRead {
+		t.Fatalf("random DRAM read = %d", ctx.Cost.Ns())
+	}
+	// Read contention kicks in past the knee; remote reads degrade
+	// faster (the cross-NUMA multi-threaded effect).
+	if lat.readContention(lat.ReadKnee, false) != 1 || lat.readContention(lat.ReadKnee+10, false) <= 1 {
+		t.Fatal("read contention shape wrong")
+	}
+	if lat.readContention(48, true) <= lat.readContention(48, false) {
+		t.Fatal("remote read contention should exceed local")
+	}
+}
+
+func TestPinnedToAndUnpinned(t *testing.T) {
+	if PinnedTo(1)(7) != 1 {
+		t.Fatal("PinnedTo must ignore the worker index")
+	}
+	if Unpinned(3) != NodeUnbound {
+		t.Fatal("Unpinned must return NodeUnbound")
+	}
+	dur := Parallel(3, PinnedTo(1), func(w int, ctx *Ctx) {
+		if ctx.Node != 1 || ctx.Workers != 3 || ctx.Worker != w {
+			t.Errorf("ctx misconfigured: %+v", ctx)
+		}
+		ctx.Cost.Add(int64(w))
+	})
+	if dur != 2*time.Nanosecond {
+		t.Fatalf("Parallel duration = %v", dur)
+	}
+}
+
+func TestLoadLatency(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/lat.json"
+	if err := os.WriteFile(path, []byte(`{"MediaRead": 999, "RemoteWriteMul": 9.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := LoadLatency(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.MediaRead != 999 || lat.RemoteWriteMul != 9.5 {
+		t.Fatalf("overrides not applied: %+v", lat)
+	}
+	// Untouched fields keep the calibrated defaults.
+	if lat.LineWrite != DefaultLatency().LineWrite {
+		t.Fatal("defaults lost")
+	}
+	if _, err := LoadLatency(dir + "/missing.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLatency(path); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+}

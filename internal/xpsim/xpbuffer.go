@@ -1,0 +1,111 @@
+package xpsim
+
+// xpBuffer models the small write-combining buffer inside an Optane DIMM
+// (§II-A, Fig. 1b). It is a set-associative cache of XPLines with LRU
+// replacement. Writes that hit merge in the buffer without touching the
+// 3D-XPoint media; partial-line writes that miss force a media read
+// (read-modify-write); evicted dirty lines become media writes.
+//
+// The buffer only tracks line identity and dirtiness — data lives in the
+// device's backing store, written through synchronously (eADR semantics:
+// the buffer is inside the power-fail protected domain).
+type xpBuffer struct {
+	sets  int
+	ways  int
+	lines []xpLine // sets*ways entries
+	tick  uint64
+}
+
+type xpLine struct {
+	idx   int64 // XPLine index, -1 if invalid
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// newXPBuffer builds a buffer with the given set count and associativity.
+// The real XPBuffer is ~16 KB: 64 lines.
+func newXPBuffer(sets, ways int) *xpBuffer {
+	b := &xpBuffer{sets: sets, ways: ways, lines: make([]xpLine, sets*ways)}
+	for i := range b.lines {
+		b.lines[i].idx = -1
+	}
+	return b
+}
+
+func (b *xpBuffer) set(idx int64) []xpLine {
+	s := int(idx) & (b.sets - 1)
+	return b.lines[s*b.ways : (s+1)*b.ways]
+}
+
+// capacityLines reports the buffer capacity in XPLines.
+func (b *xpBuffer) capacityLines() int { return b.sets * b.ways }
+
+// access looks up XPLine idx, inserting it on miss. It returns whether the
+// lookup hit and whether a dirty line was written back to media.
+//
+// window models multi-threaded sharing of the buffer: the simulation runs
+// one worker's access stream at a time, but on real hardware `workers`
+// concurrent streams interleave and each effectively owns only
+// lines/workers entries. A resident line therefore only counts as a hit if
+// its reuse distance (in this device's accesses) fits the window;
+// otherwise the intervening traffic would have evicted it, so the access
+// is charged as a miss (with a media write-back if the line was dirty).
+func (b *xpBuffer) access(idx int64, write bool, window uint64) (hit, wroteBack bool) {
+	b.tick++
+	set := b.set(idx)
+	victim := 0
+	for i := range set {
+		if set[i].idx == idx {
+			expired := window > 0 && b.tick-set[i].used > window
+			wasDirty := set[i].dirty
+			set[i].used = b.tick
+			if write {
+				set[i].dirty = true
+			}
+			if expired {
+				// Evicted in the meantime by the other streams: its
+				// dirty contents went to media, and this access must
+				// re-fetch/rewrite it.
+				if !write {
+					set[i].dirty = false
+				}
+				return false, wasDirty
+			}
+			return true, false
+		}
+		if set[i].used < set[victim].used {
+			victim = i
+		}
+	}
+	wroteBack = set[victim].idx >= 0 && set[victim].dirty
+	set[victim] = xpLine{idx: idx, dirty: write, used: b.tick}
+	return false, wroteBack
+}
+
+// drain marks every buffered line clean and reports how many dirty lines
+// were written back to media. Used when accounting finishes a run, so
+// media write counters include data still sitting in the buffer.
+func (b *xpBuffer) drain() int64 {
+	var n int64
+	for i := range b.lines {
+		if b.lines[i].idx >= 0 && b.lines[i].dirty {
+			b.lines[i].dirty = false
+			n++
+		}
+	}
+	return n
+}
+
+// flushLine writes back line idx if present and dirty, reporting whether a
+// media write happened. Models a clwb-style explicit flush reaching the
+// DIMM for one line.
+func (b *xpBuffer) flushLine(idx int64) bool {
+	set := b.set(idx)
+	for i := range set {
+		if set[i].idx == idx && set[i].dirty {
+			set[i].dirty = false
+			return true
+		}
+	}
+	return false
+}
