@@ -4,10 +4,15 @@
 //
 //	xpgraphd -addr :7611 -vertices 1048576
 //
-//	curl -X POST localhost:7611/edges -d '{"edges":[{"src":1,"dst":2}]}'
-//	curl localhost:7611/vertices/1/out
-//	curl -X POST localhost:7611/query/bfs -d '{"root":1}'
-//	curl localhost:7611/stats
+//	curl -X POST localhost:7611/v1/edges -d '{"edges":[{"src":1,"dst":2}]}'
+//	curl localhost:7611/v1/vertices/1/out
+//	curl -X POST localhost:7611/v1/query/bfs -d '{"root":1}'
+//	curl localhost:7611/v1/stats
+//	curl localhost:7611/v1/metrics
+//
+// Writes are batched through a bounded ingest queue and reads serve from
+// the latest published snapshot (see package server). The unversioned
+// routes still work but are deprecated.
 //
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
@@ -19,6 +24,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -33,6 +39,10 @@ func main() {
 	pmemGB := flag.Int64("pmem-gb", 4, "simulated PMEM per NUMA node (GiB)")
 	threads := flag.Int("threads", 16, "archive threads")
 	qthreads := flag.Int("qthreads", 32, "query threads")
+	queueCap := flag.Int("queue-cap", 1<<16, "ingest queue capacity (edges)")
+	batchEdges := flag.Int("batch-edges", 4096, "edges applied per ingest batch")
+	linger := flag.Duration("linger", 2*time.Millisecond, "batching linger time")
+	flushEvery := flag.Duration("flush-every", 5*time.Second, "periodic vertex-buffer flush (0 disables)")
 	preload := flag.String("preload", "", "catalog dataset to pre-load (TT, FS, ...)")
 	scale := flag.Float64("scale", 0.1, "pre-load edge scale")
 	flag.Parse()
@@ -63,7 +73,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded in %.3fs simulated\n", float64(rep.TotalNs())/1e9)
 	}
 
-	srv := server.New(store, machine, *qthreads)
+	srv := server.New(store, machine, server.Config{
+		QueryThreads: *qthreads,
+		QueueCap:     *queueCap,
+		BatchEdges:   *batchEdges,
+		Linger:       *linger,
+		FlushEvery:   *flushEvery,
+	})
+	defer srv.Close()
 	fmt.Fprintf(os.Stderr, "xpgraphd listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
 }

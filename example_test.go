@@ -65,7 +65,7 @@ func ExampleStore_Snapshot() {
 	snap := g.Snapshot(ctx)
 	g.AddEdge(1, 3) // arrives after the snapshot
 
-	old, _ := snap.NbrsOut(ctx, 1, nil)
+	old := snap.NbrsOut(ctx, 1, nil)
 	live := g.NbrsOut(ctx, 1, nil)
 	fmt.Println(len(old), len(live))
 	// Output: 1 2

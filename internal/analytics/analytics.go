@@ -12,26 +12,14 @@ package analytics
 
 import (
 	"repro/internal/graph"
+	"repro/internal/view"
 	"repro/internal/xpsim"
 )
 
-// View is the query surface a graph store exposes.
-type View interface {
-	NumVertices() graph.VID
-	NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32
-	NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32
-	// VisitOut/VisitIn stream neighbors without allocating; the hot path
-	// of every algorithm below.
-	VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32))
-	VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32))
-	// OutNode/InNode report the NUMA node owning v's adjacency data
-	// (xpsim.NodeUnbound when the store interleaves it).
-	OutNode(v graph.VID) int
-	InNode(v graph.VID) int
-	// OutDegree is the stored out-record count (PageRank's divisor and
-	// the one-hop query's non-zero filter).
-	OutDegree(v graph.VID) int
-}
+// View is the query surface a graph store exposes. It now lives in
+// package view (the serving layer shares the same contract); this alias
+// keeps existing callers compiling.
+type View = view.View
 
 // Engine runs queries over a view with a fixed thread budget.
 type Engine struct {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphone"
 	"repro/internal/mem"
+	"repro/internal/view"
 	"repro/internal/xpsim"
 )
 
@@ -331,7 +332,7 @@ func fig14(cfg Config) (Table, error) {
 		edges := edgesFor(ds, cfg)
 		type prep struct {
 			name string
-			view analytics.View
+			view view.View
 			lat  *xpsim.LatencyModel
 		}
 		var preps []prep

@@ -402,7 +402,12 @@ func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
 	if v >= s.NumVertices() {
 		return fmt.Errorf("core: vertex %d out of range", v)
 	}
-	s.compactGen++
+	// Compaction fencing: rewriting v's chains resolves tombstones and
+	// destroys the append-only prefix snapshots rely on, so every live
+	// snapshot freezes its view of v first (copy-on-invalidate).
+	for _, sn := range s.liveSnapshots() {
+		sn.freezeVertex(ctx, v)
+	}
 	for d := 0; d < 2; d++ {
 		p := s.partOf(v)
 		g := s.groups[d][p]

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/mempool"
@@ -16,26 +16,83 @@ import (
 // later. This is the role snapshot metadata plays in GraphOne (§II-B);
 // XPGraph's hybrid store supports it the same way.
 //
-// Compaction rewrites chains and resolves tombstones in place, so it
-// invalidates outstanding snapshots; snapshot queries detect this through
-// a store generation counter and report an error.
+// Snapshot implements view.View, so the analytics engine and the HTTP
+// server run unchanged over a snapshot — the basis of the serving stack's
+// snapshot-isolated reads.
+//
+// Compaction rewrites chains and resolves tombstones in place, which
+// would break the first-count-records rule. Instead of invalidating
+// outstanding snapshots, the store fences compaction with
+// copy-on-invalidate: before a vertex's chains are rewritten, every live
+// snapshot materializes its view of that vertex into a private frozen
+// copy. Snapshots therefore survive compaction; call Close when done so
+// the store stops fencing for them.
+//
+// Concurrency: a Snapshot may serve many readers at once, and readers
+// may interleave with ingestion provided reads and writes are externally
+// ordered (e.g. via view.Guard over a sync.RWMutex, as the server does).
+// The frozen-copy map has its own internal lock, so compaction fencing
+// is safe against concurrent snapshot reads under that discipline.
 type Snapshot struct {
 	store   *Store
-	gen     uint64
+	numV    graph.VID // vertex-ID space at capture time
 	records [2][]uint32
+
+	// frozen holds per-vertex views materialized by compaction fencing;
+	// mu guards the maps (readers take RLock on every lookup).
+	mu     sync.RWMutex
+	frozen [2]map[graph.VID][]uint32
 }
 
 // Snapshot captures the current view. O(V) DRAM copy, no PMEM traffic —
-// the same cost class as GraphOne's per-epoch snapshot metadata.
+// the same cost class as GraphOne's per-epoch snapshot metadata. The
+// snapshot stays registered with the store (for compaction fencing)
+// until Close is called.
 func (s *Store) Snapshot(ctx *xpsim.Ctx) *Snapshot {
-	snap := &Snapshot{store: s, gen: s.compactGen}
+	snap := &Snapshot{store: s, numV: s.NumVertices()}
 	for d := 0; d < 2; d++ {
 		snap.records[d] = append([]uint32(nil), s.records[d]...)
 		s.lat.DRAM(ctx, int64(4*len(s.records[d])), false, true)
 		s.lat.DRAM(ctx, int64(4*len(s.records[d])), true, true)
 	}
+	s.snapMu.Lock()
+	if s.snaps == nil {
+		s.snaps = make(map[*Snapshot]struct{})
+	}
+	s.snaps[snap] = struct{}{}
+	s.snapMu.Unlock()
 	return snap
 }
+
+// liveSnapshots returns the snapshots currently registered for
+// compaction fencing.
+func (s *Store) liveSnapshots() []*Snapshot {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if len(s.snaps) == 0 {
+		return nil
+	}
+	out := make([]*Snapshot, 0, len(s.snaps))
+	for sn := range s.snaps {
+		out = append(out, sn)
+	}
+	return out
+}
+
+// Close deregisters the snapshot from the store. The snapshot stays
+// readable (frozen copies are kept), but compaction no longer fences for
+// it, so post-Close reads of vertices compacted after Close may reflect
+// the compacted (resolved) stream. Close is idempotent.
+func (sn *Snapshot) Close() {
+	s := sn.store
+	s.snapMu.Lock()
+	delete(s.snaps, sn)
+	s.snapMu.Unlock()
+}
+
+// NumVertices reports the vertex-ID space the snapshot covers; vertices
+// created after capture read as empty.
+func (sn *Snapshot) NumVertices() graph.VID { return sn.numV }
 
 // Edges reports how many edge records the snapshot covers in direction d.
 func (sn *Snapshot) Edges(d Direction) int64 {
@@ -46,47 +103,121 @@ func (sn *Snapshot) Edges(d Direction) int64 {
 	return n
 }
 
+// Degree reports the record count (tombstones included) of v as of the
+// snapshot — the snapshot analogue of Store.Degree.
+func (sn *Snapshot) Degree(d Direction, v graph.VID) int {
+	if v >= sn.numV || int(v) >= len(sn.records[d]) {
+		return 0
+	}
+	return int(sn.records[d][v])
+}
+
+// OutDegree reports the out-record count of v as of the snapshot.
+func (sn *Snapshot) OutDegree(v graph.VID) int { return sn.Degree(Out, v) }
+
+// OutNode and InNode report the NUMA home of v's adjacency data; the
+// placement is fixed at store creation, so delegating to the live store
+// is snapshot-safe.
+func (sn *Snapshot) OutNode(v graph.VID) int { return sn.store.PartitionNode(Out, v) }
+
+// InNode reports the NUMA home of v's in-adjacency.
+func (sn *Snapshot) InNode(v graph.VID) int { return sn.store.PartitionNode(In, v) }
+
 // Nbrs returns v's neighbors as of the snapshot, tombstones resolved.
-// Records ingested after the snapshot are invisible.
-func (sn *Snapshot) Nbrs(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) ([]uint32, error) {
-	s := sn.store
-	if sn.gen != s.compactGen {
-		return dst, fmt.Errorf("core: snapshot invalidated by compaction")
+// Records ingested after the snapshot are invisible; vertices created
+// after the snapshot read as empty.
+func (sn *Snapshot) Nbrs(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
+	// Bounds first, against the snapshot's own captured space: the live
+	// store may have grown since capture, and the captured records slice
+	// must never be indexed for a vertex born later.
+	if v >= sn.numV || int(v) >= len(sn.records[d]) {
+		return dst
 	}
-	if int(v) >= len(sn.records[d]) || v >= s.NumVertices() {
-		return dst, nil
+	sn.mu.RLock()
+	f, ok := sn.frozen[d][v]
+	sn.mu.RUnlock()
+	if ok {
+		sn.store.lat.DRAM(ctx, int64(4*len(f)), false, true)
+		return append(dst, f...)
 	}
+	return sn.materialize(ctx, d, v, dst)
+}
+
+// materialize reconstructs the snapshot view of v from the live chains:
+// the first records[d][v] entries of the vertex's append-only stream,
+// tombstones resolved.
+func (sn *Snapshot) materialize(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) []uint32 {
 	want := int(sn.records[d][v])
 	if want == 0 {
-		return dst, nil
+		return dst
 	}
 	start := len(dst)
 
 	// The vertex's record stream is: PMEM chain blocks oldest->newest,
 	// then the live vertex buffer. Neighbors/Visit walk newest-first, so
 	// materialize and trim from the front of the reconstructed order.
+	s := sn.store
 	g := s.groups[d][s.partOf(v)]
-	pmemRecs := g.adj.NeighborsOldestFirst(ctx, v, nil)
-	var all []uint32
-	all = append(all, pmemRecs...)
+	all := g.adj.NeighborsOldestFirst(ctx, v, nil)
 	if h := s.vbH[d][v]; h != mempool.None {
 		all = s.bufs.Neighbors(ctx, h, int(s.vbC[d][v]), all)
 	}
 	if want > len(all) {
-		// More records at snapshot time than visible now: impossible in
-		// an append-only store unless a compaction slipped through.
-		return dst, fmt.Errorf("core: snapshot sees %d records, store has %d (vertex %d)", want, len(all), v)
+		// Fewer records visible than captured: only possible if a
+		// compaction slipped past the fencing (e.g. on a snapshot read
+		// after Close). Degrade to the resolved stream rather than fail.
+		want = len(all)
 	}
 	dst = append(dst, all[:want]...)
-	return resolveInPlace(dst, start), nil
+	return resolveInPlace(dst, start)
+}
+
+// freezeVertex materializes the snapshot's view of v into a private
+// copy — the copy-on-invalidate half of compaction fencing. The store
+// calls it for every live snapshot before rewriting v's chains.
+func (sn *Snapshot) freezeVertex(ctx *xpsim.Ctx, v graph.VID) {
+	if v >= sn.numV {
+		return
+	}
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	for d := 0; d < 2; d++ {
+		if int(v) >= len(sn.records[d]) {
+			continue
+		}
+		if _, done := sn.frozen[d][v]; done {
+			continue
+		}
+		if sn.frozen[d] == nil {
+			sn.frozen[d] = make(map[graph.VID][]uint32)
+		}
+		sn.frozen[d][v] = sn.materialize(ctx, Direction(d), v, nil)
+	}
 }
 
 // NbrsOut and NbrsIn are direction-fixed conveniences.
-func (sn *Snapshot) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+func (sn *Snapshot) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
 	return sn.Nbrs(ctx, Out, v, dst)
 }
 
 // NbrsIn returns v's in-neighbors as of the snapshot.
-func (sn *Snapshot) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+func (sn *Snapshot) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
 	return sn.Nbrs(ctx, In, v, dst)
+}
+
+// VisitOut streams v's resolved out-neighbors as of the snapshot.
+// Snapshot reads must trim and resolve against the captured counts, so
+// the stream materializes internally; the callback contract matches
+// Store.VisitOut.
+func (sn *Snapshot) VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	for _, nbr := range sn.Nbrs(ctx, Out, v, nil) {
+		fn(nbr)
+	}
+}
+
+// VisitIn streams v's resolved in-neighbors as of the snapshot.
+func (sn *Snapshot) VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	for _, nbr := range sn.Nbrs(ctx, In, v, nil) {
+		fn(nbr)
+	}
 }

@@ -19,6 +19,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 	ctx := xpsim.NewCtx(0)
 	snap := s.Snapshot(ctx)
+	defer snap.Close()
 	if snap.Edges(Out) != 3 {
 		t.Fatalf("snapshot edges = %d", snap.Edges(Out))
 	}
@@ -27,11 +28,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 9}, {Src: 1, Dst: 10}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := snap.NbrsOut(ctx, 1, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !sameMultiset(got, []uint32{2, 3}) {
+	if got := snap.NbrsOut(ctx, 1, nil); !sameMultiset(got, []uint32{2, 3}) {
 		t.Fatalf("snapshot out(1) = %v, want {2,3}", got)
 	}
 	// The live view sees everything.
@@ -40,11 +37,8 @@ func TestSnapshotIsolation(t *testing.T) {
 	}
 	// A fresh snapshot sees the new state.
 	snap2 := s.Snapshot(ctx)
-	got2, err := snap2.NbrsOut(ctx, 1, nil)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !sameMultiset(got2, []uint32{2, 3, 9, 10}) {
+	defer snap2.Close()
+	if got2 := snap2.NbrsOut(ctx, 1, nil); !sameMultiset(got2, []uint32{2, 3, 9, 10}) {
 		t.Fatalf("snapshot2 out(1) = %v", got2)
 	}
 }
@@ -59,13 +53,10 @@ func TestSnapshotSurvivesFlush(t *testing.T) {
 	}
 	ctx := xpsim.NewCtx(0)
 	snap := s.Snapshot(ctx)
+	defer snap.Close()
 	want := map[graph.VID][]uint32{}
 	for v := graph.VID(0); v < 64; v++ {
-		nbrs, err := snap.NbrsOut(ctx, v, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want[v] = append([]uint32(nil), nbrs...)
+		want[v] = append([]uint32(nil), snap.NbrsOut(ctx, v, nil)...)
 	}
 	if err := s.FlushAllVbufs(); err != nil {
 		t.Fatal(err)
@@ -74,17 +65,16 @@ func TestSnapshotSurvivesFlush(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := graph.VID(0); v < 64; v++ {
-		got, err := snap.NbrsOut(ctx, v, nil)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !sameMultiset(got, want[v]) {
+		if got := snap.NbrsOut(ctx, v, nil); !sameMultiset(got, want[v]) {
 			t.Fatalf("vertex %d: snapshot changed after flush+ingest: %v vs %v", v, got, want[v])
 		}
 	}
 }
 
-func TestSnapshotInvalidatedByCompaction(t *testing.T) {
+func TestSnapshotSurvivesCompaction(t *testing.T) {
+	// Compaction rewrites chains and resolves tombstones; registered
+	// snapshots must keep answering with their pre-compaction view
+	// (copy-on-invalidate fencing).
 	s := newStore(t, Options{Name: "snapc", NumVertices: 16, LogCapacity: 256,
 		ArchiveThreshold: 4, ArchiveThreads: 2})
 	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}}); err != nil {
@@ -92,11 +82,70 @@ func TestSnapshotInvalidatedByCompaction(t *testing.T) {
 	}
 	ctx := xpsim.NewCtx(0)
 	snap := s.Snapshot(ctx)
+	defer snap.Close()
+
+	// More records plus a deletion, then compact: the live store resolves
+	// the tombstone in place, while the snapshot keeps its prefix.
+	if err := s.AddEdges([]graph.Edge{{Src: 1, Dst: 5}, graph.Del(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.CompactAdjs(ctx, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := snap.NbrsOut(ctx, 1, nil); err == nil {
-		t.Fatal("snapshot must be invalidated by compaction")
+	if got := snap.NbrsOut(ctx, 1, nil); !sameMultiset(got, []uint32{2, 3}) {
+		t.Fatalf("snapshot out(1) after compaction = %v, want {2,3}", got)
+	}
+	if live := s.NbrsOut(ctx, 1, nil); !sameMultiset(live, []uint32{3, 5}) {
+		t.Fatalf("live out(1) after compaction = %v, want {3,5}", live)
+	}
+	// Repeated compaction of the same vertex stays stable.
+	if err := s.CompactAdjs(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.NbrsOut(ctx, 1, nil); !sameMultiset(got, []uint32{2, 3}) {
+		t.Fatalf("snapshot out(1) after second compaction = %v, want {2,3}", got)
+	}
+}
+
+func TestSnapshotVertexBornLater(t *testing.T) {
+	// Regression: a vertex created after the snapshot was captured must
+	// read as empty through the snapshot (and must not panic), even though
+	// the live store has since grown its records slices past the
+	// snapshot's captured length.
+	s := newStore(t, Options{Name: "snapb", NumVertices: 4, LogCapacity: 256,
+		ArchiveThreshold: 4, ArchiveThreads: 2})
+	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(0)
+	snap := s.Snapshot(ctx)
+	defer snap.Close()
+	numV := snap.NumVertices()
+
+	// Grow the store: vertex 100 is born after the capture.
+	if _, err := s.Ingest([]graph.Edge{{Src: 100, Dst: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVertices() <= numV {
+		t.Fatalf("store did not grow: %d <= %d", s.NumVertices(), numV)
+	}
+	for _, v := range []graph.VID{100, numV, graph.VID(s.NumVertices()), 1 << 30} {
+		if got := snap.NbrsOut(ctx, v, nil); len(got) != 0 {
+			t.Fatalf("snapshot out(%d) = %v, want empty", v, got)
+		}
+		if got := snap.NbrsIn(ctx, v, nil); len(got) != 0 {
+			t.Fatalf("snapshot in(%d) = %v, want empty", v, got)
+		}
+		if d := snap.OutDegree(v); d != 0 {
+			t.Fatalf("snapshot OutDegree(%d) = %d, want 0", v, d)
+		}
+	}
+	if snap.NumVertices() != numV {
+		t.Fatalf("snapshot NumVertices changed: %d != %d", snap.NumVertices(), numV)
+	}
+	// The snapshot's pre-existing data is unaffected.
+	if got := snap.NbrsOut(ctx, 1, nil); !sameMultiset(got, []uint32{2}) {
+		t.Fatalf("snapshot out(1) = %v, want {2}", got)
 	}
 }
 
@@ -124,15 +173,14 @@ func TestSnapshotPrefixProperty(t *testing.T) {
 		}
 		ref := buildReference(all[:cut])
 		for v := graph.VID(0); v < 256; v++ {
-			got, err := snap.NbrsOut(ctx, v, nil)
-			if err != nil || !sameMultiset(got, ref.out[v]) {
+			if got := snap.NbrsOut(ctx, v, nil); !sameMultiset(got, ref.out[v]) {
 				return false
 			}
-			gotIn, err := snap.NbrsIn(ctx, v, nil)
-			if err != nil || !sameMultiset(gotIn, ref.in[v]) {
+			if gotIn := snap.NbrsIn(ctx, v, nil); !sameMultiset(gotIn, ref.in[v]) {
 				return false
 			}
 		}
+		snap.Close()
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/adj"
 	"repro/internal/elog"
@@ -74,9 +75,12 @@ type Store struct {
 	delVerts    [2]map[graph.VID]struct{}
 	delsUnknown bool
 
-	// compactGen increments whenever a compaction rewrites chains,
-	// invalidating outstanding snapshots.
-	compactGen uint64
+	// snaps registers outstanding snapshots for compaction fencing:
+	// before a vertex's chains are rewritten, each registered snapshot
+	// freezes its view of that vertex (copy-on-invalidate). snapMu is a
+	// leaf mutex — nothing is called while holding it.
+	snapMu sync.Mutex
+	snaps  map[*Snapshot]struct{}
 }
 
 // New creates an XPGraph store on the machine. For PMEM media a heap is

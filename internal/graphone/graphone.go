@@ -23,6 +23,7 @@ import (
 	"repro/internal/pmem"
 	"repro/internal/pmfs"
 	"repro/internal/shard"
+	"repro/internal/view"
 	"repro/internal/xpsim"
 )
 
@@ -129,6 +130,10 @@ type Store struct {
 	metaBytes int64
 	report    IngestReport
 }
+
+// Store conforms to the canonical read surface, so analytics and the
+// server run identically over the baseline.
+var _ view.View = (*Store)(nil)
 
 // New builds a GraphOne store. heap may be nil for VariantD/VariantMM.
 func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Options) (*Store, error) {

@@ -1,0 +1,334 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analytics"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/view"
+	"repro/internal/xpsim"
+)
+
+// readView pairs a pinned publication with a guarded View over its
+// snapshot; queries through the view take the state lock per access, so
+// they interleave with ingest batches instead of excluding them.
+func (s *Server) readView(p *published) view.View {
+	return view.Guard(p.snap, &s.stateMu)
+}
+
+// engineFor builds a per-request analytics engine over the publication.
+func (s *Server) engineFor(p *published) *analytics.Engine {
+	return analytics.NewEngine(s.readView(p), &s.machine.Lat, s.cfg.QueryThreads)
+}
+
+// ---- writes ----
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
+		return
+	}
+	var req EdgesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	if len(req.Edges) == 0 {
+		httpError(w, http.StatusBadRequest, "bad_request", "no edges")
+		return
+	}
+	edges := make([]graph.Edge, len(req.Edges))
+	switch r.Method {
+	case http.MethodPost:
+		for i, e := range req.Edges {
+			edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+		}
+	case http.MethodDelete:
+		for i, e := range req.Edges {
+			edges[i] = graph.Del(e.Src, e.Dst)
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
+		return
+	}
+	if len(edges) > s.cfg.QueueCap {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"request of %d edges exceeds the queue capacity of %d; split it",
+			len(edges), s.cfg.QueueCap)
+		return
+	}
+
+	ireq := &ingestReq{edges: edges, done: make(chan ingestResult, 1)}
+	if !s.tryEnqueue(ireq) {
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusTooManyRequests, "queue_full",
+			"ingest queue is full (%d edges queued, capacity %d)",
+			s.m.queued.Load(), s.cfg.QueueCap)
+		return
+	}
+
+	if r.URL.Query().Get("async") == "1" {
+		epoch := s.m.epoch.Load()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
+		w.WriteHeader(http.StatusAccepted)
+		writeJSON(w, IngestResponse{Accepted: int64(len(edges)), Epoch: epoch})
+		return
+	}
+
+	select {
+	case res := <-ireq.done:
+		if res.err != nil {
+			if res.err == errShuttingDown {
+				httpError(w, http.StatusServiceUnavailable, "shutting_down", "%v", res.err)
+				return
+			}
+			httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.err)
+			return
+		}
+		writeEpochJSON(w, res.epoch, IngestResponse{
+			Accepted: res.accepted,
+			SimMs:    float64(res.simNs) / 1e6,
+			Batches:  res.batches,
+			Epoch:    res.epoch,
+		})
+	case <-s.stop:
+		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
+	}
+}
+
+// ---- snapshot reads ----
+
+// vertexPath parses "/vertices/{id}/{rest...}".
+func vertexPath(path string) (graph.VID, string, error) {
+	rest := strings.TrimPrefix(path, "/vertices/")
+	parts := strings.SplitN(rest, "/", 2)
+	id, err := strconv.ParseUint(parts[0], 10, 32)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad vertex id %q", parts[0])
+	}
+	sub := ""
+	if len(parts) == 2 {
+		sub = parts[1]
+	}
+	return graph.VID(id), sub, nil
+}
+
+func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	v, sub, err := vertexPath(r.URL.Path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	p := s.acquire()
+	defer s.release(p)
+	ctx := xpsim.NewCtx(p.snap.OutNode(v))
+	switch sub {
+	case "out", "in":
+		gv := s.readView(p)
+		var nbrs []uint32
+		if sub == "out" {
+			nbrs = gv.NbrsOut(ctx, v, nil)
+		} else {
+			nbrs = gv.NbrsIn(ctx, v, nil)
+		}
+		if nbrs == nil {
+			nbrs = []uint32{}
+		}
+		writeEpochJSON(w, p.epoch, NeighborsResponse{Vertex: v, Neighbors: nbrs,
+			SimUs: float64(ctx.Cost.Ns()) / 1e3, Epoch: p.epoch})
+	case "degree":
+		s.stateMu.RLock()
+		out, in := p.snap.Degree(core.Out, v), p.snap.Degree(core.In, v)
+		s.stateMu.RUnlock()
+		writeEpochJSON(w, p.epoch, DegreeResponse{Vertex: v, Out: out, In: in, Epoch: p.epoch})
+	default:
+		httpError(w, http.StatusNotFound, "not_found", "unknown vertex view %q", sub)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	epoch := s.m.epoch.Load()
+	writeEpochJSON(w, epoch, HealthzResponse{Status: "ok", Epoch: epoch})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	ageNs := time.Now().UnixNano() - s.m.publishedAtNs.Load()
+	writeJSON(w, MetricsResponse{
+		QueueDepthEdges: s.m.queued.Load(),
+		QueueCapEdges:   int64(s.cfg.QueueCap),
+		EdgesApplied:    s.m.edgesApplied.Load(),
+		BatchesApplied:  s.m.batchesApplied.Load(),
+		RejectedWrites:  s.m.rejected.Load(),
+		LastBatchHostUs: float64(s.m.lastBatchHostNs.Load()) / 1e3,
+		LastBatchSimMs:  float64(s.m.lastBatchSimNs.Load()) / 1e6,
+		LastBatchEdges:  s.m.lastBatchEdges.Load(),
+		SnapshotEpoch:   s.m.epoch.Load(),
+		SnapshotAgeMs:   float64(ageNs) / 1e6,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.stateMu.RLock()
+	u := s.store.MemUsage()
+	st := s.machine.SnapshotStats()
+	resp := StatsResponse{
+		NumVertices:     s.store.NumVertices(),
+		LoggedEdges:     s.store.Log().Head(),
+		MetaDRAMBytes:   u.MetaDRAM,
+		VbufDRAMBytes:   u.VbufDRAM,
+		ElogPMEMBytes:   u.ElogPMEM,
+		PblkPMEMBytes:   u.PblkPMEM,
+		MediaReadBytes:  st.MediaReadBytes(),
+		MediaWriteBytes: st.MediaWriteBytes(),
+		Epoch:           s.m.epoch.Load(),
+	}
+	s.stateMu.RUnlock()
+	writeEpochJSON(w, resp.Epoch, resp)
+}
+
+// ---- admin writes (exclusive lock, then republish) ----
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	s.stateMu.Lock()
+	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	epoch := s.m.epoch.Load()
+	s.stateMu.Unlock()
+	writeEpochJSON(w, epoch, SnapshotResponse{Epoch: epoch})
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/compact/")
+	id, err := strconv.ParseUint(idStr, 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad vertex id %q", idStr)
+		return
+	}
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	s.stateMu.Lock()
+	cerr := s.store.CompactAdjs(ctx, graph.VID(id))
+	if cerr == nil {
+		s.publishLocked(ctx)
+	}
+	epoch := s.m.epoch.Load()
+	s.stateMu.Unlock()
+	if cerr != nil {
+		httpError(w, http.StatusInternalServerError, "internal", "compact: %v", cerr)
+		return
+	}
+	writeEpochJSON(w, epoch, map[string]any{
+		"compacted": id, "sim_us": float64(ctx.Cost.Ns()) / 1e3, "epoch": epoch})
+}
+
+func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	s.stateMu.Lock()
+	ferr := s.store.FlushAllVbufs()
+	if ferr == nil {
+		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	}
+	epoch := s.m.epoch.Load()
+	s.stateMu.Unlock()
+	if ferr != nil {
+		httpError(w, http.StatusInternalServerError, "internal", "flush: %v", ferr)
+		return
+	}
+	writeEpochJSON(w, epoch, map[string]any{"flushed": true, "epoch": epoch})
+}
+
+// ---- analytics over the published snapshot ----
+
+func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
+	var req BFSRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	p := s.acquire()
+	defer s.release(p)
+	res := s.engineFor(p).BFS(req.Root)
+	writeEpochJSON(w, p.epoch, BFSResponse{Root: req.Root, Visited: res.Visited,
+		Levels: res.Levels, SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+}
+
+func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
+	var req PageRankRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	if req.Iterations <= 0 {
+		req.Iterations = 10
+	}
+	if req.Top <= 0 {
+		req.Top = 10
+	}
+	p := s.acquire()
+	defer s.release(p)
+	res := s.engineFor(p).PageRank(req.Iterations)
+
+	ranked := make([]RankedVertex, len(res.Ranks))
+	for v, rk := range res.Ranks {
+		ranked[v] = RankedVertex{Vertex: graph.VID(v), Rank: rk}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Rank > ranked[j].Rank })
+	if len(ranked) > req.Top {
+		ranked = ranked[:req.Top]
+	}
+	writeEpochJSON(w, p.epoch, PageRankResponse{Top: ranked,
+		SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+}
+
+func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	p := s.acquire()
+	defer s.release(p)
+	res := s.engineFor(p).CC()
+	writeEpochJSON(w, p.epoch, CCResponse{Components: res.Components,
+		SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+}
+
+func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
+	var req KHopRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	if req.K <= 0 {
+		req.K = 2
+	}
+	p := s.acquire()
+	defer s.release(p)
+	res := s.engineFor(p).KHop(req.Root, req.K)
+	writeEpochJSON(w, p.epoch, KHopResponse{Root: req.Root, Reached: res.Reached,
+		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+}

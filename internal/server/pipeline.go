@@ -1,0 +1,263 @@
+package server
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+// metrics are the pipeline counters behind GET /v1/metrics. All fields
+// are atomics so handlers read them without any lock.
+type metrics struct {
+	queued          atomic.Int64 // edges enqueued but not yet applied
+	epoch           atomic.Uint64
+	edgesApplied    atomic.Int64
+	batchesApplied  atomic.Int64
+	rejected        atomic.Int64
+	lastBatchHostNs atomic.Int64
+	lastBatchSimNs  atomic.Int64
+	lastBatchEdges  atomic.Int64
+	publishedAtNs   atomic.Int64 // host clock of the last snapshot publication
+}
+
+// published is one snapshot publication. Readers acquire it under the
+// shared state lock and pin it with a refcount; the snapshot is closed
+// (deregistered from compaction fencing) once it is both retired by a
+// newer publication and unreferenced.
+type published struct {
+	snap    *core.Snapshot
+	epoch   uint64
+	refs    atomic.Int64
+	retired atomic.Bool
+}
+
+// ingestResult is what a synchronous write waits for.
+type ingestResult struct {
+	accepted int64
+	simNs    int64
+	batches  int64
+	epoch    uint64
+	err      error
+}
+
+// ingestReq is one enqueued write. done is buffered (capacity 1) and
+// receives exactly one result when the request's last edge is applied.
+type ingestReq struct {
+	edges []graph.Edge
+	done  chan ingestResult
+}
+
+var errShuttingDown = errors.New("server is shutting down")
+
+// publishLocked captures a fresh snapshot and makes it the served view.
+// Callers must hold stateMu exclusively.
+func (s *Server) publishLocked(ctx *xpsim.Ctx) {
+	old := s.cur
+	s.cur = &published{
+		snap:  s.store.Snapshot(ctx),
+		epoch: s.m.epoch.Add(1),
+	}
+	s.m.publishedAtNs.Store(time.Now().UnixNano())
+	if old != nil {
+		old.retired.Store(true)
+		if old.refs.Load() == 0 {
+			old.snap.Close()
+		}
+	}
+}
+
+// acquire pins the current publication for a read. The ref is taken
+// under the shared lock, so it cannot race with retirement: a reader
+// either increments before the writer's zero-check or sees the newer
+// publication.
+func (s *Server) acquire() *published {
+	s.stateMu.RLock()
+	p := s.cur
+	p.refs.Add(1)
+	s.stateMu.RUnlock()
+	return p
+}
+
+// release unpins a publication, closing its snapshot if it was the last
+// reader of a retired epoch. Snapshot.Close is idempotent, so the
+// benign race with publishLocked's zero-check is harmless.
+func (s *Server) release(p *published) {
+	if p.refs.Add(-1) == 0 && p.retired.Load() {
+		p.snap.Close()
+	}
+}
+
+// tryEnqueue reserves queue space for the edges and hands them to the
+// writer. It returns false when the bounded queue is full.
+func (s *Server) tryEnqueue(req *ingestReq) bool {
+	n := int64(len(req.edges))
+	for {
+		cur := s.m.queued.Load()
+		if cur+n > int64(s.cfg.QueueCap) {
+			s.m.rejected.Add(1)
+			return false
+		}
+		if s.m.queued.CompareAndSwap(cur, cur+n) {
+			break
+		}
+	}
+	// Cannot block: every request holds at least one edge's worth of
+	// reserved capacity and the channel is QueueCap deep.
+	s.queue <- req
+	return true
+}
+
+// ingestLoop is the single writer: it gathers queued requests into
+// batches, applies them under the write lock, and republishes the
+// snapshot after every batch so reads converge on fresh data.
+func (s *Server) ingestLoop() {
+	defer s.wg.Done()
+	var flushC <-chan time.Time
+	if s.cfg.FlushEvery > 0 {
+		t := time.NewTicker(s.cfg.FlushEvery)
+		defer t.Stop()
+		flushC = t.C
+	}
+	for {
+		select {
+		case <-s.stop:
+			s.drainOnStop()
+			return
+		case req := <-s.queue:
+			s.gatherAndApply(req)
+		case <-flushC:
+			s.periodicFlush()
+		}
+	}
+}
+
+// gatherAndApply batches more requests behind the first one — up to
+// BatchEdges edges or until Linger expires — then applies them.
+func (s *Server) gatherAndApply(first *ingestReq) {
+	reqs := []*ingestReq{first}
+	total := len(first.edges)
+	linger := time.NewTimer(s.cfg.Linger)
+	defer linger.Stop()
+gather:
+	for total < s.cfg.BatchEdges {
+		select {
+		case r := <-s.queue:
+			reqs = append(reqs, r)
+			total += len(r.edges)
+		case <-linger.C:
+			break gather
+		case <-s.stop:
+			break gather
+		}
+	}
+	s.applyAll(reqs)
+}
+
+// applyAll applies the gathered requests in arrival order, chunked into
+// BatchEdges-sized batches. Each chunk runs under the exclusive state
+// lock and ends with a snapshot publication, so a large ingest becomes a
+// sequence of short write windows with reads interleaving between them.
+func (s *Server) applyAll(reqs []*ingestReq) {
+	var all []graph.Edge
+	for _, r := range reqs {
+		all = append(all, r.edges...)
+	}
+	results := make([]ingestResult, len(reqs))
+	remaining := make([]int, len(reqs))
+	for i, r := range reqs {
+		remaining[i] = len(r.edges)
+	}
+	ri := 0 // first request not yet fully applied
+
+	fail := func(err error, undequeued int64) {
+		s.m.queued.Add(-undequeued)
+		for ; ri < len(reqs); ri++ {
+			res := results[ri]
+			res.err = err
+			reqs[ri].done <- res
+		}
+	}
+
+	for off := 0; off < len(all); off += s.cfg.BatchEdges {
+		end := off + s.cfg.BatchEdges
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[off:end]
+
+		hostStart := time.Now()
+		wctx := xpsim.NewCtx(xpsim.NodeUnbound)
+		s.stateMu.Lock()
+		rep, err := s.store.Ingest(chunk)
+		var epoch uint64
+		if err == nil {
+			s.publishLocked(wctx)
+			epoch = s.m.epoch.Load()
+		}
+		s.stateMu.Unlock()
+		s.m.queued.Add(-int64(len(chunk)))
+
+		if err != nil {
+			fail(err, int64(len(all)-end))
+			return
+		}
+
+		s.m.edgesApplied.Add(int64(len(chunk)))
+		s.m.batchesApplied.Add(1)
+		s.m.lastBatchHostNs.Store(time.Since(hostStart).Nanoseconds())
+		s.m.lastBatchSimNs.Store(rep.TotalNs())
+		s.m.lastBatchEdges.Store(int64(len(chunk)))
+
+		// Credit the chunk to the requests it covered; a request is done
+		// when its last edge has been applied and published.
+		for n := len(chunk); n > 0 && ri < len(reqs); {
+			take := remaining[ri]
+			if take > n {
+				take = n
+			}
+			remaining[ri] -= take
+			n -= take
+			results[ri].simNs += rep.TotalNs()
+			results[ri].batches++
+			results[ri].epoch = epoch
+			if remaining[ri] == 0 {
+				results[ri].accepted = int64(len(reqs[ri].edges))
+				reqs[ri].done <- results[ri]
+				ri++
+			}
+		}
+
+		if s.cfg.batchDelay > 0 && end < len(all) {
+			time.Sleep(s.cfg.batchDelay)
+		}
+	}
+}
+
+// periodicFlush is the pipeline's background archive step: it drains
+// every vertex buffer to PMEM and republishes, keeping snapshot capture
+// cheap and bounding DRAM growth during write-heavy periods.
+func (s *Server) periodicFlush() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if err := s.store.FlushAllVbufs(); err != nil {
+		return // surfaced through /v1/flush or the next write instead
+	}
+	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+}
+
+// drainOnStop releases every queued writer with a shutdown error.
+func (s *Server) drainOnStop() {
+	for {
+		select {
+		case req := <-s.queue:
+			s.m.queued.Add(-int64(len(req.edges)))
+			req.done <- ingestResult{err: errShuttingDown}
+		default:
+			return
+		}
+	}
+}

@@ -1,71 +1,206 @@
 // Package server exposes an XPGraph store as an HTTP graph service — the
 // kind of application layer a downstream adopter puts in front of the
-// library. It speaks JSON over stdlib net/http:
+// library. It speaks JSON over stdlib net/http, versioned under /v1:
 //
-//	POST /edges            {"edges":[{"src":1,"dst":2}, ...]}      ingest a batch
-//	DELETE /edges          {"edges":[{"src":1,"dst":2}]}           delete edges
-//	GET  /vertices/{id}/out                                        resolved out-neighbors
-//	GET  /vertices/{id}/in                                         resolved in-neighbors
-//	GET  /vertices/{id}/degree                                     out/in record counts
-//	POST /compact/{id}                                             compact one vertex
-//	POST /flush                                                    flush all vertex buffers
-//	GET  /stats                                                    store + machine statistics
-//	POST /query/bfs        {"root":1}                              BFS traversal
-//	POST /query/pagerank   {"iterations":10,"top":5}               PageRank top-k
-//	POST /query/cc         {}                                      connected components
+//	POST /v1/edges            {"edges":[{"src":1,"dst":2}, ...]}   ingest a batch
+//	DELETE /v1/edges          {"edges":[{"src":1,"dst":2}]}        delete edges
+//	GET  /v1/vertices/{id}/out                                     resolved out-neighbors
+//	GET  /v1/vertices/{id}/in                                      resolved in-neighbors
+//	GET  /v1/vertices/{id}/degree                                  out/in record counts
+//	POST /v1/snapshot                                              publish a fresh snapshot
+//	POST /v1/compact/{id}                                          compact one vertex
+//	POST /v1/flush                                                 flush all vertex buffers
+//	GET  /v1/stats                                                 store + machine statistics
+//	GET  /v1/healthz                                               liveness + current epoch
+//	GET  /v1/metrics                                               ingest-pipeline metrics
+//	POST /v1/query/bfs        {"root":1}                           BFS traversal
+//	POST /v1/query/pagerank   {"iterations":10,"top":5}            PageRank top-k
+//	POST /v1/query/cc         {}                                   connected components
+//	POST /v1/query/khop       {"root":1,"k":2}                     bounded exploration
 //
-// The store's simulated phases are single-threaded by design (see package
-// core), so the server serializes all store access behind one mutex; the
-// HTTP layer itself is fully concurrent.
+// # Concurrency model
+//
+// Writes and reads are decoupled. POST/DELETE /v1/edges enqueue into a
+// bounded ingest pipeline: a single writer goroutine gathers requests
+// into batches (by size and by linger time), applies each batch to the
+// store under the write lock, and publishes a fresh core.Snapshot after
+// every batch. When the queue is full the server sheds load with
+// 429 + Retry-After instead of blocking. By default a write responds
+// after its edges are applied (read-your-writes); `?async=1` returns 202
+// as soon as the edges are queued.
+//
+// Reads and analytics never touch the ingest queue or the live store
+// directly: they run against the latest published snapshot through a
+// read-locked view (view.Guard), taking the lock per neighbor access
+// rather than per request. A BFS therefore interleaves with in-flight
+// ingest batches and still returns answers that are exact for its
+// snapshot's epoch — snapshot answers do not change as later records
+// arrive. Every snapshot-served response carries the epoch, both as an
+// `epoch` JSON field and an `X-Snapshot-Epoch` header.
+//
+// # Errors
+//
+// All errors use one envelope:
+//
+//	{"error": {"code": "queue_full", "message": "ingest queue is full"}}
+//
+// with machine-readable codes (bad_request, method_not_allowed,
+// not_found, queue_full, batch_too_large, ingest_failed, internal,
+// shutting_down).
+//
+// # Legacy routes (deprecated)
+//
+// The pre-/v1 unversioned routes (/edges, /vertices/{id}/..., /compact/,
+// /flush, /stats, /query/*) remain as aliases of the /v1 equivalents for
+// one release. They serve the same handlers and payloads but answer with
+// a `Deprecation: true` header and a `Link: </v1>;
+// rel="successor-version"` pointer. Migrate by prefixing paths with /v1;
+// request and response bodies are unchanged (responses gain `epoch`
+// fields). The unversioned aliases will be removed in the next release.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
 	"net/http"
-	"sort"
-	"strconv"
 	"strings"
 	"sync"
+	"time"
 
-	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/xpsim"
 )
 
-// Server wraps a store with an http.Handler.
-type Server struct {
-	mu      sync.Mutex
-	store   *core.Store
-	machine *xpsim.Machine
-	engine  *analytics.Engine
-	mux     *http.ServeMux
+// Config tunes the serving stack. The zero value is usable: every field
+// defaults to the value documented on it.
+type Config struct {
+	// QueryThreads is the simulated parallelism of /v1/query/* runs
+	// (default 8).
+	QueryThreads int
+	// QueueCap bounds the ingest queue in edges; writes beyond it get
+	// 429 + Retry-After (default 1<<16).
+	QueueCap int
+	// BatchEdges caps how many edges one ingest batch applies under the
+	// write lock before the snapshot is republished (default 4096).
+	BatchEdges int
+	// Linger is how long the writer waits for more requests to fill a
+	// batch before applying a partial one (default 2ms).
+	Linger time.Duration
+	// FlushEvery periodically flushes all vertex buffers to PMEM from
+	// the writer goroutine (0 disables; flushing still happens through
+	// the store's own archive thresholds and POST /v1/flush).
+	FlushEvery time.Duration
+
+	// batchDelay is a test hook: sleep between batch applications,
+	// outside the write lock, so tests can observe reads completing
+	// while a multi-batch ingest is mid-flight.
+	batchDelay time.Duration
 }
 
-// New builds a server over the store.
-func New(store *core.Store, machine *xpsim.Machine, queryThreads int) *Server {
+func (c Config) withDefaults() Config {
+	if c.QueryThreads <= 0 {
+		c.QueryThreads = 8
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 16
+	}
+	if c.BatchEdges <= 0 {
+		c.BatchEdges = 4096
+	}
+	if c.Linger <= 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Server wraps a store with an http.Handler. Create with New, dispose
+// with Close (stops the ingest pipeline).
+type Server struct {
+	cfg     Config
+	store   *core.Store
+	machine *xpsim.Machine
+	mux     *http.ServeMux
+
+	// stateMu orders store mutation against snapshot reads: the writer
+	// holds it exclusively per batch; readers take it shared per
+	// neighbor access (via view.Guard) and when acquiring the published
+	// snapshot.
+	stateMu sync.RWMutex
+	// cur is the latest published snapshot (guarded by stateMu; swapped
+	// only under the write lock).
+	cur *published
+
+	queue   chan *ingestReq
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	m metrics
+}
+
+// New builds a server over the store and starts its ingest pipeline.
+func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
+		cfg:     cfg,
 		store:   store,
 		machine: machine,
-		engine:  analytics.NewEngine(store, &machine.Lat, queryThreads),
+		queue:   make(chan *ingestReq, cfg.QueueCap),
+		stop:    make(chan struct{}),
 	}
+	// Publish the initial snapshot (epoch 1) before serving anything.
+	s.stateMu.Lock()
+	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	s.stateMu.Unlock()
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("/edges", s.handleEdges)
 	mux.HandleFunc("/vertices/", s.handleVertex)
+	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/compact/", s.handleCompact)
 	mux.HandleFunc("/flush", s.handleFlush)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query/bfs", s.handleBFS)
 	mux.HandleFunc("/query/pagerank", s.handlePageRank)
 	mux.HandleFunc("/query/cc", s.handleCC)
 	mux.HandleFunc("/query/khop", s.handleKHop)
+	// Catch-all so unknown routes get the JSON error envelope instead of
+	// the mux's plain-text 404.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "not_found", "no such route %q", r.URL.Path)
+	})
 	s.mux = mux
+
+	s.wg.Add(1)
+	go s.ingestLoop()
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. /v1/* routes are canonical; the
+// unversioned legacy aliases serve the same handlers with deprecation
+// headers (see the package comment for the migration path).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p, ok := strings.CutPrefix(r.URL.Path, "/v1"); ok && (p == "" || strings.HasPrefix(p, "/")) {
+		r2 := r.Clone(r.Context())
+		r2.URL.Path = p
+		s.mux.ServeHTTP(w, r2)
+		return
+	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1>; rel="successor-version"`)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close stops the ingest pipeline. Pending synchronous writers are
+// released with a shutting_down error; queued-but-unapplied async edges
+// are dropped. Close the HTTP listener first.
+func (s *Server) Close() {
+	s.stopped.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
 
 // ---- request/response shapes ----
 
@@ -75,16 +210,19 @@ type EdgeJSON struct {
 	Dst graph.VID `json:"dst"`
 }
 
-// EdgesRequest is the body of POST/DELETE /edges.
+// EdgesRequest is the body of POST/DELETE /v1/edges.
 type EdgesRequest struct {
 	Edges []EdgeJSON `json:"edges"`
 }
 
-// IngestResponse reports an ingestion.
+// IngestResponse reports an ingestion. For async (202) responses only
+// Accepted and Epoch (the epoch current at enqueue time) are set.
 type IngestResponse struct {
 	Accepted int64   `json:"accepted"`
 	SimMs    float64 `json:"sim_ms"`
 	Batches  int64   `json:"batches"`
+	// Epoch is the snapshot epoch at which the write became readable.
+	Epoch uint64 `json:"epoch"`
 }
 
 // NeighborsResponse reports a neighbor query.
@@ -92,6 +230,7 @@ type NeighborsResponse struct {
 	Vertex    graph.VID `json:"vertex"`
 	Neighbors []uint32  `json:"neighbors"`
 	SimUs     float64   `json:"sim_us"`
+	Epoch     uint64    `json:"epoch"`
 }
 
 // DegreeResponse reports record counts.
@@ -99,6 +238,7 @@ type DegreeResponse struct {
 	Vertex graph.VID `json:"vertex"`
 	Out    int       `json:"out"`
 	In     int       `json:"in"`
+	Epoch  uint64    `json:"epoch"`
 }
 
 // StatsResponse reports store and machine statistics.
@@ -111,6 +251,34 @@ type StatsResponse struct {
 	PblkPMEMBytes   int64     `json:"pblk_pmem_bytes"`
 	MediaReadBytes  int64     `json:"pmem_media_read_bytes"`
 	MediaWriteBytes int64     `json:"pmem_media_write_bytes"`
+	Epoch           uint64    `json:"epoch"`
+}
+
+// SnapshotResponse reports an explicit snapshot publication.
+type SnapshotResponse struct {
+	Epoch uint64 `json:"epoch"`
+}
+
+// HealthzResponse is the liveness probe body.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// MetricsResponse reports ingest-pipeline and snapshot metrics.
+type MetricsResponse struct {
+	QueueDepthEdges int64 `json:"queue_depth_edges"`
+	QueueCapEdges   int64 `json:"queue_cap_edges"`
+	EdgesApplied    int64 `json:"edges_applied"`
+	BatchesApplied  int64 `json:"batches_applied"`
+	RejectedWrites  int64 `json:"rejected_writes"`
+	// LastBatch* describe the most recently applied ingest batch:
+	// host-clock latency, simulated store time, and size.
+	LastBatchHostUs float64 `json:"last_batch_host_us"`
+	LastBatchSimMs  float64 `json:"last_batch_sim_ms"`
+	LastBatchEdges  int64   `json:"last_batch_edges"`
+	SnapshotEpoch   uint64  `json:"snapshot_epoch"`
+	SnapshotAgeMs   float64 `json:"snapshot_age_ms"`
 }
 
 // BFSRequest selects a traversal root.
@@ -124,6 +292,7 @@ type BFSResponse struct {
 	Visited int64     `json:"visited"`
 	Levels  int       `json:"levels"`
 	SimMs   float64   `json:"sim_ms"`
+	Epoch   uint64    `json:"epoch"`
 }
 
 // PageRankRequest configures a PageRank run.
@@ -142,12 +311,14 @@ type RankedVertex struct {
 type PageRankResponse struct {
 	Top   []RankedVertex `json:"top"`
 	SimMs float64        `json:"sim_ms"`
+	Epoch uint64         `json:"epoch"`
 }
 
 // CCResponse reports connected components.
 type CCResponse struct {
 	Components int     `json:"components"`
 	SimMs      float64 `json:"sim_ms"`
+	Epoch      uint64  `json:"epoch"`
 }
 
 // KHopRequest bounds a neighborhood exploration.
@@ -162,210 +333,19 @@ type KHopResponse struct {
 	Reached int64     `json:"reached"`
 	PerHop  []int64   `json:"per_hop"`
 	SimMs   float64   `json:"sim_ms"`
+	Epoch   uint64    `json:"epoch"`
 }
 
-// ---- handlers ----
+// ---- JSON plumbing ----
 
-func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	var req EdgesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if len(req.Edges) == 0 {
-		httpError(w, http.StatusBadRequest, "no edges")
-		return
-	}
-	edges := make([]graph.Edge, len(req.Edges))
-	switch r.Method {
-	case http.MethodPost:
-		for i, e := range req.Edges {
-			edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
-		}
-	case http.MethodDelete:
-		for i, e := range req.Edges {
-			edges[i] = graph.Del(e.Src, e.Dst)
-		}
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "use POST or DELETE")
-		return
-	}
-
-	s.mu.Lock()
-	rep, err := s.store.Ingest(edges)
-	s.mu.Unlock()
-	if err != nil {
-		httpError(w, http.StatusInsufficientStorage, "ingest: %v", err)
-		return
-	}
-	writeJSON(w, IngestResponse{
-		Accepted: rep.Edges,
-		SimMs:    float64(rep.TotalNs()) / 1e6,
-		Batches:  rep.Batches,
-	})
+// errorBody is the uniform error envelope of the /v1 API.
+type errorBody struct {
+	Error errorDetail `json:"error"`
 }
 
-// vertexPath parses "/vertices/{id}/{rest...}".
-func vertexPath(path string) (graph.VID, string, error) {
-	rest := strings.TrimPrefix(path, "/vertices/")
-	parts := strings.SplitN(rest, "/", 2)
-	id, err := strconv.ParseUint(parts[0], 10, 32)
-	if err != nil {
-		return 0, "", fmt.Errorf("bad vertex id %q", parts[0])
-	}
-	sub := ""
-	if len(parts) == 2 {
-		sub = parts[1]
-	}
-	return graph.VID(id), sub, nil
-}
-
-func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "use GET")
-		return
-	}
-	v, sub, err := vertexPath(r.URL.Path)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ctx := xpsim.NewCtx(s.store.OutNode(v))
-	switch sub {
-	case "out", "in":
-		dir := core.Out
-		if sub == "in" {
-			dir = core.In
-		}
-		nbrs := s.store.Nbrs(ctx, dir, v, nil)
-		if nbrs == nil {
-			nbrs = []uint32{}
-		}
-		writeJSON(w, NeighborsResponse{Vertex: v, Neighbors: nbrs,
-			SimUs: float64(ctx.Cost.Ns()) / 1e3})
-	case "degree":
-		writeJSON(w, DegreeResponse{Vertex: v,
-			Out: s.store.Degree(core.Out, v), In: s.store.Degree(core.In, v)})
-	default:
-		httpError(w, http.StatusNotFound, "unknown vertex view %q", sub)
-	}
-}
-
-func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
-	idStr := strings.TrimPrefix(r.URL.Path, "/compact/")
-	id, err := strconv.ParseUint(idStr, 10, 32)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad vertex id %q", idStr)
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
-	if err := s.store.CompactAdjs(ctx, graph.VID(id)); err != nil {
-		httpError(w, http.StatusInternalServerError, "compact: %v", err)
-		return
-	}
-	writeJSON(w, map[string]any{"compacted": id, "sim_us": float64(ctx.Cost.Ns()) / 1e3})
-}
-
-func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "use POST")
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.store.FlushAllVbufs(); err != nil {
-		httpError(w, http.StatusInternalServerError, "flush: %v", err)
-		return
-	}
-	writeJSON(w, map[string]any{"flushed": true})
-}
-
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	u := s.store.MemUsage()
-	st := s.machine.SnapshotStats()
-	writeJSON(w, StatsResponse{
-		NumVertices:     s.store.NumVertices(),
-		LoggedEdges:     s.store.Log().Head(),
-		MetaDRAMBytes:   u.MetaDRAM,
-		VbufDRAMBytes:   u.VbufDRAM,
-		ElogPMEMBytes:   u.ElogPMEM,
-		PblkPMEMBytes:   u.PblkPMEM,
-		MediaReadBytes:  st.MediaReadBytes(),
-		MediaWriteBytes: st.MediaWriteBytes(),
-	})
-}
-
-func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
-	var req BFSRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	s.mu.Lock()
-	res := s.engine.BFS(req.Root)
-	s.mu.Unlock()
-	writeJSON(w, BFSResponse{Root: req.Root, Visited: res.Visited,
-		Levels: res.Levels, SimMs: float64(res.SimNs) / 1e6})
-}
-
-func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
-	var req PageRankRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if req.Iterations <= 0 {
-		req.Iterations = 10
-	}
-	if req.Top <= 0 {
-		req.Top = 10
-	}
-	s.mu.Lock()
-	res := s.engine.PageRank(req.Iterations)
-	s.mu.Unlock()
-
-	ranked := make([]RankedVertex, len(res.Ranks))
-	for v, rk := range res.Ranks {
-		ranked[v] = RankedVertex{Vertex: graph.VID(v), Rank: rk}
-	}
-	sort.Slice(ranked, func(i, j int) bool { return ranked[i].Rank > ranked[j].Rank })
-	if len(ranked) > req.Top {
-		ranked = ranked[:req.Top]
-	}
-	writeJSON(w, PageRankResponse{Top: ranked, SimMs: float64(res.SimNs) / 1e6})
-}
-
-func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	res := s.engine.CC()
-	s.mu.Unlock()
-	writeJSON(w, CCResponse{Components: res.Components, SimMs: float64(res.SimNs) / 1e6})
-}
-
-func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
-	var req KHopRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad body: %v", err)
-		return
-	}
-	if req.K <= 0 {
-		req.K = 2
-	}
-	s.mu.Lock()
-	res := s.engine.KHop(req.Root, req.K)
-	s.mu.Unlock()
-	writeJSON(w, KHopResponse{Root: req.Root, Reached: res.Reached,
-		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6})
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -376,8 +356,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// writeEpochJSON emits v with the snapshot epoch mirrored in a header,
+// so clients that discard bodies can still track staleness.
+func writeEpochJSON(w http.ResponseWriter, epoch uint64, v any) {
+	w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
+	writeJSON(w, v)
+}
+
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }

@@ -15,6 +15,10 @@ import (
 )
 
 func testServer(t *testing.T) (*Server, *httptest.Server) {
+	return testServerCfg(t, Config{QueryThreads: 8})
+}
+
+func testServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	m := xpsim.NewMachine(2, 256<<20, xpsim.DefaultLatency())
 	st, err := core.New(m, pmem.NewHeap(m), nil, core.Options{
@@ -23,7 +27,8 @@ func testServer(t *testing.T) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(st, m, 8)
+	srv := New(st, m, cfg)
+	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return srv, ts

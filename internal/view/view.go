@@ -1,0 +1,119 @@
+// Package view defines the one canonical read surface of the graph
+// stores in this repository. Every query workload — the analytics
+// engine, the HTTP server, the benchmark harness — is written against
+// View, so it runs identically over:
+//
+//   - core.Store: the live XPGraph view (latest ingested state),
+//   - core.Snapshot: a consistent point-in-time view that stays stable
+//     while ingestion continues (GraphOne-style snapshot metadata,
+//     §II-B / §III-B of the paper),
+//   - graphone.Store: the GraphOne comparison baseline.
+//
+// The interface was born as analytics.View; it moved here so that the
+// serving layer can depend on the read contract without pulling in the
+// query algorithms.
+package view
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/xpsim"
+)
+
+// View is the query surface a graph store exposes.
+type View interface {
+	NumVertices() graph.VID
+	NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32
+	NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32
+	// VisitOut/VisitIn stream neighbors without allocating; the hot path
+	// of every algorithm in the analytics package.
+	VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32))
+	VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32))
+	// OutNode/InNode report the NUMA node owning v's adjacency data
+	// (xpsim.NodeUnbound when the store interleaves it).
+	OutNode(v graph.VID) int
+	InNode(v graph.VID) int
+	// OutDegree is the stored out-record count (PageRank's divisor and
+	// the one-hop query's non-zero filter).
+	OutDegree(v graph.VID) int
+}
+
+// Guard wraps a View so that every method runs under mu.RLock. It is
+// the synchronization half of the snapshot-publication protocol: readers
+// query a published core.Snapshot through a Guard while a writer mutates
+// the underlying store under mu.Lock between read windows.
+//
+// The lock is taken per call, not per query run: a BFS over a guarded
+// snapshot interleaves with ingestion batches at VisitOut granularity
+// and still returns epoch-exact results, because a snapshot's answers do
+// not change when later records are appended (the store is append-only
+// per vertex; compaction is fenced by copy-on-invalidate).
+func Guard(v View, mu *sync.RWMutex) View {
+	return &guarded{v: v, mu: mu}
+}
+
+type guarded struct {
+	v  View
+	mu *sync.RWMutex
+}
+
+func (g *guarded) NumVertices() graph.VID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.NumVertices()
+}
+
+func (g *guarded) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.NbrsOut(ctx, v, dst)
+}
+
+func (g *guarded) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.NbrsIn(ctx, v, dst)
+}
+
+// VisitOut materializes the neighbors under the lock and runs the
+// callback after releasing it. Holding the lock across fn would deadlock
+// when fn re-enters the guarded view (PageRank's VisitIn callback calls
+// OutDegree): a recursive RLock blocks as soon as a writer is queued
+// between the two acquisitions.
+func (g *guarded) VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	g.mu.RLock()
+	nbrs := g.v.NbrsOut(ctx, v, nil)
+	g.mu.RUnlock()
+	for _, n := range nbrs {
+		fn(n)
+	}
+}
+
+// VisitIn mirrors VisitOut: materialize locked, call back unlocked.
+func (g *guarded) VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	g.mu.RLock()
+	nbrs := g.v.NbrsIn(ctx, v, nil)
+	g.mu.RUnlock()
+	for _, n := range nbrs {
+		fn(n)
+	}
+}
+
+func (g *guarded) OutNode(v graph.VID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.OutNode(v)
+}
+
+func (g *guarded) InNode(v graph.VID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.InNode(v)
+}
+
+func (g *guarded) OutDegree(v graph.VID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.v.OutDegree(v)
+}

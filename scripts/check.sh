@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Pre-PR gate: static checks, formatting, build, and race-detector tests
+# over the concurrency-sensitive packages. Run from the repo root:
+#
+#   bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt"
+# Only files tracked by git: stray worktrees/vendored copies don't gate.
+unformatted=$(git ls-files '*.go' | xargs gofmt -l)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (server, core)"
+go test -race ./internal/server/... ./internal/core/...
+
+echo "check.sh: all green"

@@ -19,11 +19,15 @@
 package xpgraph
 
 import (
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/graphone"
 	"repro/internal/mem"
 	"repro/internal/pmem"
+	"repro/internal/view"
 	"repro/internal/xpsim"
 )
 
@@ -61,7 +65,28 @@ type (
 	Budget = mem.Budget
 	// Dataset is a catalog workload (Table II stand-ins).
 	Dataset = gen.Dataset
+	// View is the canonical read surface every query workload is written
+	// against. Three stores conform: Store (the live XPGraph view),
+	// Snapshot (a consistent point-in-time view that stays stable while
+	// ingestion continues and survives compaction), and the GraphOne
+	// baseline store. The analytics engine, the HTTP server and the
+	// benchmark harness all consume this contract, so any conformer can
+	// be swapped in underneath them.
+	View = view.View
 )
+
+// Compile-time conformance of the three stores to View.
+var (
+	_ View = (*core.Store)(nil)
+	_ View = (*core.Snapshot)(nil)
+	_ View = (*graphone.Store)(nil)
+)
+
+// GuardView wraps a View so every method runs under mu.RLock, letting
+// readers share it with a writer that mutates the underlying store under
+// mu.Lock — the synchronization the HTTP server uses between published
+// snapshots and the ingest pipeline.
+func GuardView(v View, mu *sync.RWMutex) View { return view.Guard(v, mu) }
 
 // Variant selectors and NUMA/buffer modes.
 const (
