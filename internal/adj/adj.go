@@ -1,37 +1,67 @@
 // Package adj implements persistent adjacency-list storage: per-vertex
 // chains of neighbor blocks living in PMEM (or DRAM for the volatile
-// variants). Blocks carry a persisted header {vid, cnt, cap, prev} so a
-// recovering process can rebuild every chain with one sequential scan of
-// the arena — the recovery scheme of §V-D.
+// variants). Blocks carry a persisted header {vid, cap, prev, cnt0, cnt1}
+// so a recovering process can rebuild every chain with one sequential scan
+// of the arena — the recovery scheme of §V-D.
 //
 // XPGraph appends whole drained vertex buffers (up to 63 neighbors) as one
 // contiguous write — the single-XPLine flush of §III-B — while GraphOne's
 // edge-centric archiving appends one 4-byte neighbor at a time; both paths
 // go through Append, so the amplification difference between the two
 // systems emerges purely from access patterns, as in the paper.
+//
+// # Crash safety
+//
+// The header carries TWO count slots. In CrashSafe mode appends leave the
+// persisted counts alone; a flushing phase calls Ack(slot) to write the
+// changed blocks' counts into one slot, the caller makes them durable with
+// a machine-wide writeback barrier, and then commits by flipping the slot
+// selector bit stored in the edge log's flushed cursor (elog.
+// MarkFlushedSlot) — a single atomic 8-byte store. Recovery trusts only
+// the selected slot, so a crash anywhere inside a flushing phase leaves
+// every acknowledged count intact and every unacknowledged record
+// invisible; replaying the log window [flushed, head) then restores the
+// unacknowledged records exactly once, with no content-based dedup.
 package adj
 
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mem"
 	"repro/internal/xpsim"
 )
 
-// blockHeader is {vid u32, cnt u32, cap u32, prev u32}; prev is the
-// 16-byte-aligned offset of the previous block divided by headerAlign
-// (0 = none).
+// blockHeader is {vid u32, cap u32, prev u32, _ u32, cnt0 u32, _ u32,
+// cnt1 u32, _ u32}; prev is the 16-byte-aligned offset of the previous
+// block divided by headerAlign (0 = none). The count slots live in their
+// own 8-byte words so a torn header line can never mix halves of two
+// counts: powerfail atomicity is per 8-byte word.
 const (
-	headerBytes = 16
+	headerBytes = 32
 	headerAlign = 16
+
+	offVID  = 0
+	offCap  = 4
+	offPrev = 8
+	offCnt0 = 16
+	offCnt1 = 24
 )
 
 // deadVID marks a recycled block's header so the recovery scan skips it.
 // The ID is reserved: no vertex may use it (it is also graph.DelFlag|...,
 // which real vertex IDs cannot carry).
 const deadVID = ^uint32(0)
+
+// journalVID marks the compaction journal pseudo-block (also reserved).
+const journalVID = ^uint32(0) - 1
+
+// journalMagic is the high half of the journal's second word while a
+// compaction is in flight; recovery rolls the compaction forward iff it
+// sees the magic.
+const journalMagic = 0x4A524E4C // "JRNL"
 
 // Sizing decides the capacity (in neighbors) of a new block for a vertex
 // that already stores `degree` records and is receiving `incoming` more.
@@ -89,6 +119,18 @@ type Options struct {
 	// per-edge header write; XPGraph persists counts (amortized over
 	// whole-buffer flushes) so its scan-based recovery works.
 	VolatileCounts bool
+	// CrashSafe defers count persistence to explicit Ack slots (see the
+	// package comment) and runs compactions through a redo journal, so a
+	// crash at any media-write boundary recovers without losing
+	// acknowledged records or duplicating replayed ones. Incompatible
+	// with VolatileCounts.
+	CrashSafe bool
+	// DeferCounts skips per-append count persistence without the Ack
+	// machinery: counts live only in DRAM mirrors. For battery-backed
+	// stores (XPGraph-B), whose DRAM is inside the persistence domain, the
+	// mirrors are durable by definition and the PMEM count write is pure
+	// overhead (§IV-C). Such stores are not scan-recoverable.
+	DeferCounts bool
 }
 
 // Store is one adjacency arena: one direction (out or in) of one
@@ -105,18 +147,29 @@ type Store struct {
 	blocks  int64    // blocks allocated
 	bytes   int64    // bytes allocated
 	// partialCnt records counts of retired-but-not-full blocks when
-	// counts are volatile (DRAM metadata); retired blocks are otherwise
-	// exactly full.
+	// counts live in DRAM (VolatileCounts, or CrashSafe between acks);
+	// retired blocks are otherwise exactly full.
 	partialCnt map[int64]uint32
 	// freeBlocks recycles compacted-away blocks by capacity, so repeated
 	// compaction does not leak the bump-allocated arena.
 	freeBlocks map[int][]int64
+
+	// pendCur/pendPrev track blocks whose DRAM count is ahead of the
+	// persisted slots: blocks changed since the last Ack and since the
+	// one before it. Ack writes the union, so every count value lands in
+	// both slots over two consecutive flush cycles.
+	pendCur  map[int64]uint32
+	pendPrev map[int64]uint32
+	journal  int64 // offset of the compaction journal block; 0 = none
 }
 
 // New builds a store over m for vertices [0, maxV].
 func New(m mem.Mem, lat *xpsim.LatencyModel, maxV graph.VID, opts Options) *Store {
 	if opts.Sizing == nil {
 		opts.Sizing = XPGraphSizing
+	}
+	if opts.CrashSafe && opts.VolatileCounts {
+		panic("adj: CrashSafe and VolatileCounts are incompatible")
 	}
 	s := &Store{m: m, lat: lat, opts: opts}
 	s.EnsureVertices(maxV + 1)
@@ -154,6 +207,23 @@ func (s *Store) Blocks() int64 { return s.blocks }
 // Bytes reports total allocated block bytes (the paper's "Pblk" usage).
 func (s *Store) Bytes() int64 { return s.bytes }
 
+// volatileReads reports whether record counts are resolved from DRAM
+// mirrors rather than the persisted header (VolatileCounts always;
+// CrashSafe because the persisted slots lag until the next Ack;
+// DeferCounts because the slots are never written at all).
+func (s *Store) volatileReads() bool {
+	return s.opts.VolatileCounts || s.opts.CrashSafe || s.opts.DeferCounts
+}
+
+// pendAdd notes that block off's durable count slots no longer match its
+// DRAM count cnt.
+func (s *Store) pendAdd(off int64, cnt uint32) {
+	if s.pendCur == nil {
+		s.pendCur = make(map[int64]uint32)
+	}
+	s.pendCur[off] = cnt
+}
+
 // Append stores nbrs for vertex v. Contiguous neighbors are written with
 // a single memory operation, so a 63-neighbor vertex-buffer flush costs
 // one XPLine-sized write while single-neighbor appends behave like
@@ -179,9 +249,14 @@ func (s *Store) Append(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) error {
 		}
 		s.m.Write(ctx, off, buf)
 		s.tailCnt[v] += uint32(n)
-		if !s.opts.VolatileCounts {
+		switch {
+		case s.opts.CrashSafe:
+			// The count stays in DRAM until the next Ack; recovery
+			// replays anything not yet acknowledged.
+			s.pendAdd(s.tail[v], s.tailCnt[v])
+		case !s.opts.VolatileCounts && !s.opts.DeferCounts:
 			// Persist the record count in the block header.
-			mem.WriteU32(s.m, ctx, s.tail[v]+4, s.tailCnt[v])
+			mem.WriteU32(s.m, ctx, s.tail[v]+offCnt0, s.tailCnt[v])
 		}
 		if s.opts.ProactiveFlush && int64(n*4) >= xpsim.XPLineSize {
 			s.m.Flush(ctx, off, int64(n*4))
@@ -204,9 +279,9 @@ func (s *Store) Reserve(ctx *xpsim.Ctx, v graph.VID, n int) error {
 	return s.newBlock(ctx, v, n)
 }
 
-// blockCnt resolves a block's record count honoring volatile counts.
+// blockCnt resolves a block's record count honoring DRAM-resident counts.
 func (s *Store) blockCnt(v graph.VID, off int64, persisted, capacity uint32) uint32 {
-	if !s.opts.VolatileCounts {
+	if !s.volatileReads() {
 		return persisted
 	}
 	if off == s.tail[v] {
@@ -218,14 +293,9 @@ func (s *Store) blockCnt(v graph.VID, off int64, persisted, capacity uint32) uin
 	return capacity // retired blocks are full unless recorded otherwise
 }
 
-func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
-	if s.opts.VolatileCounts && s.tail[v] != 0 && s.tailCnt[v] < s.tailCap[v] {
-		if s.partialCnt == nil {
-			s.partialCnt = make(map[int64]uint32)
-		}
-		s.partialCnt[s.tail[v]] = s.tailCnt[v]
-	}
-	capacity := s.opts.Sizing(int(s.records[v]), incoming)
+// allocBlock grabs a block of the given capacity from the free list or
+// the arena, without writing its header.
+func (s *Store) allocBlock(ctx *xpsim.Ctx, v graph.VID, capacity int) (int64, error) {
 	size := int64(headerBytes + 4*capacity)
 	var off int64
 	if lst := s.freeBlocks[capacity]; len(lst) > 0 {
@@ -237,14 +307,34 @@ func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
 		var err error
 		off, err = s.m.Alloc(ctx, size, headerAlign)
 		if err != nil {
-			return fmt.Errorf("adj: block for vertex %d: %w", v, err)
+			return 0, fmt.Errorf("adj: block for vertex %d: %w", v, err)
 		}
 	}
+	s.blocks++
+	s.bytes += size
+	return off, nil
+}
+
+func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
+	if s.volatileReads() && s.tail[v] != 0 && s.tailCnt[v] < s.tailCap[v] {
+		if s.partialCnt == nil {
+			s.partialCnt = make(map[int64]uint32)
+		}
+		s.partialCnt[s.tail[v]] = s.tailCnt[v]
+	}
+	capacity := s.opts.Sizing(int(s.records[v]), incoming)
+	off, err := s.allocBlock(ctx, v, capacity)
+	if err != nil {
+		return err
+	}
 	var hdr [headerBytes]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], v)
-	binary.LittleEndian.PutUint32(hdr[4:8], 0)
-	binary.LittleEndian.PutUint32(hdr[8:12], uint32(capacity))
-	binary.LittleEndian.PutUint32(hdr[12:16], uint32(s.tail[v]/headerAlign))
+	binary.LittleEndian.PutUint32(hdr[offVID:], v)
+	binary.LittleEndian.PutUint32(hdr[offCap:], uint32(capacity))
+	binary.LittleEndian.PutUint32(hdr[offPrev:], uint32(s.tail[v]/headerAlign))
+	// cnt0/cnt1 stay zero: a recycled block's slots were durably zeroed
+	// when it was killed, so even if this header write never becomes
+	// durable, recovery sees zero visible records — never a stale count
+	// from the block's previous owner.
 	if s.opts.VolatileCounts {
 		// GraphOne keeps chunk metadata (sizes, links) in its DRAM
 		// vertex index, not in the chunk itself; charge a DRAM metadata
@@ -259,9 +349,57 @@ func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
 	s.tail[v] = off
 	s.tailCnt[v] = 0
 	s.tailCap[v] = uint32(capacity)
-	s.blocks++
-	s.bytes += size
 	return nil
+}
+
+// Ack writes the DRAM counts of every block changed in this or the
+// previous flush cycle into count slot `slot` — the first half of a
+// crash-safe flushing phase. The caller must then (1) issue a machine-wide
+// writeback barrier so the counts and the data they cover are on media,
+// and (2) commit with elog.MarkFlushedSlot(..., slot). Writing two cycles'
+// worth of blocks means each count value reaches both slots over two
+// acks, so whichever slot a crash leaves selected is internally complete.
+func (s *Store) Ack(ctx *xpsim.Ctx, slot int) {
+	if !s.opts.CrashSafe {
+		panic("adj: Ack on a store without CrashSafe")
+	}
+	if slot != 0 && slot != 1 {
+		panic(fmt.Sprintf("adj: bad ack slot %d", slot))
+	}
+	slotOff := int64(offCnt0 + 8*slot)
+	offs := make([]int64, 0, len(s.pendCur)+len(s.pendPrev))
+	for off := range s.pendCur {
+		offs = append(offs, off)
+	}
+	for off := range s.pendPrev {
+		if _, dup := s.pendCur[off]; !dup {
+			offs = append(offs, off)
+		}
+	}
+	// Deterministic write order: map iteration order must not leak into
+	// the simulated device's cache state.
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, off := range offs {
+		cnt, ok := s.pendCur[off]
+		if !ok {
+			cnt = s.pendPrev[off]
+		}
+		mem.WriteU32(s.m, ctx, off+slotOff, cnt)
+	}
+	s.pendPrev = s.pendCur
+	s.pendCur = nil
+}
+
+// PendingAcks reports how many blocks still have DRAM counts ahead of at
+// least one persisted slot.
+func (s *Store) PendingAcks() int {
+	n := len(s.pendCur)
+	for off := range s.pendPrev {
+		if _, dup := s.pendCur[off]; !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // Neighbors appends vertex v's stored records to dst, newest block first
@@ -275,8 +413,8 @@ func (s *Store) Neighbors(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
 	for off != 0 {
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, off, hdr[:])
-		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
-		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
 		if cnt > 0 {
 			buf := make([]byte, cnt*4)
 			s.m.Read(ctx, off+headerBytes, buf)
@@ -301,8 +439,8 @@ func (s *Store) Visit(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
 	for off != 0 {
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, off, hdr[:])
-		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
-		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
 		data := off + headerBytes
 		for cnt > 0 {
 			n := cnt
@@ -334,13 +472,13 @@ func (s *Store) NeighborsOldestFirst(ctx *xpsim.Ctx, v graph.VID, dst []uint32) 
 		chain = append(chain, off)
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, off, hdr[:])
-		off = int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		off = int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
 	}
 	for i := len(chain) - 1; i >= 0; i-- {
 		b := chain[i]
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, b, hdr[:])
-		cnt := s.blockCnt(v, b, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
+		cnt := s.blockCnt(v, b, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
 		if cnt > 0 {
 			buf := make([]byte, cnt*4)
 			s.m.Read(ctx, b+headerBytes, buf)
@@ -352,50 +490,39 @@ func (s *Store) NeighborsOldestFirst(ctx *xpsim.Ctx, v graph.VID, dst []uint32) 
 	return dst
 }
 
-// Contains reports whether nbr already appears in v's stored records —
-// the recovery dedup check of §III-B.
+// Contains reports whether nbr already appears in v's stored records.
 func (s *Store) Contains(ctx *xpsim.Ctx, v graph.VID, nbr uint32) bool {
-	if int(v) >= len(s.tail) {
-		return false
-	}
-	off := s.tail[v]
-	for off != 0 {
-		var hdr [headerBytes]byte
-		s.m.Read(ctx, off, hdr[:])
-		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[4:8]), binary.LittleEndian.Uint32(hdr[8:12]))
-		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
-		if cnt > 0 {
-			buf := make([]byte, cnt*4)
-			s.m.Read(ctx, off+headerBytes, buf)
-			for i := uint32(0); i < cnt; i++ {
-				if binary.LittleEndian.Uint32(buf[i*4:]) == nbr {
-					return true
-				}
-			}
+	found := false
+	s.Visit(ctx, v, func(n uint32) {
+		if n == nbr {
+			found = true
 		}
-		off = prev
-	}
-	return false
+	})
+	return found
 }
 
 // Compact merges all of v's blocks (resolving deletion tombstones) into a
 // single exactly-sized block — compact_adjs of Table I. The old blocks
 // are marked dead on media (so scan recovery skips them) and recycled
-// through per-capacity free lists.
+// through per-capacity free lists. In CrashSafe mode the whole swap runs
+// through a redo journal; see compactCrashSafe.
 func (s *Store) Compact(ctx *xpsim.Ctx, v graph.VID) error {
 	if int(v) >= len(s.tail) || s.tail[v] == 0 {
 		return nil
 	}
 	recs := s.Neighbors(ctx, v, nil)
 	live := resolveTombstones(recs)
+	if s.opts.CrashSafe {
+		return s.compactCrashSafe(ctx, v, live)
+	}
 
 	// Release the old chain.
 	off := s.tail[v]
 	for off != 0 {
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, off, hdr[:])
-		capacity := int(binary.LittleEndian.Uint32(hdr[8:12]))
-		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
+		capacity := int(binary.LittleEndian.Uint32(hdr[offCap:]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
 		s.free(ctx, off, capacity)
 		off = prev
 	}
@@ -413,14 +540,142 @@ func (s *Store) Compact(ctx *xpsim.Ctx, v graph.VID) error {
 	return err
 }
 
-// free marks a block dead on media and recycles it.
+// compactCrashSafe swaps v's chain for one exactly-sized block via a redo
+// journal, so a crash at any point either keeps the old chain or completes
+// the swap on recovery — never both, never neither:
+//
+//  1. stage: write the new block fully (data + both count slots) with a
+//     dead vid, flush it, and flush the allocation pointer covering it;
+//  2. arm: journal wordA {v, newOff}, flush; wordB {oldTail, magic},
+//     flush — the wordB flush is the commit point;
+//  3. commit: rewrite the staged block's vid to v, flush;
+//  4. kill: mark every old-chain block dead with durably zeroed count
+//     slots (so recycling them can never resurrect stale counts), flush;
+//  5. disarm: zero wordB, flush.
+//
+// Recovery rolls an armed journal forward idempotently (see Recover);
+// an unarmed journal means the old chain is still authoritative and the
+// staged block, if any, is just a dead block awaiting recycling.
+//
+// The caller must have flush-acknowledged all of v's records first
+// (core.FlushAllVbufs): the compacted counts are written to both slots,
+// which is only safe when the records they cover are below the log's
+// flushed cursor at both parities.
+func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) error {
+	if err := s.ensureJournal(ctx); err != nil {
+		return err
+	}
+	oldTail := s.tail[v]
+
+	// 1. Stage the replacement block under a dead vid.
+	var newOff int64
+	capacity := len(live)
+	if capacity > 0 {
+		var err error
+		newOff, err = s.allocBlock(ctx, v, capacity)
+		if err != nil {
+			return err
+		}
+		size := int64(headerBytes + 4*capacity)
+		buf := make([]byte, size)
+		binary.LittleEndian.PutUint32(buf[offVID:], deadVID)
+		binary.LittleEndian.PutUint32(buf[offCap:], uint32(capacity))
+		binary.LittleEndian.PutUint32(buf[offCnt0:], uint32(capacity))
+		binary.LittleEndian.PutUint32(buf[offCnt1:], uint32(capacity))
+		for i, nb := range live {
+			binary.LittleEndian.PutUint32(buf[headerBytes+i*4:], nb)
+		}
+		s.m.Write(ctx, newOff, buf)
+		s.m.Flush(ctx, newOff, size)
+		// The journal will point at this block: its allocation must be
+		// durable before arming or recovery's scan would stop short of it.
+		s.m.Flush(ctx, 0, 8)
+	}
+
+	// 2. Arm the journal. wordA must be durable before wordB's magic:
+	// an armed journal with a torn target would roll garbage forward.
+	wA := s.journal + headerBytes
+	mem.WriteU64(s.m, ctx, wA, uint64(v)|uint64(newOff/headerAlign)<<32)
+	s.m.Flush(ctx, wA, 8)
+	mem.WriteU64(s.m, ctx, wA+8, uint64(oldTail/headerAlign)|uint64(journalMagic)<<32)
+	s.m.Flush(ctx, wA+8, 8)
+
+	// 3. Commit the staged block.
+	if newOff != 0 {
+		mem.WriteU32(s.m, ctx, newOff+offVID, v)
+		s.m.Flush(ctx, newOff, headerBytes)
+	}
+
+	// 4. Kill the old chain.
+	off := oldTail
+	for off != 0 {
+		var hdr [headerBytes]byte
+		s.m.Read(ctx, off, hdr[:])
+		capacity := int(binary.LittleEndian.Uint32(hdr[offCap:]))
+		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
+		s.killBlock(ctx, off, capacity)
+		off = prev
+	}
+
+	// 5. Disarm.
+	mem.WriteU64(s.m, ctx, wA+8, 0)
+	s.m.Flush(ctx, wA+8, 8)
+
+	s.tail[v] = newOff
+	s.tailCnt[v] = uint32(capacity)
+	s.tailCap[v] = uint32(capacity)
+	s.records[v] = uint32(capacity)
+	return nil
+}
+
+// ensureJournal allocates the compaction journal pseudo-block (header +
+// two 8-byte words) and makes it durably reachable.
+func (s *Store) ensureJournal(ctx *xpsim.Ctx) error {
+	if s.journal != 0 {
+		return nil
+	}
+	off, err := s.m.Alloc(ctx, headerBytes+16, headerAlign)
+	if err != nil {
+		return fmt.Errorf("adj: journal: %w", err)
+	}
+	var buf [headerBytes + 16]byte
+	binary.LittleEndian.PutUint32(buf[offVID:], journalVID)
+	binary.LittleEndian.PutUint32(buf[offCap:], 4) // 16 data bytes
+	s.m.Write(ctx, off, buf[:])
+	s.m.Flush(ctx, off, int64(len(buf)))
+	s.m.Flush(ctx, 0, 8) // allocation pointer
+	s.journal = off
+	return nil
+}
+
+// free marks a block dead on media and recycles it (legacy path; counts
+// in the dead header go stale but are only trusted behind a valid vid).
 func (s *Store) free(ctx *xpsim.Ctx, off int64, capacity int) {
 	mem.WriteU32(s.m, ctx, off, deadVID)
+	s.recycle(off, capacity)
+}
+
+// killBlock durably marks a block dead with zeroed count slots and
+// recycles it. Zeroing matters: a recycled block whose new header write
+// has not reached media yet must read as zero visible records, not as its
+// previous owner's counts.
+func (s *Store) killBlock(ctx *xpsim.Ctx, off int64, capacity int) {
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[offVID:], deadVID)
+	binary.LittleEndian.PutUint32(hdr[offCap:], uint32(capacity))
+	s.m.Write(ctx, off, hdr[:])
+	s.m.Flush(ctx, off, headerBytes)
+	s.recycle(off, capacity)
+}
+
+func (s *Store) recycle(off int64, capacity int) {
 	if s.freeBlocks == nil {
 		s.freeBlocks = make(map[int][]int64)
 	}
 	s.freeBlocks[capacity] = append(s.freeBlocks[capacity], off)
 	delete(s.partialCnt, off)
+	delete(s.pendCur, off)
+	delete(s.pendPrev, off)
 }
 
 // resolveTombstones removes, for every deletion record, one matching
@@ -450,80 +705,6 @@ func resolveTombstones(recs []uint32) []uint32 {
 		out = append(out, r)
 	}
 	return out
-}
-
-// RecoverableMem is the extra surface recovery needs: where the arena
-// starts and how far it had grown before the crash.
-type RecoverableMem interface {
-	mem.Mem
-	PersistedAllocOffset(ctx *xpsim.Ctx) int64
-	UserStart() int64
-}
-
-// Recover rebuilds the DRAM index (tails, counts, degrees) by scanning
-// the arena sequentially from its start to the persisted allocation
-// pointer. Chains come back because each block persists its prev link;
-// the tail of a chain is the one block no other block points to (offset
-// order is not enough once compaction recycles blocks).
-func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Options) (*Store, error) {
-	if opts.VolatileCounts {
-		return nil, fmt.Errorf("adj: stores with volatile counts are not scan-recoverable (GraphOne recovers by re-archiving)")
-	}
-	s := New(m, lat, 0, opts)
-	end := m.PersistedAllocOffset(ctx)
-	off := align(m.UserStart(), headerAlign)
-	type blk struct {
-		off      int64
-		cnt, cap uint32
-	}
-	live := make(map[graph.VID][]blk)
-	pointedTo := make(map[int64]bool)
-	for off+headerBytes <= end {
-		var hdr [headerBytes]byte
-		m.Read(ctx, off, hdr[:])
-		v := binary.LittleEndian.Uint32(hdr[0:4])
-		cnt := binary.LittleEndian.Uint32(hdr[4:8])
-		capacity := binary.LittleEndian.Uint32(hdr[8:12])
-		prev := int64(binary.LittleEndian.Uint32(hdr[12:16])) * headerAlign
-		size := int64(headerBytes + 4*capacity)
-		if capacity == 0 || off+size > end {
-			return nil, fmt.Errorf("adj: corrupt block header at %d (cap=%d)", off, capacity)
-		}
-		if v == deadVID {
-			// Recycled block awaiting reuse: skip, but remember it so
-			// the recovered store keeps recycling.
-			if s.freeBlocks == nil {
-				s.freeBlocks = make(map[int][]int64)
-			}
-			s.freeBlocks[int(capacity)] = append(s.freeBlocks[int(capacity)], off)
-			off = align(off+size, headerAlign)
-			continue
-		}
-		s.EnsureVertices(v + 1)
-		live[v] = append(live[v], blk{off: off, cnt: cnt, cap: capacity})
-		if prev != 0 {
-			pointedTo[prev] = true
-		}
-		s.records[v] += cnt
-		s.blocks++
-		s.bytes += size
-		off = align(off+size, headerAlign)
-	}
-	for v, blks := range live {
-		tails := 0
-		for _, b := range blks {
-			if !pointedTo[b.off] {
-				s.tail[v] = b.off
-				s.tailCnt[v] = b.cnt
-				s.tailCap[v] = b.cap
-				tails++
-			}
-		}
-		if tails != 1 {
-			return nil, fmt.Errorf("adj: vertex %d chain has %d tails (corrupt prev links)", v, tails)
-		}
-	}
-	return s, nil
 }
 
 func align(x, a int64) int64 { return (x + a - 1) / a * a }

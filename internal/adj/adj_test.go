@@ -129,7 +129,7 @@ func TestRecoverRebuildsChains(t *testing.T) {
 		want[v] = append(want[v], nbr)
 	}
 	// Crash: all DRAM state is lost; rebuild from the region alone.
-	rs, err := Recover(ctx, r, s.lat, Options{})
+	rs, err := Recover(ctx, r, s.lat, Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +258,7 @@ func TestRecoverSkipsDeadBlocks(t *testing.T) {
 	if err := s.Compact(ctx, 2); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := Recover(ctx, r, s.lat, Options{})
+	rs, err := Recover(ctx, r, s.lat, Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +301,7 @@ func TestRecoverAfterRecycleReorder(t *testing.T) {
 	}
 	want2 := s.Neighbors(ctx, 2, nil)
 
-	rs, err := Recover(ctx, r, s.lat, Options{})
+	rs, err := Recover(ctx, r, s.lat, Options{}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,296 @@
+package adj
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/xpsim"
+)
+
+// RecoverableMem is the extra surface recovery needs: where the arena
+// starts and how far it had grown before the crash.
+type RecoverableMem interface {
+	mem.Mem
+	PersistedAllocOffset(ctx *xpsim.Ctx) int64
+	UserStart() int64
+}
+
+// rewindableMem lets recovery give back an arena suffix that turned out
+// to be garbage (pmem.Region implements it).
+type rewindableMem interface {
+	RewindAlloc(ctx *xpsim.Ctx, off int64)
+}
+
+// rawBlock is one parsed arena entry during recovery.
+type rawBlock struct {
+	off        int64
+	vid        uint32
+	capacity   uint32
+	prev       int64
+	cnt0, cnt1 uint32
+}
+
+func (b *rawBlock) size() int64 { return headerBytes + 4*int64(b.capacity) }
+
+// Recover rebuilds the DRAM index (tails, counts, degrees) by scanning
+// the arena sequentially from its start to the persisted allocation
+// pointer. Chains come back because each block persists its prev link;
+// the tail of a chain is the one block no other block points to (offset
+// order is not enough once compaction recycles blocks).
+//
+// slot selects which persisted count slot is authoritative — the slot the
+// edge log's flushed cursor carried at the crash (elog.AckSlot). For
+// CrashSafe stores the scan additionally: completes an armed compaction
+// journal (roll-forward), treats an unparsable header as the frontier of
+// writes that never became durable (truncating and durably zeroing the
+// garbage suffix so a later recovery cannot misparse it), remembers
+// partially-visible retired blocks, and queues blocks with disagreeing
+// slots for re-acknowledgment.
+func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Options, slot int) (*Store, error) {
+	if opts.VolatileCounts {
+		return nil, fmt.Errorf("adj: stores with volatile counts are not scan-recoverable (GraphOne recovers by re-archiving)")
+	}
+	if opts.DeferCounts {
+		return nil, fmt.Errorf("adj: stores with deferred counts are not scan-recoverable (battery-backed DRAM keeps them)")
+	}
+	if slot != 0 && slot != 1 {
+		return nil, fmt.Errorf("adj: bad count slot %d", slot)
+	}
+	s := New(m, lat, 0, opts)
+	end := m.PersistedAllocOffset(ctx)
+	if end < m.UserStart() || end > m.Size() {
+		return nil, fmt.Errorf("adj: corrupt allocation pointer %d (arena is [%d,%d])", end, m.UserStart(), m.Size())
+	}
+
+	// Pass 1: parse the arena.
+	var raw []rawBlock
+	off := align(m.UserStart(), headerAlign)
+	stop := int64(-1)
+	for off+headerBytes <= end {
+		var hdr [headerBytes]byte
+		m.Read(ctx, off, hdr[:])
+		b := rawBlock{
+			off:      off,
+			vid:      binary.LittleEndian.Uint32(hdr[offVID:]),
+			capacity: binary.LittleEndian.Uint32(hdr[offCap:]),
+			prev:     int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign,
+			cnt0:     binary.LittleEndian.Uint32(hdr[offCnt0:]),
+			cnt1:     binary.LittleEndian.Uint32(hdr[offCnt1:]),
+		}
+		if b.capacity == 0 || off+b.size() > end || b.cnt0 > b.capacity || b.cnt1 > b.capacity {
+			if opts.CrashSafe {
+				stop = off
+				break
+			}
+			return nil, fmt.Errorf("adj: corrupt block header at %d (cap=%d)", off, b.capacity)
+		}
+		raw = append(raw, b)
+		off = align(off+b.size(), headerAlign)
+	}
+	if stop >= 0 {
+		// Everything past stop was allocated after the last writeback
+		// barrier and never became durably reachable: it holds no
+		// acknowledged records. Zero it (so a later recovery cannot parse
+		// leftover bytes as a block) and hand it back to the allocator.
+		zero := make([]byte, end-stop)
+		m.Write(ctx, stop, zero)
+		m.Flush(ctx, stop, end-stop)
+		if rw, ok := m.(rewindableMem); ok {
+			rw.RewindAlloc(ctx, stop)
+		}
+		end = stop
+	}
+
+	// Pass 2: complete an armed compaction journal.
+	if err := s.journalRollForward(ctx, m, raw); err != nil {
+		return nil, err
+	}
+
+	// Pass 3: build the index.
+	type blk struct {
+		off      int64
+		prev     int64
+		cnt, cap uint32
+		mismatch bool
+	}
+	live := make(map[graph.VID][]blk)
+	pointedTo := make(map[int64]int)
+	for i := range raw {
+		b := &raw[i]
+		switch b.vid {
+		case deadVID:
+			// Recycled block awaiting reuse: skip, but remember it so
+			// the recovered store keeps recycling.
+			s.recycle(b.off, int(b.capacity))
+			continue
+		case journalVID:
+			continue // already recorded by journalRollForward
+		}
+		visible := b.cnt0
+		if opts.CrashSafe && slot == 1 {
+			visible = b.cnt1
+		}
+		v := graph.VID(b.vid)
+		s.EnsureVertices(v + 1)
+		live[v] = append(live[v], blk{off: b.off, prev: b.prev, cnt: visible, cap: b.capacity, mismatch: b.cnt0 != b.cnt1})
+		if b.prev != 0 {
+			pointedTo[b.prev]++
+		}
+	}
+	// Deterministic vertex order: pruning below writes to the device, and
+	// map iteration order must not leak into simulated cache state.
+	vids := make([]graph.VID, 0, len(live))
+	for v := range live {
+		vids = append(vids, v)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, v := range vids {
+		blks := live[v]
+		tails := 0
+		for _, b := range blks {
+			if pointedTo[b.off] == 0 {
+				tails++
+			}
+		}
+		for opts.CrashSafe && tails > 1 {
+			// More than one chain end means some block's prev link never
+			// became durable — a tail allocated right before the crash,
+			// torn mid-header. Such a block cannot hold acknowledged
+			// records: a count slot only becomes authoritative through a
+			// flush commit, which orders after the barrier that made the
+			// whole header (prev included) durable. So every zero-visible
+			// dangling block is droppable; kill it durably and rescan (the
+			// drop can expose another dangler it pointed to).
+			dropped := false
+			kept := blks[:0]
+			for _, b := range blks {
+				if pointedTo[b.off] == 0 && b.cnt == 0 {
+					s.killBlock(ctx, b.off, int(b.cap))
+					if b.prev != 0 {
+						pointedTo[b.prev]--
+					}
+					dropped = true
+					tails--
+					continue
+				}
+				kept = append(kept, b)
+			}
+			blks = kept
+			if !dropped {
+				break
+			}
+			tails = 0
+			for _, b := range blks {
+				if pointedTo[b.off] == 0 {
+					tails++
+				}
+			}
+		}
+		live[v] = blks
+		if len(blks) == 0 {
+			continue
+		}
+		for _, b := range blks {
+			s.records[v] += b.cnt
+			s.blocks++
+			s.bytes += headerBytes + 4*int64(b.cap)
+			if pointedTo[b.off] == 0 {
+				s.tail[v] = b.off
+				s.tailCnt[v] = b.cnt
+				s.tailCap[v] = b.cap
+			}
+		}
+		if tails != 1 {
+			return nil, fmt.Errorf("adj: vertex %d chain has %d tails (corrupt prev links)", v, tails)
+		}
+		if !opts.CrashSafe {
+			continue
+		}
+		for _, b := range blks {
+			if b.off != s.tail[v] && b.cnt < b.cap {
+				// Retired before filling up (its unacknowledged suffix is
+				// gone for good — the replay re-inserts those records at
+				// the current tail): pin the visible count so reads stop
+				// at it.
+				if s.partialCnt == nil {
+					s.partialCnt = make(map[int64]uint32)
+				}
+				s.partialCnt[b.off] = b.cnt
+			}
+			if b.mismatch {
+				// One slot is stale; make sure the next Ack rewrites it
+				// even if no new records arrive for this block.
+				if s.pendPrev == nil {
+					s.pendPrev = make(map[int64]uint32)
+				}
+				s.pendPrev[b.off] = b.cnt
+			}
+		}
+	}
+	return s, nil
+}
+
+// journalRollForward finds the compaction journal among the scanned
+// blocks and, if it is armed, idempotently finishes the interrupted
+// compaction: commit the staged block, kill every other block of the
+// vertex, disarm. It mutates raw in place to match the media.
+func (s *Store) journalRollForward(ctx *xpsim.Ctx, m RecoverableMem, raw []rawBlock) error {
+	ji := -1
+	for i := range raw {
+		if raw[i].vid == journalVID {
+			if ji >= 0 {
+				return fmt.Errorf("adj: two compaction journals (at %d and %d)", raw[ji].off, raw[i].off)
+			}
+			ji = i
+		}
+	}
+	if ji < 0 {
+		return nil
+	}
+	s.journal = raw[ji].off
+	wA := s.journal + headerBytes
+	wordA := mem.ReadU64(m, ctx, wA)
+	wordB := mem.ReadU64(m, ctx, wA+8)
+	if wordB>>32 != journalMagic {
+		return nil // not armed: the old chain is authoritative
+	}
+	v := uint32(wordA)
+	newOff := int64(wordA>>32) * headerAlign
+	if !s.opts.CrashSafe {
+		return fmt.Errorf("adj: armed compaction journal for vertex %d but store is not CrashSafe", v)
+	}
+	committed := false
+	for i := range raw {
+		b := &raw[i]
+		switch {
+		case newOff != 0 && b.off == newOff:
+			if b.vid != v && b.vid != deadVID {
+				return fmt.Errorf("adj: journal for vertex %d points at block owned by %d", v, b.vid)
+			}
+			mem.WriteU32(m, ctx, b.off+offVID, v)
+			m.Flush(ctx, b.off, headerBytes)
+			b.vid = v
+			committed = true
+		case b.vid == v:
+			// Old-chain survivor: finish the kill.
+			s.killBlock(ctx, b.off, int(b.capacity))
+			// recycle() already queued it; pass 3 must see it dead but
+			// must not queue it twice, so rewrite the raw entry and pull
+			// it back out of the free list (pass 3 re-adds it).
+			lst := s.freeBlocks[int(b.capacity)]
+			s.freeBlocks[int(b.capacity)] = lst[:len(lst)-1]
+			b.vid = deadVID
+			b.prev = 0
+			b.cnt0, b.cnt1 = 0, 0
+		}
+	}
+	if newOff != 0 && !committed {
+		return fmt.Errorf("adj: journal for vertex %d points at missing block %d", v, newOff)
+	}
+	mem.WriteU64(m, ctx, wA+8, 0)
+	m.Flush(ctx, wA+8, 8)
+	return nil
+}

@@ -89,6 +89,9 @@ func TestFig11Shape(t *testing.T) {
 }
 
 func TestFig14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep")
+	}
 	tb, err := Run("fig14", quickCfg("FS"))
 	if err != nil {
 		t.Fatal(err)
@@ -116,6 +119,9 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestFig16And17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep")
+	}
 	tb, err := Run("fig16", quickCfg("YW"))
 	if err != nil {
 		t.Fatal(err)
@@ -156,6 +162,9 @@ func TestFig16And17Shape(t *testing.T) {
 }
 
 func TestFig20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment sweep")
+	}
 	tb, err := Run("fig20", quickCfg("FS"))
 	if err != nil {
 		t.Fatal(err)

@@ -253,7 +253,9 @@ func (s *Store) bufferPhase() error {
 			}
 		}
 	}
+	s.machine.CrashPoint("buffer:staged")
 	s.log.MarkBuffered(shardCtx, to)
+	s.machine.CrashPoint("buffer:marked")
 	s.report.BufferNs += shardCtx.Cost.Ns() + phaseNs
 	return nil
 }
@@ -340,10 +342,17 @@ func (s *Store) initialClass(d Direction, v graph.VID) int {
 // FlushAllVbufs drains every vertex buffer to the PMEM adjacency lists,
 // advances the flushing cursor, and recycles the whole pool —
 // flush_all_vbufs of Table I and the flushing phase of §IV-A.
+//
+// On crash-safe stores the cursor advance is a three-step commit:
+// acknowledge the drained counts into the spare slot (adj.Ack), write
+// everything back to media (persistBarrier), then atomically select the
+// slot while advancing the cursor (elog.MarkFlushedSlot). A crash before
+// the final store leaves the previous slot selected and the whole phase
+// invisible; after it, fully visible.
 func (s *Store) FlushAllVbufs() error {
 	if s.opts.Buffer == BufferNone {
 		ctx := xpsim.NewCtx(xpsim.NodeUnbound)
-		s.log.MarkFlushed(ctx, s.log.Buffered())
+		s.commitFlush(ctx)
 		s.report.FlushNs += ctx.Cost.Ns()
 		return nil
 	}
@@ -390,18 +399,56 @@ func (s *Store) FlushAllVbufs() error {
 		}
 	}
 	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
-	s.log.MarkFlushed(ctx, s.log.Buffered())
+	s.commitFlush(ctx)
 	s.pool.Reset()
 	s.report.FlushNs += phaseNs + ctx.Cost.Ns()
 	return nil
 }
 
+// commitFlush advances the flushing cursor over everything buffered,
+// running the crash-safe ack/barrier/select commit when the store
+// requires it.
+func (s *Store) commitFlush(ctx *xpsim.Ctx) {
+	if !s.opts.crashSafe() {
+		s.log.MarkFlushed(ctx, s.log.Buffered())
+		return
+	}
+	s.machine.CrashPoint("flush:drained")
+	slot := 1 - s.log.AckSlot()
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			g.adj.Ack(ctx, slot)
+		}
+	}
+	s.machine.CrashPoint("flush:acked")
+	s.persistBarrier(ctx)
+	s.machine.CrashPoint("flush:barrier")
+	s.log.MarkFlushedSlot(ctx, s.log.Buffered(), slot)
+	s.machine.CrashPoint("flush:committed")
+}
+
 // CompactAdjs merges all of one vertex's adjacency blocks (DRAM buffer
 // included) into a single PMEM block — compact_adjs(vid) of Table I.
+//
+// On crash-safe stores compaction only rewrites flush-acknowledged
+// records (the compacted block's count goes to both slots at once, which
+// is only safe below the flushed cursor), so a full flushing phase runs
+// first.
 func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
 	if v >= s.NumVertices() {
 		return fmt.Errorf("core: vertex %d out of range", v)
 	}
+	if s.opts.crashSafe() {
+		if err := s.FlushAllVbufs(); err != nil {
+			return err
+		}
+	}
+	return s.compactOne(ctx, v)
+}
+
+// compactOne compacts a single vertex; crash-safe callers must have
+// flushed all vertex buffers first.
+func (s *Store) compactOne(ctx *xpsim.Ctx, v graph.VID) error {
 	// Compaction fencing: rewriting v's chains resolves tombstones and
 	// destroys the append-only prefix snapshots rely on, so every live
 	// snapshot freezes its view of v first (copy-on-invalidate).
@@ -424,6 +471,7 @@ func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
 		if err := g.adj.Compact(ctx, v); err != nil {
 			return err
 		}
+		s.machine.CrashPoint("compact:done")
 		s.records[d][v] = uint32(g.adj.Records(v))
 		if h != mempool.None {
 			cnt := s.bufs.Count(h, int(s.vbC[d][v]))
@@ -435,8 +483,13 @@ func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
 
 // CompactAllAdjs compacts every vertex — compact_all_adjs of Table I.
 func (s *Store) CompactAllAdjs(ctx *xpsim.Ctx) error {
+	if s.opts.crashSafe() {
+		if err := s.FlushAllVbufs(); err != nil {
+			return err
+		}
+	}
 	for v := graph.VID(0); v < s.NumVertices(); v++ {
-		if err := s.CompactAdjs(ctx, v); err != nil {
+		if err := s.compactOne(ctx, v); err != nil {
 			return err
 		}
 	}

@@ -129,6 +129,23 @@ type Options struct {
 	// for ablations.
 	ProactiveFlush        bool
 	DisableProactiveFlush bool
+
+	// RelaxedDurability opts out of the crash-safe ordering protocol
+	// (double-buffered count acknowledgment, journaled compaction,
+	// flush-before-publish log appends). Relaxed stores run the legacy
+	// write path — slightly cheaper, but a crash can lose or duplicate
+	// edges, so core.Recover refuses them. Default off: PMEM stores
+	// without a battery are crash-safe.
+	RelaxedDurability bool
+}
+
+// crashSafe reports whether the store runs the crash-safe persistence
+// protocol: PMEM app-direct, no battery (XPGraph-B's vertex buffers
+// survive power loss, so the protocol would be pure overhead), no SSD
+// tier (the extension prototype is not recoverable), and not explicitly
+// relaxed.
+func (o Options) crashSafe() bool {
+	return o.Medium == MediumPMEM && !o.Battery && o.SSDOverflow == 0 && !o.RelaxedDurability
 }
 
 // withDefaults fills unset fields.

@@ -15,18 +15,29 @@ type RecoveryReport struct {
 	SimNs         int64 // simulated recovery time
 	BlocksScanned int64 // adjacency blocks reloaded from PMEM
 	Replayed      int64 // log edges replayed into fresh vertex buffers
-	DedupSkipped  int64 // replayed records already found in PMEM (§III-B)
+	DedupSkipped  int64 // always 0: the slot protocol makes replay exact (kept for report compatibility)
 }
 
 // Recover re-attaches to the PMEM of a crashed store and rebuilds all
-// DRAM state: the adjacency arenas are scanned sequentially to reload the
-// vertex index, then the edge-log window [flushing, head) is replayed into
-// fresh vertex buffers, checking each record against the PMEM adjacency
-// list to avoid duplicating edges whose buffers had already been flushed
-// (the recovery scheme of §III-B / §V-D).
+// DRAM state: the edge log is attached first (its flushed cursor carries
+// the authoritative count slot), the adjacency arenas are scanned
+// sequentially to reload the vertex index — completing any interrupted
+// compaction via its journal — and the log window [flushed, head) is
+// replayed into fresh vertex buffers (the recovery scheme of §III-B /
+// §V-D).
+//
+// The replay is a straight re-insertion with no content dedup: counts
+// acknowledged under the selected slot cover exactly the edges below the
+// flushed cursor, so nothing in the window is visible in the recovered
+// adjacency lists and nothing below it is missing. (The seed's
+// content-based dedup was both lossy — a legitimately duplicated edge in
+// the window was skipped against a single stored copy — and unsound
+// across compaction, which rewrites the stored records the dedup matched
+// against.)
 //
 // opts must describe the same geometry the crashed store was created
-// with (name, log capacity, NUMA mode, region sizes).
+// with (name, log capacity, NUMA mode, region sizes); mismatches are
+// reported as errors rather than producing a silently wrong store.
 func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Options) (*Store, RecoveryReport, error) {
 	opts = opts.withDefaults()
 	if opts.Medium != MediumPMEM {
@@ -43,6 +54,9 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 		// be wrong as well as unnecessary (§IV-C).
 		return nil, RecoveryReport{}, fmt.Errorf("core: battery-backed stores (XPGraph-B) keep DRAM across power loss; crash recovery does not apply")
 	}
+	if opts.RelaxedDurability {
+		return nil, RecoveryReport{}, fmt.Errorf("core: relaxed-durability stores skip the ordering protocol recovery depends on; they are not recoverable")
+	}
 	s := &Store{
 		opts:    opts,
 		machine: machine,
@@ -57,13 +71,12 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	}
 
 	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
-	if err := s.mapMemories(ctx, true); err != nil {
-		return nil, RecoveryReport{}, err
-	}
 
-	// Re-attach the edge log: its header and ring sit at deterministic
-	// offsets inside the dedicated log region.
-	logRegion, ok := s.heap.Get(opts.Name + "-elog")
+	// Re-attach the edge log first: its header and ring sit at
+	// deterministic offsets inside the dedicated log region, and its
+	// flushed cursor selects the adjacency count slot the arena scans
+	// must trust.
+	logRegion, ok := heap.Get(opts.Name + "-elog")
 	if !ok {
 		return nil, RecoveryReport{}, fmt.Errorf("core: log region for %q not found", opts.Name)
 	}
@@ -72,6 +85,14 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	var err error
 	s.log, err = elog.Attach(ctx, logRegion, hdr, base, opts.Battery)
 	if err != nil {
+		return nil, RecoveryReport{}, err
+	}
+	if s.log.Cap() != opts.LogCapacity {
+		return nil, RecoveryReport{}, fmt.Errorf("core: log capacity is %d edges, options say %d (wrong geometry)", s.log.Cap(), opts.LogCapacity)
+	}
+	s.logMem = logRegion
+
+	if err := s.mapMemories(ctx, s.log.AckSlot()); err != nil {
 		return nil, RecoveryReport{}, err
 	}
 
@@ -101,46 +122,15 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	}
 
 	// Replay the window that may have lived in lost DRAM vertex buffers.
-	// Some of these edges already reached PMEM through buffer-full
-	// flushes before the crash; to avoid duplicating them (§III-B) each
-	// window vertex's stored adjacency is scanned once and matching
-	// records consume "skip credits" against the window's occurrences.
+	// Every record in it is invisible in the recovered adjacency lists
+	// (its count was never acknowledged under the selected slot), so each
+	// edge is re-inserted exactly once.
 	replay := s.log.Read(ctx, s.log.Flushed(), s.log.Head(), nil)
 	s.ensureVertices(graph.MaxVID(replay) + 1)
 	scratch := make([]uint32, 0, opts.maxBufNeighbors())
 	for d := 0; d < 2; d++ {
-		need := make(map[uint64]int32, len(replay))
 		for _, e := range replay {
 			v, nbr := replayRecord(Direction(d), e)
-			need[packVN(v, nbr)]++
-		}
-		// Scan each window vertex once; existing records convert window
-		// occurrences into skips.
-		skip := make(map[uint64]int32)
-		seen := make(map[graph.VID]bool)
-		var nbrScratch []uint32
-		for _, e := range replay {
-			v, _ := replayRecord(Direction(d), e)
-			if seen[v] {
-				continue
-			}
-			seen[v] = true
-			nbrScratch = s.groups[d][s.partOf(v)].adj.Neighbors(ctx, v, nbrScratch[:0])
-			for _, nbr := range nbrScratch {
-				k := packVN(v, nbr)
-				if need[k] > skip[k] {
-					skip[k]++
-				}
-			}
-		}
-		for _, e := range replay {
-			v, nbr := replayRecord(Direction(d), e)
-			k := packVN(v, nbr)
-			if skip[k] > 0 {
-				skip[k]--
-				rep.DedupSkipped++
-				continue
-			}
 			if err := s.bufferInsert(ctx, 0, Direction(d), s.partOf(v), v, nbr, &scratch); err != nil {
 				return nil, RecoveryReport{}, err
 			}
@@ -160,7 +150,5 @@ func replayRecord(d Direction, e graph.Edge) (graph.VID, uint32) {
 	}
 	return e.Target(), e.Src | (e.Dst & graph.DelFlag)
 }
-
-func packVN(v graph.VID, nbr uint32) uint64 { return uint64(v)<<32 | uint64(nbr) }
 
 func alignUp(x, a int64) int64 { return (x + a - 1) / a * a }

@@ -175,3 +175,63 @@ func TestRecoverRejectsBattery(t *testing.T) {
 		t.Fatal("battery-backed stores must not be crash-recovered")
 	}
 }
+
+func TestRecoverRejectsSSDOverflow(t *testing.T) {
+	m, h := testMachine()
+	if _, _, err := Recover(m, h, nil, Options{Name: "ssd", SSDOverflow: 1 << 20}); err == nil {
+		t.Fatal("SSD-tiered stores must not be crash-recovered")
+	}
+}
+
+func TestRecoverRejectsRelaxedDurability(t *testing.T) {
+	m, h := testMachine()
+	if _, _, err := Recover(m, h, nil, Options{Name: "rlx", RelaxedDurability: true}); err == nil {
+		t.Fatal("relaxed-durability stores must not be crash-recovered")
+	}
+}
+
+func TestRecoverRejectsWrongLogCapacity(t *testing.T) {
+	// Same store name, wrong geometry: the persisted log capacity is
+	// authoritative and a mismatched Options must be rejected, not
+	// silently reinterpreted.
+	m, h := testMachine()
+	opts := Options{Name: "geom", NumVertices: 64, LogCapacity: 1 << 10, ArchiveThreshold: 16, ArchiveThreads: 2}
+	s, err := New(m, h, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.LogCapacity = 1 << 11
+	if _, _, err := Recover(m, h, nil, bad); err == nil {
+		t.Fatal("wrong log capacity must fail recovery")
+	}
+	if rs, _, err := Recover(m, h, nil, opts); err != nil {
+		t.Fatalf("correct geometry must still recover: %v", err)
+	} else if got := rs.NbrsOut(xpsim.NewCtx(0), 1, nil); !sameMultiset(got, []uint32{2}) {
+		t.Fatalf("out(1) = %v, want {2}", got)
+	}
+}
+
+func TestRecoverRejectsWrongNUMAMode(t *testing.T) {
+	// A store created with one NUMA mode has differently-named adjacency
+	// regions than another mode expects; recovery must report the missing
+	// region instead of recovering a partial graph.
+	m, h := testMachine()
+	opts := Options{Name: "numa-geom", NumVertices: 64, LogCapacity: 1 << 10,
+		ArchiveThreshold: 16, ArchiveThreads: 2, NUMA: NUMASubgraph}
+	s, err := New(m, h, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ingest([]graph.Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	bad := opts
+	bad.NUMA = NUMANone
+	if _, _, err := Recover(m, h, nil, bad); err == nil {
+		t.Fatal("wrong NUMA mode must fail recovery")
+	}
+}

@@ -102,7 +102,7 @@ func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Optio
 	}
 
 	ctx := xpsim.NewCtx(0)
-	if err := s.mapMemories(ctx, false); err != nil {
+	if err := s.mapMemories(ctx, 0); err != nil {
 		return nil, err
 	}
 	var err error
@@ -112,15 +112,42 @@ func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Optio
 	}
 	s.initPool()
 	s.ensureVertices(opts.NumVertices)
+	if opts.crashSafe() {
+		// Make the freshly initialized store durable, so a crash right
+		// after creation recovers an empty store instead of torn metadata.
+		s.persistBarrier(ctx)
+		s.machine.CrashPoint("core.New:done")
+	}
 	return s, nil
 }
 
+// persistBarrier writes back every line buffered inside the machine's
+// devices — the commit fence of a crash-safe flushing phase: after it,
+// everything written so far is on media.
+func (s *Store) persistBarrier(ctx *xpsim.Ctx) {
+	for _, d := range s.machine.Devices() {
+		d.WritebackAll(ctx)
+	}
+}
+
 // mapMemories creates (or, for recovery, re-attaches) the log memory and
-// the adjacency groups.
-func (s *Store) mapMemories(ctx *xpsim.Ctx, reattach bool) error {
+// the adjacency groups. In recovery mode (reattach) the caller has
+// already attached the edge log — whose flushed cursor carries ackSlot,
+// the count slot adjacency recovery must trust — and every region must
+// already exist in the heap: a missing region means the options describe
+// a different geometry (wrong NUMA mode, wrong name) than the store that
+// crashed.
+func (s *Store) mapMemories(ctx *xpsim.Ctx, ackSlot int) error {
+	reattach := s.logMem != nil
 	opts := s.opts
 	logBytes := opts.LogCapacity*graph.EdgeBytes + 4096
-	adjOpts := adj.Options{ProactiveFlush: opts.ProactiveFlush && opts.Medium == MediumPMEM}
+	adjOpts := adj.Options{
+		ProactiveFlush: opts.ProactiveFlush && opts.Medium == MediumPMEM,
+		CrashSafe:      opts.crashSafe(),
+		// Battery-backed DRAM is persistent, so the count mirrors need
+		// no PMEM writes (§IV-C).
+		DeferCounts: opts.Battery && opts.Medium == MediumPMEM,
+	}
 
 	newSpace := func(size int64) mem.Mem {
 		if opts.Medium == MediumMemoryMode {
@@ -141,11 +168,13 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, reattach bool) error {
 	if s.heap == nil {
 		return fmt.Errorf("core: PMEM medium requires a heap")
 	}
-	logRegion, err := s.heap.Map(opts.Name+"-elog", logBytes, pmem.Placement{Kind: pmem.Interleave})
-	if err != nil {
-		return err
+	if !reattach {
+		logRegion, err := s.heap.Map(opts.Name+"-elog", logBytes, pmem.Placement{Kind: pmem.Interleave})
+		if err != nil {
+			return err
+		}
+		s.logMem = logRegion
 	}
-	s.logMem = logRegion
 
 	place := func(d, p int) pmem.Placement {
 		switch opts.NUMA {
@@ -172,14 +201,23 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, reattach bool) error {
 	for d := 0; d < 2; d++ {
 		s.groups[d] = nil
 		for p := 0; p < s.nparts; p++ {
-			r, err := s.heap.Map(fmt.Sprintf("%s-adj-%s-%d", opts.Name, dirName[d], p),
-				opts.AdjBytes, place(d, p))
-			if err != nil {
+			name := fmt.Sprintf("%s-adj-%s-%d", opts.Name, dirName[d], p)
+			var r *pmem.Region
+			var err error
+			if reattach {
+				var ok bool
+				if r, ok = s.heap.Get(name); !ok {
+					return fmt.Errorf("core: adjacency region %q not found: recovery options disagree with the crashed store's geometry (name or NUMA mode)", name)
+				}
+				if r.Size() != opts.AdjBytes {
+					return fmt.Errorf("core: adjacency region %q is %d bytes, options say %d", name, r.Size(), opts.AdjBytes)
+				}
+			} else if r, err = s.heap.Map(name, opts.AdjBytes, place(d, p)); err != nil {
 				return err
 			}
 			var st *adj.Store
 			if reattach {
-				st, err = adj.Recover(ctx, r, s.lat, adjOpts)
+				st, err = adj.Recover(ctx, r, s.lat, adjOpts, ackSlot)
 				if err != nil {
 					return err
 				}
@@ -192,6 +230,17 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, reattach bool) error {
 				st = adj.New(r, s.lat, s.opts.NumVertices, adjOpts)
 			}
 			s.groups[d] = append(s.groups[d], &group{adj: st, node: bindNode(d, p)})
+		}
+	}
+	if reattach {
+		// A store with more partitions than these options describe would
+		// have its extra partitions' regions silently ignored — a partial
+		// graph recovered without error. One probe past the end catches
+		// the partition-count mismatch (e.g. NUMASubgraph recovered as
+		// NUMANone, whose region names are a strict subset).
+		extra := fmt.Sprintf("%s-adj-%s-%d", opts.Name, dirName[0], s.nparts)
+		if _, ok := s.heap.Get(extra); ok {
+			return fmt.Errorf("core: found adjacency region %q beyond partition %d: the crashed store had more partitions (different NUMA mode)", extra, s.nparts-1)
 		}
 	}
 	return nil

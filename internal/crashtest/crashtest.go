@@ -1,0 +1,263 @@
+// Package crashtest is the differential recovery verifier: it runs a
+// deterministic XPGraph workload against the fault-injecting device model
+// (xpsim.Faults), crashes the simulated machine at an injected point,
+// recovers a store from the durable image (pmem.Heap.CrashClone +
+// core.Recover), and checks the recovered store edge-for-edge against an
+// in-memory oracle restricted to the durable prefix of the edge log.
+//
+// The check exploits the log's prefix-durability guarantee: media writes
+// are totally ordered in the device model and every Append flushes its
+// ring records before publishing the head, so whatever head value the
+// durable image holds, exactly that prefix of the ingested edge stream is
+// durable. The oracle is therefore just the reference adjacency built
+// from edges[:recoveredHead] — no loss of flush-acknowledged edges, no
+// duplicates from replay, for any crash point.
+package crashtest
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+// Config describes one deterministic workload.
+type Config struct {
+	Name     string  // store/region name prefix
+	Scale    int     // vertex-ID space is 1<<Scale
+	Edges    int64   // workload length
+	DelRatio float64 // fraction of deletions (gen.Evolving); 0 = adds only
+	Seed     uint64  // workload generator seed
+
+	LogCapacity      int64
+	ArchiveThreshold int64
+	ArchiveThreads   int
+	NUMA             core.NUMAMode
+
+	Chunk        int // edges per Ingest call (0 = all at once)
+	CompactEvery int // run CompactAllAdjs after every Nth chunk (0 = never)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "crash"
+	}
+	if c.Scale == 0 {
+		c.Scale = 6
+	}
+	if c.Edges == 0 {
+		c.Edges = 1500
+	}
+	if c.LogCapacity == 0 {
+		c.LogCapacity = 1 << 10
+	}
+	if c.ArchiveThreshold == 0 {
+		c.ArchiveThreshold = 1 << 6
+	}
+	if c.ArchiveThreads == 0 {
+		c.ArchiveThreads = 2
+	}
+	if c.Chunk == 0 {
+		c.Chunk = int(c.Edges)
+	}
+	return c
+}
+
+// workload generates the deterministic edge stream for a config.
+func (c Config) workload() []graph.Edge {
+	if c.DelRatio > 0 {
+		return gen.Evolving(c.Scale, c.Edges, c.DelRatio, c.Seed)
+	}
+	return gen.RMAT(c.Scale, c.Edges, c.Seed)
+}
+
+func (c Config) storeOptions() core.Options {
+	return core.Options{
+		Name:             c.Name,
+		NumVertices:      1 << c.Scale,
+		LogCapacity:      c.LogCapacity,
+		ArchiveThreshold: c.ArchiveThreshold,
+		ArchiveThreads:   c.ArchiveThreads,
+		NUMA:             c.NUMA,
+	}
+}
+
+// Result reports what one harness run observed.
+type Result struct {
+	MediaWrites  int64            // media-write events after arming (probe: total)
+	Sites        map[string]int64 // crash-site hit counts after arming
+	Crashed      bool             // did the armed plan fire
+	CrashDesc    string           // where it fired
+	DurableEdges int64            // recovered log head: the durable prefix length
+	Recovery     core.RecoveryReport
+}
+
+// Probe runs the workload with fault tracking armed but no kill
+// scheduled, returning the total media-write count and crash-site hits —
+// the sweep space for exhaustive runs.
+func Probe(cfg Config) (*Result, error) {
+	return Run(cfg, xpsim.FaultPlan{})
+}
+
+// Run executes the workload, crashing at the planned point, then
+// recovers from the durable image and differentially verifies the
+// recovered store. A zero plan runs to completion (and still verifies:
+// the final state must match the full oracle).
+func Run(cfg Config, plan xpsim.FaultPlan) (*Result, error) {
+	cfg = cfg.withDefaults()
+	return RunStream(cfg, cfg.workload(), plan)
+}
+
+// RunStream is Run with an explicit edge stream instead of a generated
+// workload — regression tests use it to pin hand-built scenarios
+// (duplicate edges straddling a compaction, dense self-loops, ...).
+func RunStream(cfg Config, edges []graph.Edge, plan xpsim.FaultPlan) (*Result, error) {
+	cfg = cfg.withDefaults()
+
+	st, faults, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	faults.Arm(plan)
+	if err := ingest(st, cfg, edges); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+
+	res := &Result{
+		MediaWrites: faults.MediaWrites(),
+		Sites:       faults.SiteHits(),
+		Crashed:     faults.Crashed(),
+		CrashDesc:   faults.CrashDescription(),
+	}
+
+	rs, err := recoverClone(st.Heap(), cfg, res)
+	if err != nil {
+		return res, err
+	}
+	if !res.Crashed && res.DurableEdges != int64(len(edges)) {
+		return res, fmt.Errorf("no crash, but only %d/%d edges durable", res.DurableEdges, len(edges))
+	}
+	if err := verify(rs, edges, res.DurableEdges); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// RunDouble crashes and recovers once, ingests a continuation workload
+// on the recovered store with a second plan armed, and crashes/recovers
+// again — the repeated-crash scenario that exercises recovery's own
+// writes (journal completion, allocation rewinds, garbage zeroing) as a
+// crashable workload.
+func RunDouble(cfg Config, plan1, plan2 xpsim.FaultPlan, contEdges int64) (*Result, error) {
+	cfg = cfg.withDefaults()
+	edges := cfg.workload()
+
+	st, faults, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	faults.Arm(plan1)
+	if err := ingest(st, cfg, edges); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	res := &Result{
+		MediaWrites: faults.MediaWrites(),
+		Sites:       faults.SiteHits(),
+		Crashed:     faults.Crashed(),
+		CrashDesc:   faults.CrashDescription(),
+	}
+
+	// First crash + recovery, on a clone that is itself fault-tracked so
+	// the continuation can crash too.
+	clone1, err := st.Heap().CrashClone()
+	if err != nil {
+		return res, err
+	}
+	faults2 := clone1.Machine().TrackFaults()
+	rs, rep, err := core.Recover(clone1.Machine(), clone1, nil, cfg.storeOptions())
+	if err != nil {
+		return res, fmt.Errorf("first recover (crash: %s): %w", res.CrashDesc, err)
+	}
+	res.Recovery = rep
+	h1 := rs.Log().Head()
+	if err := verify(rs, edges, h1); err != nil {
+		return res, fmt.Errorf("first recovery: %w", err)
+	}
+
+	// Continuation workload under the second plan.
+	cont := gen.RMAT(cfg.Scale, contEdges, cfg.Seed^0xC047)
+	faults2.Arm(plan2)
+	if err := ingest(rs, cfg, cont); err != nil {
+		return res, fmt.Errorf("continuation ingest: %w", err)
+	}
+	res.Crashed = faults2.Crashed()
+	res.CrashDesc = faults2.CrashDescription()
+
+	combined := append(append([]graph.Edge(nil), edges[:h1]...), cont...)
+	rs2, err := recoverClone(rs.Heap(), cfg, res)
+	if err != nil {
+		return res, err
+	}
+	if res.DurableEdges < h1 {
+		return res, fmt.Errorf("second crash lost committed edges: head %d < first recovery head %d", res.DurableEdges, h1)
+	}
+	if err := verify(rs2, combined, res.DurableEdges); err != nil {
+		return res, fmt.Errorf("second recovery: %w", err)
+	}
+	return res, nil
+}
+
+// build constructs the fault-tracked machine, heap, and store.
+func build(cfg Config) (*core.Store, *xpsim.Faults, error) {
+	machine := xpsim.NewMachine(2, 256<<20, xpsim.DefaultLatency())
+	faults := machine.TrackFaults()
+	heap := pmem.NewHeap(machine)
+	st, err := core.New(machine, heap, nil, cfg.storeOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, faults, nil
+}
+
+// ingest drives the chunked ingest/compaction schedule. Once the armed
+// plan has fired, the live run continues unharmed — only the durable
+// image is frozen — so the workload always completes.
+func ingest(st *core.Store, cfg Config, edges []graph.Edge) error {
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	chunkN := 0
+	for i := 0; i < len(edges); i += cfg.Chunk {
+		end := i + cfg.Chunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if _, err := st.Ingest(edges[i:end]); err != nil {
+			return err
+		}
+		chunkN++
+		if cfg.CompactEvery > 0 && chunkN%cfg.CompactEvery == 0 {
+			if err := st.CompactAllAdjs(ctx); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// recoverClone snapshots the durable image and recovers a store from it,
+// filling res.DurableEdges and res.Recovery.
+func recoverClone(heap *pmem.Heap, cfg Config, res *Result) (*core.Store, error) {
+	clone, err := heap.CrashClone()
+	if err != nil {
+		return nil, err
+	}
+	rs, rep, err := core.Recover(clone.Machine(), clone, nil, cfg.storeOptions())
+	if err != nil {
+		return nil, fmt.Errorf("recover (crash: %s): %w", res.CrashDesc, err)
+	}
+	res.Recovery = rep
+	res.DurableEdges = rs.Log().Head()
+	return rs, nil
+}

@@ -36,6 +36,18 @@ const (
 	offCap   = 24
 )
 
+// slotBit is the top bit of the persisted flushed word: it selects which
+// adjacency count slot (0 or 1) is authoritative for recovery. Packing
+// the slot into the flushed word makes "these counts are acked up to
+// here" a single 8-byte store — atomic under powerfail semantics — which
+// is what keeps a crash between count writeback and cursor writeback from
+// double-counting replayed edges (see adj.Ack).
+const slotBit = uint64(1) << 63
+
+// maxCursor bounds cursor values so the slot bit can never be mistaken
+// for log position.
+const maxCursor = int64(slotBit - 1)
+
 // Log is the circular edge log.
 type Log struct {
 	m       mem.Mem
@@ -49,6 +61,7 @@ type Log struct {
 	head     int64
 	buffered int64
 	flushed  int64
+	slot     int // count slot selected by the persisted flushed word
 }
 
 // Create allocates and initializes a log of capEntries edges inside m.
@@ -69,20 +82,39 @@ func Create(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, battery bool) (*Log, er
 	mem.WriteU64(m, ctx, hdr+offBuf, 0)
 	mem.WriteU64(m, ctx, hdr+offFlush, 0)
 	mem.WriteU64(m, ctx, hdr+offCap, uint64(capEntries))
+	// Make the freshly initialized header durable, so a crash before the
+	// first append recovers an empty log instead of a corrupt one.
+	m.Flush(ctx, hdr, hdrBytes)
 	return l, nil
 }
 
 // Attach reopens a log previously created at hdr/base in m — the recovery
-// path: cursors are read back from persistent memory.
+// path: cursors are read back from persistent memory. Every invariant a
+// later Read or Mark relies on is validated here, so a corrupt or torn
+// header surfaces as an error instead of a panic or an out-of-window
+// replay: cursors must be ordered, the unflushed window must still be
+// resident (head-flushed <= cap), and the ring must fit the memory.
 func Attach(ctx *xpsim.Ctx, m mem.Mem, hdr, base int64, battery bool) (*Log, error) {
 	l := &Log{m: m, hdr: hdr, base: base, battery: battery}
 	l.head = int64(mem.ReadU64(m, ctx, hdr+offHead))
 	l.buffered = int64(mem.ReadU64(m, ctx, hdr+offBuf))
-	l.flushed = int64(mem.ReadU64(m, ctx, hdr+offFlush))
+	rawFlush := mem.ReadU64(m, ctx, hdr+offFlush)
+	l.slot = int(rawFlush >> 63)
+	l.flushed = int64(rawFlush &^ slotBit)
 	l.cap = int64(mem.ReadU64(m, ctx, hdr+offCap))
-	if l.cap <= 0 || l.flushed > l.buffered || l.buffered > l.head {
+	switch {
+	case l.cap <= 0 || l.cap > (m.Size()-base)/graph.EdgeBytes:
+		return nil, fmt.Errorf("elog: corrupt header: cap=%d does not fit memory (%d bytes past base)",
+			l.cap, m.Size()-base)
+	case l.head < 0 || l.head > maxCursor || l.buffered < 0 || l.flushed > l.buffered || l.buffered > l.head:
 		return nil, fmt.Errorf("elog: corrupt header: head=%d buffered=%d flushed=%d cap=%d",
 			l.head, l.buffered, l.flushed, l.cap)
+	case l.head-l.flushed > l.cap && !battery:
+		return nil, fmt.Errorf("elog: corrupt header: unflushed window %d exceeds cap %d (replay would read overwritten edges)",
+			l.head-l.flushed, l.cap)
+	case l.head-l.buffered > l.cap:
+		return nil, fmt.Errorf("elog: corrupt header: unbuffered window %d exceeds cap %d",
+			l.head-l.buffered, l.cap)
 	}
 	return l, nil
 }
@@ -140,8 +172,27 @@ func (l *Log) Append(ctx *xpsim.Ctx, edges []graph.Edge) (int, error) {
 		pos := (l.head + i) % l.cap
 		l.m.Write(ctx, l.base+pos*graph.EdgeBytes, rec[:])
 	}
+	// Crash-consistency ordering: the edge records must be durable before
+	// the head cursor that publishes them, or recovery would replay
+	// whatever stale ring bytes sit beyond the durable data. Flush the
+	// written ring range (two spans when it wraps), then advance the
+	// head, then flush the header line. Battery-backed stores skip the
+	// ordering: their whole memory hierarchy is in the persistence
+	// domain, so buffered lines survive power loss anyway (§IV-C).
+	if !l.battery {
+		startPos := l.head % l.cap
+		if startPos+n <= l.cap {
+			l.m.Flush(ctx, l.base+startPos*graph.EdgeBytes, n*graph.EdgeBytes)
+		} else {
+			l.m.Flush(ctx, l.base+startPos*graph.EdgeBytes, (l.cap-startPos)*graph.EdgeBytes)
+			l.m.Flush(ctx, l.base, (startPos+n-l.cap)*graph.EdgeBytes)
+		}
+	}
 	l.head += n
 	mem.WriteU64(l.m, ctx, l.hdr+offHead, uint64(l.head))
+	if !l.battery {
+		l.m.Flush(ctx, l.hdr, hdrBytes)
+	}
 	if n < int64(len(edges)) {
 		return int(n), ErrFull
 	}
@@ -171,16 +222,46 @@ func (l *Log) MarkBuffered(ctx *xpsim.Ctx, upTo int64) {
 	}
 	l.buffered = upTo
 	mem.WriteU64(l.m, ctx, l.hdr+offBuf, uint64(upTo))
+	if !l.battery {
+		l.m.Flush(ctx, l.hdr, hdrBytes)
+	}
 }
 
-// MarkFlushed advances the flushing cursor to upTo and persists it. Only
-// buffered edges can be flush-acknowledged.
+// MarkFlushed advances the flushing cursor to upTo and persists it,
+// keeping the current count slot. Only buffered edges can be
+// flush-acknowledged.
 func (l *Log) MarkFlushed(ctx *xpsim.Ctx, upTo int64) {
+	l.MarkFlushedSlot(ctx, upTo, l.slot)
+}
+
+// AckSlot reports which adjacency count slot the persisted flushed word
+// currently selects (see adj.Ack): the slot whose counts recovery will
+// trust.
+func (l *Log) AckSlot() int { return l.slot }
+
+// MarkFlushedSlot advances the flushing cursor to upTo and atomically
+// switches the authoritative adjacency count slot — the commit point of
+// a crash-safe flushing phase. The caller must have made the slot's
+// count writes durable (persist barrier) before calling: once the
+// flushed word lands, recovery trusts them and stops replaying the
+// edges they cover.
+func (l *Log) MarkFlushedSlot(ctx *xpsim.Ctx, upTo int64, slot int) {
 	if upTo < l.flushed || upTo > l.buffered {
 		panic(fmt.Sprintf("elog: MarkFlushed(%d) outside [%d,%d]", upTo, l.flushed, l.buffered))
 	}
+	if slot != 0 && slot != 1 {
+		panic(fmt.Sprintf("elog: bad ack slot %d", slot))
+	}
 	l.flushed = upTo
-	mem.WriteU64(l.m, ctx, l.hdr+offFlush, uint64(upTo))
+	l.slot = slot
+	word := uint64(upTo)
+	if slot == 1 {
+		word |= slotBit
+	}
+	mem.WriteU64(l.m, ctx, l.hdr+offFlush, word)
+	if !l.battery {
+		l.m.Flush(ctx, l.hdr, hdrBytes)
+	}
 }
 
 // Bytes reports the PMEM footprint of the log (header + ring).

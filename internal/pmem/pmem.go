@@ -8,6 +8,7 @@ package pmem
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/mem"
@@ -104,6 +105,60 @@ func (h *Heap) Map(name string, size int64, p Placement) (*Region, error) {
 	mem.WriteU64(r, ctx, 0, uint64(regionHeader))
 	h.regions[name] = r
 	return r, nil
+}
+
+// CrashClone snapshots the heap exactly as the device model says it was
+// durable — the post-power-failure view of the machine. It returns a new
+// heap on a fresh machine whose devices hold each device's DurableState:
+// with fault tracking enabled that image excludes XPBuffer-resident lines
+// never written back and keeps the crash line torn; without tracking it
+// equals the eADR write-through contents. Every region is re-registered
+// in the clone with its allocation mirror re-read from the durable header
+// (what a recovering process would see), so core.Recover can re-attach by
+// name. The live heap keeps running unharmed.
+func (h *Heap) CrashClone() (*Heap, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	src := h.machine
+	if len(src.Devices()) == 0 {
+		return nil, fmt.Errorf("pmem: machine has no devices")
+	}
+	clone := xpsim.NewMachine(src.Sockets, src.Devices()[0].Size(), src.Lat)
+	for _, d := range src.Devices() {
+		if err := clone.Device(d.Node()).RestoreState(d.DurableState()); err != nil {
+			return nil, fmt.Errorf("pmem: crash clone: %w", err)
+		}
+	}
+	nh := NewHeap(clone)
+	// Deterministic region order: re-reading each region's allocation
+	// pointer touches the clone's devices, and map order must not leak
+	// into their cache state.
+	names := make([]string, 0, len(h.regions))
+	for name := range h.regions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := h.regions[name]
+		nr := &Region{heap: nh, name: name, size: r.size, place: r.place}
+		for i, d := range r.devs {
+			nr.devs = append(nr.devs, clone.Device(d.Node()))
+			nr.bases = append(nr.bases, r.bases[i])
+		}
+		// The allocation mirror comes from the durable header — it may
+		// lag the live mirror if the crash beat the pointer's writeback.
+		ctx := xpsim.NewCtx(nr.NodeOf(0))
+		alloc := int64(mem.ReadU64(nr, ctx, 0))
+		if alloc < regionHeader || alloc > nr.size {
+			// The region was mapped but its header write never reached
+			// the media: recover it as empty.
+			alloc = regionHeader
+			mem.WriteU64(nr, ctx, 0, uint64(alloc))
+		}
+		nr.allocMirror = alloc
+		nh.regions[name] = nr
+	}
+	return nh, nil
 }
 
 // Get returns an existing region by name.
@@ -245,6 +300,24 @@ func (r *Region) PersistedAllocOffset(ctx *xpsim.Ctx) int64 {
 
 // UserStart is the first offset usable by clients (past the header).
 func (r *Region) UserStart() int64 { return regionHeader }
+
+// RewindAlloc moves the allocation pointer back to off and persists it
+// immediately. Recovery uses it after a crash truncated the arena mid-
+// allocation: the bump pointer's writeback can land before the allocated
+// block's header does, leaving a durable pointer that covers garbage. The
+// scan stops at the garbage and rewinds here, so the region re-allocates
+// (and overwrites) the unreachable suffix instead of leaking it — and so
+// a later scan never trips over it.
+func (r *Region) RewindAlloc(ctx *xpsim.Ctx, off int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if off < regionHeader || off > r.allocMirror {
+		panic(fmt.Sprintf("pmem: rewind %q to %d outside [%d,%d]", r.name, off, regionHeader, r.allocMirror))
+	}
+	r.allocMirror = off
+	mem.WriteU64(r, ctx, 0, uint64(off))
+	r.Flush(ctx, 0, 8)
+}
 
 func (r *Region) check(off, n int64) {
 	if off < 0 || off+n > r.size {

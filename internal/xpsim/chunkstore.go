@@ -72,6 +72,19 @@ func (cs *ChunkStore) Export() (map[int][]byte, int64) {
 	return chunks, cs.size
 }
 
+// Clone returns a deep copy of the store.
+func (cs *ChunkStore) Clone() *ChunkStore {
+	n := NewChunkStore(cs.size)
+	for i, c := range cs.chunks {
+		if c != nil {
+			nc := make([]byte, len(c))
+			copy(nc, c)
+			n.chunks[i] = nc
+		}
+	}
+	return n
+}
+
 // Restore overwrites the store's chunks from an Export snapshot.
 func (cs *ChunkStore) Restore(chunks map[int][]byte) {
 	for i, c := range chunks {

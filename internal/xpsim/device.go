@@ -86,6 +86,12 @@ type Device struct {
 	buf   *xpBuffer
 	stats Stats
 	alloc int64 // bump allocation pointer for region placement
+
+	// Fault tracking (nil under eADR semantics): durable mirrors the
+	// backing store but is only updated at media-write events, so it
+	// holds exactly the bytes an ADR platform keeps across power loss.
+	faults  *Faults
+	durable *ChunkStore
 }
 
 // NewDevice builds a device of `size` bytes on `node` of a machine with
@@ -126,8 +132,65 @@ func (d *Device) ResetStats() {
 func (d *Device) Drain() Stats {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	d.stats.MediaWriteLines += d.buf.drain()
+	for _, li := range d.buf.drain(nil) {
+		d.mediaWrite(li)
+	}
 	return d.stats
+}
+
+// WritebackAll drains every dirty XPBuffer line to the media, charging
+// the caller's clock per line — the sfence-after-clwb persist barrier a
+// crash-consistent flush phase issues before advancing durable cursors.
+// The XPBuffer holds at most 64 lines, so the barrier is cheap.
+func (d *Device) WritebackAll(ctx *Ctx) {
+	d.mu.Lock()
+	lines := d.buf.drain(nil)
+	for _, li := range lines {
+		d.mediaWrite(li)
+	}
+	d.mu.Unlock()
+	ctx.Cost.Add(int64(len(lines)) * d.lat.LineWrite)
+}
+
+// enableTracking switches the device from eADR to tracked-durability
+// semantics: from now on only media-write events reach the durable image.
+// The image is seeded from the current backing store — everything written
+// before the switch was written under eADR and is durable by definition
+// (this matters when tracking is enabled on a crash clone that was
+// restored from a durable snapshot).
+func (d *Device) enableTracking(f *Faults) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faults == nil {
+		d.faults = f
+		d.durable = d.store.Clone()
+	}
+}
+
+// mediaWrite commits one XPLine to the media: the durability event. The
+// caller both holds d.mu and has already accounted the line in
+// stats.MediaWriteLines or is about to — this helper owns the counter so
+// the two can never diverge.
+func (d *Device) mediaWrite(li int64) {
+	d.stats.MediaWriteLines++
+	if d.durable == nil {
+		return
+	}
+	fate, eventN := d.faults.onMediaWrite()
+	switch fate {
+	case writeDropped:
+		return
+	case writeCommit:
+		var line [XPLineSize]byte
+		d.store.ReadAt(line[:], li*XPLineSize)
+		d.durable.WriteAt(line[:], li*XPLineSize)
+	case writeTear:
+		var old, cur [XPLineSize]byte
+		d.durable.ReadAt(old[:], li*XPLineSize)
+		d.store.ReadAt(cur[:], li*XPLineSize)
+		torn := d.faults.tearLine(old[:], cur[:], eventN)
+		d.durable.WriteAt(torn, li*XPLineSize)
+	}
 }
 
 // Reserve carves n bytes (aligned to align) out of the device for a
@@ -186,7 +249,7 @@ func (d *Device) Read(ctx *Ctx, off int64, p []byte) {
 	last := (off + int64(len(p)) - 1) / XPLineSize
 	var ns float64
 	for li := first; li <= last; li++ {
-		hit, evictedDirty := d.buf.access(li, false, window)
+		hit, wbLine := d.buf.access(li, false, window)
 		if hit {
 			d.stats.BufHits++
 			ns += float64(d.lat.BufRead) * rmul
@@ -195,8 +258,8 @@ func (d *Device) Read(ctx *Ctx, off int64, p []byte) {
 			d.stats.MediaReadLines++
 			ns += float64(d.lat.MediaRead) * rmul
 		}
-		if evictedDirty {
-			d.stats.MediaWriteLines++
+		if wbLine >= 0 {
+			d.mediaWrite(wbLine)
 		}
 		d.noteLocality(remote)
 	}
@@ -232,7 +295,7 @@ func (d *Device) Write(ctx *Ctx, off int64, p []byte) {
 		lineEnd := lineStart + XPLineSize
 		covered := off <= lineStart && end >= lineEnd
 		startsAtLine := off <= lineStart
-		hit, evictedDirty := d.buf.access(li, true, window)
+		hit, wbLine := d.buf.access(li, true, window)
 		if hit {
 			d.stats.BufHits++
 			ns += float64(d.lat.BufWrite) * wmul
@@ -246,8 +309,8 @@ func (d *Device) Write(ctx *Ctx, off int64, p []byte) {
 			}
 			ns += float64(d.lat.LineWrite) * wmul
 		}
-		if evictedDirty {
-			d.stats.MediaWriteLines++
+		if wbLine >= 0 {
+			d.mediaWrite(wbLine)
 		}
 		d.noteLocality(remote)
 	}
@@ -269,7 +332,7 @@ func (d *Device) Flush(ctx *Ctx, off, n int64) {
 	var flushed int64
 	for li := first; li <= last; li++ {
 		if d.buf.flushLine(li) {
-			d.stats.MediaWriteLines++
+			d.mediaWrite(li)
 			flushed++
 		}
 	}
@@ -317,6 +380,30 @@ func (d *Device) ExportState() DeviceState {
 	defer d.mu.Unlock()
 	chunks, size := d.store.Export()
 	return DeviceState{Node: d.node, Size: size, Alloc: d.alloc, Chunks: chunks}
+}
+
+// DurableState snapshots the bytes the device model says are durable at
+// this instant, without draining the XPBuffer: with fault tracking
+// enabled that is the durable image (XPBuffer-resident lines that were
+// never written back are absent, and a torn crash line stays torn);
+// without tracking the device is eADR and everything written through is
+// durable. Chunks are deep-copied — the live device keeps running while
+// the snapshot is recovered from.
+func (d *Device) DurableState() DeviceState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	src := d.store
+	if d.durable != nil {
+		src = d.durable
+	}
+	chunks, size := src.Export()
+	copied := make(map[int][]byte, len(chunks))
+	for i, c := range chunks {
+		nc := make([]byte, len(c))
+		copy(nc, c)
+		copied[i] = nc
+	}
+	return DeviceState{Node: d.node, Size: size, Alloc: d.alloc, Chunks: copied}
 }
 
 // RestoreState overwrites the device contents from a snapshot. The

@@ -10,6 +10,7 @@ type Machine struct {
 	Lat     LatencyModel
 	Sockets int
 	devices []*Device
+	faults  *Faults
 }
 
 // NewMachine builds a machine with `sockets` NUMA nodes, each with
@@ -59,5 +60,33 @@ func (m *Machine) SnapshotStats() Stats {
 func (m *Machine) ResetStats() {
 	for _, d := range m.devices {
 		d.ResetStats()
+	}
+}
+
+// TrackFaults switches every device from eADR to tracked-durability
+// semantics and returns the machine's fault-injection state (see
+// faults.go). Call it on a fresh machine, before any data is written;
+// arm a FaultPlan on the returned Faults to schedule a crash.
+func (m *Machine) TrackFaults() *Faults {
+	if m.faults == nil {
+		m.faults = &Faults{}
+		for _, d := range m.devices {
+			d.enableTracking(m.faults)
+		}
+	}
+	return m.faults
+}
+
+// Faults returns the fault-injection state, or nil if TrackFaults was
+// never called.
+func (m *Machine) Faults() *Faults { return m.faults }
+
+// CrashPoint marks a named crash site in store code (e.g. "flush:acked").
+// With fault tracking enabled it counts the hit and, if the armed plan
+// kills at this site, freezes the durable image here. A no-op otherwise,
+// so store code can annotate crash sites unconditionally.
+func (m *Machine) CrashPoint(name string) {
+	if m.faults != nil {
+		m.faults.onSite(name)
 	}
 }

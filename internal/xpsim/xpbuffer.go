@@ -8,7 +8,10 @@ package xpsim
 //
 // The buffer only tracks line identity and dirtiness — data lives in the
 // device's backing store, written through synchronously (eADR semantics:
-// the buffer is inside the power-fail protected domain).
+// the buffer is inside the power-fail protected domain). With fault
+// tracking enabled (faults.go) the device additionally maintains a
+// durable image updated only when lines are written back, which models
+// an ADR platform where buffered lines die with the power.
 type xpBuffer struct {
 	sets  int
 	ways  int
@@ -40,8 +43,10 @@ func (b *xpBuffer) set(idx int64) []xpLine {
 // capacityLines reports the buffer capacity in XPLines.
 func (b *xpBuffer) capacityLines() int { return b.sets * b.ways }
 
-// access looks up XPLine idx, inserting it on miss. It returns whether the
-// lookup hit and whether a dirty line was written back to media.
+// access looks up XPLine idx, inserting it on miss. It returns whether
+// the lookup hit and, when a dirty line was written back to media, which
+// line (wbLine = -1 if none): the evicted victim on a miss, or the line
+// itself when its reuse window expired.
 //
 // window models multi-threaded sharing of the buffer: the simulation runs
 // one worker's access stream at a time, but on real hardware `workers`
@@ -50,7 +55,7 @@ func (b *xpBuffer) capacityLines() int { return b.sets * b.ways }
 // its reuse distance (in this device's accesses) fits the window;
 // otherwise the intervening traffic would have evicted it, so the access
 // is charged as a miss (with a media write-back if the line was dirty).
-func (b *xpBuffer) access(idx int64, write bool, window uint64) (hit, wroteBack bool) {
+func (b *xpBuffer) access(idx int64, write bool, window uint64) (hit bool, wbLine int64) {
 	b.tick++
 	set := b.set(idx)
 	victim := 0
@@ -69,31 +74,37 @@ func (b *xpBuffer) access(idx int64, write bool, window uint64) (hit, wroteBack 
 				if !write {
 					set[i].dirty = false
 				}
-				return false, wasDirty
+				if wasDirty {
+					return false, idx
+				}
+				return false, -1
 			}
-			return true, false
+			return true, -1
 		}
 		if set[i].used < set[victim].used {
 			victim = i
 		}
 	}
-	wroteBack = set[victim].idx >= 0 && set[victim].dirty
+	wbLine = -1
+	if set[victim].idx >= 0 && set[victim].dirty {
+		wbLine = set[victim].idx
+	}
 	set[victim] = xpLine{idx: idx, dirty: write, used: b.tick}
-	return false, wroteBack
+	return false, wbLine
 }
 
-// drain marks every buffered line clean and reports how many dirty lines
-// were written back to media. Used when accounting finishes a run, so
-// media write counters include data still sitting in the buffer.
-func (b *xpBuffer) drain() int64 {
-	var n int64
+// drain marks every buffered line clean and appends the indices of the
+// dirty lines written back to media. Used when accounting finishes a run
+// (so media write counters include data still sitting in the buffer) and
+// by explicit writeback barriers.
+func (b *xpBuffer) drain(dst []int64) []int64 {
 	for i := range b.lines {
 		if b.lines[i].idx >= 0 && b.lines[i].dirty {
 			b.lines[i].dirty = false
-			n++
+			dst = append(dst, b.lines[i].idx)
 		}
 	}
-	return n
+	return dst
 }
 
 // flushLine writes back line idx if present and dirty, reporting whether a

@@ -21,7 +21,12 @@ fi
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (server, core)"
-go test -race ./internal/server/... ./internal/core/...
+echo "== go test -race -short ./..."
+# Short mode caps the exhaustive crash-point sweeps to deterministic
+# subsamples; the full sweeps run under plain `go test ./...` (and in CI).
+go test -race -short ./...
+
+echo "== crash-point sweeps (capped, native)"
+go test -run Crash -short ./internal/crashtest/ ./internal/core/ ./internal/elog/
 
 echo "check.sh: all green"
