@@ -26,6 +26,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/graphone"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/xpsim"
 )
@@ -64,7 +65,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xpgraph <bench|ingest|query|recover|gen|list> [flags]
   bench   -exp <fig3..fig20|table2|table3|ablation|ext-*|all> [-scale f] [-datasets A,B]
-          [-threads n] [-qthreads n] [-format table|csv] [-lat model.json]
+          [-threads n] [-qthreads n] [-format table|csv] [-lat model.json] [-trace out.json]
   ingest  -dataset D [-scale f] [-system s] [-threads n] [-save state.xpg]
   query   -dataset D [-scale f] [-algo bfs|pagerank|cc|onehop|khop|triangles] [-qthreads n]
   recover -dataset D [-scale f] [-load state.xpg]
@@ -81,9 +82,15 @@ func cmdBench(args []string) error {
 	qthreads := fs.Int("qthreads", 96, "query threads")
 	format := fs.String("format", "table", "output format: table|csv")
 	latPath := fs.String("lat", "", "JSON latency-model override (see xpsim.LoadLatency)")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the phase timeline to this file")
 	fs.Parse(args)
 
 	cfg := bench.Config{EdgeScale: *scale, ArchiveThreads: *threads, QueryThreads: *qthreads}
+	if *tracePath != "" {
+		// A full experiment emits a span per phase per batch; size the
+		// ring well past fig11's batch count so nothing is overwritten.
+		cfg.Tracer = obs.NewTracer(1 << 16)
+	}
 	if *latPath != "" {
 		lat, err := xpsim.LoadLatency(*latPath)
 		if err != nil {
@@ -107,7 +114,7 @@ func cmdBench(args []string) error {
 			return err
 		}
 		emit(t)
-		return nil
+		return writeTrace(*tracePath, cfg.Tracer)
 	}
 	for _, e := range bench.Experiments() {
 		fmt.Fprintf(os.Stderr, "running %s: %s...\n", e.Name, e.Title)
@@ -117,6 +124,29 @@ func cmdBench(args []string) error {
 		}
 		emit(t)
 	}
+	return writeTrace(*tracePath, cfg.Tracer)
+}
+
+// writeTrace dumps the tracer ring as Chrome trace-event JSON, viewable
+// in chrome://tracing or https://ui.perfetto.dev.
+func writeTrace(path string, t *obs.Tracer) error {
+	if path == "" || t == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans := t.Snapshot()
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d phase spans to %s (dropped %d; open in chrome://tracing)\n",
+		len(spans), path, t.Dropped())
 	return nil
 }
 

@@ -16,18 +16,28 @@
 //
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
+//
+// On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
+// new work, drains the ingest queue (every accepted edge is applied), runs
+// a final vertex-buffer flush so the graph is durable in PMEM adjacency
+// lists, writes the -trace file if one was requested, and exits 0.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/server"
 	"repro/internal/xpsim"
@@ -45,6 +55,7 @@ func main() {
 	flushEvery := flag.Duration("flush-every", 5*time.Second, "periodic vertex-buffer flush (0 disables)")
 	preload := flag.String("preload", "", "catalog dataset to pre-load (TT, FS, ...)")
 	scale := flag.Float64("scale", 0.1, "pre-load edge scale")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the phase timeline on shutdown")
 	flag.Parse()
 
 	machine := xpsim.NewMachine(2, *pmemGB<<30, xpsim.DefaultLatency())
@@ -73,14 +84,66 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loaded in %.3fs simulated\n", float64(rep.TotalNs())/1e9)
 	}
 
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(1 << 16)
+	}
 	srv := server.New(store, machine, server.Config{
 		QueryThreads: *qthreads,
 		QueueCap:     *queueCap,
 		BatchEdges:   *batchEdges,
 		Linger:       *linger,
 		FlushEvery:   *flushEvery,
+		Tracer:       tracer,
 	})
-	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	errC := make(chan error, 1)
+	go func() { errC <- httpSrv.ListenAndServe() }()
+
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGINT, syscall.SIGTERM)
 	fmt.Fprintf(os.Stderr, "xpgraphd listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case err := <-errC:
+		srv.Close()
+		log.Fatal(err)
+	case sig := <-sigC:
+		fmt.Fprintf(os.Stderr, "xpgraphd: %s — draining...\n", sig)
+	}
+
+	// Stop accepting connections, let in-flight requests finish.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "xpgraphd: http shutdown: %v\n", err)
+	}
+	// Apply every queued write and flush vertex buffers to PMEM.
+	srv.Shutdown()
+
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, srv.Tracer()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "xpgraphd: drained and flushed; bye")
+}
+
+// writeTrace dumps the tracer ring as Chrome trace-event JSON.
+func writeTrace(path string, t *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	spans := t.Snapshot()
+	if err := obs.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xpgraphd: wrote %d phase spans to %s\n", len(spans), path)
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/graphone"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/xpsim"
 )
@@ -35,6 +36,10 @@ type Config struct {
 	QueryThreads int
 	// Latency overrides the calibrated machine model (nil: defaults).
 	Latency *xpsim.LatencyModel
+	// Tracer, when non-nil, is attached to every store an experiment
+	// builds, recording logging/buffering/flushing phase spans on the
+	// simulated clock (export with obs.WriteChromeTrace).
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -229,6 +234,9 @@ func newXPGraph(edges []graph.Edge, numV uint32, cfg Config, opts ...xpOpt) (*co
 		budget = mem.NewBudget(ScaledDRAMBytes)
 	}
 	s, err := core.New(m, h, budget, o)
+	if err == nil {
+		s.SetTracer(cfg.Tracer)
+	}
 	return s, m, err
 }
 
@@ -254,6 +262,9 @@ func newGraphOne(edges []graph.Edge, numV uint32, cfg Config, variant graphone.V
 		Variant:        variant,
 		BindSingleNode: bind,
 	})
+	if err == nil {
+		s.SetTracer(cfg.Tracer)
+	}
 	return s, m, err
 }
 

@@ -165,6 +165,14 @@ func fig11(cfg Config) (Table, error) {
 			if err != nil {
 				return Table{}, err
 			}
+			if cfg.Tracer != nil {
+				// Complete the pipeline so the trace shows the full
+				// logging/buffering/flushing split (Fig. 3a); the
+				// reported ingestion time above is already captured.
+				if err := s.FlushAllVbufs(); err != nil {
+					return Table{}, err
+				}
+			}
 			if battery {
 				xpB = rep.TotalNs()
 			} else {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/elog"
 	"repro/internal/graph"
 	"repro/internal/mempool"
+	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/vbuf"
 	"repro/internal/xpsim"
@@ -96,6 +97,7 @@ func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
 		return IngestReport{}, err
 	}
 	s.report.LogNs += logCtx.Cost.Ns()
+	s.emitSpan("log", obs.LaneLogging, logCtx.Cost.Ns())
 	r := s.report
 	r.Edges -= before.Edges
 	r.LogNs -= before.LogNs
@@ -182,6 +184,7 @@ func (s *Store) bufferPhase() error {
 	}
 	s.epoch++
 	s.report.Batches++
+	bufStart := s.laneEnd[obs.LaneBuffering]
 
 	shardCtx := xpsim.NewCtx(xpsim.NodeUnbound)
 	batch := s.log.Read(shardCtx, from, to, nil)
@@ -228,6 +231,7 @@ func (s *Store) bufferPhase() error {
 	var phaseNs int64
 	var insertErr error
 	contention := s.contentionFor()
+	preNs := shardCtx.Cost.Ns() // sharding cost precedes the worker groups
 	for d := 0; d < 2; d++ {
 		for p := 0; p < s.nparts; p++ {
 			g := s.groups[d][p]
@@ -248,6 +252,7 @@ func (s *Store) bufferPhase() error {
 			if int64(dur) > phaseNs {
 				phaseNs = int64(dur)
 			}
+			s.workerSpan("buffer", d, p, bufStart+preNs, int64(dur))
 			if insertErr != nil {
 				return insertErr
 			}
@@ -257,6 +262,7 @@ func (s *Store) bufferPhase() error {
 	s.log.MarkBuffered(shardCtx, to)
 	s.machine.CrashPoint("buffer:marked")
 	s.report.BufferNs += shardCtx.Cost.Ns() + phaseNs
+	s.emitSpan("buffer", obs.LaneBuffering, shardCtx.Cost.Ns()+phaseNs)
 	return nil
 }
 
@@ -354,9 +360,11 @@ func (s *Store) FlushAllVbufs() error {
 		ctx := xpsim.NewCtx(xpsim.NodeUnbound)
 		s.commitFlush(ctx)
 		s.report.FlushNs += ctx.Cost.Ns()
+		s.emitSpan("flush", obs.LaneFlushing, ctx.Cost.Ns())
 		return nil
 	}
 	s.report.FlushAlls++
+	flushStart := s.laneEnd[obs.LaneFlushing]
 	wpg := s.workersPerGroup()
 	contention := s.contentionFor()
 	var phaseNs int64
@@ -393,6 +401,7 @@ func (s *Store) FlushAllVbufs() error {
 			if int64(dur) > phaseNs {
 				phaseNs = int64(dur)
 			}
+			s.workerSpan("flush", d, p, flushStart, int64(dur))
 			if flushErr != nil {
 				return flushErr
 			}
@@ -402,6 +411,7 @@ func (s *Store) FlushAllVbufs() error {
 	s.commitFlush(ctx)
 	s.pool.Reset()
 	s.report.FlushNs += phaseNs + ctx.Cost.Ns()
+	s.emitSpan("flush", obs.LaneFlushing, phaseNs+ctx.Cost.Ns())
 	return nil
 }
 
@@ -443,7 +453,10 @@ func (s *Store) CompactAdjs(ctx *xpsim.Ctx, v graph.VID) error {
 			return err
 		}
 	}
-	return s.compactOne(ctx, v)
+	before := ctx.Cost.Ns()
+	err := s.compactOne(ctx, v)
+	s.emitSpan(fmt.Sprintf("compact v%d", v), obs.LaneCompaction, ctx.Cost.Ns()-before)
+	return err
 }
 
 // compactOne compacts a single vertex; crash-safe callers must have
@@ -488,10 +501,12 @@ func (s *Store) CompactAllAdjs(ctx *xpsim.Ctx) error {
 			return err
 		}
 	}
+	before := ctx.Cost.Ns()
 	for v := graph.VID(0); v < s.NumVertices(); v++ {
 		if err := s.compactOne(ctx, v); err != nil {
 			return err
 		}
 	}
+	s.emitSpan("compact all", obs.LaneCompaction, ctx.Cost.Ns()-before)
 	return nil
 }

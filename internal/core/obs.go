@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// SetTracer attaches (or, with nil, detaches) a phase tracer. Spans are
+// recorded on the simulated clock: each pipeline lane (logging,
+// buffering, flushing, compaction, recovery) keeps a cursor that
+// advances by the simulated duration of every phase placed on it, so
+// the exported timeline reproduces the Fig. 3a phase split. A nil
+// tracer costs one branch per phase boundary — the ingest hot loop
+// itself is never instrumented per edge.
+func (s *Store) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// Tracer returns the attached tracer (nil when tracing is disabled).
+func (s *Store) Tracer() *obs.Tracer { return s.tracer }
+
+// emitSpan places a span of durNs at the current end of lane and
+// advances the lane cursor. It returns the span's start so callers can
+// co-locate per-worker sub-spans with the parent phase.
+func (s *Store) emitSpan(name string, lane int64, durNs int64) int64 {
+	start := s.laneEnd[lane]
+	s.laneEnd[lane] += durNs
+	s.tracer.EmitPhase(name, lane, start, durNs)
+	return start
+}
+
+// dirName labels the two adjacency directions in span and metric names.
+func dirName(d int) string {
+	if Direction(d) == Out {
+		return "out"
+	}
+	return "in"
+}
+
+// workerSpan emits a per-group worker-lane sub-span aligned with its
+// parent phase (nil-safe; only called at phase boundaries).
+func (s *Store) workerSpan(phase string, d, p int, startNs, durNs int64) {
+	if s.tracer == nil {
+		return
+	}
+	s.tracer.Emit(obs.Span{
+		Name:    fmt.Sprintf("%s %s/p%d", phase, dirName(d), p),
+		Cat:     "worker",
+		Lane:    obs.LaneWorkerBase + int64(d*s.nparts+p),
+		StartNs: startNs,
+		DurNs:   durNs,
+	})
+}
+
+// RegisterMetrics registers the store's occupancy gauges and pipeline
+// counters with a registry. The gauge callbacks read live store state,
+// so on a concurrently-served store the scrape must run under the same
+// lock that serializes writes (the server holds its state lock around
+// Gather).
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	gauge := func(name, help string, fn func() float64) {
+		r.Register(obs.NewGaugeFunc(name, help, fn))
+	}
+	gauge("xpgraph_vertices", "Current vertex-ID space of the store.",
+		func() float64 { return float64(s.NumVertices()) })
+
+	// Edge-log occupancy (the circular log of §III-B / Fig. 7).
+	gauge("xpgraph_elog_capacity_edges", "Circular edge log capacity in edges.",
+		func() float64 { return float64(s.log.Cap()) })
+	gauge("xpgraph_elog_logged_edges", "Total edges ever appended to the log (head cursor).",
+		func() float64 { return float64(s.log.Head()) })
+	gauge("xpgraph_elog_buffered_edges", "Edges staged into DRAM vertex buffers (buffered cursor).",
+		func() float64 { return float64(s.log.Buffered()) })
+	gauge("xpgraph_elog_flushed_edges", "Edges durable in PMEM adjacency lists (flushed cursor).",
+		func() float64 { return float64(s.log.Flushed()) })
+	gauge("xpgraph_elog_pending_buffer_edges", "Edges logged but not yet buffered.",
+		func() float64 { return float64(s.log.PendingBuffer()) })
+	gauge("xpgraph_elog_pending_flush_edges", "Edges buffered but not yet flush-acknowledged.",
+		func() float64 { return float64(s.log.PendingFlush()) })
+	gauge("xpgraph_elog_occupancy_ratio", "Unflushed log window / capacity (1.0 = head caught the flushing cursor).",
+		func() float64 {
+			if c := s.log.Cap(); c > 0 {
+				return float64(s.log.Head()-s.log.Flushed()) / float64(c)
+			}
+			return 0
+		})
+
+	// DRAM vertex-buffer pool (§III-C).
+	gauge("xpgraph_pool_used_bytes", "Vertex-buffer pool bytes currently allocated.",
+		func() float64 { return float64(s.pool.Used()) })
+	gauge("xpgraph_pool_peak_bytes", "Vertex-buffer pool high-water mark.",
+		func() float64 { return float64(s.pool.Peak()) })
+	gauge("xpgraph_pool_footprint_bytes", "Vertex-buffer pool bulk footprint (allocated from the OS).",
+		func() float64 { return float64(s.pool.Footprint()) })
+
+	// Table III memory breakdown.
+	gauge("xpgraph_meta_dram_bytes", "DRAM metadata bytes (vertex indexes, batch counters, shard scratch).",
+		func() float64 { return float64(s.MemUsage().MetaDRAM) })
+	gauge("xpgraph_elog_pmem_bytes", "PMEM bytes of the circular edge log.",
+		func() float64 { return float64(s.MemUsage().ElogPMEM) })
+	gauge("xpgraph_pblk_pmem_bytes", "PMEM bytes of persistent adjacency blocks.",
+		func() float64 { return float64(s.MemUsage().PblkPMEM) })
+
+	// Pipeline counters from the accumulated ingest report, including
+	// the per-phase simulated seconds behind the Fig. 3a split.
+	r.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
+		rep := s.Report()
+		counter := func(name, help string, v float64, labels ...obs.Label) {
+			emit(obs.Sample{Name: name, Help: help, Kind: obs.KindCounter, Labels: labels, Value: v})
+		}
+		counter("xpgraph_ingested_edges_total", "Edges accepted through the logging pipeline.", float64(rep.Edges))
+		counter("xpgraph_buffer_phases_total", "Buffering phases executed.", float64(rep.Batches))
+		counter("xpgraph_flush_phases_total", "Full flushing phases executed.", float64(rep.FlushAlls))
+		counter("xpgraph_pool_fallbacks_total", "Buffer allocations that fell back to direct adjacency writes.", float64(rep.PoolFallbacks))
+		phase := func(name string, ns int64) {
+			counter("xpgraph_phase_seconds_total", "Simulated seconds spent per pipeline phase (Fig. 3a split).",
+				float64(ns)/1e9, obs.Label{Key: "phase", Value: name})
+		}
+		phase("logging", rep.LogNs)
+		phase("buffering", rep.BufferNs)
+		phase("flushing", rep.FlushNs)
+	}))
+}

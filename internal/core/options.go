@@ -18,6 +18,7 @@ package core
 
 import (
 	"repro/internal/mempool"
+	"repro/internal/obs"
 	"repro/internal/vbuf"
 )
 
@@ -129,6 +130,12 @@ type Options struct {
 	// for ablations.
 	ProactiveFlush        bool
 	DisableProactiveFlush bool
+
+	// Tracer, when non-nil, records pipeline phase spans on the
+	// simulated clock (see internal/obs). Nil disables tracing; phase
+	// boundaries then pay a single branch. SetTracer can attach one
+	// after construction as well.
+	Tracer *obs.Tracer
 
 	// RelaxedDurability opts out of the crash-safe ordering protocol
 	// (double-buffered count acknowledgment, journaled compaction,

@@ -6,6 +6,7 @@ import (
 	"repro/internal/elog"
 	"repro/internal/graph"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/xpsim"
 )
@@ -63,6 +64,7 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 		heap:    heap,
 		budget:  budget,
 		lat:     &machine.Lat,
+		tracer:  opts.Tracer,
 	}
 	if opts.NUMA == NUMASubgraph {
 		s.nparts = machine.Sockets
@@ -139,6 +141,7 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	rep.Replayed = int64(len(replay))
 	s.log.MarkBuffered(ctx, s.log.Head())
 	rep.SimNs = ctx.Cost.Ns()
+	s.emitSpan("recover", obs.LaneRecovery, rep.SimNs)
 	return s, rep, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mem"
 	"repro/internal/mempool"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/ssd"
 	"repro/internal/vbuf"
@@ -67,6 +68,12 @@ type Store struct {
 	metaPeakExtra int64 // shard scratch high-water mark
 	report        IngestReport
 
+	// Phase tracing (nil = disabled): spans are placed on per-lane
+	// simulated-clock cursors so the exported timeline reconstructs the
+	// pipeline schedule the cost model computed (see obs.go).
+	tracer  *obs.Tracer
+	laneEnd [obs.LaneWorkerBase]int64
+
 	// delVerts tracks vertices that ever received a deletion tombstone,
 	// per direction. Queries on every other vertex can stream neighbors
 	// without materializing a slice for tombstone resolution. After a
@@ -93,6 +100,7 @@ func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Optio
 		heap:    heap,
 		budget:  budget,
 		lat:     &machine.Lat,
+		tracer:  opts.Tracer,
 	}
 	switch opts.NUMA {
 	case NUMASubgraph:

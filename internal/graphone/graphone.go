@@ -20,6 +20,7 @@ import (
 	"repro/internal/elog"
 	"repro/internal/graph"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/pmem"
 	"repro/internal/pmfs"
 	"repro/internal/shard"
@@ -129,6 +130,57 @@ type Store struct {
 
 	metaBytes int64
 	report    IngestReport
+
+	// Phase tracing (nil = disabled); lane cursors as in core.Store.
+	tracer  *obs.Tracer
+	laneEnd [obs.LaneWorkerBase]int64
+}
+
+// SetTracer attaches (or detaches, with nil) a phase tracer; GraphOne
+// emits logging spans and combined archive spans (its buffering and
+// flushing are one edge-centric phase, §II-B).
+func (s *Store) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// emitSpan places a span at the end of lane and advances the cursor.
+func (s *Store) emitSpan(name string, lane int64, durNs int64) {
+	start := s.laneEnd[lane]
+	s.laneEnd[lane] += durNs
+	s.tracer.EmitPhase(name, lane, start, durNs)
+}
+
+// RegisterMetrics registers the baseline's occupancy gauges and
+// pipeline counters with a registry (the GraphOne analogue of
+// core.Store.RegisterMetrics, so the server scrapes either engine).
+func (s *Store) RegisterMetrics(r *obs.Registry) {
+	gauge := func(name, help string, fn func() float64) {
+		r.Register(obs.NewGaugeFunc(name, help, fn))
+	}
+	gauge("xpgraph_vertices", "Current vertex-ID space of the store.",
+		func() float64 { return float64(s.NumVertices()) })
+	gauge("xpgraph_elog_capacity_edges", "Circular edge log capacity in edges.",
+		func() float64 { return float64(s.log.Cap()) })
+	gauge("xpgraph_elog_logged_edges", "Total edges ever appended to the log (head cursor).",
+		func() float64 { return float64(s.log.Head()) })
+	gauge("xpgraph_elog_buffered_edges", "Edges archived out of the log (buffered cursor).",
+		func() float64 { return float64(s.log.Buffered()) })
+	gauge("xpgraph_elog_pending_buffer_edges", "Edges logged but not yet archived.",
+		func() float64 { return float64(s.log.PendingBuffer()) })
+	gauge("xpgraph_elog_pmem_bytes", "Bytes of the circular edge log.",
+		func() float64 { return float64(s.log.Bytes()) })
+	gauge("xpgraph_pblk_pmem_bytes", "Bytes of archived adjacency blocks.",
+		func() float64 { return float64(s.adjs[0].Bytes() + s.adjs[1].Bytes()) })
+	r.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
+		rep := s.Report()
+		counter := func(name, help string, v float64, labels ...obs.Label) {
+			emit(obs.Sample{Name: name, Help: help, Kind: obs.KindCounter, Labels: labels, Value: v})
+		}
+		counter("xpgraph_ingested_edges_total", "Edges accepted through the logging pipeline.", float64(rep.Edges))
+		counter("xpgraph_buffer_phases_total", "Archiving phases executed.", float64(rep.Batches))
+		counter("xpgraph_phase_seconds_total", "Simulated seconds spent per pipeline phase.",
+			float64(rep.LogNs)/1e9, obs.Label{Key: "phase", Value: "logging"})
+		counter("xpgraph_phase_seconds_total", "Simulated seconds spent per pipeline phase.",
+			float64(rep.ArchiveNs)/1e9, obs.Label{Key: "phase", Value: "archive"})
+	}))
 }
 
 // Store conforms to the canonical read surface, so analytics and the
@@ -267,6 +319,7 @@ func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
 		return IngestReport{}, err
 	}
 	s.report.LogNs += logCtx.Cost.Ns()
+	s.emitSpan("log", obs.LaneLogging, logCtx.Cost.Ns())
 	r := s.report
 	r.Edges -= before.Edges
 	r.LogNs -= before.LogNs
@@ -394,6 +447,7 @@ func (s *Store) archive() error {
 	s.log.MarkBuffered(coord, to)
 	s.log.MarkFlushed(coord, to)
 	s.report.ArchiveNs += coord.Cost.Ns() + phaseNs
+	s.emitSpan("archive", obs.LaneArchive, coord.Cost.Ns()+phaseNs)
 	return nil
 }
 

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSpanJSONRoundTrip pins the Span wire shape.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := Span{Name: "buffer", Cat: "phase", Lane: LaneBuffering, StartNs: 1500, DurNs: 2500}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Span
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round-trip changed span: %+v != %+v", out, in)
+	}
+}
+
+// chromeEvent is the subset of the trace-event format the viewers need.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChromeTraceFormat: the export must be a JSON array of complete
+// events (ph "X", ts/dur in µs) plus thread_name metadata for used lanes.
+func TestChromeTraceFormat(t *testing.T) {
+	spans := []Span{
+		{Name: "log", Lane: LaneLogging, StartNs: 0, DurNs: 1000},
+		{Name: "buffer", Lane: LaneBuffering, StartNs: 1000, DurNs: 2500},
+		{Name: "flush d0/p1", Cat: "worker", Lane: LaneWorkerBase + 1, StartNs: 3500, DurNs: 123},
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatal(err)
+	}
+	var events []chromeEvent
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v\n%s", err, b.String())
+	}
+
+	var meta, complete []chromeEvent
+	for _, e := range events {
+		switch e.Ph {
+		case "M":
+			meta = append(meta, e)
+		case "X":
+			complete = append(complete, e)
+		default:
+			t.Fatalf("unexpected ph %q", e.Ph)
+		}
+	}
+	if len(complete) != len(spans) {
+		t.Fatalf("got %d complete events, want %d", len(complete), len(spans))
+	}
+	// Metadata names the two fixed lanes in use (worker lanes are unnamed).
+	names := map[int64]string{}
+	for _, e := range meta {
+		if e.Name != "thread_name" || e.Pid != 0 {
+			t.Fatalf("bad metadata event %+v", e)
+		}
+		names[e.Tid], _ = e.Args["name"].(string)
+	}
+	if names[LaneLogging] != "logging" || names[LaneBuffering] != "buffering" {
+		t.Fatalf("lane metadata wrong: %v", names)
+	}
+	// ns → µs conversion, pid 0, lane as tid.
+	e := complete[1]
+	if e.Name != "buffer" || e.Cat != "phase" || e.Ts != 1.0 || e.Dur != 2.5 ||
+		e.Pid != 0 || e.Tid != LaneBuffering {
+		t.Fatalf("complete event wrong: %+v", e)
+	}
+	if w := complete[2]; w.Cat != "worker" || w.Dur != 0.123 {
+		t.Fatalf("worker event wrong: %+v", w)
+	}
+}
+
+// TestTracerRingBounded: the ring keeps the most recent capSpans spans,
+// oldest-first, and counts overwrites.
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.EmitPhase("s", LaneLogging, int64(i), 1)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+	}
+	got := tr.Snapshot()
+	for i, s := range got {
+		if want := int64(6 + i); s.StartNs != want {
+			t.Fatalf("span %d StartNs = %d, want %d (oldest-first)", i, s.StartNs, want)
+		}
+	}
+}
+
+// TestTracerDrain: Drain returns everything once, then the ring is empty.
+func TestTracerDrain(t *testing.T) {
+	tr := NewTracer(8)
+	tr.EmitPhase("a", LaneLogging, 0, 1)
+	tr.EmitPhase("b", LaneFlushing, 1, 1)
+	first := tr.Drain()
+	if len(first) != 2 || first[0].Name != "a" || first[1].Name != "b" {
+		t.Fatalf("first drain = %+v", first)
+	}
+	if second := tr.Drain(); len(second) != 0 {
+		t.Fatalf("second drain returned %d spans, want 0", len(second))
+	}
+	// The ring is reusable after a drain.
+	tr.EmitPhase("c", LaneLogging, 2, 1)
+	if got := tr.Drain(); len(got) != 1 || got[0].Name != "c" {
+		t.Fatalf("post-drain emit lost: %+v", got)
+	}
+}
+
+// TestNilTracer: every method on a nil tracer is a safe no-op — the
+// disabled fast path instrumented code relies on.
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.Emit(Span{})
+	tr.EmitPhase("x", LaneLogging, 0, 1)
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer reports buffered spans")
+	}
+	if tr.Snapshot() != nil || tr.Drain() != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+}

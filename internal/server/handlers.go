@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/view"
 	"repro/internal/xpsim"
 )
@@ -66,16 +68,21 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ireq := &ingestReq{edges: edges, done: make(chan ingestResult, 1)}
-	if !s.tryEnqueue(ireq) {
+	switch err := s.tryEnqueue(ireq); err {
+	case nil:
+	case errShuttingDown:
+		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
+		return
+	default:
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests, "queue_full",
 			"ingest queue is full (%d edges queued, capacity %d)",
-			s.m.queued.Load(), s.cfg.QueueCap)
+			s.m.view().Queued, s.cfg.QueueCap)
 		return
 	}
 
 	if r.URL.Query().Get("async") == "1" {
-		epoch := s.m.epoch.Load()
+		epoch := s.m.Epoch()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
 		w.WriteHeader(http.StatusAccepted)
@@ -83,25 +90,31 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	var res ingestResult
 	select {
-	case res := <-ireq.done:
-		if res.err != nil {
-			if res.err == errShuttingDown {
-				httpError(w, http.StatusServiceUnavailable, "shutting_down", "%v", res.err)
-				return
-			}
-			httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.err)
+	case res = <-ireq.done:
+	case <-s.stop:
+		if !s.m.isDraining() {
+			httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 			return
 		}
-		writeEpochJSON(w, res.epoch, IngestResponse{
-			Accepted: res.accepted,
-			SimMs:    float64(res.simNs) / 1e6,
-			Batches:  res.batches,
-			Epoch:    res.epoch,
-		})
-	case <-s.stop:
-		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
+		// Graceful drain: every accepted request is applied and answered.
+		res = <-ireq.done
 	}
+	if res.err != nil {
+		if res.err == errShuttingDown {
+			httpError(w, http.StatusServiceUnavailable, "shutting_down", "%v", res.err)
+			return
+		}
+		httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.err)
+		return
+	}
+	writeEpochJSON(w, res.epoch, IngestResponse{
+		Accepted: res.accepted,
+		SimMs:    float64(res.simNs) / 1e6,
+		Batches:  res.batches,
+		Epoch:    res.epoch,
+	})
 }
 
 // ---- snapshot reads ----
@@ -163,8 +176,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	epoch := s.m.epoch.Load()
+	epoch := s.m.Epoch()
 	writeEpochJSON(w, epoch, HealthzResponse{Status: "ok", Epoch: epoch})
+}
+
+// wantsPrometheus decides the /v1/metrics representation: the JSON
+// shape stays the default; the Prometheus text exposition is chosen by
+// content negotiation or an explicit format override.
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -172,19 +197,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	ageNs := time.Now().UnixNano() - s.m.publishedAtNs.Load()
+	if wantsPrometheus(r) {
+		// Gather under the shared state lock: store gauge callbacks read
+		// live log cursors and pool counters that concurrent ingest
+		// batches mutate under the exclusive lock.
+		var buf bytes.Buffer
+		s.stateMu.RLock()
+		err := s.reg.WritePrometheus(&buf)
+		s.stateMu.RUnlock()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "internal", "gather: %v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+		return
+	}
+	v := s.m.view() // one consistent copy: applied can never exceed accepted
 	writeJSON(w, MetricsResponse{
-		QueueDepthEdges: s.m.queued.Load(),
+		QueueDepthEdges: v.Queued,
 		QueueCapEdges:   int64(s.cfg.QueueCap),
-		EdgesApplied:    s.m.edgesApplied.Load(),
-		BatchesApplied:  s.m.batchesApplied.Load(),
-		RejectedWrites:  s.m.rejected.Load(),
-		LastBatchHostUs: float64(s.m.lastBatchHostNs.Load()) / 1e3,
-		LastBatchSimMs:  float64(s.m.lastBatchSimNs.Load()) / 1e6,
-		LastBatchEdges:  s.m.lastBatchEdges.Load(),
-		SnapshotEpoch:   s.m.epoch.Load(),
-		SnapshotAgeMs:   float64(ageNs) / 1e6,
+		EdgesAccepted:   v.EdgesAccepted,
+		EdgesApplied:    v.EdgesApplied,
+		EdgesDropped:    v.EdgesDropped,
+		BatchesApplied:  v.BatchesApplied,
+		RejectedWrites:  v.Rejected,
+		LastBatchHostUs: float64(v.LastBatchHostNs) / 1e3,
+		LastBatchSimMs:  float64(v.LastBatchSimNs) / 1e6,
+		LastBatchEdges:  v.LastBatchEdges,
+		SnapshotEpoch:   v.Epoch,
+		SnapshotAgeMs:   float64(time.Now().UnixNano()-v.PublishedAtNs) / 1e6,
 	})
+}
+
+// handleTrace drains the span ring as Chrome trace-event JSON: each GET
+// returns everything recorded since the previous one.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
+		return
+	}
+	spans := s.tracer.Drain()
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.WriteChromeTrace(w, spans); err != nil {
+		_ = err // headers are out; nothing sensible left to do
+	}
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -200,7 +257,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PblkPMEMBytes:   u.PblkPMEM,
 		MediaReadBytes:  st.MediaReadBytes(),
 		MediaWriteBytes: st.MediaWriteBytes(),
-		Epoch:           s.m.epoch.Load(),
+		Epoch:           s.m.Epoch(),
 	}
 	s.stateMu.RUnlock()
 	writeEpochJSON(w, resp.Epoch, resp)
@@ -215,7 +272,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stateMu.Lock()
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	epoch := s.m.epoch.Load()
+	epoch := s.m.Epoch()
 	s.stateMu.Unlock()
 	writeEpochJSON(w, epoch, SnapshotResponse{Epoch: epoch})
 }
@@ -237,7 +294,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if cerr == nil {
 		s.publishLocked(ctx)
 	}
-	epoch := s.m.epoch.Load()
+	epoch := s.m.Epoch()
 	s.stateMu.Unlock()
 	if cerr != nil {
 		httpError(w, http.StatusInternalServerError, "internal", "compact: %v", cerr)
@@ -257,7 +314,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if ferr == nil {
 		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 	}
-	epoch := s.m.epoch.Load()
+	epoch := s.m.Epoch()
 	s.stateMu.Unlock()
 	if ferr != nil {
 		httpError(w, http.StatusInternalServerError, "internal", "flush: %v", ferr)

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// initMetrics builds the server's registry: simulated-device telemetry,
+// the store's occupancy gauges, the pipeline counters, per-endpoint
+// latency histograms, and tracer-ring health.
+func (s *Server) initMetrics() {
+	s.reg = obs.NewRegistry()
+	s.reg.Register(obs.NewMachineCollector(s.machine))
+	s.store.RegisterMetrics(s.reg)
+
+	s.httpLat = obs.NewHistogramVec("xpgraph_http_request_duration_seconds",
+		"HTTP request latency by normalized route.", "route", obs.DefBuckets)
+	s.httpReqs = obs.NewCounterVec("xpgraph_http_requests_total",
+		"HTTP requests served by normalized route.", "route")
+	s.reg.Register(s.httpLat)
+	s.reg.Register(s.httpReqs)
+
+	// Pipeline counters from one consistent view() per scrape — the
+	// Prometheus exposition upholds the same applied <= accepted
+	// invariant the JSON shape does.
+	s.reg.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
+		v := s.m.view()
+		sample := func(name, help string, kind obs.Kind, val float64) {
+			emit(obs.Sample{Name: name, Help: help, Kind: kind, Value: val})
+		}
+		sample("xpgraph_ingest_queue_depth_edges", "Edges accepted but not yet applied or dropped.", obs.KindGauge, float64(v.Queued))
+		sample("xpgraph_ingest_queue_cap_edges", "Bounded ingest queue capacity in edges.", obs.KindGauge, float64(s.cfg.QueueCap))
+		sample("xpgraph_ingest_edges_accepted_total", "Edges admitted past the queue-capacity check.", obs.KindCounter, float64(v.EdgesAccepted))
+		sample("xpgraph_ingest_edges_applied_total", "Edges applied to the store.", obs.KindCounter, float64(v.EdgesApplied))
+		sample("xpgraph_ingest_edges_dropped_total", "Accepted edges dequeued without application (failure or shutdown).", obs.KindCounter, float64(v.EdgesDropped))
+		sample("xpgraph_ingest_batches_total", "Ingest batches applied under the write lock.", obs.KindCounter, float64(v.BatchesApplied))
+		sample("xpgraph_ingest_rejected_writes_total", "Write requests shed with 429 queue_full.", obs.KindCounter, float64(v.Rejected))
+		sample("xpgraph_snapshot_epoch", "Epoch of the currently published snapshot.", obs.KindGauge, float64(v.Epoch))
+		sample("xpgraph_snapshot_age_seconds", "Host seconds since the last snapshot publication.", obs.KindGauge,
+			float64(time.Now().UnixNano()-v.PublishedAtNs)/1e9)
+		sample("xpgraph_last_batch_host_seconds", "Host latency of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchHostNs)/1e9)
+		sample("xpgraph_last_batch_sim_seconds", "Simulated store time of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchSimNs)/1e9)
+		sample("xpgraph_last_batch_edges", "Size of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchEdges))
+	}))
+
+	s.reg.Register(obs.NewGaugeFunc("obs_trace_spans",
+		"Phase spans currently buffered in the trace ring.",
+		func() float64 { return float64(s.tracer.Len()) }))
+	s.reg.Register(obs.NewGaugeFunc("obs_trace_dropped_total",
+		"Spans overwritten because the trace ring wrapped.",
+		func() float64 { return float64(s.tracer.Dropped()) }))
+}
+
+// knownRoutes bounds the route-label cardinality of the HTTP metrics.
+var knownRoutes = map[string]bool{
+	"/edges": true, "/snapshot": true, "/flush": true, "/stats": true,
+	"/healthz": true, "/metrics": true, "/trace": true,
+	"/query/bfs": true, "/query/pagerank": true, "/query/cc": true,
+	"/query/khop": true,
+}
+
+// routeLabel normalizes a request path (after /v1 stripping) into a
+// bounded label: path parameters collapse to {id} and unknown paths to
+// "other", so a scrape can never grow unbounded series.
+func routeLabel(path string) string {
+	if rest, ok := strings.CutPrefix(path, "/vertices/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch sub := rest[i+1:]; sub {
+			case "out", "in", "degree":
+				return "/vertices/{id}/" + sub
+			}
+		}
+		return "/vertices/{id}"
+	}
+	if strings.HasPrefix(path, "/compact/") {
+		return "/compact/{id}"
+	}
+	if knownRoutes[path] {
+		return path
+	}
+	return "other"
+}

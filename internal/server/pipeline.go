@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -10,18 +11,90 @@ import (
 	"repro/internal/xpsim"
 )
 
-// metrics are the pipeline counters behind GET /v1/metrics. All fields
-// are atomics so handlers read them without any lock.
+// metrics are the pipeline counters behind GET /v1/metrics. One mutex
+// guards them all: every mutation that must stay coherent (reserve
+// queue space + count acceptance, dequeue + count application) happens
+// in a single critical section, and a scrape copies the whole struct at
+// once. A reader can therefore never observe applied > accepted, or a
+// queue depth that disagrees with accepted - applied - dropped.
 type metrics struct {
-	queued          atomic.Int64 // edges enqueued but not yet applied
-	epoch           atomic.Uint64
-	edgesApplied    atomic.Int64
-	batchesApplied  atomic.Int64
-	rejected        atomic.Int64
-	lastBatchHostNs atomic.Int64
-	lastBatchSimNs  atomic.Int64
-	lastBatchEdges  atomic.Int64
-	publishedAtNs   atomic.Int64 // host clock of the last snapshot publication
+	mu              sync.Mutex
+	queued          int64 // edges enqueued but not yet applied or dropped
+	epoch           uint64
+	edgesAccepted   int64 // edges admitted past the queue-capacity check
+	edgesApplied    int64 // edges applied to the store
+	edgesDropped    int64 // accepted edges dequeued without application (failure/shutdown)
+	batchesApplied  int64
+	rejected        int64
+	lastBatchHostNs int64
+	lastBatchSimNs  int64
+	lastBatchEdges  int64
+	publishedAtNs   int64 // host clock of the last snapshot publication
+	draining        bool  // graceful shutdown: reject new writes, apply queued ones
+}
+
+// metricsView is one consistent copy of the counters.
+type metricsView struct {
+	Queued          int64
+	Epoch           uint64
+	EdgesAccepted   int64
+	EdgesApplied    int64
+	EdgesDropped    int64
+	BatchesApplied  int64
+	Rejected        int64
+	LastBatchHostNs int64
+	LastBatchSimNs  int64
+	LastBatchEdges  int64
+	PublishedAtNs   int64
+}
+
+// view snapshots every counter under one lock acquisition.
+func (m *metrics) view() metricsView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return metricsView{
+		Queued:          m.queued,
+		Epoch:           m.epoch,
+		EdgesAccepted:   m.edgesAccepted,
+		EdgesApplied:    m.edgesApplied,
+		EdgesDropped:    m.edgesDropped,
+		BatchesApplied:  m.batchesApplied,
+		Rejected:        m.rejected,
+		LastBatchHostNs: m.lastBatchHostNs,
+		LastBatchSimNs:  m.lastBatchSimNs,
+		LastBatchEdges:  m.lastBatchEdges,
+		PublishedAtNs:   m.publishedAtNs,
+	}
+}
+
+// Epoch reads the current snapshot epoch.
+func (m *metrics) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// publish bumps the epoch and stamps the publication time.
+func (m *metrics) publish() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch++
+	m.publishedAtNs = time.Now().UnixNano()
+	return m.epoch
+}
+
+// setDraining flips the pipeline into graceful-shutdown mode.
+func (m *metrics) setDraining() {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+}
+
+// isDraining reports graceful-shutdown mode.
+func (m *metrics) isDraining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
 }
 
 // published is one snapshot publication. Readers acquire it under the
@@ -51,23 +124,27 @@ type ingestReq struct {
 	done  chan ingestResult
 }
 
-var errShuttingDown = errors.New("server is shutting down")
+var (
+	errShuttingDown = errors.New("server is shutting down")
+	errQueueFull    = errors.New("ingest queue is full")
+)
 
-// publishLocked captures a fresh snapshot and makes it the served view.
-// Callers must hold stateMu exclusively.
-func (s *Server) publishLocked(ctx *xpsim.Ctx) {
+// publishLocked captures a fresh snapshot, makes it the served view,
+// and returns the new epoch. Callers must hold stateMu exclusively.
+func (s *Server) publishLocked(ctx *xpsim.Ctx) uint64 {
 	old := s.cur
+	epoch := s.m.publish()
 	s.cur = &published{
 		snap:  s.store.Snapshot(ctx),
-		epoch: s.m.epoch.Add(1),
+		epoch: epoch,
 	}
-	s.m.publishedAtNs.Store(time.Now().UnixNano())
 	if old != nil {
 		old.retired.Store(true)
 		if old.refs.Load() == 0 {
 			old.snap.Close()
 		}
 	}
+	return epoch
 }
 
 // acquire pins the current publication for a read. The ref is taken
@@ -92,23 +169,29 @@ func (s *Server) release(p *published) {
 }
 
 // tryEnqueue reserves queue space for the edges and hands them to the
-// writer. It returns false when the bounded queue is full.
-func (s *Server) tryEnqueue(req *ingestReq) bool {
+// writer. Reservation and acceptance counting share one critical
+// section, so accepted >= applied + dropped + queued can never be
+// violated by an interleaved scrape. Returns errQueueFull when the
+// bounded queue is full and errShuttingDown once draining started.
+func (s *Server) tryEnqueue(req *ingestReq) error {
 	n := int64(len(req.edges))
-	for {
-		cur := s.m.queued.Load()
-		if cur+n > int64(s.cfg.QueueCap) {
-			s.m.rejected.Add(1)
-			return false
-		}
-		if s.m.queued.CompareAndSwap(cur, cur+n) {
-			break
-		}
+	s.m.mu.Lock()
+	if s.m.draining {
+		s.m.mu.Unlock()
+		return errShuttingDown
 	}
+	if s.m.queued+n > int64(s.cfg.QueueCap) {
+		s.m.rejected++
+		s.m.mu.Unlock()
+		return errQueueFull
+	}
+	s.m.queued += n
+	s.m.edgesAccepted += n
+	s.m.mu.Unlock()
 	// Cannot block: every request holds at least one edge's worth of
 	// reserved capacity and the channel is QueueCap deep.
 	s.queue <- req
-	return true
+	return nil
 }
 
 // ingestLoop is the single writer: it gathers queued requests into
@@ -125,7 +208,11 @@ func (s *Server) ingestLoop() {
 	for {
 		select {
 		case <-s.stop:
-			s.drainOnStop()
+			if s.m.isDraining() {
+				s.drainApplyOnStop()
+			} else {
+				s.drainOnStop()
+			}
 			return
 		case req := <-s.queue:
 			s.gatherAndApply(req)
@@ -173,8 +260,11 @@ func (s *Server) applyAll(reqs []*ingestReq) {
 	}
 	ri := 0 // first request not yet fully applied
 
-	fail := func(err error, undequeued int64) {
-		s.m.queued.Add(-undequeued)
+	fail := func(err error, lost int64) {
+		s.m.mu.Lock()
+		s.m.queued -= lost
+		s.m.edgesDropped += lost
+		s.m.mu.Unlock()
 		for ; ri < len(reqs); ri++ {
 			res := results[ri]
 			res.err = err
@@ -195,22 +285,25 @@ func (s *Server) applyAll(reqs []*ingestReq) {
 		rep, err := s.store.Ingest(chunk)
 		var epoch uint64
 		if err == nil {
-			s.publishLocked(wctx)
-			epoch = s.m.epoch.Load()
+			epoch = s.publishLocked(wctx)
 		}
 		s.stateMu.Unlock()
-		s.m.queued.Add(-int64(len(chunk)))
 
 		if err != nil {
-			fail(err, int64(len(all)-end))
+			// The failed chunk and everything behind it is dropped:
+			// dequeued without application.
+			fail(err, int64(len(all)-off))
 			return
 		}
 
-		s.m.edgesApplied.Add(int64(len(chunk)))
-		s.m.batchesApplied.Add(1)
-		s.m.lastBatchHostNs.Store(time.Since(hostStart).Nanoseconds())
-		s.m.lastBatchSimNs.Store(rep.TotalNs())
-		s.m.lastBatchEdges.Store(int64(len(chunk)))
+		s.m.mu.Lock()
+		s.m.queued -= int64(len(chunk))
+		s.m.edgesApplied += int64(len(chunk))
+		s.m.batchesApplied++
+		s.m.lastBatchHostNs = time.Since(hostStart).Nanoseconds()
+		s.m.lastBatchSimNs = rep.TotalNs()
+		s.m.lastBatchEdges = int64(len(chunk))
+		s.m.mu.Unlock()
 
 		// Credit the chunk to the requests it covered; a request is done
 		// when its last edge has been applied and published.
@@ -249,15 +342,52 @@ func (s *Server) periodicFlush() {
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 }
 
-// drainOnStop releases every queued writer with a shutdown error.
+// drainOnStop releases every queued writer with a shutdown error — the
+// abrupt Close path.
 func (s *Server) drainOnStop() {
 	for {
 		select {
 		case req := <-s.queue:
-			s.m.queued.Add(-int64(len(req.edges)))
+			s.m.mu.Lock()
+			s.m.queued -= int64(len(req.edges))
+			s.m.edgesDropped += int64(len(req.edges))
+			s.m.mu.Unlock()
 			req.done <- ingestResult{err: errShuttingDown}
 		default:
 			return
 		}
 	}
+}
+
+// drainApplyOnStop is the graceful Shutdown path: every accepted write
+// — including one whose enqueuing goroutine is still between capacity
+// reservation and channel send — is applied normally, then a final
+// vertex-buffer flush makes everything durable in the PMEM adjacency
+// lists. New writes were already fenced off by the draining flag before
+// stop closed, so the queued-edge count can only fall.
+func (s *Server) drainApplyOnStop() {
+	for {
+		select {
+		case req := <-s.queue:
+			s.applyAll([]*ingestReq{req})
+		default:
+			if s.m.view().Queued == 0 {
+				s.finalFlush()
+				return
+			}
+			// An accepted request is mid-enqueue; its channel send is
+			// imminent.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// finalFlush drains all vertex buffers and publishes a last snapshot.
+func (s *Server) finalFlush() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if err := s.store.FlushAllVbufs(); err != nil {
+		return
+	}
+	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 }

@@ -12,7 +12,8 @@
 //	POST /v1/flush                                                 flush all vertex buffers
 //	GET  /v1/stats                                                 store + machine statistics
 //	GET  /v1/healthz                                               liveness + current epoch
-//	GET  /v1/metrics                                               ingest-pipeline metrics
+//	GET  /v1/metrics                                               pipeline + device metrics (JSON or Prometheus)
+//	GET  /v1/trace                                                 drain phase spans as Chrome trace JSON
 //	POST /v1/query/bfs        {"root":1}                           BFS traversal
 //	POST /v1/query/pagerank   {"iterations":10,"top":5}            PageRank top-k
 //	POST /v1/query/cc         {}                                   connected components
@@ -37,6 +38,17 @@
 // snapshot's epoch — snapshot answers do not change as later records
 // arrive. Every snapshot-served response carries the epoch, both as an
 // `epoch` JSON field and an `X-Snapshot-Epoch` header.
+//
+// # Observability
+//
+// GET /v1/metrics answers with the legacy JSON MetricsResponse by
+// default and with the full Prometheus text exposition (device
+// telemetry, store gauges, per-endpoint latency histograms) when the
+// request prefers it — Accept: text/plain, an openmetrics Accept, or
+// ?format=prometheus. GET /v1/trace drains the phase-span ring as
+// Chrome trace-event JSON (load it in chrome://tracing or Perfetto).
+// See internal/obs and DESIGN.md §8 for the metric catalog and span
+// taxonomy.
 //
 // # Errors
 //
@@ -69,6 +81,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/xpsim"
 )
 
@@ -91,6 +104,10 @@ type Config struct {
 	// the writer goroutine (0 disables; flushing still happens through
 	// the store's own archive thresholds and POST /v1/flush).
 	FlushEvery time.Duration
+	// Tracer receives the store's phase spans and backs GET /v1/trace.
+	// When nil the server uses the store's attached tracer, or creates
+	// a default bounded ring so /v1/trace always works.
+	Tracer *obs.Tracer
 
 	// batchDelay is a test hook: sleep between batch applications,
 	// outside the write lock, so tests can observe reads completing
@@ -137,6 +154,14 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	m metrics
+
+	// Observability surface: the registry gathers device telemetry,
+	// store gauges, and the server's own series; the tracer ring backs
+	// GET /v1/trace.
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	httpLat  *obs.HistogramVec
+	httpReqs *obs.CounterVec
 }
 
 // New builds a server over the store and starts its ingest pipeline.
@@ -149,6 +174,18 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		queue:   make(chan *ingestReq, cfg.QueueCap),
 		stop:    make(chan struct{}),
 	}
+	// Attach the tracer before the first publication so even the initial
+	// snapshot's spans land in the ring.
+	s.tracer = cfg.Tracer
+	if s.tracer == nil {
+		s.tracer = store.Tracer()
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NewTracer(0)
+	}
+	store.SetTracer(s.tracer)
+	s.initMetrics()
+
 	// Publish the initial snapshot (epoch 1) before serving anything.
 	s.stateMu.Lock()
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
@@ -163,6 +200,7 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/query/bfs", s.handleBFS)
 	mux.HandleFunc("/query/pagerank", s.handlePageRank)
 	mux.HandleFunc("/query/cc", s.handleCC)
@@ -181,26 +219,51 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler. /v1/* routes are canonical; the
 // unversioned legacy aliases serve the same handlers with deprecation
-// headers (see the package comment for the migration path).
+// headers (see the package comment for the migration path). Every
+// request is timed into the per-endpoint latency histogram under a
+// normalized route label.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	path := r.URL.Path
 	if p, ok := strings.CutPrefix(r.URL.Path, "/v1"); ok && (p == "" || strings.HasPrefix(p, "/")) {
+		path = p
 		r2 := r.Clone(r.Context())
 		r2.URL.Path = p
 		s.mux.ServeHTTP(w, r2)
-		return
+	} else {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</v1>; rel="successor-version"`)
+		s.mux.ServeHTTP(w, r)
 	}
-	w.Header().Set("Deprecation", "true")
-	w.Header().Set("Link", `</v1>; rel="successor-version"`)
-	s.mux.ServeHTTP(w, r)
+	route := routeLabel(path)
+	s.httpReqs.With(route).Inc()
+	s.httpLat.With(route).Observe(time.Since(start).Seconds())
 }
 
-// Close stops the ingest pipeline. Pending synchronous writers are
-// released with a shutting_down error; queued-but-unapplied async edges
-// are dropped. Close the HTTP listener first.
+// Close stops the ingest pipeline abruptly. Pending synchronous writers
+// are released with a shutting_down error; queued-but-unapplied async
+// edges are dropped. Close the HTTP listener first. For a drain that
+// applies queued writes, use Shutdown.
 func (s *Server) Close() {
 	s.stopped.Do(func() { close(s.stop) })
 	s.wg.Wait()
 }
+
+// Shutdown gracefully stops the ingest pipeline: new writes are
+// rejected with shutting_down, every already-accepted write is applied
+// normally (synchronous writers receive their results), and a final
+// vertex-buffer flush lands everything in the PMEM adjacency lists.
+// Returns once the pipeline has exited; Close afterwards is a no-op.
+// Stop accepting HTTP traffic (http.Server.Shutdown) first.
+func (s *Server) Shutdown() {
+	s.m.setDraining()
+	s.stopped.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Tracer returns the phase tracer the server records into (never nil;
+// New falls back to a default ring when none was configured).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // ---- request/response shapes ----
 
@@ -265,11 +328,16 @@ type HealthzResponse struct {
 	Epoch  uint64 `json:"epoch"`
 }
 
-// MetricsResponse reports ingest-pipeline and snapshot metrics.
+// MetricsResponse reports ingest-pipeline and snapshot metrics. All
+// counters come from one consistent snapshot of the pipeline state, so
+// EdgesApplied + EdgesDropped + QueueDepthEdges == EdgesAccepted holds
+// in every response, even one racing concurrent ingest.
 type MetricsResponse struct {
 	QueueDepthEdges int64 `json:"queue_depth_edges"`
 	QueueCapEdges   int64 `json:"queue_cap_edges"`
+	EdgesAccepted   int64 `json:"edges_accepted"`
 	EdgesApplied    int64 `json:"edges_applied"`
+	EdgesDropped    int64 `json:"edges_dropped"`
 	BatchesApplied  int64 `json:"batches_applied"`
 	RejectedWrites  int64 `json:"rejected_writes"`
 	// LastBatch* describe the most recently applied ingest batch:

@@ -17,6 +17,7 @@ type Stats struct {
 	ReqWriteBytes   int64 // bytes software requested to write
 	BufHits         int64 // XPBuffer hits
 	BufMisses       int64 // XPBuffer misses
+	BufEvictions    int64 // dirty XPBuffer lines written back on capacity eviction
 	RemoteAccesses  int64 // line accesses issued from a remote socket
 	LocalAccesses   int64 // line accesses issued from the local socket
 	Flushes         int64 // explicit clwb-style line flushes
@@ -52,6 +53,7 @@ func (s *Stats) Add(o Stats) {
 	s.ReqWriteBytes += o.ReqWriteBytes
 	s.BufHits += o.BufHits
 	s.BufMisses += o.BufMisses
+	s.BufEvictions += o.BufEvictions
 	s.RemoteAccesses += o.RemoteAccesses
 	s.LocalAccesses += o.LocalAccesses
 	s.Flushes += o.Flushes
@@ -66,6 +68,7 @@ func (s Stats) Sub(o Stats) Stats {
 		ReqWriteBytes:   s.ReqWriteBytes - o.ReqWriteBytes,
 		BufHits:         s.BufHits - o.BufHits,
 		BufMisses:       s.BufMisses - o.BufMisses,
+		BufEvictions:    s.BufEvictions - o.BufEvictions,
 		RemoteAccesses:  s.RemoteAccesses - o.RemoteAccesses,
 		LocalAccesses:   s.LocalAccesses - o.LocalAccesses,
 		Flushes:         s.Flushes - o.Flushes,
@@ -259,6 +262,7 @@ func (d *Device) Read(ctx *Ctx, off int64, p []byte) {
 			ns += float64(d.lat.MediaRead) * rmul
 		}
 		if wbLine >= 0 {
+			d.stats.BufEvictions++
 			d.mediaWrite(wbLine)
 		}
 		d.noteLocality(remote)
@@ -310,6 +314,7 @@ func (d *Device) Write(ctx *Ctx, off int64, p []byte) {
 			ns += float64(d.lat.LineWrite) * wmul
 		}
 		if wbLine >= 0 {
+			d.stats.BufEvictions++
 			d.mediaWrite(wbLine)
 		}
 		d.noteLocality(remote)

@@ -9,6 +9,22 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== staticcheck"
+# Pinned so local runs and CI agree on the finding set. Installed in CI
+# (see .github/workflows/ci.yml); locally the step is skipped with a
+# warning when the tool is absent, since offline sandboxes cannot fetch
+# it and vet/gofmt still gate above.
+STATICCHECK_VERSION="2025.1.1"
+if command -v staticcheck >/dev/null 2>&1; then
+    have=$(staticcheck -version 2>/dev/null || true)
+    if [[ "$have" != *"$STATICCHECK_VERSION"* ]]; then
+        echo "warning: staticcheck is $have, CI pins $STATICCHECK_VERSION" >&2
+    fi
+    staticcheck ./...
+else
+    echo "warning: staticcheck not installed; skipping (CI enforces it at $STATICCHECK_VERSION)" >&2
+fi
+
 echo "== gofmt"
 # Only files tracked by git: stray worktrees/vendored copies don't gate.
 unformatted=$(git ls-files '*.go' | xargs gofmt -l)
