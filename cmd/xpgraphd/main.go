@@ -17,10 +17,19 @@
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
 //
+// With -media-guard the store runs checksummed adjacency blocks and log
+// records, a scrubber (-scrub-every, or POST /v1/scrub), and degraded-mode
+// serving: GET /v1/healthz reports the ok/degraded/readonly health state
+// and reads of media-damaged data answer 503 instead of wrong edges. An
+// optional -archive-ssd-mb SSD archive gives the scrubber a complete
+// rebuild source. See DESIGN.md §9.
+//
 // On SIGINT/SIGTERM the daemon shuts down gracefully: it stops accepting
 // new work, drains the ingest queue (every accepted edge is applied), runs
 // a final vertex-buffer flush so the graph is durable in PMEM adjacency
-// lists, writes the -trace file if one was requested, and exits 0.
+// lists, writes the -trace file if one was requested, and exits 0. The
+// drain is bounded by -shutdown-timeout: if the deadline fires first the
+// daemon logs it and exits 1 with the remaining queued writes unapplied.
 package main
 
 import (
@@ -53,18 +62,36 @@ func main() {
 	batchEdges := flag.Int("batch-edges", 4096, "edges applied per ingest batch")
 	linger := flag.Duration("linger", 2*time.Millisecond, "batching linger time")
 	flushEvery := flag.Duration("flush-every", 5*time.Second, "periodic vertex-buffer flush (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; requests past it answer 503 deadline_exceeded (0 disables)")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "bound on graceful shutdown: HTTP drain plus ingest-queue drain share this budget (0 waits forever)")
+	mediaGuard := flag.Bool("media-guard", false, "checksummed media-error detection, scrubbing, and quarantine (see DESIGN.md §9)")
+	archiveSSDMB := flag.Int64("archive-ssd-mb", 0, "SSD edge archive for scrub rebuilds, in MiB (requires -media-guard)")
+	scrubEvery := flag.Duration("scrub-every", 0, "periodic media scrub pass (requires -media-guard; 0 disables)")
+	ueDecay := flag.Float64("ue-decay", 0, "per-read probability a media line decays uncorrectable — demo/chaos knob (requires -media-guard)")
 	preload := flag.String("preload", "", "catalog dataset to pre-load (TT, FS, ...)")
 	scale := flag.Float64("scale", 0.1, "pre-load edge scale")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the phase timeline on shutdown")
 	flag.Parse()
 
 	machine := xpsim.NewMachine(2, *pmemGB<<30, xpsim.DefaultLatency())
+	if *mediaGuard {
+		// Arm the fault model so operators can exercise UE injection and
+		// the health endpoint reports live UE-line counts.
+		faults := machine.TrackFaults()
+		if *ueDecay > 0 {
+			faults.SetDecay(*ueDecay, 0x5EED_DECA)
+		}
+	} else if *ueDecay > 0 {
+		log.Fatal("xpgraphd: -ue-decay requires -media-guard")
+	}
 	store, err := core.New(machine, pmem.NewHeap(machine), nil, core.Options{
-		Name:           "xpgraphd",
-		NumVertices:    uint32(*vertices),
-		ArchiveThreads: *threads,
-		NUMA:           core.NUMASubgraph,
-		AdjBytes:       (*pmemGB << 30) / 4,
+		Name:            "xpgraphd",
+		NumVertices:     uint32(*vertices),
+		ArchiveThreads:  *threads,
+		NUMA:            core.NUMASubgraph,
+		AdjBytes:        (*pmemGB << 30) / 4,
+		MediaGuard:      *mediaGuard,
+		ArchiveSSDBytes: *archiveSSDMB << 20,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -89,12 +116,14 @@ func main() {
 		tracer = obs.NewTracer(1 << 16)
 	}
 	srv := server.New(store, machine, server.Config{
-		QueryThreads: *qthreads,
-		QueueCap:     *queueCap,
-		BatchEdges:   *batchEdges,
-		Linger:       *linger,
-		FlushEvery:   *flushEvery,
-		Tracer:       tracer,
+		QueryThreads:   *qthreads,
+		QueueCap:       *queueCap,
+		BatchEdges:     *batchEdges,
+		Linger:         *linger,
+		FlushEvery:     *flushEvery,
+		Tracer:         tracer,
+		RequestTimeout: *requestTimeout,
+		ScrubEvery:     *scrubEvery,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
@@ -113,14 +142,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "xpgraphd: %s — draining...\n", sig)
 	}
 
+	// The HTTP drain and the ingest-queue drain share one shutdown budget
+	// so a wedged drain cannot hold the process hostage forever.
+	var deadline <-chan struct{}
+	ctx := context.Background()
+	if *shutdownTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *shutdownTimeout)
+		defer cancel()
+		deadline = ctx.Done()
+	}
+
 	// Stop accepting connections, let in-flight requests finish.
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(os.Stderr, "xpgraphd: http shutdown: %v\n", err)
 	}
-	// Apply every queued write and flush vertex buffers to PMEM.
-	srv.Shutdown()
+	// Apply every queued write and flush vertex buffers to PMEM — but
+	// give up when the shutdown deadline fires rather than drain forever.
+	drained := make(chan struct{})
+	go func() { srv.Shutdown(); close(drained) }()
+	select {
+	case <-drained:
+	case <-deadline:
+		fmt.Fprintf(os.Stderr,
+			"xpgraphd: shutdown deadline (%v) fired before the ingest drain finished; exiting with queued writes unapplied\n",
+			*shutdownTimeout)
+		os.Exit(1)
+	}
 
 	if *tracePath != "" {
 		if err := writeTrace(*tracePath, srv.Tracer()); err != nil {

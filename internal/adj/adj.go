@@ -27,6 +27,7 @@ package adj
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"repro/internal/graph"
@@ -47,7 +48,9 @@ const (
 	offCap  = 4
 	offPrev = 8
 	offCnt0 = 16
+	offCRC0 = 20
 	offCnt1 = 24
+	offCRC1 = 28
 )
 
 // deadVID marks a recycled block's header so the recovery scan skips it.
@@ -131,6 +134,13 @@ type Options struct {
 	// mirrors are durable by definition and the PMEM count write is pure
 	// overhead (§IV-C). Such stores are not scan-recoverable.
 	DeferCounts bool
+	// Checksums turns the two spare header words into per-slot CRC32-C
+	// checksums of the visible payload (see check.go): Ack persists
+	// {cnt, crc} as one 8-byte powerfail-atomic word, checked walks verify
+	// payloads against DRAM mirrors, and recovery flags blocks whose media
+	// bytes disagree with the acknowledged checksum. Requires CrashSafe
+	// (the checksum lifecycle rides the Ack slots).
+	Checksums bool
 }
 
 // Store is one adjacency arena: one direction (out or in) of one
@@ -161,6 +171,17 @@ type Store struct {
 	pendCur  map[int64]uint32
 	pendPrev map[int64]uint32
 	journal  int64 // offset of the compaction journal block; 0 = none
+
+	// Checksum state (check.go; populated only with opts.Checksums):
+	// crc mirrors the running CRC32-C of each block's appended payload,
+	// caps remembers every block's capacity, chains the newest-first block
+	// layout per vertex — so verification and repair never have to trust a
+	// possibly-corrupt on-media header. suspects collects vertices whose
+	// media payload disagreed with the acknowledged checksum at Recover.
+	crc      map[int64]uint32
+	caps     map[int64]uint32
+	chains   map[graph.VID][]int64
+	suspects []graph.VID
 }
 
 // New builds a store over m for vertices [0, maxV].
@@ -170,6 +191,9 @@ func New(m mem.Mem, lat *xpsim.LatencyModel, maxV graph.VID, opts Options) *Stor
 	}
 	if opts.CrashSafe && opts.VolatileCounts {
 		panic("adj: CrashSafe and VolatileCounts are incompatible")
+	}
+	if opts.Checksums && !opts.CrashSafe {
+		panic("adj: Checksums require CrashSafe (the CRC lifecycle rides the Ack slots)")
 	}
 	s := &Store{m: m, lat: lat, opts: opts}
 	s.EnsureVertices(maxV + 1)
@@ -248,6 +272,9 @@ func (s *Store) Append(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) error {
 			binary.LittleEndian.PutUint32(buf[i*4:], nb)
 		}
 		s.m.Write(ctx, off, buf)
+		if s.opts.Checksums {
+			s.crc[s.tail[v]] = crc32.Update(s.crc[s.tail[v]], castagnoli, buf)
+		}
 		s.tailCnt[v] += uint32(n)
 		switch {
 		case s.opts.CrashSafe:
@@ -349,6 +376,9 @@ func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
 	s.tail[v] = off
 	s.tailCnt[v] = 0
 	s.tailCap[v] = uint32(capacity)
+	if s.opts.Checksums {
+		s.noteBlock(v, off, uint32(capacity), 0)
+	}
 	return nil
 }
 
@@ -384,7 +414,13 @@ func (s *Store) Ack(ctx *xpsim.Ctx, slot int) {
 		if !ok {
 			cnt = s.pendPrev[off]
 		}
-		mem.WriteU32(s.m, ctx, off+slotOff, cnt)
+		if s.opts.Checksums {
+			// {cnt, crc} share one 8-byte word, so powerfail atomicity
+			// guarantees a count is never durable without its checksum.
+			mem.WriteU64(s.m, ctx, off+slotOff, uint64(cnt)|uint64(s.crc[off])<<32)
+		} else {
+			mem.WriteU32(s.m, ctx, off+slotOff, cnt)
+		}
 	}
 	s.pendPrev = s.pendCur
 	s.pendCur = nil
@@ -585,6 +621,11 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 		for i, nb := range live {
 			binary.LittleEndian.PutUint32(buf[headerBytes+i*4:], nb)
 		}
+		if s.opts.Checksums {
+			crc := crc32.Checksum(buf[headerBytes:], castagnoli)
+			binary.LittleEndian.PutUint32(buf[offCRC0:], crc)
+			binary.LittleEndian.PutUint32(buf[offCRC1:], crc)
+		}
 		s.m.Write(ctx, newOff, buf)
 		s.m.Flush(ctx, newOff, size)
 		// The journal will point at this block: its allocation must be
@@ -625,6 +666,12 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 	s.tailCnt[v] = uint32(capacity)
 	s.tailCap[v] = uint32(capacity)
 	s.records[v] = uint32(capacity)
+	if s.opts.Checksums {
+		delete(s.chains, v)
+		if newOff != 0 {
+			s.noteBlock(v, newOff, uint32(capacity), crc32.Checksum(encodeU32s(live), castagnoli))
+		}
+	}
 	return nil
 }
 
@@ -676,6 +723,7 @@ func (s *Store) recycle(off int64, capacity int) {
 	delete(s.partialCnt, off)
 	delete(s.pendCur, off)
 	delete(s.pendPrev, off)
+	delete(s.crc, off)
 }
 
 // resolveTombstones removes, for every deletion record, one matching

@@ -3,6 +3,7 @@ package adj
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"repro/internal/graph"
@@ -31,7 +32,15 @@ type rawBlock struct {
 	capacity   uint32
 	prev       int64
 	cnt0, cnt1 uint32
+	crc0, crc1 uint32
 }
+
+// maxScanVID bounds plausible vertex IDs during the arena scan. A header
+// whose media lines rotted to pseudo-random garbage can pass the count
+// sanity checks with a huge vid; indexing it verbatim would allocate
+// per-vertex slices for billions of vertices. Anything above this bound is
+// treated as corruption, like a zero capacity.
+const maxScanVID = 1 << 28
 
 func (b *rawBlock) size() int64 { return headerBytes + 4*int64(b.capacity) }
 
@@ -50,6 +59,22 @@ func (b *rawBlock) size() int64 { return headerBytes + 4*int64(b.capacity) }
 // partially-visible retired blocks, and queues blocks with disagreeing
 // slots for re-acknowledgment.
 func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Options, slot int) (*Store, error) {
+	return RecoverWith(ctx, m, lat, opts, slot, nil)
+}
+
+// RecoverWith is Recover with a quarantine set: block offsets whose media
+// was damaged and routed around by a scrub before the crash. Quarantined
+// blocks carry valid dead headers (ReplaceChain rewrote them), so the scan
+// parses straight over them — but they must never re-enter the free lists,
+// or the allocator would hand known-bad lines to fresh data.
+//
+// With opts.Checksums the scan additionally rebuilds the DRAM checksum
+// mirrors from the acknowledged {cnt, crc} slot words and recomputes every
+// live block's payload CRC from the media: vertices whose stored bytes
+// disagree with what was acknowledged are reported via Store.Suspects —
+// corruption that happened while the store was down, caught before any
+// read can serve it.
+func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Options, slot int, quarantined map[int64]bool) (*Store, error) {
 	if opts.VolatileCounts {
 		return nil, fmt.Errorf("adj: stores with volatile counts are not scan-recoverable (GraphOne recovers by re-archiving)")
 	}
@@ -79,8 +104,11 @@ func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Opt
 			prev:     int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign,
 			cnt0:     binary.LittleEndian.Uint32(hdr[offCnt0:]),
 			cnt1:     binary.LittleEndian.Uint32(hdr[offCnt1:]),
+			crc0:     binary.LittleEndian.Uint32(hdr[offCRC0:]),
+			crc1:     binary.LittleEndian.Uint32(hdr[offCRC1:]),
 		}
-		if b.capacity == 0 || off+b.size() > end || b.cnt0 > b.capacity || b.cnt1 > b.capacity {
+		if b.capacity == 0 || off+b.size() > end || b.cnt0 > b.capacity || b.cnt1 > b.capacity ||
+			(b.vid > maxScanVID && b.vid != deadVID && b.vid != journalVID) {
 			if opts.CrashSafe {
 				stop = off
 				break
@@ -114,6 +142,7 @@ func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Opt
 		off      int64
 		prev     int64
 		cnt, cap uint32
+		crc      uint32
 		mismatch bool
 	}
 	live := make(map[graph.VID][]blk)
@@ -122,6 +151,11 @@ func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Opt
 		b := &raw[i]
 		switch b.vid {
 		case deadVID:
+			if quarantined[b.off] {
+				// Quarantined media with a scrub-written dead header:
+				// parseable, never reusable.
+				continue
+			}
 			// Recycled block awaiting reuse: skip, but remember it so
 			// the recovered store keeps recycling.
 			s.recycle(b.off, int(b.capacity))
@@ -129,13 +163,13 @@ func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Opt
 		case journalVID:
 			continue // already recorded by journalRollForward
 		}
-		visible := b.cnt0
+		visible, crc := b.cnt0, b.crc0
 		if opts.CrashSafe && slot == 1 {
-			visible = b.cnt1
+			visible, crc = b.cnt1, b.crc1
 		}
 		v := graph.VID(b.vid)
 		s.EnsureVertices(v + 1)
-		live[v] = append(live[v], blk{off: b.off, prev: b.prev, cnt: visible, cap: b.capacity, mismatch: b.cnt0 != b.cnt1})
+		live[v] = append(live[v], blk{off: b.off, prev: b.prev, cnt: visible, cap: b.capacity, crc: crc, mismatch: b.cnt0 != b.cnt1})
 		if b.prev != 0 {
 			pointedTo[b.prev]++
 		}
@@ -208,6 +242,44 @@ func Recover(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts Opt
 		}
 		if !opts.CrashSafe {
 			continue
+		}
+		if opts.Checksums {
+			// Rebuild the DRAM mirrors from the acknowledged slot words —
+			// never from recomputed media bytes, which would launder any
+			// corruption into a self-consistent mirror. Then recompute each
+			// payload's CRC from the media and flag disagreements.
+			if s.crc == nil {
+				s.crc = make(map[int64]uint32)
+				s.caps = make(map[int64]uint32)
+				s.chains = make(map[graph.VID][]int64)
+			}
+			byOff := make(map[int64]blk, len(blks))
+			for _, b := range blks {
+				byOff[b.off] = b
+			}
+			var chain []int64
+			suspect := false
+			for off := s.tail[v]; off != 0; {
+				b, ok := byOff[off]
+				if !ok {
+					return nil, fmt.Errorf("adj: vertex %d chain prev link to unknown block %d", v, off)
+				}
+				chain = append(chain, off)
+				s.caps[off] = b.cap
+				s.crc[off] = b.crc
+				if b.cnt > 0 && !suspect {
+					buf := make([]byte, 4*b.cnt)
+					m.Read(ctx, off+headerBytes, buf)
+					if crc32.Checksum(buf, castagnoli) != b.crc {
+						suspect = true
+					}
+				}
+				off = b.prev
+			}
+			s.chains[v] = chain
+			if suspect {
+				s.suspects = append(s.suspects, v)
+			}
 		}
 		for _, b := range blks {
 			if b.off != s.tail[v] && b.cnt < b.cap {

@@ -62,6 +62,15 @@ const logChunk = 4096
 // flushing pipeline and leaves the store queryable (hot vertex buffers
 // included). It is the batch path the paper's ingestion experiments use.
 func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
+	// Whole-device failure makes every media write into that node's
+	// adjacency and log stripes a black hole: refuse ingestion up front
+	// with the typed error (the store serves reads in readonly mode).
+	if f := s.machine.Faults(); f != nil {
+		if dead := f.DeadNodes(); len(dead) > 0 {
+			return IngestReport{}, fmt.Errorf("core: store is read-only: %w",
+				&xpsim.MediaError{Node: dead[0], Line: -1})
+		}
+	}
 	before := s.report
 	s.ensureVertices(graph.MaxVID(edges) + 1)
 	logCtx := xpsim.NewCtx(xpsim.NodeUnbound)
@@ -72,6 +81,12 @@ func (s *Store) Ingest(edges []graph.Edge) (IngestReport, error) {
 			end = len(edges)
 		}
 		n, err := s.log.Append(logCtx, edges[i:end])
+		if n > 0 && s.arch != nil {
+			// Tee every accepted edge onto the SSD archive — the
+			// scrubber's rebuild source once records rotate out of the
+			// circular log.
+			s.arch.tee(logCtx, edges[i:i+n])
+		}
 		i += n
 		s.report.Edges += int64(n)
 		if err != nil && err != elog.ErrFull {

@@ -118,5 +118,25 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		phase("logging", rep.LogNs)
 		phase("buffering", rep.BufferNs)
 		phase("flushing", rep.FlushNs)
+
+		// Media-error tolerance: scrub activity and quarantine occupancy
+		// (all zero unless Options.MediaGuard is on — see media.go).
+		sc := s.ScrubStats()
+		counter("xpgraph_scrub_runs_total", "Scrub passes executed.", float64(sc.Runs))
+		counter("xpgraph_scrub_damaged_vertices_total", "Vertices found with corrupt or unreadable chains.", float64(sc.Damaged))
+		counter("xpgraph_scrub_repaired_vertices_total", "Damaged vertices rebuilt onto fresh blocks.", float64(sc.Repaired))
+		counter("xpgraph_scrub_unrecoverable_vertices_total", "Damaged vertices no rebuild source covered.", float64(sc.Unrecoverable))
+		counter("xpgraph_scrub_log_bad_records_total", "Edge-log window records failing CRC or unreadable.", float64(sc.LogBadRecords))
+		h := s.Health()
+		g := func(name, help string, v float64) {
+			emit(obs.Sample{Name: name, Help: help, Kind: obs.KindGauge, Value: v})
+		}
+		g("xpgraph_health_state", "Media-health state machine: 0=ok, 1=degraded, 2=readonly.", float64(h.State))
+		g("xpgraph_damaged_vertices", "Vertices with detected damage awaiting repair.", float64(h.DamagedVertices))
+		g("xpgraph_unrecoverable_vertices", "Vertices quarantined as unrecoverable.", float64(h.UnrecoverableVertices))
+		g("xpgraph_quarantined_spans", "Adjacency block spans quarantined off the free lists.", float64(h.QuarantinedSpans))
+		g("xpgraph_quarantined_bytes", "PMEM bytes held in quarantine.", float64(h.QuarantinedBytes))
+		g("xpgraph_media_ue_lines", "XPLines currently marked uncorrectable in the fault model.", float64(h.UELines))
+		g("xpgraph_dead_numa_nodes", "Failed NUMA nodes (whole-device failures).", float64(len(h.DeadNodes)))
 	}))
 }

@@ -19,6 +19,7 @@ package core
 import (
 	"repro/internal/mempool"
 	"repro/internal/obs"
+	"repro/internal/ssd"
 	"repro/internal/vbuf"
 )
 
@@ -144,6 +145,29 @@ type Options struct {
 	// edges, so core.Recover refuses them. Default off: PMEM stores
 	// without a battery are crash-safe.
 	RelaxedDurability bool
+
+	// MediaGuard enables media-error tolerance (see media.go): CRC32-C
+	// checksummed adjacency blocks and edge-log records, a scrubber that
+	// verifies and repairs them (Store.Scrub), a persisted bad-block
+	// quarantine, and checked read variants that return a typed error
+	// instead of silently wrong data when an uncorrectable media error
+	// is hit. Requires the crash-safe protocol (the checksum lifecycle
+	// rides the count-acknowledgment slots); New rejects MediaGuard on
+	// relaxed, battery-backed, volatile, or SSD-tiered stores. Default
+	// off: guarded stores pay extra PMEM space and checksum writes.
+	MediaGuard bool
+
+	// ArchiveSSDBytes, when positive, creates a simulated-SSD edge
+	// archive of this many bytes: every edge accepted by Ingest is teed
+	// to it, giving the scrubber a rebuild source for damaged vertices
+	// whose records have already rotated out of the edge log window.
+	// MediaGuard only.
+	ArchiveSSDBytes int64
+
+	// Archive re-attaches an existing SSD edge archive — the recovery
+	// path: pass Store.Archive() of the crashed store (the SSD survives
+	// a machine crash). New accepts a fresh (empty) Space as well.
+	Archive *ssd.Space
 }
 
 // crashSafe reports whether the store runs the crash-safe persistence

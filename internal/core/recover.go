@@ -85,7 +85,8 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	hdr := alignUp(logRegion.UserStart(), xpsim.XPLineSize)
 	base := alignUp(hdr+elog.HeaderBytes, xpsim.XPLineSize)
 	var err error
-	s.log, err = elog.Attach(ctx, logRegion, hdr, base, opts.Battery)
+	s.log, err = elog.AttachWith(ctx, logRegion, hdr, base,
+		elog.Config{Battery: opts.Battery, Checksums: opts.MediaGuard})
 	if err != nil {
 		return nil, RecoveryReport{}, err
 	}
@@ -93,6 +94,16 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 		return nil, RecoveryReport{}, fmt.Errorf("core: log capacity is %d edges, options say %d (wrong geometry)", s.log.Cap(), opts.LogCapacity)
 	}
 	s.logMem = logRegion
+
+	if opts.MediaGuard {
+		// Load the persisted quarantine before the arenas are scanned:
+		// mapMemories must know which block spans to keep off the free
+		// lists, and the damaged/unrecoverable vertex sets survive the
+		// crash with it.
+		if err := s.initMediaGuard(ctx, true); err != nil {
+			return nil, RecoveryReport{}, err
+		}
+	}
 
 	if err := s.mapMemories(ctx, s.log.AckSlot()); err != nil {
 		return nil, RecoveryReport{}, err
@@ -118,6 +129,18 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 			for v := graph.VID(0); v < g.adj.NumVertices(); v++ {
 				if s.partOf(v) == p {
 					s.records[d][v] += uint32(g.adj.Records(v))
+				}
+			}
+		}
+	}
+	if opts.MediaGuard {
+		// Vertices whose media payload failed checksum verification while
+		// the arena scan rebuilt the CRC mirrors join the damaged set; the
+		// next scrub repairs or quarantines them.
+		for d := 0; d < 2; d++ {
+			for _, g := range s.groups[d] {
+				for _, v := range g.adj.Suspects() {
+					s.markDamaged(Direction(d), v)
 				}
 			}
 		}

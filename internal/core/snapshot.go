@@ -42,6 +42,10 @@ type Snapshot struct {
 	// mu guards the maps (readers take RLock on every lookup).
 	mu     sync.RWMutex
 	frozen [2]map[graph.VID][]uint32
+	// frozenErr records vertices whose view was already media-damaged
+	// when fencing tried to freeze it (MediaGuard stores): checked reads
+	// of the snapshot return the error instead of scrambled bytes.
+	frozenErr [2]map[graph.VID]error
 }
 
 // Snapshot captures the current view. O(V) DRAM copy, no PMEM traffic —
@@ -188,11 +192,95 @@ func (sn *Snapshot) freezeVertex(ctx *xpsim.Ctx, v graph.VID) {
 		if _, done := sn.frozen[d][v]; done {
 			continue
 		}
+		if _, bad := sn.frozenErr[d][v]; bad {
+			continue
+		}
+		if sn.store.opts.MediaGuard {
+			// Freeze through the checked path: if v's chain is already
+			// media-damaged, the freeze must not launder scrambled bytes
+			// into a trusted frozen copy — record the error instead, so
+			// checked readers of this snapshot keep failing typed.
+			rec, err := sn.materializeChecked(ctx, Direction(d), v, nil)
+			if err != nil {
+				if sn.frozenErr[d] == nil {
+					sn.frozenErr[d] = make(map[graph.VID]error)
+				}
+				sn.frozenErr[d][v] = err
+				continue
+			}
+			if sn.frozen[d] == nil {
+				sn.frozen[d] = make(map[graph.VID][]uint32)
+			}
+			sn.frozen[d][v] = rec
+			continue
+		}
 		if sn.frozen[d] == nil {
 			sn.frozen[d] = make(map[graph.VID][]uint32)
 		}
 		sn.frozen[d][v] = sn.materialize(ctx, Direction(d), v, nil)
 	}
+}
+
+// materializeChecked is materialize through the media-checked read path:
+// a damaged or unrecoverable chain returns a typed error instead of
+// scrambled records.
+func (sn *Snapshot) materializeChecked(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) ([]uint32, error) {
+	want := int(sn.records[d][v])
+	if want == 0 {
+		return dst, nil
+	}
+	s := sn.store
+	if s.isUnrec(d, v) {
+		return dst, &UnrecoverableError{Dir: d, V: v}
+	}
+	start := len(dst)
+	g := s.groups[d][s.partOf(v)]
+	all, err := g.adj.NeighborsOldestFirstChecked(ctx, v, nil)
+	if err != nil {
+		s.noteReadDamage(d, v, err)
+		return dst, err
+	}
+	if h := s.vbH[d][v]; h != mempool.None {
+		all = s.bufs.Neighbors(ctx, h, int(s.vbC[d][v]), all)
+	}
+	if want > len(all) {
+		want = len(all)
+	}
+	dst = append(dst, all[:want]...)
+	return resolveInPlace(dst, start), nil
+}
+
+// NbrsChecked is Nbrs with media-error detection: reads that touch
+// uncorrectable lines or checksum-mismatched blocks return a typed error
+// instead of wrong data, and views frozen over already-damaged chains
+// replay the freeze-time error.
+func (sn *Snapshot) NbrsChecked(ctx *xpsim.Ctx, d Direction, v graph.VID, dst []uint32) ([]uint32, error) {
+	if v >= sn.numV || int(v) >= len(sn.records[d]) {
+		return dst, nil
+	}
+	sn.mu.RLock()
+	ferr := sn.frozenErr[d][v]
+	f, ok := sn.frozen[d][v]
+	sn.mu.RUnlock()
+	if ferr != nil {
+		return dst, ferr
+	}
+	if ok {
+		sn.store.lat.DRAM(ctx, int64(4*len(f)), false, true)
+		return append(dst, f...), nil
+	}
+	return sn.materializeChecked(ctx, d, v, dst)
+}
+
+// NbrsOutChecked and NbrsInChecked are direction-fixed conveniences used
+// by the serving layer's checked read path.
+func (sn *Snapshot) NbrsOutChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	return sn.NbrsChecked(ctx, Out, v, dst)
+}
+
+// NbrsInChecked returns v's in-neighbors through the checked path.
+func (sn *Snapshot) NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	return sn.NbrsChecked(ctx, In, v, dst)
 }
 
 // NbrsOut and NbrsIn are direction-fixed conveniences.

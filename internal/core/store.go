@@ -88,6 +88,19 @@ type Store struct {
 	// leaf mutex — nothing is called while holding it.
 	snapMu sync.Mutex
 	snaps  map[*Snapshot]struct{}
+
+	// Media-error tolerance state (MediaGuard; see media.go). mediaMu
+	// guards the damaged/unrec maps: checked reads record detections
+	// concurrently (many readers run under the server's shared lock)
+	// while Health and the scrubber read and clear them. It is a leaf
+	// mutex — nothing is called while holding it.
+	mediaMu    sync.RWMutex
+	arch       *archive                  // SSD edge archive (nil: no archive)
+	quarMem    *pmem.Region              // persisted quarantine region
+	damaged    [2]map[graph.VID]struct{} // vertices with detected corruption, awaiting repair
+	unrec      [2]map[graph.VID]struct{} // vertices the scrubber could not rebuild
+	quarSpans  [2][]map[int64]int64      // per dir/part: quarantined block offset -> span bytes
+	scrubStats ScrubStats
 }
 
 // New creates an XPGraph store on the machine. For PMEM media a heap is
@@ -109,14 +122,27 @@ func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Optio
 		s.nparts = 1
 	}
 
+	if opts.MediaGuard && !opts.crashSafe() {
+		return nil, fmt.Errorf("core: MediaGuard requires the crash-safe protocol (PMEM, no battery, no SSD tier, not relaxed)")
+	}
+	if (opts.ArchiveSSDBytes > 0 || opts.Archive != nil) && !opts.MediaGuard {
+		return nil, fmt.Errorf("core: the SSD edge archive is part of MediaGuard; enable it")
+	}
+
 	ctx := xpsim.NewCtx(0)
 	if err := s.mapMemories(ctx, 0); err != nil {
 		return nil, err
 	}
 	var err error
-	s.log, err = elog.Create(ctx, s.logMem, opts.LogCapacity, opts.Battery)
+	s.log, err = elog.CreateWith(ctx, s.logMem, opts.LogCapacity,
+		elog.Config{Battery: opts.Battery, Checksums: opts.MediaGuard})
 	if err != nil {
 		return nil, err
+	}
+	if opts.MediaGuard {
+		if err := s.initMediaGuard(ctx, false); err != nil {
+			return nil, err
+		}
 	}
 	s.initPool()
 	s.ensureVertices(opts.NumVertices)
@@ -149,12 +175,18 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, ackSlot int) error {
 	reattach := s.logMem != nil
 	opts := s.opts
 	logBytes := opts.LogCapacity*graph.EdgeBytes + 4096
+	if opts.MediaGuard {
+		// Room for the per-record CRC strip after the ring (plus XPLine
+		// alignment slack on both sides).
+		logBytes += opts.LogCapacity*4 + 2*xpsim.XPLineSize
+	}
 	adjOpts := adj.Options{
 		ProactiveFlush: opts.ProactiveFlush && opts.Medium == MediumPMEM,
 		CrashSafe:      opts.crashSafe(),
 		// Battery-backed DRAM is persistent, so the count mirrors need
 		// no PMEM writes (§IV-C).
 		DeferCounts: opts.Battery && opts.Medium == MediumPMEM,
+		Checksums:   opts.MediaGuard,
 	}
 
 	newSpace := func(size int64) mem.Mem {
@@ -225,7 +257,17 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, ackSlot int) error {
 			}
 			var st *adj.Store
 			if reattach {
-				st, err = adj.Recover(ctx, r, s.lat, adjOpts, ackSlot)
+				// Quarantined block spans (loaded from the persisted
+				// quarantine region before mapMemories runs) must never
+				// be recycled by the arena scan.
+				var quar map[int64]bool
+				if s.quarSpans[d] != nil && s.quarSpans[d][p] != nil {
+					quar = make(map[int64]bool, len(s.quarSpans[d][p]))
+					for off := range s.quarSpans[d][p] {
+						quar[off] = true
+					}
+				}
+				st, err = adj.RecoverWith(ctx, r, s.lat, adjOpts, ackSlot, quar)
 				if err != nil {
 					return err
 				}

@@ -11,8 +11,10 @@
 package elog
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/graph"
 	"repro/internal/mem"
@@ -48,6 +50,35 @@ const slotBit = uint64(1) << 63
 // for log position.
 const maxCursor = int64(slotBit - 1)
 
+// Config selects optional log features.
+type Config struct {
+	// Battery treats DRAM vertex buffers as persistent (XPGraph-B §IV-C):
+	// the head may overwrite buffered-but-unflushed edges, and header
+	// flush ordering is skipped.
+	Battery bool
+	// Checksums appends a CRC32-C strip after the ring: one u32 per slot,
+	// covering the record bytes seeded with the record's monotonic
+	// counter (so a stale previous-cycle record can never verify). A
+	// slot's checksum is written and flushed before the head cursor that
+	// publishes the record, and VerifyWindow audits the resident window
+	// against the strip — the media-error detection scrubbing relies on.
+	// The checksum is per record, not per XPLine: ring wrap makes
+	// line-granular checksums unsound (a line holds records from two
+	// cycles mid-wrap).
+	Checksums bool
+}
+
+// castagnoli is the CRC32-C table (hardware-accelerated polynomial).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recCRC is the strip checksum of one record: CRC32-C over the monotonic
+// counter followed by the record bytes.
+func recCRC(counter int64, rec []byte) uint32 {
+	var seed [8]byte
+	binary.LittleEndian.PutUint64(seed[:], uint64(counter))
+	return crc32.Update(crc32.Checksum(seed[:], castagnoli), castagnoli, rec)
+}
+
 // Log is the circular edge log.
 type Log struct {
 	m       mem.Mem
@@ -55,6 +86,7 @@ type Log struct {
 	base    int64 // data area offset
 	cap     int64 // capacity in edges
 	battery bool
+	strip   int64 // CRC strip offset; 0 = checksums disabled
 
 	// DRAM mirrors of the persisted cursors. All are monotonic edge
 	// counters; ring positions are counter % cap.
@@ -66,6 +98,11 @@ type Log struct {
 
 // Create allocates and initializes a log of capEntries edges inside m.
 func Create(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, battery bool) (*Log, error) {
+	return CreateWith(ctx, m, capEntries, Config{Battery: battery})
+}
+
+// CreateWith is Create with the full feature configuration.
+func CreateWith(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, cfg Config) (*Log, error) {
 	if capEntries <= 0 {
 		return nil, fmt.Errorf("elog: capacity must be positive")
 	}
@@ -77,7 +114,13 @@ func Create(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, battery bool) (*Log, er
 	if err != nil {
 		return nil, fmt.Errorf("elog: %w", err)
 	}
-	l := &Log{m: m, hdr: hdr, base: base, cap: capEntries, battery: battery}
+	var strip int64
+	if cfg.Checksums {
+		if strip, err = m.Alloc(ctx, capEntries*4, xpsim.XPLineSize); err != nil {
+			return nil, fmt.Errorf("elog: checksum strip: %w", err)
+		}
+	}
+	l := &Log{m: m, hdr: hdr, base: base, cap: capEntries, battery: cfg.Battery, strip: strip}
 	mem.WriteU64(m, ctx, hdr+offHead, 0)
 	mem.WriteU64(m, ctx, hdr+offBuf, 0)
 	mem.WriteU64(m, ctx, hdr+offFlush, 0)
@@ -95,7 +138,15 @@ func Create(ctx *xpsim.Ctx, m mem.Mem, capEntries int64, battery bool) (*Log, er
 // replay: cursors must be ordered, the unflushed window must still be
 // resident (head-flushed <= cap), and the ring must fit the memory.
 func Attach(ctx *xpsim.Ctx, m mem.Mem, hdr, base int64, battery bool) (*Log, error) {
-	l := &Log{m: m, hdr: hdr, base: base, battery: battery}
+	return AttachWith(ctx, m, hdr, base, Config{Battery: battery})
+}
+
+// AttachWith is Attach with the full feature configuration, which must
+// match what the log was created with (the strip's location is re-derived
+// from the allocation layout: it directly follows the ring, XPLine-
+// aligned).
+func AttachWith(ctx *xpsim.Ctx, m mem.Mem, hdr, base int64, cfg Config) (*Log, error) {
+	l := &Log{m: m, hdr: hdr, base: base, battery: cfg.Battery}
 	l.head = int64(mem.ReadU64(m, ctx, hdr+offHead))
 	l.buffered = int64(mem.ReadU64(m, ctx, hdr+offBuf))
 	rawFlush := mem.ReadU64(m, ctx, hdr+offFlush)
@@ -109,12 +160,18 @@ func Attach(ctx *xpsim.Ctx, m mem.Mem, hdr, base int64, battery bool) (*Log, err
 	case l.head < 0 || l.head > maxCursor || l.buffered < 0 || l.flushed > l.buffered || l.buffered > l.head:
 		return nil, fmt.Errorf("elog: corrupt header: head=%d buffered=%d flushed=%d cap=%d",
 			l.head, l.buffered, l.flushed, l.cap)
-	case l.head-l.flushed > l.cap && !battery:
+	case l.head-l.flushed > l.cap && !cfg.Battery:
 		return nil, fmt.Errorf("elog: corrupt header: unflushed window %d exceeds cap %d (replay would read overwritten edges)",
 			l.head-l.flushed, l.cap)
 	case l.head-l.buffered > l.cap:
 		return nil, fmt.Errorf("elog: corrupt header: unbuffered window %d exceeds cap %d",
 			l.head-l.buffered, l.cap)
+	}
+	if cfg.Checksums {
+		l.strip = (base + l.cap*graph.EdgeBytes + xpsim.XPLineSize - 1) / xpsim.XPLineSize * xpsim.XPLineSize
+		if l.strip+l.cap*4 > m.Size() {
+			return nil, fmt.Errorf("elog: checksum strip [%d,%d) does not fit memory", l.strip, l.strip+l.cap*4)
+		}
 	}
 	return l, nil
 }
@@ -179,6 +236,18 @@ func (l *Log) Append(ctx *xpsim.Ctx, edges []graph.Edge) (int, error) {
 	// head, then flush the header line. Battery-backed stores skip the
 	// ordering: their whole memory hierarchy is in the persistence
 	// domain, so buffered lines survive power loss anyway (§IV-C).
+	if l.strip != 0 {
+		// The strip entry must be durable before the head that publishes
+		// its record, same as the record bytes themselves — otherwise a
+		// recovered log would flag a perfectly good record as corrupt.
+		var cb [4]byte
+		for i := int64(0); i < n; i++ {
+			edges[i].Encode(rec[:])
+			pos := (l.head + i) % l.cap
+			binary.LittleEndian.PutUint32(cb[:], recCRC(l.head+i, rec[:]))
+			l.m.Write(ctx, l.strip+pos*4, cb[:])
+		}
+	}
 	if !l.battery {
 		startPos := l.head % l.cap
 		if startPos+n <= l.cap {
@@ -186,6 +255,15 @@ func (l *Log) Append(ctx *xpsim.Ctx, edges []graph.Edge) (int, error) {
 		} else {
 			l.m.Flush(ctx, l.base+startPos*graph.EdgeBytes, (l.cap-startPos)*graph.EdgeBytes)
 			l.m.Flush(ctx, l.base, (startPos+n-l.cap)*graph.EdgeBytes)
+		}
+		if l.strip != 0 {
+			startPos := l.head % l.cap
+			if startPos+n <= l.cap {
+				l.m.Flush(ctx, l.strip+startPos*4, n*4)
+			} else {
+				l.m.Flush(ctx, l.strip+startPos*4, (l.cap-startPos)*4)
+				l.m.Flush(ctx, l.strip, (startPos+n-l.cap)*4)
+			}
 		}
 	}
 	l.head += n
@@ -264,5 +342,46 @@ func (l *Log) MarkFlushedSlot(ctx *xpsim.Ctx, upTo int64, slot int) {
 	}
 }
 
-// Bytes reports the PMEM footprint of the log (header + ring).
-func (l *Log) Bytes() int64 { return hdrBytes + l.cap*graph.EdgeBytes }
+// Bytes reports the PMEM footprint of the log (header + ring + strip).
+func (l *Log) Bytes() int64 {
+	b := int64(hdrBytes) + l.cap*graph.EdgeBytes
+	if l.strip != 0 {
+		b += l.cap * 4
+	}
+	return b
+}
+
+// VerifyWindow audits the resident ring window [max(0, head-cap), head)
+// through the media-error-checked read path, verifying each record against
+// the checksum strip when one exists. It returns the monotonic counters of
+// records that could not be read back as published — uncorrectable lines,
+// or bytes that disagree with the checksum. An empty result means every
+// resident record (including the [flushed, head) replay window a recovery
+// would consume) is intact.
+func (l *Log) VerifyWindow(ctx *xpsim.Ctx) []int64 {
+	lo := l.head - l.cap
+	if lo < 0 {
+		lo = 0
+	}
+	var bad []int64
+	var rec [graph.EdgeBytes]byte
+	var cb [4]byte
+	for i := lo; i < l.head; i++ {
+		pos := i % l.cap
+		if err := mem.ReadChecked(l.m, ctx, l.base+pos*graph.EdgeBytes, rec[:]); err != nil {
+			bad = append(bad, i)
+			continue
+		}
+		if l.strip == 0 {
+			continue
+		}
+		if err := mem.ReadChecked(l.m, ctx, l.strip+pos*4, cb[:]); err != nil {
+			bad = append(bad, i)
+			continue
+		}
+		if binary.LittleEndian.Uint32(cb[:]) != recCRC(i, rec[:]) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}

@@ -40,6 +40,28 @@ type Mem interface {
 	Persistent() bool
 }
 
+// CheckedMem is implemented by spaces whose reads can fail with a media
+// error (app-direct PMEM regions over a fault-injected machine). Mem.Read
+// keeps its infallible signature — most call sites run over DRAM or a
+// healthy device — and media-aware readers upgrade via this interface.
+type CheckedMem interface {
+	Mem
+	// ReadChecked is Read that reports an *xpsim.MediaError when the
+	// access touched an uncorrectable line or a failed device. p is
+	// filled either way (with whatever the media holds).
+	ReadChecked(ctx *xpsim.Ctx, off int64, p []byte) error
+}
+
+// ReadChecked reads through m's checked path when it has one and falls
+// back to the infallible Read (volatile spaces cannot take media errors).
+func ReadChecked(m Mem, ctx *xpsim.Ctx, off int64, p []byte) error {
+	if cm, ok := m.(CheckedMem); ok {
+		return cm.ReadChecked(ctx, off, p)
+	}
+	m.Read(ctx, off, p)
+	return nil
+}
+
 // Budget tracks a machine-wide DRAM budget shared by every DRAM consumer
 // (spaces, vertex-buffer pools, metadata accounting).
 type Budget struct {

@@ -42,6 +42,7 @@ func (mc *MachineCollector) Collect(emit func(Sample)) {
 		gauge("xpsim_read_amplification", "Media bytes read per requested byte (Fig. 3b).", st.ReadAmplification())
 		gauge("xpsim_write_amplification", "Media bytes written per requested byte (Fig. 3b, Fig. 13).", st.WriteAmplification())
 		counter("xpsim_flushes_total", "Explicit clwb-style line flushes issued.", st.Flushes)
+		counter("xpsim_read_ue_total", "Checked reads that hit an uncorrectable line or a dead device.", st.ReadUEs)
 		counter("xpbuffer_hits_total", "XPBuffer (write-combining cache) hits.", st.BufHits)
 		counter("xpbuffer_misses_total", "XPBuffer misses.", st.BufMisses)
 		counter("xpbuffer_evictions_total", "Dirty XPBuffer lines written back on capacity eviction.", st.BufEvictions)

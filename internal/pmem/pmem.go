@@ -129,6 +129,13 @@ func (h *Heap) CrashClone() (*Heap, error) {
 			return nil, fmt.Errorf("pmem: crash clone: %w", err)
 		}
 	}
+	// Media damage survives a power cycle: UE-marked lines, slow regions
+	// and dead devices are physical device state, not DRAM state, so the
+	// clone inherits them (the durable image already holds the scrambled
+	// bytes — this carries the poison marks that make checked reads err).
+	if f := src.Faults(); f != nil {
+		clone.TrackFaults().RestoreMediaState(f.ExportMediaState())
+	}
 	nh := NewHeap(clone)
 	// Deterministic region order: re-reading each region's allocation
 	// pointer touches the clone's devices, and map order must not leak
@@ -182,7 +189,10 @@ type Region struct {
 	allocMirror int64 // DRAM mirror of the persisted allocation pointer
 }
 
-var _ mem.Mem = (*Region)(nil)
+var (
+	_ mem.Mem        = (*Region)(nil)
+	_ mem.CheckedMem = (*Region)(nil)
+)
 
 // Name returns the region's name.
 func (r *Region) Name() string { return r.name }
@@ -229,6 +239,35 @@ func (r *Region) Read(ctx *xpsim.Ctx, off int64, p []byte) {
 		p = p[n:]
 		off += n
 	}
+}
+
+// ReadChecked implements mem.CheckedMem: Read through the devices'
+// media-error-aware path, returning the first *xpsim.MediaError hit. p is
+// filled either way.
+func (r *Region) ReadChecked(ctx *xpsim.Ctx, off int64, p []byte) error {
+	r.check(off, int64(len(p)))
+	var first error
+	for len(p) > 0 {
+		di, local, avail := r.locate(off)
+		n := int64(len(p))
+		if n > avail {
+			n = avail
+		}
+		if err := r.devs[di].ReadChecked(ctx, local, p[:n]); err != nil && first == nil {
+			first = err
+		}
+		p = p[n:]
+		off += n
+	}
+	return first
+}
+
+// LineAt maps a region offset to the (NUMA node, device XPLine) that backs
+// it — the coordinates a scrubber quarantines.
+func (r *Region) LineAt(off int64) (node int, line int64) {
+	r.check(off, 1)
+	di, local, _ := r.locate(off)
+	return r.devs[di].Node(), local / xpsim.XPLineSize
 }
 
 // Write implements mem.Mem.

@@ -1,0 +1,66 @@
+package scrubtest
+
+import "testing"
+
+// TestUEDetection: after UE injection, every checked read matches the
+// oracle or fails typed — never silently wrong edges.
+func TestUEDetection(t *testing.T) {
+	if err := RunUEDetection(Config{Name: "ue-detect", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUEDetectionDeletes runs the detection differential over a
+// workload with deletions, so damaged chains carry tombstones too.
+func TestUEDetectionDeletes(t *testing.T) {
+	if err := RunUEDetection(Config{Name: "ue-del", Seed: 2, DelRatio: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubRepairFromLog rebuilds damaged chains from the resident
+// edge-log window: the whole workload fits in LogCapacity.
+func TestScrubRepairFromLog(t *testing.T) {
+	if err := RunScrubRepair(Config{Name: "repair-log", Seed: 3, Edges: 600, LogCapacity: 1 << 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubRepairFromArchive rebuilds from the SSD edge archive even
+// though the log window has rotated past the early records.
+func TestScrubRepairFromArchive(t *testing.T) {
+	if err := RunScrubRepair(Config{
+		Name: "repair-ssd", Seed: 4, Edges: 1500,
+		LogCapacity: 1 << 8, ArchiveSSDBytes: 4 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUnrecoverable: no archive and a rotated log window leave a damaged
+// early vertex with no rebuild source; the scrub must say so honestly.
+func TestUnrecoverable(t *testing.T) {
+	if err := RunUnrecoverable(Config{
+		Name: "unrec", Seed: 5, Edges: 1500, LogCapacity: 1 << 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeFailure: whole-device failure serves healthy partitions and
+// refuses the rest, then recovers on revival.
+func TestNodeFailure(t *testing.T) {
+	if err := RunNodeFailure(Config{Name: "nodefail", Seed: 6, Edges: 800}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantinePersistence: quarantined spans survive crash + recovery
+// with the archive re-attached, and a fresh scrub finds nothing new.
+func TestQuarantinePersistence(t *testing.T) {
+	if err := RunQuarantinePersistence(Config{
+		Name: "quar-persist", Seed: 7, Edges: 900, ArchiveSSDBytes: 4 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -67,6 +68,13 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	if ok, wait := s.br.allow(time.Now()); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
+		httpError(w, http.StatusServiceUnavailable, "circuit_open",
+			"ingest circuit breaker is open after repeated media-write failures; retry in %v", wait.Round(time.Millisecond))
+		return
+	}
+
 	ireq := &ingestReq{edges: edges, done: make(chan ingestResult, 1)}
 	switch err := s.tryEnqueue(ireq); err {
 	case nil:
@@ -74,7 +82,9 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 		return
 	default:
-		w.Header().Set("Retry-After", "1")
+		// Jitter the retry delay so a burst of shed writers spreads out
+		// instead of stampeding back on the same second.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(s.retrySeq.Add(1))))
 		httpError(w, http.StatusTooManyRequests, "queue_full",
 			"ingest queue is full (%d edges queued, capacity %d)",
 			s.m.view().Queued, s.cfg.QueueCap)
@@ -104,6 +114,13 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	if res.err != nil {
 		if res.err == errShuttingDown {
 			httpError(w, http.StatusServiceUnavailable, "shutting_down", "%v", res.err)
+			return
+		}
+		var me *xpsim.MediaError
+		if errors.As(res.err, &me) {
+			// A media failure, not a capacity problem: the device under
+			// the write is gone or erroring. 503 so clients back off.
+			httpError(w, http.StatusServiceUnavailable, "media_error", "ingest: %v", res.err)
 			return
 		}
 		httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.err)
@@ -149,12 +166,28 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	ctx := xpsim.NewCtx(p.snap.OutNode(v))
 	switch sub {
 	case "out", "in":
-		gv := s.readView(p)
+		// Read through the media-checked path: a neighbor list whose
+		// adjacency blocks fail their checksum or sit on uncorrectable
+		// lines answers 503 instead of silently wrong edges.
 		var nbrs []uint32
+		var nerr error
+		s.stateMu.RLock()
 		if sub == "out" {
-			nbrs = gv.NbrsOut(ctx, v, nil)
+			nbrs, nerr = p.snap.NbrsOutChecked(ctx, v, nil)
 		} else {
-			nbrs = gv.NbrsIn(ctx, v, nil)
+			nbrs, nerr = p.snap.NbrsInChecked(ctx, v, nil)
+		}
+		s.stateMu.RUnlock()
+		if nerr != nil {
+			var ue *core.UnrecoverableError
+			if errors.As(nerr, &ue) {
+				httpError(w, http.StatusServiceUnavailable, "unrecoverable",
+					"vertex %d: %v", v, nerr)
+				return
+			}
+			httpError(w, http.StatusServiceUnavailable, "media_error",
+				"vertex %d: %v (a scrub may repair it: POST /v1/scrub)", v, nerr)
+			return
 		}
 		if nbrs == nil {
 			nbrs = []uint32{}
@@ -171,13 +204,40 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// health reads the store's media-health summary under the shared state
+// lock (the damage sets are mutated under the exclusive lock).
+func (s *Server) health() core.Health {
+	s.stateMu.RLock()
+	defer s.stateMu.RUnlock()
+	return s.store.Health()
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
+	h := s.health()
 	epoch := s.m.Epoch()
-	writeEpochJSON(w, epoch, HealthzResponse{Status: "ok", Epoch: epoch})
+	resp := HealthzResponse{
+		Status:                h.State.String(),
+		Epoch:                 epoch,
+		DamagedVertices:       h.DamagedVertices,
+		UnrecoverableVertices: h.UnrecoverableVertices,
+		QuarantinedSpans:      h.QuarantinedSpans,
+		QuarantinedBytes:      h.QuarantinedBytes,
+		DeadNodes:             h.DeadNodes,
+		UELines:               h.UELines,
+		BreakerOpen:           s.br.view(time.Now()).Open,
+	}
+	w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
+	if h.State == core.HealthReadonly {
+		// Probes should see the store as unavailable for writes; the body
+		// still carries the full health detail.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, resp)
 }
 
 // wantsPrometheus decides the /v1/metrics representation: the JSON
@@ -323,12 +383,66 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	writeEpochJSON(w, epoch, map[string]any{"flushed": true, "epoch": epoch})
 }
 
+// handleScrub runs one synchronous media-scrub pass: verify every chain,
+// rebuild damaged vertices from the archive or log window, quarantine the
+// replaced spans, and republish so reads see the repaired view.
+func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	s.stateMu.Lock()
+	rep, serr := s.store.Scrub()
+	var h core.Health
+	if serr == nil {
+		h = s.store.Health()
+		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	}
+	epoch := s.m.Epoch()
+	s.stateMu.Unlock()
+	if serr != nil {
+		httpError(w, http.StatusInternalServerError, "internal", "scrub: %v", serr)
+		return
+	}
+	writeEpochJSON(w, epoch, ScrubResponse{
+		VerticesScanned:  rep.VerticesScanned,
+		Damaged:          rep.Damaged,
+		Repaired:         rep.Repaired,
+		Unrecoverable:    rep.Unrecoverable,
+		SpansQuarantined: rep.SpansQuarantined,
+		BytesQuarantined: rep.BytesQuarantined,
+		LogBadRecords:    rep.LogBadRecords,
+		SimMs:            float64(rep.SimNs) / 1e6,
+		Health:           h.State.String(),
+		Epoch:            epoch,
+	})
+}
+
 // ---- analytics over the published snapshot ----
+
+// rejectIfDegraded gates whole-graph analytics: a traversal reads every
+// reachable vertex through the unchecked fast path and cannot skip
+// damaged ones and stay correct, so while damage is outstanding the
+// query answers 503 degraded (scrub, then retry). Point reads stay
+// available throughout — they fail per vertex, typed.
+func (s *Server) rejectIfDegraded(w http.ResponseWriter) bool {
+	h := s.health()
+	if h.State == core.HealthOK {
+		return false
+	}
+	httpError(w, http.StatusServiceUnavailable, "degraded",
+		"store is %s (%d damaged, %d unrecoverable vertices, %d dead nodes); whole-graph queries are suspended",
+		h.State, h.DamagedVertices, h.UnrecoverableVertices, len(h.DeadNodes))
+	return true
+}
 
 func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	var req BFSRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	if s.rejectIfDegraded(w) {
 		return
 	}
 	p := s.acquire()
@@ -350,6 +464,9 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	if req.Top <= 0 {
 		req.Top = 10
 	}
+	if s.rejectIfDegraded(w) {
+		return
+	}
 	p := s.acquire()
 	defer s.release(p)
 	res := s.engineFor(p).PageRank(req.Iterations)
@@ -367,6 +484,9 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
+	if s.rejectIfDegraded(w) {
+		return
+	}
 	p := s.acquire()
 	defer s.release(p)
 	res := s.engineFor(p).CC()
@@ -382,6 +502,9 @@ func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.K <= 0 {
 		req.K = 2
+	}
+	if s.rejectIfDegraded(w) {
+		return
 	}
 	p := s.acquire()
 	defer s.release(p)

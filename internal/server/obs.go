@@ -43,6 +43,11 @@ func (s *Server) initMetrics() {
 		sample("xpgraph_last_batch_host_seconds", "Host latency of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchHostNs)/1e9)
 		sample("xpgraph_last_batch_sim_seconds", "Simulated store time of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchSimNs)/1e9)
 		sample("xpgraph_last_batch_edges", "Size of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchEdges))
+
+		b := s.br.view(time.Now())
+		sample("xpgraph_breaker_open", "Ingest circuit breaker state (1 = shedding writes).", obs.KindGauge, boolGauge(b.Open))
+		sample("xpgraph_breaker_trips_total", "Times the ingest circuit breaker opened on media-write failures.", obs.KindCounter, float64(b.Trips))
+		sample("xpgraph_breaker_rejected_writes_total", "Write requests shed with 503 circuit_open.", obs.KindCounter, float64(b.Rejected))
 	}))
 
 	s.reg.Register(obs.NewGaugeFunc("obs_trace_spans",
@@ -53,9 +58,17 @@ func (s *Server) initMetrics() {
 		func() float64 { return float64(s.tracer.Dropped()) }))
 }
 
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // knownRoutes bounds the route-label cardinality of the HTTP metrics.
 var knownRoutes = map[string]bool{
-	"/edges": true, "/snapshot": true, "/flush": true, "/stats": true,
+	"/edges": true, "/snapshot": true, "/flush": true, "/scrub": true,
+	"/stats":   true,
 	"/healthz": true, "/metrics": true, "/trace": true,
 	"/query/bfs": true, "/query/pagerank": true, "/query/cc": true,
 	"/query/khop": true,

@@ -205,6 +205,12 @@ func (s *Server) ingestLoop() {
 		defer t.Stop()
 		flushC = t.C
 	}
+	var scrubC <-chan time.Time
+	if s.cfg.ScrubEvery > 0 {
+		t := time.NewTicker(s.cfg.ScrubEvery)
+		defer t.Stop()
+		scrubC = t.C
+	}
 	for {
 		select {
 		case <-s.stop:
@@ -218,6 +224,8 @@ func (s *Server) ingestLoop() {
 			s.gatherAndApply(req)
 		case <-flushC:
 			s.periodicFlush()
+		case <-scrubC:
+			s.periodicScrub()
 		}
 	}
 }
@@ -290,11 +298,19 @@ func (s *Server) applyAll(reqs []*ingestReq) {
 		s.stateMu.Unlock()
 
 		if err != nil {
+			// Media-write failures feed the circuit breaker so repeated
+			// ones shed new writes up front instead of queueing them into
+			// a failing pipeline.
+			var me *xpsim.MediaError
+			if errors.As(err, &me) {
+				s.br.recordFailure(time.Now())
+			}
 			// The failed chunk and everything behind it is dropped:
 			// dequeued without application.
 			fail(err, int64(len(all)-off))
 			return
 		}
+		s.br.recordSuccess()
 
 		s.m.mu.Lock()
 		s.m.queued -= int64(len(chunk))
@@ -340,6 +356,22 @@ func (s *Server) periodicFlush() {
 		return // surfaced through /v1/flush or the next write instead
 	}
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+}
+
+// periodicScrub is the background scrubber: it walks the heap verifying
+// checksums under the exclusive lock and republishes when the pass
+// changed anything. Errors (e.g. the store is not MediaGuard-enabled)
+// are surfaced through POST /v1/scrub instead.
+func (s *Server) periodicScrub() {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	rep, err := s.store.Scrub()
+	if err != nil {
+		return
+	}
+	if rep.Damaged > 0 || rep.Repaired > 0 {
+		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	}
 }
 
 // drainOnStop releases every queued writer with a shutdown error — the

@@ -10,6 +10,7 @@
 //	POST /v1/snapshot                                              publish a fresh snapshot
 //	POST /v1/compact/{id}                                          compact one vertex
 //	POST /v1/flush                                                 flush all vertex buffers
+//	POST /v1/scrub                                                 verify checksums, repair + quarantine damage
 //	GET  /v1/stats                                                 store + machine statistics
 //	GET  /v1/healthz                                               liveness + current epoch
 //	GET  /v1/metrics                                               pipeline + device metrics (JSON or Prometheus)
@@ -50,6 +51,25 @@
 // See internal/obs and DESIGN.md §8 for the metric catalog and span
 // taxonomy.
 //
+// # Degraded-mode serving
+//
+// On a MediaGuard store the server degrades instead of lying or dying.
+// GET /v1/vertices/{id}/out|in read through the media-checked path: a
+// neighbor list whose adjacency blocks fail their CRC or sit on
+// uncorrectable lines answers 503 media_error (or 503 unrecoverable once
+// a scrub has exhausted every rebuild source) — never silently wrong
+// edges. GET /v1/healthz reports the store's health state machine
+// (ok → degraded → readonly) with damage counts, answering 503 once a
+// whole NUMA node is down. Whole-graph analytics (/v1/query/*) answer
+// 503 degraded while damage is outstanding, since a traversal cannot
+// skip bad vertices and stay correct. Writes get a circuit breaker:
+// repeated media-write failures open it and further writes are shed with
+// 503 circuit_open + Retry-After until a cooldown probe succeeds.
+// POST /v1/scrub runs a synchronous scrub pass (Config.ScrubEvery runs
+// the same pass periodically from the writer goroutine), and
+// Config.RequestTimeout bounds every request with a 503
+// deadline_exceeded envelope.
+//
 // # Errors
 //
 // All errors use one envelope:
@@ -58,7 +78,10 @@
 //
 // with machine-readable codes (bad_request, method_not_allowed,
 // not_found, queue_full, batch_too_large, ingest_failed, internal,
-// shutting_down).
+// shutting_down, media_error, unrecoverable, degraded, readonly,
+// circuit_open, deadline_exceeded). 429 and circuit_open responses
+// carry a Retry-After header; the 429 delay is jittered over 1-3 s so
+// shed writers do not retry in lockstep.
 //
 // # Legacy routes (deprecated)
 //
@@ -77,6 +100,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -108,6 +132,19 @@ type Config struct {
 	// When nil the server uses the store's attached tracer, or creates
 	// a default bounded ring so /v1/trace always works.
 	Tracer *obs.Tracer
+	// RequestTimeout bounds every request; one that runs past it answers
+	// 503 deadline_exceeded (0 disables).
+	RequestTimeout time.Duration
+	// ScrubEvery periodically runs a media scrub pass from the writer
+	// goroutine — MediaGuard stores only (0 disables; POST /v1/scrub
+	// always works).
+	ScrubEvery time.Duration
+	// BreakerThreshold is how many consecutive media-write failures open
+	// the ingest circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the breaker stays open before admitting
+	// a half-open probe write (default 5s).
+	BreakerCooldown time.Duration
 
 	// batchDelay is a test hook: sleep between batch applications,
 	// outside the write lock, so tests can observe reads completing
@@ -128,6 +165,12 @@ func (c Config) withDefaults() Config {
 	if c.Linger <= 0 {
 		c.Linger = 2 * time.Millisecond
 	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
 	return c
 }
 
@@ -138,6 +181,10 @@ type Server struct {
 	store   *core.Store
 	machine *xpsim.Machine
 	mux     *http.ServeMux
+	// inner is the mux, optionally wrapped in http.TimeoutHandler when
+	// Config.RequestTimeout is set; ServeHTTP routes through it after the
+	// /v1 prefix handling.
+	inner http.Handler
 
 	// stateMu orders store mutation against snapshot reads: the writer
 	// holds it exclusively per batch; readers take it shared per
@@ -154,6 +201,10 @@ type Server struct {
 	wg      sync.WaitGroup
 
 	m metrics
+	// br sheds writes while the store keeps failing media writes.
+	br breaker
+	// retrySeq sequences the jittered Retry-After values of 429 responses.
+	retrySeq atomic.Uint64
 
 	// Observability surface: the registry gathers device telemetry,
 	// store gauges, and the server's own series; the tracer ring backs
@@ -173,6 +224,7 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		machine: machine,
 		queue:   make(chan *ingestReq, cfg.QueueCap),
 		stop:    make(chan struct{}),
+		br:      breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 	}
 	// Attach the tracer before the first publication so even the initial
 	// snapshot's spans land in the ring.
@@ -197,6 +249,7 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/compact/", s.handleCompact)
 	mux.HandleFunc("/flush", s.handleFlush)
+	mux.HandleFunc("/scrub", s.handleScrub)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -211,6 +264,17 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		httpError(w, http.StatusNotFound, "not_found", "no such route %q", r.URL.Path)
 	})
 	s.mux = mux
+	s.inner = mux
+	if cfg.RequestTimeout > 0 {
+		// TimeoutHandler answers abandoned requests itself with 503 and
+		// our JSON envelope; the metrics wrapper in ServeHTTP stays
+		// outside so timed-out requests are still counted.
+		body, _ := json.Marshal(errorBody{Error: errorDetail{
+			Code:    "deadline_exceeded",
+			Message: fmt.Sprintf("request exceeded the %v deadline", cfg.RequestTimeout),
+		}})
+		s.inner = http.TimeoutHandler(mux, cfg.RequestTimeout, string(body))
+	}
 
 	s.wg.Add(1)
 	go s.ingestLoop()
@@ -229,11 +293,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		path = p
 		r2 := r.Clone(r.Context())
 		r2.URL.Path = p
-		s.mux.ServeHTTP(w, r2)
+		s.inner.ServeHTTP(w, r2)
 	} else {
 		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", `</v1>; rel="successor-version"`)
-		s.mux.ServeHTTP(w, r)
+		s.inner.ServeHTTP(w, r)
 	}
 	route := routeLabel(path)
 	s.httpReqs.With(route).Inc()
@@ -322,10 +386,34 @@ type SnapshotResponse struct {
 	Epoch uint64 `json:"epoch"`
 }
 
-// HealthzResponse is the liveness probe body.
+// HealthzResponse is the liveness probe body. Status is the media-health
+// state machine: "ok", "degraded" (detected or unrecoverable damage;
+// checked reads of healthy vertices keep working), or "readonly" (a NUMA
+// node is down; writes are refused, the response is 503).
 type HealthzResponse struct {
-	Status string `json:"status"`
-	Epoch  uint64 `json:"epoch"`
+	Status                string `json:"status"`
+	Epoch                 uint64 `json:"epoch"`
+	DamagedVertices       int    `json:"damaged_vertices"`
+	UnrecoverableVertices int    `json:"unrecoverable_vertices"`
+	QuarantinedSpans      int    `json:"quarantined_spans"`
+	QuarantinedBytes      int64  `json:"quarantined_bytes"`
+	DeadNodes             []int  `json:"dead_nodes,omitempty"`
+	UELines               int    `json:"ue_lines"`
+	BreakerOpen           bool   `json:"breaker_open"`
+}
+
+// ScrubResponse reports one POST /v1/scrub pass.
+type ScrubResponse struct {
+	VerticesScanned  int64   `json:"vertices_scanned"`
+	Damaged          int64   `json:"damaged"`
+	Repaired         int64   `json:"repaired"`
+	Unrecoverable    int64   `json:"unrecoverable"`
+	SpansQuarantined int64   `json:"spans_quarantined"`
+	BytesQuarantined int64   `json:"bytes_quarantined"`
+	LogBadRecords    int64   `json:"log_bad_records"`
+	SimMs            float64 `json:"sim_ms"`
+	Health           string  `json:"health"`
+	Epoch            uint64  `json:"epoch"`
 }
 
 // MetricsResponse reports ingest-pipeline and snapshot metrics. All

@@ -21,6 +21,7 @@ type Stats struct {
 	RemoteAccesses  int64 // line accesses issued from a remote socket
 	LocalAccesses   int64 // line accesses issued from the local socket
 	Flushes         int64 // explicit clwb-style line flushes
+	ReadUEs         int64 // checked reads that hit an uncorrectable line
 }
 
 // MediaReadBytes reports bytes read from the media.
@@ -57,6 +58,7 @@ func (s *Stats) Add(o Stats) {
 	s.RemoteAccesses += o.RemoteAccesses
 	s.LocalAccesses += o.LocalAccesses
 	s.Flushes += o.Flushes
+	s.ReadUEs += o.ReadUEs
 }
 
 // Sub returns s minus o (for before/after deltas around a phase).
@@ -72,6 +74,7 @@ func (s Stats) Sub(o Stats) Stats {
 		RemoteAccesses:  s.RemoteAccesses - o.RemoteAccesses,
 		LocalAccesses:   s.LocalAccesses - o.LocalAccesses,
 		Flushes:         s.Flushes - o.Flushes,
+		ReadUEs:         s.ReadUEs - o.ReadUEs,
 	}
 }
 

@@ -85,6 +85,16 @@ type Faults struct {
 	mediaWrites int64 // media-write events since arming
 	siteHits    map[string]int64
 	crashDesc   string
+
+	// Media-error model (media.go). Deliberately NOT reset by Arm: crash
+	// sweeps re-arm plans continuously, while media damage persists until
+	// a scrubber remaps around it.
+	ue           map[int]map[int64]bool    // node -> uncorrectable lines
+	slow         map[int]map[int64]float64 // node -> line -> latency multiplier
+	dead         map[int]bool              // failed whole-node devices
+	decayPerRead float64                   // per-checked-read UE probability
+	decaySeed    uint64                    // decay die seed
+	readSeq      uint64                    // monotonic decay clock
 }
 
 // writeFate is what a media-write event does to the durable image.

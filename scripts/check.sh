@@ -45,4 +45,12 @@ go test -race -short ./...
 echo "== crash-point sweeps (capped, native)"
 go test -run Crash -short ./internal/crashtest/ ./internal/core/ ./internal/elog/
 
+echo "== media-scrub differentials (short)"
+# The UE-injection differential harness (DESIGN.md §9): every read under
+# injected media errors matches the oracle or fails typed, scrubs repair
+# or honestly refuse, quarantine survives recovery. Fast and
+# deterministic, so the whole suite gates here; the nightly workflow
+# repeats it under -race -count=5.
+go test -short ./internal/scrubtest/
+
 echo "check.sh: all green"
