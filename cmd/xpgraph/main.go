@@ -12,9 +12,17 @@
 //	xpgraph recover -dataset FS [-scale 0.25]
 //	xpgraph gen     -dataset FS -out fs.bin [-scale 1]
 //	xpgraph list    # datasets and experiments
+//
+// `xpgraph bench -exp wire -json BENCH_6.json` writes the experiment's
+// machine-readable report, and `xpgraph benchgate -new BENCH_6.json
+// [-baseline old.json]` enforces the PR-6 acceptance gates on it (binary
+// ingest ≥2× JSON decode throughput; varint adjacency ≥1.5× the fixed
+// layout's edges per 256 B XPLine; no regression vs the committed
+// baseline).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -48,6 +56,8 @@ func main() {
 		err = cmdRecover(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
+	case "benchgate":
+		err = cmdBenchgate(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -64,12 +74,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: xpgraph <bench|ingest|query|recover|gen|list> [flags]
-  bench   -exp <fig3..fig20|table2|table3|ablation|ext-*|all> [-scale f] [-datasets A,B]
+  bench   -exp <fig3..fig20|table2|table3|ablation|ext-*|wire|all> [-scale f] [-datasets A,B]
           [-threads n] [-qthreads n] [-format table|csv] [-lat model.json] [-trace out.json]
+          [-json out.json]
   ingest  -dataset D [-scale f] [-system s] [-threads n] [-save state.xpg]
   query   -dataset D [-scale f] [-algo bfs|pagerank|cc|onehop|khop|triangles] [-qthreads n]
   recover -dataset D [-scale f] [-load state.xpg]
   gen     -dataset D -out file [-scale f]
+  benchgate -new report.json [-baseline committed.json] [-tol f]
   list`)
 }
 
@@ -83,6 +95,7 @@ func cmdBench(args []string) error {
 	format := fs.String("format", "table", "output format: table|csv")
 	latPath := fs.String("lat", "", "JSON latency-model override (see xpsim.LoadLatency)")
 	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON of the phase timeline to this file")
+	jsonPath := fs.String("json", "", "write the experiment's machine-readable report to this file (single -exp only)")
 	fs.Parse(args)
 
 	cfg := bench.Config{EdgeScale: *scale, ArchiveThreads: *threads, QueryThreads: *qthreads}
@@ -114,7 +127,13 @@ func cmdBench(args []string) error {
 			return err
 		}
 		emit(t)
+		if err := writeBenchJSON(*jsonPath, t); err != nil {
+			return err
+		}
 		return writeTrace(*tracePath, cfg.Tracer)
+	}
+	if *jsonPath != "" {
+		return fmt.Errorf("bench: -json needs a single -exp, not 'all'")
 	}
 	for _, e := range bench.Experiments() {
 		fmt.Fprintf(os.Stderr, "running %s: %s...\n", e.Name, e.Title)
@@ -148,6 +167,122 @@ func writeTrace(path string, t *obs.Tracer) error {
 	fmt.Fprintf(os.Stderr, "wrote %d phase spans to %s (dropped %d; open in chrome://tracing)\n",
 		len(spans), path, t.Dropped())
 	return nil
+}
+
+// writeBenchJSON dumps the experiment's machine-readable payload.
+func writeBenchJSON(path string, t bench.Table) error {
+	if path == "" {
+		return nil
+	}
+	if t.JSON == nil {
+		return fmt.Errorf("bench: experiment %s has no machine-readable report", t.Exp)
+	}
+	buf, err := json.MarshalIndent(t.JSON, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s report to %s\n", t.Exp, path)
+	return nil
+}
+
+// cmdBenchgate enforces the PR-6 acceptance gates on a wire-experiment
+// report, and (with -baseline) fails on regressions against a committed
+// one. Density numbers come off the simulated clock, so they are
+// deterministic at a fixed scale; decode throughput is host-clock and
+// only gated in ratio form (binary vs JSON on the same machine).
+func cmdBenchgate(args []string) error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	newPath := fs.String("new", "", "wire report to check (from: xpgraph bench -exp wire -json)")
+	basePath := fs.String("baseline", "", "committed baseline report to compare against")
+	tol := fs.Float64("tol", 0.05, "allowed fractional regression vs the baseline")
+	fs.Parse(args)
+	if *newPath == "" {
+		return fmt.Errorf("benchgate: -new is required")
+	}
+	cur, err := readWireReport(*newPath)
+	if err != nil {
+		return err
+	}
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	for _, r := range cur {
+		// Absolute gates from the PR acceptance criteria.
+		check(r.BinSpeedup >= 2.0,
+			"%s: binary ingest decode only %.2fx JSON (need >= 2x)", r.Dataset, r.BinSpeedup)
+		check(r.Varint.EdgesPerLine >= 1.5*r.Fixed.EdgesPerLine,
+			"%s: varint density %.2f edges/line vs fixed %.2f (need >= 1.5x)",
+			r.Dataset, r.Varint.EdgesPerLine, r.Fixed.EdgesPerLine)
+		check(r.Varint.MediaWriteBytesPerEdge > 0 && r.Fixed.MediaWriteBytesPerEdge > 0,
+			"%s: missing media write traffic measurements", r.Dataset)
+		fmt.Printf("%-4s bin_speedup %.2fx  density fixed %.2f varint %.2f (%.2fx)  wr B/edge fixed %.1f varint %.1f\n",
+			r.Dataset, r.BinSpeedup, r.Fixed.EdgesPerLine, r.Varint.EdgesPerLine,
+			r.DensityGain, r.Fixed.MediaWriteBytesPerEdge, r.Varint.MediaWriteBytesPerEdge)
+	}
+
+	if *basePath != "" {
+		base, err := readWireReport(*basePath)
+		if err != nil {
+			return err
+		}
+		byName := map[string]bench.WireReport{}
+		for _, r := range base {
+			byName[r.Dataset] = r
+		}
+		for _, r := range cur {
+			b, ok := byName[r.Dataset]
+			if !ok {
+				continue
+			}
+			floor := 1 - *tol
+			check(r.Varint.EdgesPerLine >= b.Varint.EdgesPerLine*floor,
+				"%s: varint density regressed: %.3f vs baseline %.3f edges/line",
+				r.Dataset, r.Varint.EdgesPerLine, b.Varint.EdgesPerLine)
+			check(r.DensityGain >= b.DensityGain*floor,
+				"%s: density gain regressed: %.3fx vs baseline %.3fx",
+				r.Dataset, r.DensityGain, b.DensityGain)
+			// Host-clock throughput is noisy across machines; allow a wide
+			// band but catch order-of-magnitude regressions in the ratio.
+			check(r.BinSpeedup >= b.BinSpeedup*0.5,
+				"%s: binary/JSON decode ratio collapsed: %.2fx vs baseline %.2fx",
+				r.Dataset, r.BinSpeedup, b.BinSpeedup)
+		}
+	}
+
+	if len(fails) > 0 {
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "benchgate FAIL:", f)
+		}
+		return fmt.Errorf("benchgate: %d gate(s) failed", len(fails))
+	}
+	fmt.Println("benchgate: all gates passed")
+	return nil
+}
+
+// readWireReport loads a wire-experiment JSON report.
+func readWireReport(path string) ([]bench.WireReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		Experiment string             `json:"experiment"`
+		Reports    []bench.WireReport `json:"reports"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Experiment != "wire" || len(doc.Reports) == 0 {
+		return nil, fmt.Errorf("%s: not a wire-experiment report", path)
+	}
+	return doc.Reports, nil
 }
 
 // cliAdjBytes sizes adjacency regions consistently across CLI commands so

@@ -10,9 +10,18 @@
 //	curl localhost:7611/v1/stats
 //	curl localhost:7611/v1/metrics
 //
+// Bulk loaders should prefer the binary batch endpoint (the wire format
+// is in DESIGN.md §10.1; ingest.EncodeBatch produces it):
+//
+//	curl -X POST localhost:7611/v1/ingest/bin \
+//	     -H 'Content-Type: application/x-xpgraph-batch' \
+//	     --data-binary @edges.xpb
+//
 // Writes are batched through a bounded ingest queue and reads serve from
 // the latest published snapshot (see package server). The unversioned
-// routes still work but are deprecated.
+// routes still work but are deprecated. With -varint-adj new adjacency
+// blocks use the delta-varint encoding (more edges per 256 B XPLine;
+// see DESIGN.md §10.2).
 //
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
@@ -65,6 +74,7 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; requests past it answer 503 deadline_exceeded (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "bound on graceful shutdown: HTTP drain plus ingest-queue drain share this budget (0 waits forever)")
 	mediaGuard := flag.Bool("media-guard", false, "checksummed media-error detection, scrubbing, and quarantine (see DESIGN.md §9)")
+	varintAdj := flag.Bool("varint-adj", false, "delta-varint compressed adjacency blocks (see DESIGN.md §10.2)")
 	archiveSSDMB := flag.Int64("archive-ssd-mb", 0, "SSD edge archive for scrub rebuilds, in MiB (requires -media-guard)")
 	scrubEvery := flag.Duration("scrub-every", 0, "periodic media scrub pass (requires -media-guard; 0 disables)")
 	ueDecay := flag.Float64("ue-decay", 0, "per-read probability a media line decays uncorrectable — demo/chaos knob (requires -media-guard)")
@@ -91,6 +101,7 @@ func main() {
 		NUMA:            core.NUMASubgraph,
 		AdjBytes:        (*pmemGB << 30) / 4,
 		MediaGuard:      *mediaGuard,
+		CompressedAdj:   *varintAdj,
 		ArchiveSSDBytes: *archiveSSDMB << 20,
 	})
 	if err != nil {

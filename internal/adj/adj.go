@@ -141,6 +141,12 @@ type Options struct {
 	// bytes disagree with the acknowledged checksum. Requires CrashSafe
 	// (the checksum lifecycle rides the Ack slots).
 	Checksums bool
+	// VarintBlocks makes NEW blocks use the delta-varint payload encoding
+	// (varint.go) instead of fixed 4-byte neighbor slots. The format is
+	// negotiated per block through the offFmt header word, so chains may
+	// mix formats freely: a store recovered from fixed-width media keeps
+	// reading its old blocks while appending compressed ones.
+	VarintBlocks bool
 }
 
 // Store is one adjacency arena: one direction (out or in) of one
@@ -156,6 +162,19 @@ type Store struct {
 	records []uint32 // total records (incl. tombstones) per vertex
 	blocks  int64    // blocks allocated
 	bytes   int64    // bytes allocated
+	// Delta-varint tail state (varint.go): the tail block's format, the
+	// byte cursor inside its payload, and the delta predecessor for the
+	// next appended record. All rebuilt by recovery.
+	tailFmt   []uint8
+	tailBytes []uint32
+	lastVal   []uint32
+	// encBytes/encRecs count payload bytes and records written through
+	// the append and compaction paths, per format — the obs feed for
+	// edges-per-XPLine accounting. encScratch is the reusable varint
+	// encode buffer.
+	encBytes   [2]int64
+	encRecs    [2]int64
+	encScratch []byte
 	// partialCnt records counts of retired-but-not-full blocks when
 	// counts live in DRAM (VolatileCounts, or CrashSafe between acks);
 	// retired blocks are otherwise exactly full.
@@ -210,6 +229,9 @@ func (s *Store) EnsureVertices(n graph.VID) {
 		s.tailCnt = append(s.tailCnt, make([]uint32, int(n)-len(s.tailCnt))...)
 		s.tailCap = append(s.tailCap, make([]uint32, int(n)-len(s.tailCap))...)
 		s.records = append(s.records, make([]uint32, int(n)-len(s.records))...)
+		s.tailFmt = append(s.tailFmt, make([]uint8, int(n)-len(s.tailFmt))...)
+		s.tailBytes = append(s.tailBytes, make([]uint32, int(n)-len(s.tailBytes))...)
+		s.lastVal = append(s.lastVal, make([]uint32, int(n)-len(s.lastVal))...)
 	}
 }
 
@@ -231,6 +253,69 @@ func (s *Store) Blocks() int64 { return s.blocks }
 // Bytes reports total allocated block bytes (the paper's "Pblk" usage).
 func (s *Store) Bytes() int64 { return s.bytes }
 
+// EncodingStats reports cumulative payload bytes and records written
+// through the append and compaction paths, per block format — the feed
+// behind the xpgraph_adj_encoded_* metrics and the edges-per-XPLine
+// accounting (records / (bytes/256)).
+type EncodingStats struct {
+	FixedBytes, FixedRecords   int64
+	VarintBytes, VarintRecords int64
+}
+
+// Encoding reports the store's cumulative encoding statistics.
+func (s *Store) Encoding() EncodingStats {
+	return EncodingStats{
+		FixedBytes:    s.encBytes[fmtFixed],
+		FixedRecords:  s.encRecs[fmtFixed],
+		VarintBytes:   s.encBytes[fmtVarint],
+		VarintRecords: s.encRecs[fmtVarint],
+	}
+}
+
+// LayoutStats describes the live on-media adjacency layout: visible
+// records, the payload bytes they occupy, and total block bytes
+// (headers + payload capacity, the real XPLine footprint).
+type LayoutStats struct {
+	Records      int64
+	PayloadBytes int64
+	BlockBytes   int64
+}
+
+// Layout walks every live chain and measures the current on-media
+// layout. Varint payload extents are discovered by decoding, so this is
+// a full read of the arena — a bench/diagnostic API, not a hot path.
+func (s *Store) Layout(ctx *xpsim.Ctx) LayoutStats {
+	var ls LayoutStats
+	for v := range s.tail {
+		off := s.tail[v]
+		for off != 0 {
+			var hdr [headerBytes]byte
+			s.m.Read(ctx, off, hdr[:])
+			capacity := binary.LittleEndian.Uint32(hdr[offCap:])
+			format := uint8(binary.LittleEndian.Uint32(hdr[offFmt:]))
+			cnt := s.blockCnt(graph.VID(v), off, binary.LittleEndian.Uint32(hdr[offCnt0:]), capacity)
+			ls.Records += int64(cnt)
+			ls.BlockBytes += headerBytes + 4*int64(capacity)
+			if format == fmtVarint {
+				vr := newVarintReader(func(o int64, p []byte) error {
+					s.m.Read(ctx, o, p)
+					return nil
+				}, off+headerBytes, int64(capacity)*4, false)
+				for i := uint32(0); i < cnt; i++ {
+					if _, err := vr.next(); err != nil {
+						break
+					}
+				}
+				ls.PayloadBytes += vr.bytesConsumed()
+			} else {
+				ls.PayloadBytes += 4 * int64(cnt)
+			}
+			off = int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
+		}
+	}
+	return ls
+}
+
 // volatileReads reports whether record counts are resolved from DRAM
 // mirrors rather than the persisted header (VolatileCounts always;
 // CrashSafe because the persisted slots lag until the next Ack;
@@ -251,57 +336,138 @@ func (s *Store) pendAdd(off int64, cnt uint32) {
 // Append stores nbrs for vertex v. Contiguous neighbors are written with
 // a single memory operation, so a 63-neighbor vertex-buffer flush costs
 // one XPLine-sized write while single-neighbor appends behave like
-// GraphOne's scattered 4-byte stores.
+// GraphOne's scattered 4-byte stores. The tail block's format decides
+// the payload encoding; insertion order is preserved in both formats
+// (snapshot-bounded reads take record-count prefixes of it).
 func (s *Store) Append(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) error {
 	s.EnsureVertices(v + 1)
 	for len(nbrs) > 0 {
-		free := int(s.tailCap[v] - s.tailCnt[v])
-		if s.tail[v] == 0 || free == 0 {
+		if s.tail[v] == 0 {
 			if err := s.newBlock(ctx, v, len(nbrs)); err != nil {
 				return err
 			}
-			free = int(s.tailCap[v])
 		}
-		n := len(nbrs)
-		if n > free {
-			n = free
+		var n int
+		if s.tailFmt[v] == fmtVarint {
+			n = s.appendVarint(ctx, v, nbrs)
+		} else {
+			n = s.appendFixed(ctx, v, nbrs)
 		}
-		off := s.tail[v] + headerBytes + int64(s.tailCnt[v])*4
-		buf := make([]byte, n*4)
-		for i, nb := range nbrs[:n] {
-			binary.LittleEndian.PutUint32(buf[i*4:], nb)
+		if n == 0 {
+			// Tail block full (fixed: no free slot; varint: the next
+			// record's encoding does not fit the byte budget).
+			if err := s.newBlock(ctx, v, len(nbrs)); err != nil {
+				return err
+			}
+			continue
 		}
-		s.m.Write(ctx, off, buf)
-		if s.opts.Checksums {
-			s.crc[s.tail[v]] = crc32.Update(s.crc[s.tail[v]], castagnoli, buf)
-		}
-		s.tailCnt[v] += uint32(n)
-		switch {
-		case s.opts.CrashSafe:
-			// The count stays in DRAM until the next Ack; recovery
-			// replays anything not yet acknowledged.
-			s.pendAdd(s.tail[v], s.tailCnt[v])
-		case !s.opts.VolatileCounts && !s.opts.DeferCounts:
-			// Persist the record count in the block header.
-			mem.WriteU32(s.m, ctx, s.tail[v]+offCnt0, s.tailCnt[v])
-		}
-		if s.opts.ProactiveFlush && int64(n*4) >= xpsim.XPLineSize {
-			s.m.Flush(ctx, off, int64(n*4))
-		}
-		s.records[v] += uint32(n)
 		nbrs = nbrs[n:]
 	}
 	return nil
+}
+
+// appendFixed writes as many of nbrs as fit the fixed-width tail block,
+// returning how many it stored.
+func (s *Store) appendFixed(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) int {
+	free := int(s.tailCap[v] - s.tailCnt[v])
+	if free <= 0 {
+		return 0
+	}
+	n := len(nbrs)
+	if n > free {
+		n = free
+	}
+	off := s.tail[v] + headerBytes + int64(s.tailCnt[v])*4
+	buf := make([]byte, n*4)
+	for i, nb := range nbrs[:n] {
+		binary.LittleEndian.PutUint32(buf[i*4:], nb)
+	}
+	s.m.Write(ctx, off, buf)
+	if s.opts.Checksums {
+		s.crc[s.tail[v]] = crc32.Update(s.crc[s.tail[v]], castagnoli, buf)
+	}
+	s.tailCnt[v] += uint32(n)
+	s.commitAppend(ctx, v, off, int64(len(buf)), n)
+	s.encBytes[fmtFixed] += int64(len(buf))
+	s.encRecs[fmtFixed] += int64(n)
+	return n
+}
+
+// appendVarint encodes as many of nbrs as fit the varint tail block's
+// byte budget — one delta chain continued from the block's last record —
+// and writes them with a single memory operation.
+func (s *Store) appendVarint(ctx *xpsim.Ctx, v graph.VID, nbrs []uint32) int {
+	freeBytes := int(4*s.tailCap[v]) - int(s.tailBytes[v])
+	if freeBytes <= 0 {
+		return 0
+	}
+	enc := s.encScratch[:0]
+	prev := s.lastVal[v]
+	n := 0
+	for _, val := range nbrs {
+		var k int
+		enc, k = putVarintRec(enc, prev, val)
+		if len(enc) > freeBytes {
+			enc = enc[:len(enc)-k]
+			break
+		}
+		prev = val
+		n++
+	}
+	s.encScratch = enc[:0]
+	if n == 0 {
+		return 0
+	}
+	off := s.tail[v] + headerBytes + int64(s.tailBytes[v])
+	s.m.Write(ctx, off, enc)
+	if s.opts.Checksums {
+		s.crc[s.tail[v]] = crc32.Update(s.crc[s.tail[v]], castagnoli, enc)
+	}
+	s.tailBytes[v] += uint32(len(enc))
+	s.lastVal[v] = prev
+	s.tailCnt[v] += uint32(n)
+	s.commitAppend(ctx, v, off, int64(len(enc)), n)
+	s.encBytes[fmtVarint] += int64(len(enc))
+	s.encRecs[fmtVarint] += int64(n)
+	return n
+}
+
+// commitAppend is the shared tail of an append run: count persistence
+// policy, proactive flushing, and record accounting. The caller has
+// already advanced tailCnt (and, for varint, the byte cursor).
+func (s *Store) commitAppend(ctx *xpsim.Ctx, v graph.VID, off, wrote int64, n int) {
+	switch {
+	case s.opts.CrashSafe:
+		// The count stays in DRAM until the next Ack; recovery
+		// replays anything not yet acknowledged.
+		s.pendAdd(s.tail[v], s.tailCnt[v])
+	case !s.opts.VolatileCounts && !s.opts.DeferCounts:
+		// Persist the record count in the block header.
+		mem.WriteU32(s.m, ctx, s.tail[v]+offCnt0, s.tailCnt[v])
+	}
+	if s.opts.ProactiveFlush && wrote >= xpsim.XPLineSize {
+		s.m.Flush(ctx, off, wrote)
+	}
+	s.records[v] += uint32(n)
 }
 
 // Reserve ensures v's tail block has room for at least n more neighbors,
 // allocating a fresh block sized by the sizing policy otherwise. GraphOne's
 // archiving uses it to allocate each vertex's per-batch chunk up front
 // (degree counting pass, §II-B) before appending neighbors one by one.
+// The capacity check is exact for fixed-width blocks and conservative
+// (worst-case record size) for varint tails; GraphOne stores never
+// enable VarintBlocks, and Append handles overflow either way.
 func (s *Store) Reserve(ctx *xpsim.Ctx, v graph.VID, n int) error {
 	s.EnsureVertices(v + 1)
-	if s.tail[v] != 0 && int(s.tailCap[v]-s.tailCnt[v]) >= n {
-		return nil
+	if s.tail[v] != 0 {
+		if s.tailFmt[v] == fmtVarint {
+			if (int(4*s.tailCap[v])-int(s.tailBytes[v]))/maxVarintRec >= n {
+				return nil
+			}
+		} else if int(s.tailCap[v]-s.tailCnt[v]) >= n {
+			return nil
+		}
 	}
 	return s.newBlock(ctx, v, n)
 }
@@ -343,13 +509,28 @@ func (s *Store) allocBlock(ctx *xpsim.Ctx, v graph.VID, capacity int) (int64, er
 }
 
 func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
-	if s.volatileReads() && s.tail[v] != 0 && s.tailCnt[v] < s.tailCap[v] {
+	// Retire the old tail. A fixed block whose count equals its capacity
+	// needs no DRAM record — blockCnt's fallback is exact — but a varint
+	// block's record count is unrelated to cap (cnt can exceed it), so
+	// retired varint tails always keep their count in partialCnt.
+	if s.volatileReads() && s.tail[v] != 0 &&
+		(s.tailCnt[v] != s.tailCap[v] || s.tailFmt[v] == fmtVarint) {
 		if s.partialCnt == nil {
 			s.partialCnt = make(map[int64]uint32)
 		}
 		s.partialCnt[s.tail[v]] = s.tailCnt[v]
 	}
+	format := uint8(fmtFixed)
+	if s.opts.VarintBlocks {
+		format = fmtVarint
+	}
 	capacity := s.opts.Sizing(int(s.records[v]), incoming)
+	if format == fmtVarint && capacity < 2 {
+		// A varint block's byte budget (4*cap) must hold at least one
+		// worst-case record (maxVarintRec bytes) or Append cannot make
+		// progress.
+		capacity = 2
+	}
 	off, err := s.allocBlock(ctx, v, capacity)
 	if err != nil {
 		return err
@@ -358,6 +539,7 @@ func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
 	binary.LittleEndian.PutUint32(hdr[offVID:], v)
 	binary.LittleEndian.PutUint32(hdr[offCap:], uint32(capacity))
 	binary.LittleEndian.PutUint32(hdr[offPrev:], uint32(s.tail[v]/headerAlign))
+	binary.LittleEndian.PutUint32(hdr[offFmt:], uint32(format))
 	// cnt0/cnt1 stay zero: a recycled block's slots were durably zeroed
 	// when it was killed, so even if this header write never becomes
 	// durable, recovery sees zero visible records — never a stale count
@@ -376,6 +558,9 @@ func (s *Store) newBlock(ctx *xpsim.Ctx, v graph.VID, incoming int) error {
 	s.tail[v] = off
 	s.tailCnt[v] = 0
 	s.tailCap[v] = uint32(capacity)
+	s.tailFmt[v] = format
+	s.tailBytes[v] = 0
+	s.lastVal[v] = 0
 	if s.opts.Checksums {
 		s.noteBlock(v, off, uint32(capacity), 0)
 	}
@@ -438,6 +623,45 @@ func (s *Store) PendingAcks() int {
 	return n
 }
 
+// visitBlock streams the first cnt records of the block at off to fn,
+// decoding the block's payload format. Fixed blocks read through a
+// stack chunk; varint blocks stream through the chunked decoder. Decode
+// errors (possible only on corrupt media) stop the walk — the checked
+// paths in check.go surface them as typed errors instead.
+func (s *Store) visitBlock(ctx *xpsim.Ctx, off int64, format uint8, capacity, cnt uint32, fn func(nbr uint32)) {
+	if cnt == 0 {
+		return
+	}
+	if format == fmtVarint {
+		vr := newVarintReader(func(o int64, p []byte) error {
+			s.m.Read(ctx, o, p)
+			return nil
+		}, off+headerBytes, int64(capacity)*4, false)
+		for i := uint32(0); i < cnt; i++ {
+			nb, err := vr.next()
+			if err != nil {
+				return
+			}
+			fn(nb)
+		}
+		return
+	}
+	var buf [4 * 256]byte
+	data := off + headerBytes
+	for cnt > 0 {
+		n := cnt
+		if n > uint32(len(buf)/4) {
+			n = uint32(len(buf) / 4)
+		}
+		s.m.Read(ctx, data, buf[:4*n])
+		for i := uint32(0); i < n; i++ {
+			fn(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		data += int64(4 * n)
+		cnt -= n
+	}
+}
+
 // Neighbors appends vertex v's stored records to dst, newest block first
 // (records inside a block stay in insertion order). Deletion tombstones
 // are returned as-is; merging is the caller's concern.
@@ -451,13 +675,8 @@ func (s *Store) Neighbors(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
 		s.m.Read(ctx, off, hdr[:])
 		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
 		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
-		if cnt > 0 {
-			buf := make([]byte, cnt*4)
-			s.m.Read(ctx, off+headerBytes, buf)
-			for i := uint32(0); i < cnt; i++ {
-				dst = append(dst, binary.LittleEndian.Uint32(buf[i*4:]))
-			}
-		}
+		s.visitBlock(ctx, off, uint8(binary.LittleEndian.Uint32(hdr[offFmt:])),
+			binary.LittleEndian.Uint32(hdr[offCap:]), cnt, func(nb uint32) { dst = append(dst, nb) })
 		off = prev
 	}
 	return dst
@@ -471,25 +690,13 @@ func (s *Store) Visit(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
 		return
 	}
 	off := s.tail[v]
-	var buf [4 * 256]byte
 	for off != 0 {
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, off, hdr[:])
 		cnt := s.blockCnt(v, off, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
 		prev := int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign
-		data := off + headerBytes
-		for cnt > 0 {
-			n := cnt
-			if n > uint32(len(buf)/4) {
-				n = uint32(len(buf) / 4)
-			}
-			s.m.Read(ctx, data, buf[:4*n])
-			for i := uint32(0); i < n; i++ {
-				fn(binary.LittleEndian.Uint32(buf[i*4:]))
-			}
-			data += int64(4 * n)
-			cnt -= n
-		}
+		s.visitBlock(ctx, off, uint8(binary.LittleEndian.Uint32(hdr[offFmt:])),
+			binary.LittleEndian.Uint32(hdr[offCap:]), cnt, fn)
 		off = prev
 	}
 }
@@ -515,13 +722,8 @@ func (s *Store) NeighborsOldestFirst(ctx *xpsim.Ctx, v graph.VID, dst []uint32) 
 		var hdr [headerBytes]byte
 		s.m.Read(ctx, b, hdr[:])
 		cnt := s.blockCnt(v, b, binary.LittleEndian.Uint32(hdr[offCnt0:]), binary.LittleEndian.Uint32(hdr[offCap:]))
-		if cnt > 0 {
-			buf := make([]byte, cnt*4)
-			s.m.Read(ctx, b+headerBytes, buf)
-			for j := uint32(0); j < cnt; j++ {
-				dst = append(dst, binary.LittleEndian.Uint32(buf[j*4:]))
-			}
-		}
+		s.visitBlock(ctx, b, uint8(binary.LittleEndian.Uint32(hdr[offFmt:])),
+			binary.LittleEndian.Uint32(hdr[offCap:]), cnt, func(nb uint32) { dst = append(dst, nb) })
 	}
 	return dst
 }
@@ -548,6 +750,13 @@ func (s *Store) Compact(ctx *xpsim.Ctx, v graph.VID) error {
 	}
 	recs := s.Neighbors(ctx, v, nil)
 	live := resolveTombstones(recs)
+	if s.opts.VarintBlocks {
+		// Sorting is safe here — compaction fences live snapshots and any
+		// later snapshot's record-count bound covers the whole compacted
+		// block — and it is where the delta encoding earns its density:
+		// a sorted run's deltas are small and non-negative.
+		sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	}
 	if s.opts.CrashSafe {
 		return s.compactCrashSafe(ctx, v, live)
 	}
@@ -603,10 +812,23 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 	}
 	oldTail := s.tail[v]
 
-	// 1. Stage the replacement block under a dead vid.
+	// 1. Stage the replacement block under a dead vid. The payload format
+	// follows the store option; cnt counts records while cap keeps its
+	// 4-bytes-per-unit size semantics, so a varint block is sized by its
+	// encoded length.
 	var newOff int64
-	capacity := len(live)
-	if capacity > 0 {
+	var capacity int
+	format := uint8(fmtFixed)
+	var payload []byte
+	if len(live) > 0 {
+		if s.opts.VarintBlocks {
+			format = fmtVarint
+			payload = encodeVarintRun(nil, 0, live)
+			capacity = varintCapacity(len(payload))
+		} else {
+			payload = encodeU32s(live)
+			capacity = len(live)
+		}
 		var err error
 		newOff, err = s.allocBlock(ctx, v, capacity)
 		if err != nil {
@@ -616,13 +838,15 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 		buf := make([]byte, size)
 		binary.LittleEndian.PutUint32(buf[offVID:], deadVID)
 		binary.LittleEndian.PutUint32(buf[offCap:], uint32(capacity))
-		binary.LittleEndian.PutUint32(buf[offCnt0:], uint32(capacity))
-		binary.LittleEndian.PutUint32(buf[offCnt1:], uint32(capacity))
-		for i, nb := range live {
-			binary.LittleEndian.PutUint32(buf[headerBytes+i*4:], nb)
-		}
+		binary.LittleEndian.PutUint32(buf[offFmt:], uint32(format))
+		binary.LittleEndian.PutUint32(buf[offCnt0:], uint32(len(live)))
+		binary.LittleEndian.PutUint32(buf[offCnt1:], uint32(len(live)))
+		copy(buf[headerBytes:], payload)
 		if s.opts.Checksums {
-			crc := crc32.Checksum(buf[headerBytes:], castagnoli)
+			// The CRC covers exactly the visible payload extent — all
+			// 4*cap bytes for fixed blocks, the encoded bytes for varint
+			// ones (what a decode of cnt records consumes).
+			crc := crc32.Checksum(payload, castagnoli)
 			binary.LittleEndian.PutUint32(buf[offCRC0:], crc)
 			binary.LittleEndian.PutUint32(buf[offCRC1:], crc)
 		}
@@ -631,6 +855,8 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 		// The journal will point at this block: its allocation must be
 		// durable before arming or recovery's scan would stop short of it.
 		s.m.Flush(ctx, 0, 8)
+		s.encBytes[format] += int64(len(payload))
+		s.encRecs[format] += int64(len(live))
 	}
 
 	// 2. Arm the journal. wordA must be durable before wordB's magic:
@@ -663,13 +889,19 @@ func (s *Store) compactCrashSafe(ctx *xpsim.Ctx, v graph.VID, live []uint32) err
 	s.m.Flush(ctx, wA+8, 8)
 
 	s.tail[v] = newOff
-	s.tailCnt[v] = uint32(capacity)
+	s.tailCnt[v] = uint32(len(live))
 	s.tailCap[v] = uint32(capacity)
-	s.records[v] = uint32(capacity)
+	s.records[v] = uint32(len(live))
+	s.tailFmt[v] = format
+	s.tailBytes[v] = uint32(len(payload))
+	s.lastVal[v] = 0
+	if format == fmtVarint && len(live) > 0 {
+		s.lastVal[v] = live[len(live)-1]
+	}
 	if s.opts.Checksums {
 		delete(s.chains, v)
 		if newOff != 0 {
-			s.noteBlock(v, newOff, uint32(capacity), crc32.Checksum(encodeU32s(live), castagnoli))
+			s.noteBlock(v, newOff, uint32(capacity), crc32.Checksum(payload, castagnoli))
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package adj
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 
@@ -124,11 +125,51 @@ func (s *Store) VerifyChain(ctx *xpsim.Ctx, v graph.VID) error {
 		if cnt == 0 {
 			continue
 		}
+		format := uint8(binary.LittleEndian.Uint32(hdr[offFmt:]))
+		if format == fmtVarint {
+			// The format word is not mirrored; a corrupted word routes the
+			// decode down the wrong path, which the payload CRC then
+			// catches (the consumed extents differ).
+			if err := s.readBlockChecked(ctx, v, off, s.caps[off], cnt, true, nil); err != nil {
+				return err
+			}
+			continue
+		}
 		buf := make([]byte, 4*cnt)
 		if err := mem.ReadChecked(s.m, ctx, off+headerBytes, buf); err != nil {
 			return err
 		}
 		if got := crc32.Checksum(buf, castagnoli); got != s.crc[off] {
+			return &CorruptError{V: v, Block: off, Reason: fmt.Sprintf("payload crc %08x, acknowledged %08x", got, s.crc[off])}
+		}
+	}
+	return nil
+}
+
+// readBlockChecked decodes cnt varint records of the block at off through
+// the media-error-checked path, appending to *dst when dst is non-nil.
+// With checkCRC it verifies the CRC32-C of the consumed byte extent
+// against the acknowledged mirror. Decode failures (overlong varints,
+// records claimed past the payload, deltas walking outside uint32) are
+// reported as *CorruptError; uncorrectable lines as *xpsim.MediaError.
+func (s *Store) readBlockChecked(ctx *xpsim.Ctx, v graph.VID, off int64, capacity, cnt uint32, checkCRC bool, dst *[]uint32) error {
+	vr := newVarintReader(func(o int64, p []byte) error {
+		return mem.ReadChecked(s.m, ctx, o, p)
+	}, off+headerBytes, int64(capacity)*4, checkCRC)
+	for i := uint32(0); i < cnt; i++ {
+		nb, err := vr.next()
+		if err != nil {
+			if errors.Is(err, errVarintCorrupt) {
+				return &CorruptError{V: v, Block: off, Reason: err.Error()}
+			}
+			return err
+		}
+		if dst != nil {
+			*dst = append(*dst, nb)
+		}
+	}
+	if checkCRC {
+		if got := vr.sum(); got != s.crc[off] {
 			return &CorruptError{V: v, Block: off, Reason: fmt.Sprintf("payload crc %08x, acknowledged %08x", got, s.crc[off])}
 		}
 	}
@@ -157,6 +198,13 @@ func (s *Store) neighborsChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32, olde
 		}
 		if cnt == 0 {
 			return nil
+		}
+		if uint8(binary.LittleEndian.Uint32(hdr[offFmt:])) == fmtVarint {
+			capacity := binary.LittleEndian.Uint32(hdr[offCap:])
+			if s.opts.Checksums {
+				capacity = s.caps[off]
+			}
+			return s.readBlockChecked(ctx, v, off, capacity, cnt, s.opts.Checksums, &dst)
 		}
 		buf := make([]byte, 4*cnt)
 		if err := mem.ReadChecked(s.m, ctx, off+headerBytes, buf); err != nil {
@@ -258,10 +306,23 @@ func (s *Store) ReplaceChain(ctx *xpsim.Ctx, v graph.VID, recs []uint32) ([][2]i
 
 	// 1. Stage the replacement block under a dead vid (see compactCrashSafe
 	// for the step-by-step crash argument; the journal protocol is shared).
+	// recs is stored AS GIVEN in either format: a snapshot's record-count
+	// bound may fall anywhere inside the rebuilt stream, so the repair
+	// must not reorder it (unlike compaction, which may sort).
 	var newOff int64
-	capacity := len(recs)
+	var capacity int
+	format := uint8(fmtFixed)
+	var payload []byte
 	var stagedCRC uint32
-	if capacity > 0 {
+	if len(recs) > 0 {
+		if s.opts.VarintBlocks {
+			format = fmtVarint
+			payload = encodeVarintRun(nil, 0, recs)
+			capacity = varintCapacity(len(payload))
+		} else {
+			payload = encodeU32s(recs)
+			capacity = len(recs)
+		}
 		var err error
 		newOff, err = s.allocBlock(ctx, v, capacity)
 		if err != nil {
@@ -271,17 +332,18 @@ func (s *Store) ReplaceChain(ctx *xpsim.Ctx, v graph.VID, recs []uint32) ([][2]i
 		buf := make([]byte, size)
 		binary.LittleEndian.PutUint32(buf[offVID:], deadVID)
 		binary.LittleEndian.PutUint32(buf[offCap:], uint32(capacity))
-		binary.LittleEndian.PutUint32(buf[offCnt0:], uint32(capacity))
-		binary.LittleEndian.PutUint32(buf[offCnt1:], uint32(capacity))
-		for i, r := range recs {
-			binary.LittleEndian.PutUint32(buf[headerBytes+i*4:], r)
-		}
-		stagedCRC = crc32.Checksum(buf[headerBytes:], castagnoli)
+		binary.LittleEndian.PutUint32(buf[offFmt:], uint32(format))
+		binary.LittleEndian.PutUint32(buf[offCnt0:], uint32(len(recs)))
+		binary.LittleEndian.PutUint32(buf[offCnt1:], uint32(len(recs)))
+		copy(buf[headerBytes:], payload)
+		stagedCRC = crc32.Checksum(payload, castagnoli)
 		binary.LittleEndian.PutUint32(buf[offCRC0:], stagedCRC)
 		binary.LittleEndian.PutUint32(buf[offCRC1:], stagedCRC)
 		s.m.Write(ctx, newOff, buf)
 		s.m.Flush(ctx, newOff, size)
 		s.m.Flush(ctx, 0, 8)
+		s.encBytes[format] += int64(len(payload))
+		s.encRecs[format] += int64(len(recs))
 	}
 
 	// 2. Arm the journal.
@@ -316,10 +378,16 @@ func (s *Store) ReplaceChain(ctx *xpsim.Ctx, v graph.VID, recs []uint32) ([][2]i
 	mem.WriteU64(s.m, ctx, wA+8, 0)
 	s.m.Flush(ctx, wA+8, 8)
 
-	s.records[v] = uint32(capacity)
+	s.records[v] = uint32(len(recs))
 	s.tail[v] = newOff
-	s.tailCnt[v] = uint32(capacity)
+	s.tailCnt[v] = uint32(len(recs))
 	s.tailCap[v] = uint32(capacity)
+	s.tailFmt[v] = format
+	s.tailBytes[v] = uint32(len(payload))
+	s.lastVal[v] = 0
+	if format == fmtVarint && len(recs) > 0 {
+		s.lastVal[v] = recs[len(recs)-1]
+	}
 	delete(s.chains, v)
 	if newOff != 0 {
 		s.noteBlock(v, newOff, uint32(capacity), stagedCRC)

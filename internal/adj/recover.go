@@ -31,8 +31,19 @@ type rawBlock struct {
 	vid        uint32
 	capacity   uint32
 	prev       int64
+	format     uint8
 	cnt0, cnt1 uint32
 	crc0, crc1 uint32
+}
+
+// cntPlausible checks a count slot against the block's structural bound:
+// fixed blocks hold at most cap records, varint blocks at most 4*cap
+// (a record is at least one byte of the 4*cap-byte payload).
+func (b *rawBlock) cntPlausible(cnt uint32) bool {
+	if b.format == fmtVarint {
+		return uint64(cnt) <= 4*uint64(b.capacity)
+	}
+	return cnt <= b.capacity
 }
 
 // maxScanVID bounds plausible vertex IDs during the arena scan. A header
@@ -97,17 +108,27 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 	for off+headerBytes <= end {
 		var hdr [headerBytes]byte
 		m.Read(ctx, off, hdr[:])
+		fmtWord := binary.LittleEndian.Uint32(hdr[offFmt:])
 		b := rawBlock{
 			off:      off,
 			vid:      binary.LittleEndian.Uint32(hdr[offVID:]),
 			capacity: binary.LittleEndian.Uint32(hdr[offCap:]),
 			prev:     int64(binary.LittleEndian.Uint32(hdr[offPrev:])) * headerAlign,
+			format:   uint8(fmtWord),
 			cnt0:     binary.LittleEndian.Uint32(hdr[offCnt0:]),
 			cnt1:     binary.LittleEndian.Uint32(hdr[offCnt1:]),
 			crc0:     binary.LittleEndian.Uint32(hdr[offCRC0:]),
 			crc1:     binary.LittleEndian.Uint32(hdr[offCRC1:]),
 		}
-		if b.capacity == 0 || off+b.size() > end || b.cnt0 > b.capacity || b.cnt1 > b.capacity ||
+		// A dead block's count slots are never authoritative, and they can
+		// legitimately look implausible mid-kill: killBlock's fresh header
+		// can straddle two XPLines, so a crash can leave vid=deadVID (and a
+		// zeroed fmt word) durable while the previous owner's counts — a
+		// varint count read against the fixed bound — survive in the second
+		// line. Skip the count checks for dead blocks instead of treating
+		// the whole suffix as garbage; pass 3 finishes the kill.
+		cntOK := b.vid == deadVID || (b.cntPlausible(b.cnt0) && b.cntPlausible(b.cnt1))
+		if b.capacity == 0 || off+b.size() > end || fmtWord > fmtVarint || !cntOK ||
 			(b.vid > maxScanVID && b.vid != deadVID && b.vid != journalVID) {
 			if opts.CrashSafe {
 				stop = off
@@ -143,6 +164,7 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 		prev     int64
 		cnt, cap uint32
 		crc      uint32
+		format   uint8
 		mismatch bool
 	}
 	live := make(map[graph.VID][]blk)
@@ -154,6 +176,14 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 			if quarantined[b.off] {
 				// Quarantined media with a scrub-written dead header:
 				// parseable, never reusable.
+				continue
+			}
+			if opts.CrashSafe && (b.cnt0 != 0 || b.cnt1 != 0 || b.prev != 0) {
+				// Mid-kill: the dead vid became durable but the slot zeroing
+				// did not. Finish the kill before recycling — newBlock relies
+				// on recycled blocks having durably zeroed count slots so a
+				// torn reuse header can never resurrect stale counts.
+				s.killBlock(ctx, b.off, int(b.capacity))
 				continue
 			}
 			// Recycled block awaiting reuse: skip, but remember it so
@@ -169,7 +199,7 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 		}
 		v := graph.VID(b.vid)
 		s.EnsureVertices(v + 1)
-		live[v] = append(live[v], blk{off: b.off, prev: b.prev, cnt: visible, cap: b.capacity, crc: crc, mismatch: b.cnt0 != b.cnt1})
+		live[v] = append(live[v], blk{off: b.off, prev: b.prev, cnt: visible, cap: b.capacity, crc: crc, format: b.format, mismatch: b.cnt0 != b.cnt1})
 		if b.prev != 0 {
 			pointedTo[b.prev]++
 		}
@@ -235,6 +265,31 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 				s.tail[v] = b.off
 				s.tailCnt[v] = b.cnt
 				s.tailCap[v] = b.cap
+				s.tailFmt[v] = b.format
+				if b.format == fmtVarint && b.cnt > 0 {
+					// Rebuild the append cursor (byte extent + delta
+					// predecessor) by decoding the acknowledged records. The
+					// count slot only became authoritative after the barrier
+					// that persisted those payload bytes, so a decode failure
+					// here is real corruption: fatal without Checksums; with
+					// Checksums keep a best-effort cursor and let the CRC
+					// walk below flag the vertex as suspect.
+					vr := newVarintReader(func(o int64, p []byte) error {
+						m.Read(ctx, o, p)
+						return nil
+					}, b.off+headerBytes, 4*int64(b.cap), false)
+					var decErr error
+					for i := uint32(0); i < b.cnt; i++ {
+						if _, decErr = vr.next(); decErr != nil {
+							break
+						}
+					}
+					if decErr != nil && !opts.Checksums {
+						return nil, fmt.Errorf("adj: vertex %d varint tail at %d undecodable: %v", v, b.off, decErr)
+					}
+					s.tailBytes[v] = uint32(vr.bytesConsumed())
+					s.lastVal[v] = vr.last()
+				}
 			}
 		}
 		if tails != 1 {
@@ -268,10 +323,27 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 				s.caps[off] = b.cap
 				s.crc[off] = b.crc
 				if b.cnt > 0 && !suspect {
-					buf := make([]byte, 4*b.cnt)
-					m.Read(ctx, off+headerBytes, buf)
-					if crc32.Checksum(buf, castagnoli) != b.crc {
-						suspect = true
+					if b.format == fmtVarint {
+						vr := newVarintReader(func(o int64, p []byte) error {
+							m.Read(ctx, o, p)
+							return nil
+						}, off+headerBytes, 4*int64(b.cap), true)
+						decoded := true
+						for i := uint32(0); i < b.cnt; i++ {
+							if _, err := vr.next(); err != nil {
+								decoded = false
+								break
+							}
+						}
+						if !decoded || vr.sum() != b.crc {
+							suspect = true
+						}
+					} else {
+						buf := make([]byte, 4*b.cnt)
+						m.Read(ctx, off+headerBytes, buf)
+						if crc32.Checksum(buf, castagnoli) != b.crc {
+							suspect = true
+						}
 					}
 				}
 				off = b.prev
@@ -282,11 +354,11 @@ func RecoverWith(ctx *xpsim.Ctx, m RecoverableMem, lat *xpsim.LatencyModel, opts
 			}
 		}
 		for _, b := range blks {
-			if b.off != s.tail[v] && b.cnt < b.cap {
-				// Retired before filling up (its unacknowledged suffix is
-				// gone for good — the replay re-inserts those records at
-				// the current tail): pin the visible count so reads stop
-				// at it.
+			if b.off != s.tail[v] && b.cnt != b.cap {
+				// Retired with a count differing from capacity — a fixed
+				// block retired before filling up, or any varint block
+				// (whose record count is unrelated to cap): pin the visible
+				// count so reads stop at it.
 				if s.partialCnt == nil {
 					s.partialCnt = make(map[int64]uint32)
 				}

@@ -69,6 +69,10 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// JSON, when non-nil, is the experiment's machine-readable payload
+	// (written by `xpgraph bench -json`); experiments without one fall
+	// back to the tabular shape.
+	JSON any
 }
 
 // String renders the table as aligned text.

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/xpsim"
+)
+
+func init() {
+	register("wire", "Binary batch ingest protocol + delta-varint adjacency density", wire)
+}
+
+// WireFormatStats is one adjacency format's density measurement after
+// ingest + flush + whole-store compaction.
+type WireFormatStats struct {
+	// EdgesPerLine is live records per 256 B XPLine of block footprint
+	// (headers included — the real on-media cost).
+	EdgesPerLine float64 `json:"edges_per_line"`
+	// PayloadBytesPerEdge is the encoded payload cost of one record.
+	PayloadBytesPerEdge float64 `json:"payload_bytes_per_edge"`
+	// MediaWriteBytesPerEdge is total simulated media write traffic of
+	// the whole ingest+flush+compact run, per input edge.
+	MediaWriteBytesPerEdge float64 `json:"media_write_bytes_per_edge"`
+}
+
+// WireReport is the machine-readable result behind BENCH_6.json.
+type WireReport struct {
+	Dataset string `json:"dataset"`
+	Edges   int64  `json:"edges"`
+	// Decode throughput of the two ingest wire formats (host clock,
+	// same machine for both, so only the ratio is meaningful).
+	JSONIngestEdgesPerSec float64 `json:"json_ingest_edges_per_sec"`
+	BinIngestEdgesPerSec  float64 `json:"bin_ingest_edges_per_sec"`
+	BinSpeedup            float64 `json:"bin_speedup"`
+	// BinBytesPerEdge / JSONBytesPerEdge compare the request body sizes.
+	JSONBytesPerEdge float64 `json:"json_bytes_per_edge"`
+	BinBytesPerEdge  float64 `json:"bin_bytes_per_edge"`
+
+	Fixed  WireFormatStats `json:"fixed"`
+	Varint WireFormatStats `json:"varint"`
+	// DensityGain is varint edges-per-line over fixed edges-per-line.
+	DensityGain float64 `json:"density_gain"`
+}
+
+// jsonBodyFor renders edges as the POST /v1/edges JSON request body.
+func jsonBodyFor(edges []graph.Edge) []byte {
+	type edgeJSON struct {
+		Src uint32 `json:"src"`
+		Dst uint32 `json:"dst"`
+	}
+	var body struct {
+		Edges []edgeJSON `json:"edges"`
+	}
+	body.Edges = make([]edgeJSON, len(edges))
+	for i, e := range edges {
+		body.Edges[i] = edgeJSON{Src: e.Src, Dst: e.Dst}
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		panic(err) // static shape; cannot fail
+	}
+	return buf
+}
+
+// decodeRate times fn over the body a few times and reports the best
+// edges-per-second rate (host clock; the decoders are pure CPU).
+func decodeRate(nEdges int, rounds int, fn func() error) (float64, error) {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	if best <= 0 {
+		best = time.Nanosecond
+	}
+	return float64(nEdges) / best.Seconds(), nil
+}
+
+// wire regenerates the PR-6 evaluation: binary batch decode throughput
+// vs the JSON handler path, and delta-varint adjacency density vs the
+// fixed 4-byte layout on a power-law ingest.
+func wire(cfg Config) (Table, error) {
+	dss, err := datasets(cfg, "TT")
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{Exp: "wire",
+		Title: "Binary batch ingest + delta-varint adjacency blocks",
+		Columns: []string{"dataset", "edges", "json_Medges_s", "bin_Medges_s", "bin_speedup",
+			"fixed_edges_per_line", "varint_edges_per_line", "density_gain",
+			"fixed_wr_B_edge", "varint_wr_B_edge"},
+		Notes: []string{
+			"decode throughput is host-clock (transport decode only); density is simulated media layout",
+			"edges_per_line = live records per 256 B XPLine of adjacency block footprint after compaction",
+		},
+	}
+	var reports []WireReport
+
+	for _, ds := range dss {
+		edges := edgesFor(ds, cfg)
+		rep := WireReport{Dataset: ds.Name, Edges: int64(len(edges))}
+
+		// Transport decode throughput: the same edge stream through the
+		// streaming JSON decoder and the binary batch decoder, both into
+		// a reused destination buffer.
+		jsonBody := jsonBodyFor(edges)
+		binBody := ingest.EncodeBatch(edges, true)
+		rep.JSONBytesPerEdge = float64(len(jsonBody)) / float64(len(edges))
+		rep.BinBytesPerEdge = float64(len(binBody)) / float64(len(edges))
+		dst := make([]graph.Edge, 0, len(edges))
+		const rounds = 3
+		rep.JSONIngestEdgesPerSec, err = decodeRate(len(edges), rounds, func() error {
+			var derr error
+			dst, derr = ingest.DecodeJSONEdges(bytes.NewReader(jsonBody), dst[:0], false, 0)
+			return derr
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("wire: json decode: %w", err)
+		}
+		rep.BinIngestEdgesPerSec, err = decodeRate(len(edges), rounds, func() error {
+			var derr error
+			dst, derr = ingest.DecodeBatch(bytes.NewReader(binBody), dst[:0], 0)
+			return derr
+		})
+		if err != nil {
+			return Table{}, fmt.Errorf("wire: binary decode: %w", err)
+		}
+		rep.BinSpeedup = rep.BinIngestEdgesPerSec / rep.JSONIngestEdgesPerSec
+
+		// Adjacency density: ingest + flush + whole-store compaction on
+		// both block formats, measuring the live layout and the total
+		// media write traffic.
+		for _, varint := range []bool{false, true} {
+			s, m, err := newXPGraph(edges, ds.NumVertices(), cfg, func(o *core.Options) {
+				o.CompressedAdj = varint
+			})
+			if err != nil {
+				return Table{}, err
+			}
+			m.ResetStats()
+			if _, err := s.Ingest(edges); err != nil {
+				return Table{}, err
+			}
+			if err := s.FlushAllVbufs(); err != nil {
+				return Table{}, err
+			}
+			ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+			if err := s.CompactAllAdjs(ctx); err != nil {
+				return Table{}, err
+			}
+			ls := s.AdjLayout(ctx)
+			st := m.TotalStats()
+			fs := WireFormatStats{
+				MediaWriteBytesPerEdge: float64(st.MediaWriteBytes()) / float64(len(edges)),
+			}
+			if ls.Records > 0 {
+				fs.PayloadBytesPerEdge = float64(ls.PayloadBytes) / float64(ls.Records)
+			}
+			if ls.BlockBytes > 0 {
+				fs.EdgesPerLine = float64(ls.Records) * float64(xpsim.XPLineSize) / float64(ls.BlockBytes)
+			}
+			if varint {
+				rep.Varint = fs
+			} else {
+				rep.Fixed = fs
+			}
+		}
+		if rep.Fixed.EdgesPerLine > 0 {
+			rep.DensityGain = rep.Varint.EdgesPerLine / rep.Fixed.EdgesPerLine
+		}
+
+		t.Rows = append(t.Rows, []string{
+			ds.Name, fmt.Sprintf("%d", len(edges)),
+			fmt.Sprintf("%.2f", rep.JSONIngestEdgesPerSec/1e6),
+			fmt.Sprintf("%.2f", rep.BinIngestEdgesPerSec/1e6),
+			fmt.Sprintf("%.2fx", rep.BinSpeedup),
+			fmt.Sprintf("%.1f", rep.Fixed.EdgesPerLine),
+			fmt.Sprintf("%.1f", rep.Varint.EdgesPerLine),
+			fmt.Sprintf("%.2fx", rep.DensityGain),
+			fmt.Sprintf("%.1f", rep.Fixed.MediaWriteBytesPerEdge),
+			fmt.Sprintf("%.1f", rep.Varint.MediaWriteBytesPerEdge),
+		})
+		reports = append(reports, rep)
+	}
+	t.JSON = map[string]any{"experiment": "wire", "reports": reports}
+	return t, nil
+}

@@ -119,6 +119,32 @@ func (s *Store) RegisterMetrics(r *obs.Registry) {
 		phase("buffering", rep.BufferNs)
 		phase("flushing", rep.FlushNs)
 
+		// Adjacency block encoding (fixed vs delta-varint): cumulative
+		// payload bytes and records per format, plus the derived
+		// edges-per-256B-XPLine density each format achieves.
+		es := s.AdjEncoding()
+		byFormat := func(name, help string, fixed, varint float64) {
+			counter(name, help, fixed, obs.Label{Key: "format", Value: "fixed"})
+			counter(name, help, varint, obs.Label{Key: "format", Value: "varint"})
+		}
+		byFormat("xpgraph_adj_encoded_bytes_total", "Adjacency payload bytes written, by block format.",
+			float64(es.FixedBytes), float64(es.VarintBytes))
+		byFormat("xpgraph_adj_encoded_records_total", "Adjacency records written, by block format.",
+			float64(es.FixedRecords), float64(es.VarintRecords))
+		epl := func(recs, bytes int64) float64 {
+			if bytes == 0 {
+				return 0
+			}
+			return float64(recs) * 256 / float64(bytes) // 256 = xpsim.XPLineSize
+		}
+		density := func(v float64, format string) {
+			emit(obs.Sample{Name: "xpgraph_adj_edges_per_xpline",
+				Help: "Adjacency records per 256 B XPLine of written payload, by block format.",
+				Kind: obs.KindGauge, Labels: []obs.Label{{Key: "format", Value: format}}, Value: v})
+		}
+		density(epl(es.FixedRecords, es.FixedBytes), "fixed")
+		density(epl(es.VarintRecords, es.VarintBytes), "varint")
+
 		// Media-error tolerance: scrub activity and quarantine occupancy
 		// (all zero unless Options.MediaGuard is on — see media.go).
 		sc := s.ScrubStats()

@@ -132,6 +132,14 @@ type Options struct {
 	ProactiveFlush        bool
 	DisableProactiveFlush bool
 
+	// CompressedAdj encodes new adjacency blocks as delta-varint runs
+	// instead of fixed 4-byte records (adj.Options.VarintBlocks): more
+	// edges per 256 B XPLine at the cost of sequential decode. Existing
+	// fixed blocks keep working — formats negotiate per block, so a
+	// store recovered from a fixed-format heap simply grows varint
+	// tails. Compaction sorts live neighbors to maximize delta density.
+	CompressedAdj bool
+
 	// Tracer, when non-nil, records pipeline phase spans on the
 	// simulated clock (see internal/obs). Nil disables tracing; phase
 	// boundaries then pay a single branch. SetTracer can attach one

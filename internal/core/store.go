@@ -185,8 +185,9 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, ackSlot int) error {
 		CrashSafe:      opts.crashSafe(),
 		// Battery-backed DRAM is persistent, so the count mirrors need
 		// no PMEM writes (§IV-C).
-		DeferCounts: opts.Battery && opts.Medium == MediumPMEM,
-		Checksums:   opts.MediaGuard,
+		DeferCounts:  opts.Battery && opts.Medium == MediumPMEM,
+		Checksums:    opts.MediaGuard,
+		VarintBlocks: opts.CompressedAdj,
 	}
 
 	newSpace := func(size int64) mem.Mem {
@@ -437,4 +438,38 @@ func (s *Store) MemUsage() MemUsage {
 		ElogPMEM: s.log.Bytes(),
 		PblkPMEM: pblk - s.SSDBytes(), // SSD-tier blocks are not PMEM
 	}
+}
+
+// AdjEncoding sums the cumulative adjacency encoding statistics of
+// every arena (both directions, all partitions): payload bytes and
+// records written per block format, the feed behind the
+// xpgraph_adj_encoded_* metrics.
+func (s *Store) AdjEncoding() adj.EncodingStats {
+	var es adj.EncodingStats
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			ge := g.adj.Encoding()
+			es.FixedBytes += ge.FixedBytes
+			es.FixedRecords += ge.FixedRecords
+			es.VarintBytes += ge.VarintBytes
+			es.VarintRecords += ge.VarintRecords
+		}
+	}
+	return es
+}
+
+// AdjLayout walks every live adjacency chain in every arena and sums
+// the on-media layout. Varint extents are discovered by decoding, so
+// this reads the whole heap — a bench/diagnostic API, not a hot path.
+func (s *Store) AdjLayout(ctx *xpsim.Ctx) adj.LayoutStats {
+	var ls adj.LayoutStats
+	for d := 0; d < 2; d++ {
+		for _, g := range s.groups[d] {
+			gl := g.adj.Layout(ctx)
+			ls.Records += gl.Records
+			ls.PayloadBytes += gl.PayloadBytes
+			ls.BlockBytes += gl.BlockBytes
+		}
+	}
+	return ls
 }

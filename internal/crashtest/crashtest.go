@@ -39,6 +39,15 @@ type Config struct {
 
 	Chunk        int // edges per Ingest call (0 = all at once)
 	CompactEvery int // run CompactAllAdjs after every Nth chunk (0 = never)
+
+	// Varint runs the whole workload with delta-varint adjacency blocks
+	// (core.Options.CompressedAdj).
+	Varint bool
+	// VarintFromRecovery keeps the initial store on fixed blocks but
+	// enables the varint encoding on every recovered store, so
+	// post-recovery writes grow varint tails on fixed chains — the
+	// mixed-format negotiation path.
+	VarintFromRecovery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -82,7 +91,19 @@ func (c Config) storeOptions() core.Options {
 		ArchiveThreshold: c.ArchiveThreshold,
 		ArchiveThreads:   c.ArchiveThreads,
 		NUMA:             c.NUMA,
+		CompressedAdj:    c.Varint,
 	}
+}
+
+// recoveredOptions is storeOptions for stores built by recovery: with
+// VarintFromRecovery the recovered store turns the varint encoding on
+// over the fixed-format image it inherited.
+func (c Config) recoveredOptions() core.Options {
+	opts := c.storeOptions()
+	if c.VarintFromRecovery {
+		opts.CompressedAdj = true
+	}
+	return opts
 }
 
 // Result reports what one harness run observed.
@@ -177,7 +198,7 @@ func RunDouble(cfg Config, plan1, plan2 xpsim.FaultPlan, contEdges int64) (*Resu
 		return res, err
 	}
 	faults2 := clone1.Machine().TrackFaults()
-	rs, rep, err := core.Recover(clone1.Machine(), clone1, nil, cfg.storeOptions())
+	rs, rep, err := core.Recover(clone1.Machine(), clone1, nil, cfg.recoveredOptions())
 	if err != nil {
 		return res, fmt.Errorf("first recover (crash: %s): %w", res.CrashDesc, err)
 	}
@@ -253,7 +274,7 @@ func recoverClone(heap *pmem.Heap, cfg Config, res *Result) (*core.Store, error)
 	if err != nil {
 		return nil, err
 	}
-	rs, rep, err := core.Recover(clone.Machine(), clone, nil, cfg.storeOptions())
+	rs, rep, err := core.Recover(clone.Machine(), clone, nil, cfg.recoveredOptions())
 	if err != nil {
 		return nil, fmt.Errorf("recover (crash: %s): %w", res.CrashDesc, err)
 	}

@@ -48,6 +48,12 @@ func randomSchedule(seed uint64, mediaWrites int64) (Config, xpsim.FaultPlan) {
 	if next(4) == 0 {
 		cfg.DelRatio = 0.1 + float64(next(20))/100
 	}
+	switch next(4) {
+	case 0:
+		cfg.Varint = true
+	case 1:
+		cfg.VarintFromRecovery = true
+	}
 	plan := xpsim.FaultPlan{
 		Tear: []xpsim.TearMode{xpsim.TearNone, xpsim.TearPrefix, xpsim.TearWords}[next(3)],
 		Seed: next(0),

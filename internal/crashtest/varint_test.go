@@ -1,0 +1,115 @@
+package crashtest
+
+import (
+	"testing"
+
+	"repro/internal/xpsim"
+)
+
+// varintSweepConfig is sweepConfig on delta-varint adjacency blocks:
+// same schedule (flush epochs, deletions, chunking, compactions), but
+// every block the workload writes carries the variable-length encoding,
+// so torn writes land mid-record and CRC extents cover varint payloads.
+func varintSweepConfig() Config {
+	cfg := sweepConfig()
+	cfg.Name = "sweep-vz"
+	cfg.Varint = true
+	return cfg
+}
+
+// TestCrashSweepVarint sweeps media-write crash points over the varint
+// workload under the nastiest tear mode. Strided: the fixed-format sweep
+// already covers every point of the shared machinery; this one pins the
+// encoding-specific recovery paths (varint extent CRC, mid-record tears,
+// compaction of varint chains).
+func TestCrashSweepVarint(t *testing.T) {
+	cfg := varintSweepConfig()
+	probe, err := Probe(cfg)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	m := probe.MediaWrites
+	if m < 100 {
+		t.Fatalf("workload too small to sweep: only %d media writes", m)
+	}
+	stride := m / 60
+	if testing.Short() {
+		stride = m / 15
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	for n := int64(1); n <= m; n += stride {
+		plan := xpsim.FaultPlan{KillAtMediaWrite: n, Tear: xpsim.TearWords, Seed: uint64(n) * 0x7A81}
+		if res, err := Run(cfg, plan); err != nil {
+			t.Fatalf("kill at media write %d/%d: %v (crash: %s)", n, m, err, res.CrashDesc)
+		}
+	}
+	// Always cover the final write — the freshest varint tail.
+	plan := xpsim.FaultPlan{KillAtMediaWrite: m, Tear: xpsim.TearWords, Seed: uint64(m) * 0x7A81}
+	if res, err := Run(cfg, plan); err != nil {
+		t.Fatalf("kill at final media write %d: %v (crash: %s)", m, err, res.CrashDesc)
+	}
+}
+
+// TestCrashSweepVarintSites kills the varint workload at every named
+// protocol-boundary crash site it reaches.
+func TestCrashSweepVarintSites(t *testing.T) {
+	cfg := varintSweepConfig()
+	probe, err := Probe(cfg)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	if len(probe.Sites) == 0 {
+		t.Fatal("workload hit no crash sites")
+	}
+	for _, site := range faultSites(probe) {
+		total := probe.Sites[site]
+		hits := []int64{1}
+		if total > 1 && !testing.Short() {
+			hits = append(hits, total)
+		}
+		for _, hit := range hits {
+			plan := xpsim.FaultPlan{KillAtSite: site, KillAtSiteHit: hit}
+			if res, err := Run(cfg, plan); err != nil {
+				t.Fatalf("kill at site %q hit %d/%d: %v (crash: %s)", site, hit, total, err, res.CrashDesc)
+			}
+		}
+	}
+}
+
+// TestCrashMixedFormatChains is the mixed-format negotiation sweep: the
+// first phase runs on fixed blocks, the recovered store turns varint on,
+// and the continuation grows varint tails on fixed chains — then crashes
+// again mid-continuation. Both recoveries verify against the oracle, so
+// a chain that mixes both encodings must replay, CRC-check, and read
+// back exactly.
+func TestCrashMixedFormatChains(t *testing.T) {
+	cfg := sweepConfig()
+	cfg.Name = "sweep-mix"
+	cfg.VarintFromRecovery = true
+	probe, err := Probe(cfg)
+	if err != nil {
+		t.Fatalf("probe: %v", err)
+	}
+	m := probe.MediaWrites
+	const contEdges = 300
+	kills1 := []int64{m / 4, m / 2, 3 * m / 4, m}
+	kills2 := []int64{40, 120, 0} // 0: run the continuation to completion
+	if testing.Short() {
+		kills1 = []int64{m / 2, m}
+		kills2 = []int64{80, 0}
+	}
+	for _, k1 := range kills1 {
+		for _, k2 := range kills2 {
+			plan1 := xpsim.FaultPlan{KillAtMediaWrite: k1, Tear: xpsim.TearWords, Seed: uint64(k1) ^ 0x317}
+			plan2 := xpsim.FaultPlan{Tear: xpsim.TearWords, Seed: uint64(k2) ^ 0x731}
+			if k2 > 0 {
+				plan2.KillAtMediaWrite = k2
+			}
+			if res, err := RunDouble(cfg, plan1, plan2, contEdges); err != nil {
+				t.Fatalf("kill1=%d kill2=%d: %v (crash: %s)", k1, k2, err, res.CrashDesc)
+			}
+		}
+	}
+}

@@ -1,0 +1,423 @@
+// Package ingest is the transport-independent batched write pipeline:
+// bounded admission, linger-based batching, single-writer application,
+// and graceful drain — extracted from the HTTP server so any transport
+// (JSON handlers, the binary batch endpoint, CLI loaders, tests) feeds
+// the same machinery.
+//
+// The pipeline owns the write queue and the ingest counters. What it
+// does NOT own is the store: application, snapshot publication, and
+// failure policy (circuit breaking) stay behind the Applier interface,
+// so the pipeline never takes the caller's state lock itself and the
+// lock ordering remains the caller's business.
+//
+// Lifecycle: New builds the pipeline stopped; the caller publishes its
+// initial snapshot (epoch 1) and then calls Start. Close stops abruptly
+// (queued writes fail with ErrShuttingDown); Shutdown drains — every
+// accepted write is applied and Flush is called once the queue is empty.
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Config sizes the pipeline. Zero fields take the defaults.
+type Config struct {
+	QueueCap   int           // max queued edges admitted (default 1<<16)
+	BatchEdges int           // max edges applied per write window (default 4096)
+	Linger     time.Duration // how long a batch waits for company (default 2ms)
+	FlushEvery time.Duration // background vertex-buffer flush period; 0 = off
+	ScrubEvery time.Duration // background scrub period; 0 = off
+	BatchDelay time.Duration // test-only pause between chunks; 0 = none
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 16
+	}
+	if c.BatchEdges <= 0 {
+		c.BatchEdges = 4096
+	}
+	if c.Linger <= 0 {
+		c.Linger = 2 * time.Millisecond
+	}
+	return c
+}
+
+// Applier is the store-side surface the pipeline drives. Apply ingests
+// one chunk and, on success, publishes a fresh snapshot, returning the
+// simulated batch cost and the published epoch. It runs on the single
+// writer goroutine; implementations do their own locking. Flush and
+// Scrub are the periodic background steps; failures are surfaced through
+// their own endpoints, so they return nothing.
+type Applier interface {
+	Apply(chunk []graph.Edge) (simNs int64, epoch uint64, err error)
+	Flush()
+	Scrub()
+}
+
+// Result is what a write waits for.
+type Result struct {
+	Accepted int64
+	SimNs    int64
+	Batches  int64
+	Epoch    uint64
+	Err      error
+}
+
+// Request is one enqueued write. Its done channel is buffered (capacity
+// 1) and receives exactly one Result when the request's last edge is
+// applied or the request is dropped.
+type Request struct {
+	edges []graph.Edge
+	done  chan Result
+}
+
+// NewRequest wraps edges for enqueueing. The pipeline owns the slice
+// until the Result is delivered.
+func NewRequest(edges []graph.Edge) *Request {
+	return &Request{edges: edges, done: make(chan Result, 1)}
+}
+
+// Done is the request's completion channel.
+func (r *Request) Done() <-chan Result { return r.done }
+
+var (
+	ErrShuttingDown = errors.New("ingest: pipeline is shutting down")
+	ErrQueueFull    = errors.New("ingest: queue is full")
+)
+
+// Stats is one consistent copy of the pipeline counters: a scrape can
+// never observe applied > accepted, or a queue depth that disagrees with
+// accepted - applied - dropped.
+type Stats struct {
+	Queued          int64
+	Epoch           uint64
+	EdgesAccepted   int64
+	EdgesApplied    int64
+	EdgesDropped    int64
+	BatchesApplied  int64
+	Rejected        int64
+	LastBatchHostNs int64
+	LastBatchSimNs  int64
+	LastBatchEdges  int64
+	PublishedAtNs   int64
+}
+
+// Pipeline is the single-writer batched ingest engine.
+type Pipeline struct {
+	cfg   Config
+	ap    Applier
+	queue chan *Request
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	mu sync.Mutex
+	st Stats
+	// draining: graceful shutdown — reject new writes, apply queued ones.
+	draining bool
+}
+
+// New builds a stopped pipeline. Call Start after the initial snapshot
+// publication so readers never observe epoch 0.
+func New(cfg Config, ap Applier) *Pipeline {
+	cfg = cfg.withDefaults()
+	return &Pipeline{
+		cfg:   cfg,
+		ap:    ap,
+		queue: make(chan *Request, cfg.QueueCap),
+		stop:  make(chan struct{}),
+	}
+}
+
+// Start launches the writer goroutine.
+func (p *Pipeline) Start() {
+	p.wg.Add(1)
+	go p.loop()
+}
+
+// Stats snapshots every counter under one lock acquisition.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+// Epoch reads the current snapshot epoch.
+func (p *Pipeline) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st.Epoch
+}
+
+// Publish bumps the epoch and stamps the publication time — called by
+// the Applier whenever it publishes a snapshot.
+func (p *Pipeline) Publish() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.st.Epoch++
+	p.st.PublishedAtNs = time.Now().UnixNano()
+	return p.st.Epoch
+}
+
+// SetDraining flips the pipeline into graceful-shutdown mode: new writes
+// are rejected while queued ones still apply.
+func (p *Pipeline) SetDraining() {
+	p.mu.Lock()
+	p.draining = true
+	p.mu.Unlock()
+}
+
+// Draining reports graceful-shutdown mode.
+func (p *Pipeline) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// Stopping is closed when the pipeline begins stopping; synchronous
+// waiters select on it alongside their Result channel.
+func (p *Pipeline) Stopping() <-chan struct{} { return p.stop }
+
+// Close stops the pipeline abruptly: queued writes fail with
+// ErrShuttingDown. Returns once the writer goroutine has exited;
+// idempotent.
+func (p *Pipeline) Close() {
+	p.stopped.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// Shutdown drains gracefully: new writes are fenced off, every accepted
+// write is applied, then the Applier's Flush runs one last time.
+func (p *Pipeline) Shutdown() {
+	p.SetDraining()
+	p.Close()
+}
+
+// Enqueue reserves queue space for the request's edges and hands them to
+// the writer. Reservation and acceptance counting share one critical
+// section, so accepted >= applied + dropped + queued can never be
+// violated by an interleaved scrape. Returns ErrQueueFull when the
+// bounded queue is full and ErrShuttingDown once draining started.
+func (p *Pipeline) Enqueue(req *Request) error {
+	n := int64(len(req.edges))
+	p.mu.Lock()
+	if p.draining {
+		p.mu.Unlock()
+		return ErrShuttingDown
+	}
+	if p.st.Queued+n > int64(p.cfg.QueueCap) {
+		p.st.Rejected++
+		p.mu.Unlock()
+		return ErrQueueFull
+	}
+	p.st.Queued += n
+	p.st.EdgesAccepted += n
+	p.mu.Unlock()
+	// Cannot block: every request holds at least one edge's worth of
+	// reserved capacity and the channel is QueueCap deep.
+	p.queue <- req
+	return nil
+}
+
+// loop is the single writer: it gathers queued requests into batches,
+// applies them through the Applier, and relies on the Applier to
+// republish after every batch so reads converge on fresh data.
+func (p *Pipeline) loop() {
+	defer p.wg.Done()
+	var flushC <-chan time.Time
+	if p.cfg.FlushEvery > 0 {
+		t := time.NewTicker(p.cfg.FlushEvery)
+		defer t.Stop()
+		flushC = t.C
+	}
+	var scrubC <-chan time.Time
+	if p.cfg.ScrubEvery > 0 {
+		t := time.NewTicker(p.cfg.ScrubEvery)
+		defer t.Stop()
+		scrubC = t.C
+	}
+	for {
+		select {
+		case <-p.stop:
+			if p.Draining() {
+				p.drainApplyOnStop()
+			} else {
+				p.drainOnStop()
+			}
+			return
+		case req := <-p.queue:
+			p.gatherAndApply(req)
+		case <-flushC:
+			p.ap.Flush()
+		case <-scrubC:
+			p.ap.Scrub()
+		}
+	}
+}
+
+// gatherAndApply batches more requests behind the first one — up to
+// BatchEdges edges or until Linger expires — then applies them.
+func (p *Pipeline) gatherAndApply(first *Request) {
+	reqs := []*Request{first}
+	total := len(first.edges)
+	linger := time.NewTimer(p.cfg.Linger)
+	defer linger.Stop()
+gather:
+	for total < p.cfg.BatchEdges {
+		select {
+		case r := <-p.queue:
+			reqs = append(reqs, r)
+			total += len(r.edges)
+		case <-linger.C:
+			break gather
+		case <-p.stop:
+			break gather
+		}
+	}
+	p.applyAll(reqs)
+}
+
+// applyAll applies the gathered requests in arrival order, chunked into
+// BatchEdges-sized batches. Each chunk is one Applier.Apply call (one
+// write window ending in a snapshot publication), so a large ingest
+// becomes a sequence of short write windows with reads interleaving
+// between them.
+func (p *Pipeline) applyAll(reqs []*Request) {
+	var all []graph.Edge
+	for _, r := range reqs {
+		all = append(all, r.edges...)
+	}
+	results := make([]Result, len(reqs))
+	remaining := make([]int, len(reqs))
+	for i, r := range reqs {
+		remaining[i] = len(r.edges)
+	}
+	ri := 0 // first request not yet fully applied
+
+	fail := func(err error, lost int64) {
+		p.mu.Lock()
+		p.st.Queued -= lost
+		p.st.EdgesDropped += lost
+		p.mu.Unlock()
+		for ; ri < len(reqs); ri++ {
+			res := results[ri]
+			res.Err = err
+			reqs[ri].done <- res
+		}
+	}
+
+	for off := 0; off < len(all); off += p.cfg.BatchEdges {
+		end := off + p.cfg.BatchEdges
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[off:end]
+
+		hostStart := time.Now()
+		simNs, epoch, err := p.ap.Apply(chunk)
+		if err != nil {
+			// The failed chunk and everything behind it is dropped:
+			// dequeued without application.
+			fail(err, int64(len(all)-off))
+			return
+		}
+
+		p.mu.Lock()
+		p.st.Queued -= int64(len(chunk))
+		p.st.EdgesApplied += int64(len(chunk))
+		p.st.BatchesApplied++
+		p.st.LastBatchHostNs = time.Since(hostStart).Nanoseconds()
+		p.st.LastBatchSimNs = simNs
+		p.st.LastBatchEdges = int64(len(chunk))
+		p.mu.Unlock()
+
+		// Credit the chunk to the requests it covered; a request is done
+		// when its last edge has been applied and published.
+		for n := len(chunk); n > 0 && ri < len(reqs); {
+			take := remaining[ri]
+			if take > n {
+				take = n
+			}
+			remaining[ri] -= take
+			n -= take
+			results[ri].SimNs += simNs
+			results[ri].Batches++
+			results[ri].Epoch = epoch
+			if remaining[ri] == 0 {
+				results[ri].Accepted = int64(len(reqs[ri].edges))
+				reqs[ri].done <- results[ri]
+				ri++
+			}
+		}
+
+		if p.cfg.BatchDelay > 0 && end < len(all) {
+			time.Sleep(p.cfg.BatchDelay)
+		}
+	}
+}
+
+// drainOnStop releases every queued writer with a shutdown error — the
+// abrupt Close path.
+func (p *Pipeline) drainOnStop() {
+	for {
+		select {
+		case req := <-p.queue:
+			p.mu.Lock()
+			p.st.Queued -= int64(len(req.edges))
+			p.st.EdgesDropped += int64(len(req.edges))
+			p.mu.Unlock()
+			req.done <- Result{Err: ErrShuttingDown}
+		default:
+			return
+		}
+	}
+}
+
+// drainApplyOnStop is the graceful Shutdown path: every accepted write
+// — including one whose enqueuing goroutine is still between capacity
+// reservation and channel send — is applied normally, then a final
+// Flush makes everything durable. New writes were already fenced off by
+// the draining flag before stop closed, so the queued-edge count can
+// only fall.
+func (p *Pipeline) drainApplyOnStop() {
+	for {
+		select {
+		case req := <-p.queue:
+			p.applyAll([]*Request{req})
+		default:
+			if p.Stats().Queued == 0 {
+				p.ap.Flush()
+				return
+			}
+			// An accepted request is mid-enqueue; its channel send is
+			// imminent.
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+// edgeBufPool recycles decode scratch for the hot ingest handlers. Only
+// return a buffer once its Result has been delivered (the pipeline owns
+// request slices until then); async enqueues must let theirs go to the GC.
+var edgeBufPool = sync.Pool{
+	New: func() any { b := make([]graph.Edge, 0, 4096); return &b },
+}
+
+// GetEdgeBuf fetches an empty edge scratch buffer from the pool.
+func GetEdgeBuf() []graph.Edge { return (*edgeBufPool.Get().(*[]graph.Edge))[:0] }
+
+// PutEdgeBuf recycles an edge scratch buffer. Oversized buffers are
+// dropped so one pathological request cannot pin memory forever.
+func PutEdgeBuf(buf []graph.Edge) {
+	if cap(buf) > 1<<17 {
+		return
+	}
+	buf = buf[:0]
+	edgeBufPool.Put(&buf)
+}

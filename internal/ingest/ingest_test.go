@@ -1,0 +1,193 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// fakeApplier counts applied edges and can be told to fail.
+type fakeApplier struct {
+	mu      sync.Mutex
+	applied []graph.Edge
+	batches int
+	flushes int
+	scrubs  int
+	failErr error
+}
+
+func (a *fakeApplier) Apply(chunk []graph.Edge) (int64, uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failErr != nil {
+		return 0, 0, a.failErr
+	}
+	a.applied = append(a.applied, chunk...)
+	a.batches++
+	return int64(len(chunk)) * 100, uint64(a.batches), nil
+}
+
+func (a *fakeApplier) Flush() {
+	a.mu.Lock()
+	a.flushes++
+	a.mu.Unlock()
+}
+
+func (a *fakeApplier) Scrub() {
+	a.mu.Lock()
+	a.scrubs++
+	a.mu.Unlock()
+}
+
+func (a *fakeApplier) snapshot() ([]graph.Edge, int, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]graph.Edge(nil), a.applied...), a.batches, a.flushes
+}
+
+func edges(n int) []graph.Edge {
+	out := make([]graph.Edge, n)
+	for i := range out {
+		out[i] = graph.Edge{Src: uint32(i), Dst: uint32(i + 1)}
+	}
+	return out
+}
+
+func TestPipelineAppliesAndCredits(t *testing.T) {
+	ap := &fakeApplier{}
+	p := New(Config{BatchEdges: 64, Linger: time.Millisecond}, ap)
+	p.Start()
+	defer p.Close()
+
+	req := NewRequest(edges(200)) // spans multiple chunks
+	if err := p.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	res := <-req.Done()
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Accepted != 200 || res.Batches < 3 || res.SimNs == 0 || res.Epoch == 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	applied, _, _ := ap.snapshot()
+	if len(applied) != 200 {
+		t.Fatalf("applied %d edges", len(applied))
+	}
+	st := p.Stats()
+	if st.EdgesAccepted != 200 || st.EdgesApplied != 200 || st.Queued != 0 || st.EdgesDropped != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelineQueueFull(t *testing.T) {
+	ap := &fakeApplier{}
+	p := New(Config{QueueCap: 8, Linger: time.Millisecond}, ap)
+	// Not started: the queue only fills.
+	if err := p.Enqueue(NewRequest(edges(8))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Enqueue(NewRequest(edges(1))); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	if st := p.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d", st.Rejected)
+	}
+	p.Start()
+	p.Close()
+}
+
+func TestPipelineApplyFailureDropsTail(t *testing.T) {
+	ap := &fakeApplier{failErr: errors.New("media gone")}
+	p := New(Config{Linger: time.Millisecond}, ap)
+	p.Start()
+	defer p.Close()
+
+	req := NewRequest(edges(10))
+	if err := p.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	res := <-req.Done()
+	if res.Err == nil || res.Accepted != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	st := p.Stats()
+	if st.EdgesDropped != 10 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPipelineShutdownDrainsAndFlushes(t *testing.T) {
+	ap := &fakeApplier{}
+	p := New(Config{Linger: time.Millisecond}, ap)
+	p.Start()
+	req := NewRequest(edges(32))
+	if err := p.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	p.Shutdown()
+	select {
+	case res := <-req.Done():
+		if res.Err != nil {
+			t.Fatalf("drained request failed: %v", res.Err)
+		}
+	default:
+		t.Fatal("request not completed by shutdown drain")
+	}
+	if err := p.Enqueue(NewRequest(edges(1))); !errors.Is(err, ErrShuttingDown) {
+		t.Fatalf("post-shutdown enqueue = %v", err)
+	}
+	if _, _, flushes := ap.snapshot(); flushes == 0 {
+		t.Fatal("shutdown did not flush")
+	}
+}
+
+func TestPipelineCloseFailsQueued(t *testing.T) {
+	ap := &fakeApplier{}
+	p := New(Config{Linger: time.Millisecond}, ap)
+	req := NewRequest(edges(5))
+	if err := p.Enqueue(req); err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.Close()
+	res := <-req.Done()
+	// The writer either applied it before stop won the select, or failed
+	// it with ErrShuttingDown; both leave the queue empty.
+	if res.Err != nil && !errors.Is(res.Err, ErrShuttingDown) {
+		t.Fatalf("result = %+v", res)
+	}
+	if st := p.Stats(); st.Queued != 0 {
+		t.Fatalf("queued = %d after close", st.Queued)
+	}
+}
+
+func TestPublishBumpsEpoch(t *testing.T) {
+	p := New(Config{}, &fakeApplier{})
+	if e := p.Publish(); e != 1 {
+		t.Fatalf("first publish = %d", e)
+	}
+	if e := p.Epoch(); e != 1 {
+		t.Fatalf("epoch = %d", e)
+	}
+	if st := p.Stats(); st.PublishedAtNs == 0 {
+		t.Fatal("publish did not stamp time")
+	}
+}
+
+func TestEdgeBufPoolRoundTrip(t *testing.T) {
+	buf := GetEdgeBuf()
+	if len(buf) != 0 {
+		t.Fatalf("pooled buffer not empty: %d", len(buf))
+	}
+	buf = append(buf, graph.Edge{Src: 1, Dst: 2})
+	PutEdgeBuf(buf)
+	again := GetEdgeBuf()
+	if len(again) != 0 {
+		t.Fatalf("reused buffer not reset: %d", len(again))
+	}
+	PutEdgeBuf(again)
+}

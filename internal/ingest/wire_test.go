@@ -1,0 +1,162 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomEdges(n int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]graph.Edge, n)
+	for i := range out {
+		e := graph.Edge{Src: uint32(rng.Intn(1 << 20)), Dst: uint32(rng.Intn(1 << 20))}
+		if rng.Intn(5) == 0 {
+			e.Dst |= graph.DelFlag
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestBatchRoundTripFixed(t *testing.T) {
+	want := randomEdges(5000, 1)
+	buf := EncodeBatch(want, false)
+	got, err := DecodeBatch(bytes.NewReader(buf), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchRoundTripCompact(t *testing.T) {
+	want := randomEdges(5000, 2)
+	buf := EncodeBatch(want, true)
+	if len(buf) >= len(want)*graph.EdgeBytes {
+		t.Fatalf("compact encoding %d bytes >= fixed %d", len(buf), len(want)*graph.EdgeBytes)
+	}
+	got, err := DecodeBatch(bytes.NewReader(buf), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchEmptyStream(t *testing.T) {
+	got, err := DecodeBatch(strings.NewReader(BatchMagic), nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestBatchBadInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":          {},
+		"wrong magic":    []byte("NOPE"),
+		"unknown op":     append([]byte(BatchMagic), 0x7F, 1, 0, 0, 0),
+		"zero count":     append([]byte(BatchMagic), opAddFixed, 0, 0, 0, 0),
+		"huge count":     append([]byte(BatchMagic), opAddFixed, 0xFF, 0xFF, 0xFF, 0xFF),
+		"truncated hdr":  append([]byte(BatchMagic), opAddFixed, 1, 0),
+		"truncated body": append([]byte(BatchMagic), opAddFixed, 1, 0, 0, 0, 9, 9),
+		"del bit set":    append([]byte(BatchMagic), opAddFixed, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x80),
+		"overlong varint": append([]byte(BatchMagic),
+			opCompact, 1, 0, 0, 0, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01),
+		"truncated varint": append([]byte(BatchMagic), opCompact, 1, 0, 0, 0, 0x80),
+		"src underflow":    append([]byte(BatchMagic), opCompact, 1, 0, 0, 0, 0x01, 0x00),
+	}
+	for name, in := range cases {
+		if _, err := DecodeBatch(bytes.NewReader(in), nil, 0); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	buf := EncodeBatch(randomEdges(100, 3), false)
+	if _, err := DecodeBatch(bytes.NewReader(buf), nil, 50); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+func TestDecodeJSONEdges(t *testing.T) {
+	body := `{"note":"ignored","edges":[{"src":1,"dst":2},{"src":3,"dst":4}],"extra":{"a":[1,2]}}`
+	got, err := DecodeJSONEdges(strings.NewReader(body), nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{Src: 1, Dst: 2}, {Src: 3, Dst: 4}}
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+
+	got, err = DecodeJSONEdges(strings.NewReader(`{"edges":[{"src":7,"dst":8}]}`), nil, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].IsDelete() || got[0].Target() != 8 {
+		t.Fatalf("delete decode = %v", got)
+	}
+
+	if _, err := DecodeJSONEdges(strings.NewReader(`{"edges":[{"src":1,"dst":2},{"src":3,"dst":4}]}`), nil, false, 1); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+
+	for _, bad := range []string{``, `[]`, `{"edges":{}}`, `{"edges":[1]}`, `{"edges":[{"src":"x"}]}`} {
+		if _, err := DecodeJSONEdges(strings.NewReader(bad), nil, false, 0); err == nil {
+			t.Errorf("input %q decoded without error", bad)
+		}
+	}
+}
+
+// FuzzBinaryBatchDecode throws arbitrary bytes at the batch decoder:
+// truncated frames, overlong varints, and zigzag edge cases must all
+// fail typed (ErrBadFrame / ErrBatchTooLarge), never panic, and any
+// edges that do decode must survive an encode/decode round trip.
+func FuzzBinaryBatchDecode(f *testing.F) {
+	f.Add(EncodeBatch(randomEdges(50, 4), false))
+	f.Add(EncodeBatch(randomEdges(50, 5), true))
+	f.Add([]byte(BatchMagic))
+	f.Add(append([]byte(BatchMagic), opCompact, 2, 0, 0, 0, 0xFE, 0xFF, 0xFF, 0xFF, 0x1F, 0x00))
+	f.Add(append([]byte(BatchMagic), opAddFixed, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := DecodeBatch(bytes.NewReader(in), nil, 1<<16)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrBatchTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		for _, compact := range []bool{false, true} {
+			again, err := DecodeBatch(bytes.NewReader(EncodeBatch(got, compact)), nil, 0)
+			if err != nil {
+				t.Fatalf("re-decode (compact=%v): %v", compact, err)
+			}
+			if len(again) != len(got) {
+				t.Fatalf("round trip length %d, want %d", len(again), len(got))
+			}
+			for i := range got {
+				if again[i] != got[i] {
+					t.Fatalf("round trip edge %d: %v != %v", i, again[i], got[i])
+				}
+			}
+		}
+	})
+}

@@ -46,6 +46,10 @@ type Config struct {
 
 	Chunk     int // edges per Ingest call (0 = all at once)
 	UETargets int // vertices whose chains get UE-injected (default 4)
+
+	// Varint runs the workload on delta-varint adjacency blocks, so UE
+	// damage and scrub rebuilds land on variable-length payloads.
+	Varint bool
 }
 
 func (c Config) withDefaults() Config {
@@ -93,6 +97,7 @@ func (c Config) storeOptions() core.Options {
 		NUMA:             c.NUMA,
 		MediaGuard:       true,
 		ArchiveSSDBytes:  c.ArchiveSSDBytes,
+		CompressedAdj:    c.Varint,
 	}
 }
 
@@ -395,6 +400,91 @@ func RunUnrecoverable(cfg Config) error {
 	// The rest of the graph keeps serving, oracle-exact.
 	if _, err := differential(st, o); err != nil {
 		return fmt.Errorf("post-scrub differential: %w", err)
+	}
+	return nil
+}
+
+// RunMixedFormatScrub pins media tolerance over mixed-format chains: a
+// fixed-block store crashes cleanly, the recovered store enables the
+// varint encoding and ingests a continuation (varint tails on fixed
+// chains), then UEs land under the mixed chains. Checked reads must stay
+// oracle-or-typed-error, and the scrub must rebuild every damaged vertex
+// from the resident log window — regardless of which encodings its chain
+// mixed. cfg.Edges + contEdges must fit in LogCapacity.
+func RunMixedFormatScrub(cfg Config, contEdges int64) error {
+	cfg = cfg.withDefaults()
+	if cfg.Varint {
+		return fmt.Errorf("RunMixedFormatScrub builds the first phase on fixed blocks; leave Varint unset")
+	}
+	if cfg.Edges+contEdges > cfg.LogCapacity {
+		return fmt.Errorf("workload (%d+%d edges) must fit the log window (%d) for rebuilds",
+			cfg.Edges, contEdges, cfg.LogCapacity)
+	}
+	st, _, edges, err := build(cfg)
+	if err != nil {
+		return err
+	}
+
+	clone, err := st.Heap().CrashClone()
+	if err != nil {
+		return err
+	}
+	faults := clone.Machine().TrackFaults()
+	opts := cfg.storeOptions()
+	opts.CompressedAdj = true
+	rs, _, err := core.Recover(clone.Machine(), clone, nil, opts)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	cont := gen.RMAT(cfg.Scale, contEdges, cfg.Seed^0x717)
+	if _, err := rs.Ingest(cont); err != nil {
+		return fmt.Errorf("continuation ingest: %w", err)
+	}
+	if err := rs.BufferAllEdges(); err != nil {
+		return err
+	}
+	if err := rs.FlushAllVbufs(); err != nil {
+		return err
+	}
+	if es := rs.AdjEncoding(); es.VarintRecords == 0 {
+		return fmt.Errorf("continuation wrote no varint records; chains are not mixed")
+	}
+
+	o := buildOracle(append(append([]graph.Edge(nil), edges...), cont...))
+	if rep, err := differential(rs, o); err != nil {
+		return fmt.Errorf("pre-damage differential: %w", err)
+	} else if rep.Failed != 0 {
+		return fmt.Errorf("pre-damage reads failed: %+v", rep)
+	}
+
+	targets := injectChains(rs, faults, cfg.UETargets)
+	if len(targets) == 0 {
+		return fmt.Errorf("workload left no PMEM chains to damage")
+	}
+	after, err := differential(rs, o)
+	if err != nil {
+		return fmt.Errorf("post-damage differential: %w", err)
+	}
+	if after.Failed < len(targets) {
+		return fmt.Errorf("only %d reads failed for %d damaged vertices", after.Failed, len(targets))
+	}
+
+	rep, err := rs.Scrub()
+	if err != nil {
+		return fmt.Errorf("scrub: %w", err)
+	}
+	if rep.Unrecoverable != 0 || rep.Repaired != rep.Damaged {
+		return fmt.Errorf("scrub did not repair everything: %+v", rep)
+	}
+	if h := rs.Health(); h.State != core.HealthOK {
+		return fmt.Errorf("health after scrub = %v (%+v)", h.State, h)
+	}
+	final, err := differential(rs, o)
+	if err != nil {
+		return fmt.Errorf("post-scrub differential: %w", err)
+	}
+	if final.Failed != 0 {
+		return fmt.Errorf("reads still failing after repair: %+v", final)
 	}
 	return nil
 }

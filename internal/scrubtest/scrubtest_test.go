@@ -64,3 +64,51 @@ func TestQuarantinePersistence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUEDetectionVarint runs the detection differential over delta-varint
+// chains, where one torn line can scramble a variable number of records.
+func TestUEDetectionVarint(t *testing.T) {
+	if err := RunUEDetection(Config{Name: "ue-vz", Seed: 8, DelRatio: 0.2, Varint: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubRepairVarint rebuilds damaged varint chains from the resident
+// edge-log window.
+func TestScrubRepairVarint(t *testing.T) {
+	if err := RunScrubRepair(Config{
+		Name: "repair-vz", Seed: 9, Edges: 600, LogCapacity: 1 << 10, Varint: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScrubRepairVarintFromArchive rebuilds varint chains from the SSD
+// archive after the log window rotated.
+func TestScrubRepairVarintFromArchive(t *testing.T) {
+	if err := RunScrubRepair(Config{
+		Name: "repair-vz-ssd", Seed: 10, Edges: 1500,
+		LogCapacity: 1 << 8, ArchiveSSDBytes: 4 << 20, Varint: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantinePersistenceVarint: quarantine survives crash + recovery
+// when the repaired chains carry the varint encoding.
+func TestQuarantinePersistenceVarint(t *testing.T) {
+	if err := RunQuarantinePersistence(Config{
+		Name: "quar-vz", Seed: 11, Edges: 900, ArchiveSSDBytes: 4 << 20, Varint: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixedFormatScrub: fixed chains grow varint tails after a recovery
+// flips the encoding on, then UE damage and scrub repair must handle the
+// mixed chains oracle-exactly.
+func TestMixedFormatScrub(t *testing.T) {
+	if err := RunMixedFormatScrub(Config{Name: "mix-scrub", Seed: 12, Edges: 600}, 300); err != nil {
+		t.Fatal(err)
+	}
+}

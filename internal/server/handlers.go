@@ -5,15 +5,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"mime"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/analytics"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/view"
 	"repro/internal/xpsim"
@@ -33,66 +36,78 @@ func (s *Server) engineFor(p *published) *analytics.Engine {
 
 // ---- writes ----
 
-func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
-		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
-		return
+// decodeWriteBody reads an ingest request body into a pooled edge
+// buffer. On error it writes the response, recycles the buffer, and
+// returns nil. Both transports share it: the JSON handlers stream
+// through ingest.DecodeJSONEdges, the binary endpoint through
+// ingest.DecodeBatch — neither materializes an intermediate struct
+// slice, and http.MaxBytesReader fences runaway bodies either way.
+func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request, binary bool) []graph.Edge {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	edges := ingest.GetEdgeBuf()
+	var err error
+	if binary {
+		edges, err = ingest.DecodeBatch(body, edges, s.cfg.QueueCap)
+	} else {
+		edges, err = ingest.DecodeJSONEdges(body, edges, r.Method == http.MethodDelete, s.cfg.QueueCap)
 	}
-	var req EdgesRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
-		return
+	if err == nil && len(edges) == 0 {
+		err = errors.New("no edges")
 	}
-	if len(req.Edges) == 0 {
-		httpError(w, http.StatusBadRequest, "bad_request", "no edges")
-		return
-	}
-	edges := make([]graph.Edge, len(req.Edges))
-	switch r.Method {
-	case http.MethodPost:
-		for i, e := range req.Edges {
-			edges[i] = graph.Edge{Src: e.Src, Dst: e.Dst}
+	if err != nil {
+		ingest.PutEdgeBuf(edges)
+		var mbe *http.MaxBytesError
+		switch {
+		case errors.Is(err, ingest.ErrBatchTooLarge):
+			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+				"request exceeds the queue capacity of %d edges; split it", s.cfg.QueueCap)
+		case errors.As(err, &mbe):
+			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+				"request body exceeds the %d byte limit; split it", s.cfg.MaxBodyBytes)
+		case binary && errors.Is(err, ingest.ErrBadFrame):
+			httpError(w, http.StatusBadRequest, "bad_frame", "bad batch: %v", err)
+		default:
+			httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
 		}
-	case http.MethodDelete:
-		for i, e := range req.Edges {
-			edges[i] = graph.Del(e.Src, e.Dst)
-		}
-	default:
-		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
-		return
+		return nil
 	}
-	if len(edges) > s.cfg.QueueCap {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
-			"request of %d edges exceeds the queue capacity of %d; split it",
-			len(edges), s.cfg.QueueCap)
-		return
-	}
+	return edges
+}
 
+// enqueueAndRespond pushes decoded edges through the breaker and the
+// pipeline and writes the ingest response. It owns the pooled edges
+// slice: the pipeline holds it until the Result is delivered, so it is
+// recycled only after a synchronous write completes (an async enqueue
+// lets its buffer go to the GC).
+func (s *Server) enqueueAndRespond(w http.ResponseWriter, r *http.Request, edges []graph.Edge) {
 	if ok, wait := s.br.allow(time.Now()); !ok {
+		ingest.PutEdgeBuf(edges)
 		w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
 		httpError(w, http.StatusServiceUnavailable, "circuit_open",
 			"ingest circuit breaker is open after repeated media-write failures; retry in %v", wait.Round(time.Millisecond))
 		return
 	}
 
-	ireq := &ingestReq{edges: edges, done: make(chan ingestResult, 1)}
-	switch err := s.tryEnqueue(ireq); err {
-	case nil:
-	case errShuttingDown:
+	ireq := ingest.NewRequest(edges)
+	switch err := s.pipe.Enqueue(ireq); {
+	case err == nil:
+	case errors.Is(err, ingest.ErrShuttingDown):
+		ingest.PutEdgeBuf(edges)
 		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 		return
 	default:
+		ingest.PutEdgeBuf(edges)
 		// Jitter the retry delay so a burst of shed writers spreads out
 		// instead of stampeding back on the same second.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(s.retrySeq.Add(1))))
 		httpError(w, http.StatusTooManyRequests, "queue_full",
 			"ingest queue is full (%d edges queued, capacity %d)",
-			s.m.view().Queued, s.cfg.QueueCap)
+			s.pipe.Stats().Queued, s.cfg.QueueCap)
 		return
 	}
 
 	if r.URL.Query().Get("async") == "1" {
-		epoch := s.m.Epoch()
+		epoch := s.pipe.Epoch()
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
 		w.WriteHeader(http.StatusAccepted)
@@ -100,41 +115,99 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	var res ingestResult
+	var res ingest.Result
 	select {
-	case res = <-ireq.done:
-	case <-s.stop:
-		if !s.m.isDraining() {
+	case res = <-ireq.Done():
+	case <-s.pipe.Stopping():
+		if !s.pipe.Draining() {
 			httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 			return
 		}
 		// Graceful drain: every accepted request is applied and answered.
-		res = <-ireq.done
+		res = <-ireq.Done()
 	}
-	if res.err != nil {
-		if res.err == errShuttingDown {
-			httpError(w, http.StatusServiceUnavailable, "shutting_down", "%v", res.err)
+	// The Result is delivered: the pipeline is done with the slice.
+	defer ingest.PutEdgeBuf(edges)
+	if res.Err != nil {
+		if errors.Is(res.Err, ingest.ErrShuttingDown) {
+			httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
 			return
 		}
 		var me *xpsim.MediaError
-		if errors.As(res.err, &me) {
+		if errors.As(res.Err, &me) {
 			// A media failure, not a capacity problem: the device under
 			// the write is gone or erroring. 503 so clients back off.
-			httpError(w, http.StatusServiceUnavailable, "media_error", "ingest: %v", res.err)
+			httpError(w, http.StatusServiceUnavailable, "media_error", "ingest: %v", res.Err)
 			return
 		}
-		httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.err)
+		httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.Err)
 		return
 	}
-	writeEpochJSON(w, res.epoch, IngestResponse{
-		Accepted: res.accepted,
-		SimMs:    float64(res.simNs) / 1e6,
-		Batches:  res.batches,
-		Epoch:    res.epoch,
+	writeEpochJSON(w, res.Epoch, IngestResponse{
+		Accepted: res.Accepted,
+		SimMs:    float64(res.SimNs) / 1e6,
+		Batches:  res.Batches,
+		Epoch:    res.Epoch,
 	})
 }
 
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
+		return
+	}
+	edges := s.decodeWriteBody(w, r, false)
+	if edges == nil {
+		return
+	}
+	s.enqueueAndRespond(w, r, edges)
+}
+
+// handleIngestBin is the binary batch endpoint: the same pipeline as
+// POST /v1/edges behind the length-prefixed wire format of
+// ingest.DecodeBatch (DESIGN.md §10.1).
+func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
+		return
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err != nil || mt != ingest.ContentTypeBatch {
+			httpError(w, http.StatusUnsupportedMediaType, "unsupported_media_type",
+				"use Content-Type %s", ingest.ContentTypeBatch)
+			return
+		}
+	}
+	edges := s.decodeWriteBody(w, r, true)
+	if edges == nil {
+		return
+	}
+	s.enqueueAndRespond(w, r, edges)
+}
+
 // ---- snapshot reads ----
+
+// nbrScratchPool recycles the neighbor-resolution destination slices of
+// the point-read handlers, so a GET /v1/vertices/{id}/out allocates only
+// the response encoding.
+var nbrScratchPool = sync.Pool{
+	New: func() any { b := make([]uint32, 0, 256); return &b },
+}
+
+func getNbrScratch() *[]uint32 { return nbrScratchPool.Get().(*[]uint32) }
+
+func putNbrScratch(bp *[]uint32, used []uint32) {
+	// Keep the grown slice when resolution outgrew the pooled one, but
+	// drop pathological capacities so one super-vertex cannot pin memory.
+	if cap(used) > cap(*bp) {
+		*bp = used
+	}
+	if cap(*bp) > 1<<20 {
+		return
+	}
+	*bp = (*bp)[:0]
+	nbrScratchPool.Put(bp)
+}
 
 // vertexPath parses "/vertices/{id}/{rest...}".
 func vertexPath(path string) (graph.VID, string, error) {
@@ -169,15 +242,17 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		// Read through the media-checked path: a neighbor list whose
 		// adjacency blocks fail their checksum or sit on uncorrectable
 		// lines answers 503 instead of silently wrong edges.
+		scratch := getNbrScratch()
 		var nbrs []uint32
 		var nerr error
 		s.stateMu.RLock()
 		if sub == "out" {
-			nbrs, nerr = p.snap.NbrsOutChecked(ctx, v, nil)
+			nbrs, nerr = p.snap.NbrsOutChecked(ctx, v, (*scratch)[:0])
 		} else {
-			nbrs, nerr = p.snap.NbrsInChecked(ctx, v, nil)
+			nbrs, nerr = p.snap.NbrsInChecked(ctx, v, (*scratch)[:0])
 		}
 		s.stateMu.RUnlock()
+		defer putNbrScratch(scratch, nbrs)
 		if nerr != nil {
 			var ue *core.UnrecoverableError
 			if errors.As(nerr, &ue) {
@@ -218,7 +293,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h := s.health()
-	epoch := s.m.Epoch()
+	epoch := s.pipe.Epoch()
 	resp := HealthzResponse{
 		Status:                h.State.String(),
 		Epoch:                 epoch,
@@ -273,7 +348,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(buf.Bytes())
 		return
 	}
-	v := s.m.view() // one consistent copy: applied can never exceed accepted
+	v := s.pipe.Stats() // one consistent copy: applied can never exceed accepted
 	writeJSON(w, MetricsResponse{
 		QueueDepthEdges: v.Queued,
 		QueueCapEdges:   int64(s.cfg.QueueCap),
@@ -317,7 +392,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PblkPMEMBytes:   u.PblkPMEM,
 		MediaReadBytes:  st.MediaReadBytes(),
 		MediaWriteBytes: st.MediaWriteBytes(),
-		Epoch:           s.m.Epoch(),
+		Epoch:           s.pipe.Epoch(),
 	}
 	s.stateMu.RUnlock()
 	writeEpochJSON(w, resp.Epoch, resp)
@@ -332,7 +407,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	s.stateMu.Lock()
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	epoch := s.m.Epoch()
+	epoch := s.pipe.Epoch()
 	s.stateMu.Unlock()
 	writeEpochJSON(w, epoch, SnapshotResponse{Epoch: epoch})
 }
@@ -354,7 +429,7 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 	if cerr == nil {
 		s.publishLocked(ctx)
 	}
-	epoch := s.m.Epoch()
+	epoch := s.pipe.Epoch()
 	s.stateMu.Unlock()
 	if cerr != nil {
 		httpError(w, http.StatusInternalServerError, "internal", "compact: %v", cerr)
@@ -374,7 +449,7 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 	if ferr == nil {
 		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 	}
-	epoch := s.m.Epoch()
+	epoch := s.pipe.Epoch()
 	s.stateMu.Unlock()
 	if ferr != nil {
 		httpError(w, http.StatusInternalServerError, "internal", "flush: %v", ferr)
@@ -398,7 +473,7 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		h = s.store.Health()
 		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 	}
-	epoch := s.m.Epoch()
+	epoch := s.pipe.Epoch()
 	s.stateMu.Unlock()
 	if serr != nil {
 		httpError(w, http.StatusInternalServerError, "internal", "scrub: %v", serr)

@@ -26,7 +26,7 @@ func (s *Server) initMetrics() {
 	// Prometheus exposition upholds the same applied <= accepted
 	// invariant the JSON shape does.
 	s.reg.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
-		v := s.m.view()
+		v := s.pipe.Stats()
 		sample := func(name, help string, kind obs.Kind, val float64) {
 			emit(obs.Sample{Name: name, Help: help, Kind: kind, Value: val})
 		}
@@ -67,7 +67,7 @@ func boolGauge(b bool) float64 {
 
 // knownRoutes bounds the route-label cardinality of the HTTP metrics.
 var knownRoutes = map[string]bool{
-	"/edges": true, "/snapshot": true, "/flush": true, "/scrub": true,
+	"/edges": true, "/ingest/bin": true, "/snapshot": true, "/flush": true, "/scrub": true,
 	"/stats":   true,
 	"/healthz": true, "/metrics": true, "/trace": true,
 	"/query/bfs": true, "/query/pagerank": true, "/query/cc": true,

@@ -205,7 +205,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	srv.Shutdown()
 
-	v := srv.m.view()
+	v := srv.pipe.Stats()
 	if v.Queued != 0 {
 		t.Fatalf("after Shutdown queue depth = %d, want 0", v.Queued)
 	}

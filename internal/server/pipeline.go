@@ -2,7 +2,6 @@ package server
 
 import (
 	"errors"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,91 +10,12 @@ import (
 	"repro/internal/xpsim"
 )
 
-// metrics are the pipeline counters behind GET /v1/metrics. One mutex
-// guards them all: every mutation that must stay coherent (reserve
-// queue space + count acceptance, dequeue + count application) happens
-// in a single critical section, and a scrape copies the whole struct at
-// once. A reader can therefore never observe applied > accepted, or a
-// queue depth that disagrees with accepted - applied - dropped.
-type metrics struct {
-	mu              sync.Mutex
-	queued          int64 // edges enqueued but not yet applied or dropped
-	epoch           uint64
-	edgesAccepted   int64 // edges admitted past the queue-capacity check
-	edgesApplied    int64 // edges applied to the store
-	edgesDropped    int64 // accepted edges dequeued without application (failure/shutdown)
-	batchesApplied  int64
-	rejected        int64
-	lastBatchHostNs int64
-	lastBatchSimNs  int64
-	lastBatchEdges  int64
-	publishedAtNs   int64 // host clock of the last snapshot publication
-	draining        bool  // graceful shutdown: reject new writes, apply queued ones
-}
-
-// metricsView is one consistent copy of the counters.
-type metricsView struct {
-	Queued          int64
-	Epoch           uint64
-	EdgesAccepted   int64
-	EdgesApplied    int64
-	EdgesDropped    int64
-	BatchesApplied  int64
-	Rejected        int64
-	LastBatchHostNs int64
-	LastBatchSimNs  int64
-	LastBatchEdges  int64
-	PublishedAtNs   int64
-}
-
-// view snapshots every counter under one lock acquisition.
-func (m *metrics) view() metricsView {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return metricsView{
-		Queued:          m.queued,
-		Epoch:           m.epoch,
-		EdgesAccepted:   m.edgesAccepted,
-		EdgesApplied:    m.edgesApplied,
-		EdgesDropped:    m.edgesDropped,
-		BatchesApplied:  m.batchesApplied,
-		Rejected:        m.rejected,
-		LastBatchHostNs: m.lastBatchHostNs,
-		LastBatchSimNs:  m.lastBatchSimNs,
-		LastBatchEdges:  m.lastBatchEdges,
-		PublishedAtNs:   m.publishedAtNs,
-	}
-}
-
-// Epoch reads the current snapshot epoch.
-func (m *metrics) Epoch() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.epoch
-}
-
-// publish bumps the epoch and stamps the publication time.
-func (m *metrics) publish() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.epoch++
-	m.publishedAtNs = time.Now().UnixNano()
-	return m.epoch
-}
-
-// setDraining flips the pipeline into graceful-shutdown mode.
-func (m *metrics) setDraining() {
-	m.mu.Lock()
-	m.draining = true
-	m.mu.Unlock()
-}
-
-// isDraining reports graceful-shutdown mode.
-func (m *metrics) isDraining() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.draining
-}
+// The batched write pipeline itself — bounded admission, linger
+// batching, the single writer goroutine, graceful drain — lives in
+// internal/ingest; the server supplies the store side of that contract
+// through storeApplier below. What stays here is everything tied to the
+// server's own locking discipline: snapshot publication and the
+// refcounted read view.
 
 // published is one snapshot publication. Readers acquire it under the
 // shared state lock and pin it with a refcount; the snapshot is closed
@@ -108,32 +28,11 @@ type published struct {
 	retired atomic.Bool
 }
 
-// ingestResult is what a synchronous write waits for.
-type ingestResult struct {
-	accepted int64
-	simNs    int64
-	batches  int64
-	epoch    uint64
-	err      error
-}
-
-// ingestReq is one enqueued write. done is buffered (capacity 1) and
-// receives exactly one result when the request's last edge is applied.
-type ingestReq struct {
-	edges []graph.Edge
-	done  chan ingestResult
-}
-
-var (
-	errShuttingDown = errors.New("server is shutting down")
-	errQueueFull    = errors.New("ingest queue is full")
-)
-
 // publishLocked captures a fresh snapshot, makes it the served view,
 // and returns the new epoch. Callers must hold stateMu exclusively.
 func (s *Server) publishLocked(ctx *xpsim.Ctx) uint64 {
 	old := s.cur
-	epoch := s.m.publish()
+	epoch := s.pipe.Publish()
 	s.cur = &published{
 		snap:  s.store.Snapshot(ctx),
 		epoch: epoch,
@@ -168,188 +67,47 @@ func (s *Server) release(p *published) {
 	}
 }
 
-// tryEnqueue reserves queue space for the edges and hands them to the
-// writer. Reservation and acceptance counting share one critical
-// section, so accepted >= applied + dropped + queued can never be
-// violated by an interleaved scrape. Returns errQueueFull when the
-// bounded queue is full and errShuttingDown once draining started.
-func (s *Server) tryEnqueue(req *ingestReq) error {
-	n := int64(len(req.edges))
-	s.m.mu.Lock()
-	if s.m.draining {
-		s.m.mu.Unlock()
-		return errShuttingDown
-	}
-	if s.m.queued+n > int64(s.cfg.QueueCap) {
-		s.m.rejected++
-		s.m.mu.Unlock()
-		return errQueueFull
-	}
-	s.m.queued += n
-	s.m.edgesAccepted += n
-	s.m.mu.Unlock()
-	// Cannot block: every request holds at least one edge's worth of
-	// reserved capacity and the channel is QueueCap deep.
-	s.queue <- req
-	return nil
+// storeApplier is the server's side of the ingest.Applier contract. It
+// runs on the pipeline's single writer goroutine and owns the lock
+// ordering: every application takes the exclusive state lock, ends in a
+// snapshot publication, and feeds the circuit breaker.
+type storeApplier struct {
+	s *Server
 }
 
-// ingestLoop is the single writer: it gathers queued requests into
-// batches, applies them under the write lock, and republishes the
-// snapshot after every batch so reads converge on fresh data.
-func (s *Server) ingestLoop() {
-	defer s.wg.Done()
-	var flushC <-chan time.Time
-	if s.cfg.FlushEvery > 0 {
-		t := time.NewTicker(s.cfg.FlushEvery)
-		defer t.Stop()
-		flushC = t.C
+// Apply ingests one chunk under the exclusive state lock and, on
+// success, republishes the snapshot so reads converge on fresh data.
+func (a *storeApplier) Apply(chunk []graph.Edge) (int64, uint64, error) {
+	s := a.s
+	wctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	s.stateMu.Lock()
+	rep, err := s.store.Ingest(chunk)
+	var epoch uint64
+	if err == nil {
+		epoch = s.publishLocked(wctx)
 	}
-	var scrubC <-chan time.Time
-	if s.cfg.ScrubEvery > 0 {
-		t := time.NewTicker(s.cfg.ScrubEvery)
-		defer t.Stop()
-		scrubC = t.C
-	}
-	for {
-		select {
-		case <-s.stop:
-			if s.m.isDraining() {
-				s.drainApplyOnStop()
-			} else {
-				s.drainOnStop()
-			}
-			return
-		case req := <-s.queue:
-			s.gatherAndApply(req)
-		case <-flushC:
-			s.periodicFlush()
-		case <-scrubC:
-			s.periodicScrub()
+	s.stateMu.Unlock()
+
+	if err != nil {
+		// Media-write failures feed the circuit breaker so repeated ones
+		// shed new writes up front instead of queueing them into a
+		// failing pipeline.
+		var me *xpsim.MediaError
+		if errors.As(err, &me) {
+			s.br.recordFailure(time.Now())
 		}
+		return 0, 0, err
 	}
+	s.br.recordSuccess()
+	return rep.TotalNs(), epoch, nil
 }
 
-// gatherAndApply batches more requests behind the first one — up to
-// BatchEdges edges or until Linger expires — then applies them.
-func (s *Server) gatherAndApply(first *ingestReq) {
-	reqs := []*ingestReq{first}
-	total := len(first.edges)
-	linger := time.NewTimer(s.cfg.Linger)
-	defer linger.Stop()
-gather:
-	for total < s.cfg.BatchEdges {
-		select {
-		case r := <-s.queue:
-			reqs = append(reqs, r)
-			total += len(r.edges)
-		case <-linger.C:
-			break gather
-		case <-s.stop:
-			break gather
-		}
-	}
-	s.applyAll(reqs)
-}
-
-// applyAll applies the gathered requests in arrival order, chunked into
-// BatchEdges-sized batches. Each chunk runs under the exclusive state
-// lock and ends with a snapshot publication, so a large ingest becomes a
-// sequence of short write windows with reads interleaving between them.
-func (s *Server) applyAll(reqs []*ingestReq) {
-	var all []graph.Edge
-	for _, r := range reqs {
-		all = append(all, r.edges...)
-	}
-	results := make([]ingestResult, len(reqs))
-	remaining := make([]int, len(reqs))
-	for i, r := range reqs {
-		remaining[i] = len(r.edges)
-	}
-	ri := 0 // first request not yet fully applied
-
-	fail := func(err error, lost int64) {
-		s.m.mu.Lock()
-		s.m.queued -= lost
-		s.m.edgesDropped += lost
-		s.m.mu.Unlock()
-		for ; ri < len(reqs); ri++ {
-			res := results[ri]
-			res.err = err
-			reqs[ri].done <- res
-		}
-	}
-
-	for off := 0; off < len(all); off += s.cfg.BatchEdges {
-		end := off + s.cfg.BatchEdges
-		if end > len(all) {
-			end = len(all)
-		}
-		chunk := all[off:end]
-
-		hostStart := time.Now()
-		wctx := xpsim.NewCtx(xpsim.NodeUnbound)
-		s.stateMu.Lock()
-		rep, err := s.store.Ingest(chunk)
-		var epoch uint64
-		if err == nil {
-			epoch = s.publishLocked(wctx)
-		}
-		s.stateMu.Unlock()
-
-		if err != nil {
-			// Media-write failures feed the circuit breaker so repeated
-			// ones shed new writes up front instead of queueing them into
-			// a failing pipeline.
-			var me *xpsim.MediaError
-			if errors.As(err, &me) {
-				s.br.recordFailure(time.Now())
-			}
-			// The failed chunk and everything behind it is dropped:
-			// dequeued without application.
-			fail(err, int64(len(all)-off))
-			return
-		}
-		s.br.recordSuccess()
-
-		s.m.mu.Lock()
-		s.m.queued -= int64(len(chunk))
-		s.m.edgesApplied += int64(len(chunk))
-		s.m.batchesApplied++
-		s.m.lastBatchHostNs = time.Since(hostStart).Nanoseconds()
-		s.m.lastBatchSimNs = rep.TotalNs()
-		s.m.lastBatchEdges = int64(len(chunk))
-		s.m.mu.Unlock()
-
-		// Credit the chunk to the requests it covered; a request is done
-		// when its last edge has been applied and published.
-		for n := len(chunk); n > 0 && ri < len(reqs); {
-			take := remaining[ri]
-			if take > n {
-				take = n
-			}
-			remaining[ri] -= take
-			n -= take
-			results[ri].simNs += rep.TotalNs()
-			results[ri].batches++
-			results[ri].epoch = epoch
-			if remaining[ri] == 0 {
-				results[ri].accepted = int64(len(reqs[ri].edges))
-				reqs[ri].done <- results[ri]
-				ri++
-			}
-		}
-
-		if s.cfg.batchDelay > 0 && end < len(all) {
-			time.Sleep(s.cfg.batchDelay)
-		}
-	}
-}
-
-// periodicFlush is the pipeline's background archive step: it drains
-// every vertex buffer to PMEM and republishes, keeping snapshot capture
-// cheap and bounding DRAM growth during write-heavy periods.
-func (s *Server) periodicFlush() {
+// Flush is the pipeline's background archive step: it drains every
+// vertex buffer to PMEM and republishes, keeping snapshot capture cheap
+// and bounding DRAM growth during write-heavy periods. It also runs
+// once at the end of a graceful drain.
+func (a *storeApplier) Flush() {
+	s := a.s
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	if err := s.store.FlushAllVbufs(); err != nil {
@@ -358,11 +116,12 @@ func (s *Server) periodicFlush() {
 	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 }
 
-// periodicScrub is the background scrubber: it walks the heap verifying
+// Scrub is the background scrubber: it walks the heap verifying
 // checksums under the exclusive lock and republishes when the pass
 // changed anything. Errors (e.g. the store is not MediaGuard-enabled)
 // are surfaced through POST /v1/scrub instead.
-func (s *Server) periodicScrub() {
+func (a *storeApplier) Scrub() {
+	s := a.s
 	s.stateMu.Lock()
 	defer s.stateMu.Unlock()
 	rep, err := s.store.Scrub()
@@ -372,54 +131,4 @@ func (s *Server) periodicScrub() {
 	if rep.Damaged > 0 || rep.Repaired > 0 {
 		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 	}
-}
-
-// drainOnStop releases every queued writer with a shutdown error — the
-// abrupt Close path.
-func (s *Server) drainOnStop() {
-	for {
-		select {
-		case req := <-s.queue:
-			s.m.mu.Lock()
-			s.m.queued -= int64(len(req.edges))
-			s.m.edgesDropped += int64(len(req.edges))
-			s.m.mu.Unlock()
-			req.done <- ingestResult{err: errShuttingDown}
-		default:
-			return
-		}
-	}
-}
-
-// drainApplyOnStop is the graceful Shutdown path: every accepted write
-// — including one whose enqueuing goroutine is still between capacity
-// reservation and channel send — is applied normally, then a final
-// vertex-buffer flush makes everything durable in the PMEM adjacency
-// lists. New writes were already fenced off by the draining flag before
-// stop closed, so the queued-edge count can only fall.
-func (s *Server) drainApplyOnStop() {
-	for {
-		select {
-		case req := <-s.queue:
-			s.applyAll([]*ingestReq{req})
-		default:
-			if s.m.view().Queued == 0 {
-				s.finalFlush()
-				return
-			}
-			// An accepted request is mid-enqueue; its channel send is
-			// imminent.
-			time.Sleep(100 * time.Microsecond)
-		}
-	}
-}
-
-// finalFlush drains all vertex buffers and publishes a last snapshot.
-func (s *Server) finalFlush() {
-	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
-	if err := s.store.FlushAllVbufs(); err != nil {
-		return
-	}
-	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
 }

@@ -4,6 +4,7 @@
 //
 //	POST /v1/edges            {"edges":[{"src":1,"dst":2}, ...]}   ingest a batch
 //	DELETE /v1/edges          {"edges":[{"src":1,"dst":2}]}        delete edges
+//	POST /v1/ingest/bin       binary batch (application/x-xpgraph-batch)
 //	GET  /v1/vertices/{id}/out                                     resolved out-neighbors
 //	GET  /v1/vertices/{id}/in                                      resolved in-neighbors
 //	GET  /v1/vertices/{id}/degree                                  out/in record counts
@@ -22,14 +23,23 @@
 //
 // # Concurrency model
 //
-// Writes and reads are decoupled. POST/DELETE /v1/edges enqueue into a
-// bounded ingest pipeline: a single writer goroutine gathers requests
-// into batches (by size and by linger time), applies each batch to the
+// Writes and reads are decoupled. POST/DELETE /v1/edges and
+// POST /v1/ingest/bin enqueue into a bounded ingest pipeline
+// (internal/ingest): a single writer goroutine gathers requests into
+// batches (by size and by linger time), applies each batch to the
 // store under the write lock, and publishes a fresh core.Snapshot after
 // every batch. When the queue is full the server sheds load with
 // 429 + Retry-After instead of blocking. By default a write responds
 // after its edges are applied (read-your-writes); `?async=1` returns 202
 // as soon as the edges are queued.
+//
+// POST /v1/ingest/bin is the allocation-free fast path: a
+// length-prefixed binary batch (Content-Type application/x-xpgraph-batch,
+// format in DESIGN.md §10.1 and ingest.EncodeBatch) decodes straight
+// into pooled edge buffers — no per-edge allocation, no reflection.
+// The JSON handlers stream through json.Decoder into the same pools, so
+// neither path ever buffers a whole request body as an intermediate
+// struct slice.
 //
 // Reads and analytics never touch the ingest queue or the live store
 // directly: they run against the latest published snapshot through a
@@ -76,9 +86,10 @@
 //
 //	{"error": {"code": "queue_full", "message": "ingest queue is full"}}
 //
-// with machine-readable codes (bad_request, method_not_allowed,
-// not_found, queue_full, batch_too_large, ingest_failed, internal,
-// shutting_down, media_error, unrecoverable, degraded, readonly,
+// with machine-readable codes (bad_request, bad_frame,
+// unsupported_media_type, method_not_allowed, not_found, queue_full,
+// batch_too_large, ingest_failed, internal, shutting_down, media_error,
+// unrecoverable, degraded, readonly,
 // circuit_open, deadline_exceeded). 429 and circuit_open responses
 // carry a Retry-After header; the 429 delay is jittered over 1-3 s so
 // shed writers do not retry in lockstep.
@@ -105,6 +116,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/xpsim"
 )
@@ -145,6 +157,10 @@ type Config struct {
 	// BreakerCooldown is how long the breaker stays open before admitting
 	// a half-open probe write (default 5s).
 	BreakerCooldown time.Duration
+	// MaxBodyBytes bounds every write-request body via
+	// http.MaxBytesReader; oversized bodies answer 413 batch_too_large
+	// (default 32 MiB).
+	MaxBodyBytes int64
 
 	// batchDelay is a test hook: sleep between batch applications,
 	// outside the write lock, so tests can observe reads completing
@@ -171,6 +187,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 32 << 20
+	}
 	return c
 }
 
@@ -195,12 +214,9 @@ type Server struct {
 	// only under the write lock).
 	cur *published
 
-	queue   chan *ingestReq
-	stop    chan struct{}
-	stopped sync.Once
-	wg      sync.WaitGroup
-
-	m metrics
+	// pipe is the transport-independent write pipeline; the server's
+	// storeApplier supplies application, publication, and breaker policy.
+	pipe *ingest.Pipeline
 	// br sheds writes while the store keeps failing media writes.
 	br breaker
 	// retrySeq sequences the jittered Retry-After values of 429 responses.
@@ -222,10 +238,16 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		cfg:     cfg,
 		store:   store,
 		machine: machine,
-		queue:   make(chan *ingestReq, cfg.QueueCap),
-		stop:    make(chan struct{}),
 		br:      breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 	}
+	s.pipe = ingest.New(ingest.Config{
+		QueueCap:   cfg.QueueCap,
+		BatchEdges: cfg.BatchEdges,
+		Linger:     cfg.Linger,
+		FlushEvery: cfg.FlushEvery,
+		ScrubEvery: cfg.ScrubEvery,
+		BatchDelay: cfg.batchDelay,
+	}, &storeApplier{s: s})
 	// Attach the tracer before the first publication so even the initial
 	// snapshot's spans land in the ring.
 	s.tracer = cfg.Tracer
@@ -245,6 +267,7 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/edges", s.handleEdges)
+	mux.HandleFunc("/ingest/bin", s.handleIngestBin)
 	mux.HandleFunc("/vertices/", s.handleVertex)
 	mux.HandleFunc("/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/compact/", s.handleCompact)
@@ -276,8 +299,7 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		s.inner = http.TimeoutHandler(mux, cfg.RequestTimeout, string(body))
 	}
 
-	s.wg.Add(1)
-	go s.ingestLoop()
+	s.pipe.Start()
 	return s
 }
 
@@ -309,8 +331,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // edges are dropped. Close the HTTP listener first. For a drain that
 // applies queued writes, use Shutdown.
 func (s *Server) Close() {
-	s.stopped.Do(func() { close(s.stop) })
-	s.wg.Wait()
+	s.pipe.Close()
 }
 
 // Shutdown gracefully stops the ingest pipeline: new writes are
@@ -320,9 +341,7 @@ func (s *Server) Close() {
 // Returns once the pipeline has exited; Close afterwards is a no-op.
 // Stop accepting HTTP traffic (http.Server.Shutdown) first.
 func (s *Server) Shutdown() {
-	s.m.setDraining()
-	s.stopped.Do(func() { close(s.stop) })
-	s.wg.Wait()
+	s.pipe.Shutdown()
 }
 
 // Tracer returns the phase tracer the server records into (never nil;

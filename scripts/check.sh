@@ -45,6 +45,18 @@ go test -race -short ./...
 echo "== crash-point sweeps (capped, native)"
 go test -run Crash -short ./internal/crashtest/ ./internal/core/ ./internal/elog/
 
+echo "== wire bench + benchgate (DESIGN.md §10.3)"
+# Regenerate the binary-ingest/varint-density report at the same scale
+# as the committed BENCH_6.json and gate it: absolute floors (binary
+# decode >= 2x JSON, varint >= 1.5x fixed edges-per-XPLine) plus
+# no-regression against the committed baseline. Density numbers come
+# from the simulator and are deterministic; the decode speedup is
+# host-clock, so the baseline comparison gives it a loose bound.
+wire_report=$(mktemp -t bench6.XXXXXX.json)
+trap 'rm -f "$wire_report"' EXIT
+go run ./cmd/xpgraph bench -exp wire -scale 0.5 -json "$wire_report" >/dev/null
+go run ./cmd/xpgraph benchgate -new "$wire_report" -baseline BENCH_6.json
+
 echo "== media-scrub differentials (short)"
 # The UE-injection differential harness (DESIGN.md §9): every read under
 # injected media errors matches the oracle or fails typed, scrubs repair
