@@ -1,0 +1,446 @@
+// Package client is the typed Go client of the XPGraph /v1 HTTP API —
+// the counterpart of internal/server's surface, so a downstream program
+// drives a graph service without hand-rolling JSON or the binary batch
+// framing.
+//
+// It wraps every /v1 route: JSON and binary (XPB1) ingest, the
+// vertex point reads, the admin operations, and the analytics queries.
+// All responses carry the cluster's epoch vector (length 1 against a
+// single-shard deployment) alongside the scalar epoch.
+//
+// # Retry policy
+//
+// Writes shed with 429 queue_full carry a jittered Retry-After header;
+// the client honors it — sleeping the advertised delay (bounded by
+// Options.MaxRetryWait and the request context) and retrying up to
+// Options.Retries times before surfacing the 429 as an *APIError. Only
+// 429 is retried: 503s (circuit_open, media_error, partition_down,
+// shutting_down) describe conditions a tight retry loop would worsen,
+// so they surface immediately with their typed code and the caller
+// decides.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ingest"
+)
+
+// Edge is one directed edge, aliased from the core graph type so edge
+// slices flow between the client and the library without copying.
+type Edge = graph.Edge
+
+// VID is a vertex identifier.
+type VID = graph.VID
+
+// Options tunes a Client. The zero value is usable.
+type Options struct {
+	// HTTPClient is the transport (default http.DefaultClient).
+	HTTPClient *http.Client
+	// Retries is how many times a 429 queue_full write is retried after
+	// honoring its Retry-After delay (default 3; 0 uses the default,
+	// negative disables retries).
+	Retries int
+	// MaxRetryWait caps one Retry-After sleep (default 5s) so a
+	// misbehaving server cannot park the caller for minutes.
+	MaxRetryWait time.Duration
+}
+
+// Client talks to one XPGraph server. Safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+	opts Options
+}
+
+// New builds a client for the server at baseURL (e.g.
+// "http://localhost:8080"; with or without the /v1 suffix).
+func New(baseURL string, opts Options) *Client {
+	if opts.HTTPClient == nil {
+		opts.HTTPClient = http.DefaultClient
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 3
+	}
+	if opts.MaxRetryWait <= 0 {
+		opts.MaxRetryWait = 5 * time.Second
+	}
+	base := strings.TrimSuffix(baseURL, "/")
+	base = strings.TrimSuffix(base, "/v1")
+	return &Client{base: base, http: opts.HTTPClient, opts: opts}
+}
+
+// APIError is a non-2xx /v1 response: the HTTP status plus the decoded
+// error envelope, including the shard attribution and epoch vector the
+// cluster API adds when a failure belongs to one partition.
+type APIError struct {
+	Status      int
+	Code        string
+	Message     string
+	Shard       *int
+	EpochVector []uint64
+	// RetryAfter is the parsed Retry-After delay of a 429/503, zero when
+	// absent.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Shard != nil {
+		return fmt.Sprintf("xpgraph: %s (http %d, shard %d): %s", e.Code, e.Status, *e.Shard, e.Message)
+	}
+	return fmt.Sprintf("xpgraph: %s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+// ---- response shapes (wire mirrors of internal/server's) ----
+
+// IngestResult reports an accepted write.
+type IngestResult struct {
+	Accepted    int64    `json:"accepted"`
+	SimMs       float64  `json:"sim_ms"`
+	Batches     int64    `json:"batches"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// Neighbors reports a point read.
+type Neighbors struct {
+	Vertex      VID      `json:"vertex"`
+	Neighbors   []uint32 `json:"neighbors"`
+	SimUs       float64  `json:"sim_us"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// Degree reports record counts.
+type Degree struct {
+	Vertex      VID      `json:"vertex"`
+	Out         int      `json:"out"`
+	In          int      `json:"in"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// Stats reports cluster-aggregated store and machine statistics.
+type Stats struct {
+	NumVertices     VID      `json:"num_vertices"`
+	LoggedEdges     int64    `json:"logged_edges"`
+	MetaDRAMBytes   int64    `json:"meta_dram_bytes"`
+	VbufDRAMBytes   int64    `json:"vbuf_dram_bytes"`
+	ElogPMEMBytes   int64    `json:"elog_pmem_bytes"`
+	PblkPMEMBytes   int64    `json:"pblk_pmem_bytes"`
+	MediaReadBytes  int64    `json:"pmem_media_read_bytes"`
+	MediaWriteBytes int64    `json:"pmem_media_write_bytes"`
+	Shards          int      `json:"shards"`
+	Epoch           uint64   `json:"epoch"`
+	EpochVector     []uint64 `json:"epoch_vector"`
+}
+
+// ShardHealth is one partition's health detail.
+type ShardHealth struct {
+	Shard          int      `json:"shard"`
+	Status         string   `json:"status"`
+	ServingReplica bool     `json:"serving_replica,omitempty"`
+	Epoch          uint64   `json:"epoch"`
+	ReplicaEpochs  []uint64 `json:"replica_epochs,omitempty"`
+	BreakerOpen    bool     `json:"breaker_open,omitempty"`
+}
+
+// Health is the healthz body: the aggregate state plus per-shard detail.
+type Health struct {
+	Status                string        `json:"status"`
+	Epoch                 uint64        `json:"epoch"`
+	EpochVector           []uint64      `json:"epoch_vector"`
+	DamagedVertices       int           `json:"damaged_vertices"`
+	UnrecoverableVertices int           `json:"unrecoverable_vertices"`
+	BreakerOpen           bool          `json:"breaker_open"`
+	Shards                []ShardHealth `json:"shards"`
+}
+
+// SnapshotResult reports an explicit publication.
+type SnapshotResult struct {
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// ScrubResult reports one scrub pass.
+type ScrubResult struct {
+	VerticesScanned int64    `json:"vertices_scanned"`
+	Damaged         int64    `json:"damaged"`
+	Repaired        int64    `json:"repaired"`
+	Unrecoverable   int64    `json:"unrecoverable"`
+	SimMs           float64  `json:"sim_ms"`
+	Health          string   `json:"health"`
+	Epoch           uint64   `json:"epoch"`
+	EpochVector     []uint64 `json:"epoch_vector"`
+}
+
+// BFSResult reports a traversal.
+type BFSResult struct {
+	Root        VID      `json:"root"`
+	Visited     int64    `json:"visited"`
+	Levels      int      `json:"levels"`
+	SimMs       float64  `json:"sim_ms"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// RankedVertex pairs a vertex with its PageRank.
+type RankedVertex struct {
+	Vertex VID     `json:"vertex"`
+	Rank   float64 `json:"rank"`
+}
+
+// PageRankResult reports the top-ranked vertices.
+type PageRankResult struct {
+	Top         []RankedVertex `json:"top"`
+	SimMs       float64        `json:"sim_ms"`
+	Epoch       uint64         `json:"epoch"`
+	EpochVector []uint64       `json:"epoch_vector"`
+}
+
+// CCResult reports connected components.
+type CCResult struct {
+	Components  int      `json:"components"`
+	SimMs       float64  `json:"sim_ms"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// KHopResult reports a bounded exploration.
+type KHopResult struct {
+	Root        VID      `json:"root"`
+	Reached     int64    `json:"reached"`
+	PerHop      []int64  `json:"per_hop"`
+	SimMs       float64  `json:"sim_ms"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// ---- plumbing ----
+
+type edgeJSON struct {
+	Src VID `json:"src"`
+	Dst VID `json:"dst"`
+}
+
+func edgesBody(edges []Edge) []byte {
+	wire := make([]edgeJSON, len(edges))
+	for i, e := range edges {
+		wire[i] = edgeJSON{Src: e.Src, Dst: e.Dst}
+	}
+	b, _ := json.Marshal(map[string][]edgeJSON{"edges": wire})
+	return b
+}
+
+// do runs one request with the retry loop. body is replayable (a byte
+// slice re-wrapped per attempt); out, when non-nil, receives the decoded
+// 2xx body.
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	retries := c.opts.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+"/v1"+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			var derr error
+			if out != nil {
+				derr = json.NewDecoder(resp.Body).Decode(out)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			return derr
+		}
+		apiErr := decodeAPIError(resp)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= retries {
+			return apiErr
+		}
+		// 429 queue_full: honor the jittered Retry-After, bounded, then
+		// replay the identical request.
+		wait := apiErr.RetryAfter
+		if wait > c.opts.MaxRetryWait {
+			wait = c.opts.MaxRetryWait
+		}
+		if wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+}
+
+func decodeAPIError(resp *http.Response) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Code: "internal"}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	var envelope struct {
+		Error struct {
+			Code        string   `json:"code"`
+			Message     string   `json:"message"`
+			Shard       *int     `json:"shard"`
+			EpochVector []uint64 `json:"epoch_vector"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error.Code != "" {
+		ae.Code = envelope.Error.Code
+		ae.Message = envelope.Error.Message
+		ae.Shard = envelope.Error.Shard
+		ae.EpochVector = envelope.Error.EpochVector
+	} else {
+		ae.Message = resp.Status
+	}
+	return ae
+}
+
+// ---- writes ----
+
+// AddEdges ingests a batch over the JSON transport and waits until it is
+// readable (read-your-writes across every shard it touched).
+func (c *Client) AddEdges(ctx context.Context, edges []Edge) (IngestResult, error) {
+	var out IngestResult
+	err := c.do(ctx, http.MethodPost, "/edges", "application/json", edgesBody(edges), &out)
+	return out, err
+}
+
+// DeleteEdges removes a batch (tombstone records; see DESIGN.md).
+func (c *Client) DeleteEdges(ctx context.Context, edges []Edge) (IngestResult, error) {
+	var out IngestResult
+	err := c.do(ctx, http.MethodDelete, "/edges", "application/json", edgesBody(edges), &out)
+	return out, err
+}
+
+// AddEdgesBinary ingests a batch over the allocation-free XPB1 binary
+// transport (POST /v1/ingest/bin) — the bulk-load fast path.
+func (c *Client) AddEdgesBinary(ctx context.Context, edges []Edge) (IngestResult, error) {
+	var out IngestResult
+	body := ingest.EncodeBatch(edges, false)
+	err := c.do(ctx, http.MethodPost, "/ingest/bin", ingest.ContentTypeBatch, body, &out)
+	return out, err
+}
+
+// ---- reads ----
+
+// OutNeighbors resolves v's out-neighbors through the media-checked
+// path on v's owner shard.
+func (c *Client) OutNeighbors(ctx context.Context, v VID) (Neighbors, error) {
+	var out Neighbors
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/vertices/%d/out", v), "", nil, &out)
+	return out, err
+}
+
+// InNeighbors resolves v's in-neighbors, unioned across every shard.
+func (c *Client) InNeighbors(ctx context.Context, v VID) (Neighbors, error) {
+	var out Neighbors
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/vertices/%d/in", v), "", nil, &out)
+	return out, err
+}
+
+// Degree reads v's stored out/in record counts.
+func (c *Client) Degree(ctx context.Context, v VID) (Degree, error) {
+	var out Degree
+	err := c.do(ctx, http.MethodGet, fmt.Sprintf("/vertices/%d/degree", v), "", nil, &out)
+	return out, err
+}
+
+// Stats reads cluster-aggregated statistics.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var out Stats
+	err := c.do(ctx, http.MethodGet, "/stats", "", nil, &out)
+	return out, err
+}
+
+// Healthz reads aggregate and per-shard health. A readonly cluster
+// answers 503 with the same body; that surfaces as an *APIError.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	var out Health
+	err := c.do(ctx, http.MethodGet, "/healthz", "", nil, &out)
+	return out, err
+}
+
+// ---- admin ----
+
+// Snapshot publishes fresh snapshots on every live shard.
+func (c *Client) Snapshot(ctx context.Context) (SnapshotResult, error) {
+	var out SnapshotResult
+	err := c.do(ctx, http.MethodPost, "/snapshot", "", nil, &out)
+	return out, err
+}
+
+// Flush drains every shard's vertex buffers to PMEM.
+func (c *Client) Flush(ctx context.Context) error {
+	return c.do(ctx, http.MethodPost, "/flush", "", nil, nil)
+}
+
+// Scrub runs one synchronous media-scrub pass on every live shard.
+func (c *Client) Scrub(ctx context.Context) (ScrubResult, error) {
+	var out ScrubResult
+	err := c.do(ctx, http.MethodPost, "/scrub", "", nil, &out)
+	return out, err
+}
+
+// Compact compacts one vertex's adjacency chains on its owner shard.
+func (c *Client) Compact(ctx context.Context, v VID) error {
+	return c.do(ctx, http.MethodPost, fmt.Sprintf("/compact/%d", v), "", nil, nil)
+}
+
+// ---- analytics ----
+
+// BFS runs a traversal from root over the pinned cluster view.
+func (c *Client) BFS(ctx context.Context, root VID) (BFSResult, error) {
+	var out BFSResult
+	body, _ := json.Marshal(map[string]VID{"root": root})
+	err := c.do(ctx, http.MethodPost, "/query/bfs", "application/json", body, &out)
+	return out, err
+}
+
+// PageRank runs iterations of PageRank and returns the top-k vertices.
+func (c *Client) PageRank(ctx context.Context, iterations, top int) (PageRankResult, error) {
+	var out PageRankResult
+	body, _ := json.Marshal(map[string]int{"iterations": iterations, "top": top})
+	err := c.do(ctx, http.MethodPost, "/query/pagerank", "application/json", body, &out)
+	return out, err
+}
+
+// CC counts connected components.
+func (c *Client) CC(ctx context.Context) (CCResult, error) {
+	var out CCResult
+	err := c.do(ctx, http.MethodPost, "/query/cc", "application/json", []byte("{}"), &out)
+	return out, err
+}
+
+// KHop explores the k-hop neighborhood of root.
+func (c *Client) KHop(ctx context.Context, root VID, k int) (KHopResult, error) {
+	var out KHopResult
+	body, _ := json.Marshal(map[string]any{"root": root, "k": k})
+	err := c.do(ctx, http.MethodPost, "/query/khop", "application/json", body, &out)
+	return out, err
+}

@@ -18,7 +18,10 @@
 // [-baseline old.json]` enforces the PR-6 acceptance gates on it (binary
 // ingest ≥2× JSON decode throughput; varint adjacency ≥1.5× the fixed
 // layout's edges per 256 B XPLine; no regression vs the committed
-// baseline).
+// baseline). Likewise `bench -exp cluster -json BENCH_7.json` +
+// `benchgate` gate the PR-7 multi-shard scaling claim (4-shard ingest
+// ≥2× a single shard); benchgate dispatches on the report's
+// "experiment" field.
 package main
 
 import (
@@ -188,21 +191,52 @@ func writeBenchJSON(path string, t bench.Table) error {
 	return nil
 }
 
-// cmdBenchgate enforces the PR-6 acceptance gates on a wire-experiment
-// report, and (with -baseline) fails on regressions against a committed
-// one. Density numbers come off the simulated clock, so they are
-// deterministic at a fixed scale; decode throughput is host-clock and
-// only gated in ratio form (binary vs JSON on the same machine).
+// cmdBenchgate enforces the acceptance gates on a machine-readable
+// bench report, dispatching on its "experiment" field: "wire" (PR-6:
+// decode throughput + adjacency density) or "cluster" (PR-7: multi-shard
+// ingest scaling). With -baseline it also fails on regressions against a
+// committed report of the same experiment. Simulated-clock numbers are
+// deterministic at a fixed scale; host-clock ones are only gated in
+// ratio form.
 func cmdBenchgate(args []string) error {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
-	newPath := fs.String("new", "", "wire report to check (from: xpgraph bench -exp wire -json)")
+	newPath := fs.String("new", "", "bench report to check (from: xpgraph bench -exp <wire|cluster> -json)")
 	basePath := fs.String("baseline", "", "committed baseline report to compare against")
 	tol := fs.Float64("tol", 0.05, "allowed fractional regression vs the baseline")
 	fs.Parse(args)
 	if *newPath == "" {
 		return fmt.Errorf("benchgate: -new is required")
 	}
-	cur, err := readWireReport(*newPath)
+	exp, raw, err := readBenchReport(*newPath)
+	if err != nil {
+		return err
+	}
+	var baseRaw []byte
+	if *basePath != "" {
+		baseExp, buf, err := readBenchReport(*basePath)
+		if err != nil {
+			return err
+		}
+		if baseExp != exp {
+			return fmt.Errorf("benchgate: baseline %s is a %q report, new is %q", *basePath, baseExp, exp)
+		}
+		baseRaw = buf
+	}
+	switch exp {
+	case "wire":
+		return gateWire(raw, baseRaw, *tol)
+	case "cluster":
+		return gateCluster(raw, baseRaw, *tol)
+	default:
+		return fmt.Errorf("benchgate: no gates defined for experiment %q", exp)
+	}
+}
+
+// gateWire enforces the PR-6 gates: binary ingest >= 2x JSON decode
+// throughput, varint adjacency >= 1.5x the fixed layout's edges per
+// XPLine, and no regression vs the committed baseline.
+func gateWire(raw, baseRaw []byte, tol float64) error {
+	cur, err := decodeReports[bench.WireReport](raw)
 	if err != nil {
 		return err
 	}
@@ -227,8 +261,8 @@ func cmdBenchgate(args []string) error {
 			r.DensityGain, r.Fixed.MediaWriteBytesPerEdge, r.Varint.MediaWriteBytesPerEdge)
 	}
 
-	if *basePath != "" {
-		base, err := readWireReport(*basePath)
+	if baseRaw != nil {
+		base, err := decodeReports[bench.WireReport](baseRaw)
 		if err != nil {
 			return err
 		}
@@ -241,7 +275,7 @@ func cmdBenchgate(args []string) error {
 			if !ok {
 				continue
 			}
-			floor := 1 - *tol
+			floor := 1 - tol
 			check(r.Varint.EdgesPerLine >= b.Varint.EdgesPerLine*floor,
 				"%s: varint density regressed: %.3f vs baseline %.3f edges/line",
 				r.Dataset, r.Varint.EdgesPerLine, b.Varint.EdgesPerLine)
@@ -255,7 +289,78 @@ func cmdBenchgate(args []string) error {
 				r.Dataset, r.BinSpeedup, b.BinSpeedup)
 		}
 	}
+	return gateVerdict(fails)
+}
 
+// gateCluster enforces the PR-7 gates on a cluster-scaling report: the
+// sweep must reach 4 shards and ingest at >= 2x the single-shard
+// throughput there, and (vs a baseline at the same scale) neither the
+// speedup nor the absolute simulated throughput may regress. All
+// numbers are simulated-clock, so at a fixed scale they are exact.
+func gateCluster(raw, baseRaw []byte, tol float64) error {
+	cur, err := decodeReports[bench.ClusterReport](raw)
+	if err != nil {
+		return err
+	}
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	maxShards := map[string]bench.ClusterReport{}
+	for _, r := range cur {
+		if b, ok := maxShards[r.Dataset]; !ok || r.Shards > b.Shards {
+			maxShards[r.Dataset] = r
+		}
+		fmt.Printf("%-4s %d shard(s)  %.3f sim s  %.2f Medges/s  speedup %.2fx\n",
+			r.Dataset, r.Shards, r.SimSeconds, r.MEdgesPerSec, r.Speedup)
+	}
+	for _, r := range cur {
+		m := maxShards[r.Dataset]
+		if r.Shards != m.Shards {
+			continue
+		}
+		check(r.Shards >= 4, "%s: sweep tops out at %d shards (need >= 4)", r.Dataset, r.Shards)
+		check(r.MEdgesPerSec > 0, "%s: missing throughput measurement", r.Dataset)
+		check(r.Speedup >= 2.0,
+			"%s: %d-shard ingest only %.2fx a single shard (need >= 2x)", r.Dataset, r.Shards, r.Speedup)
+	}
+
+	if baseRaw != nil {
+		base, err := decodeReports[bench.ClusterReport](baseRaw)
+		if err != nil {
+			return err
+		}
+		type key struct {
+			ds     string
+			shards int
+			edges  int64
+		}
+		byKey := map[key]bench.ClusterReport{}
+		for _, r := range base {
+			byKey[key{r.Dataset, r.Shards, r.Edges}] = r
+		}
+		for _, r := range cur {
+			b, ok := byKey[key{r.Dataset, r.Shards, r.Edges}]
+			if !ok {
+				continue // different scale: nothing comparable
+			}
+			floor := 1 - tol
+			check(r.Speedup >= b.Speedup*floor,
+				"%s@%d: scaling regressed: %.2fx vs baseline %.2fx",
+				r.Dataset, r.Shards, r.Speedup, b.Speedup)
+			check(r.MEdgesPerSec >= b.MEdgesPerSec*floor,
+				"%s@%d: ingest throughput regressed: %.2f vs baseline %.2f Medges/s",
+				r.Dataset, r.Shards, r.MEdgesPerSec, b.MEdgesPerSec)
+		}
+	}
+	return gateVerdict(fails)
+}
+
+// gateVerdict prints and folds the failure list into the exit status.
+func gateVerdict(fails []string) error {
 	if len(fails) > 0 {
 		for _, f := range fails {
 			fmt.Fprintln(os.Stderr, "benchgate FAIL:", f)
@@ -266,21 +371,35 @@ func cmdBenchgate(args []string) error {
 	return nil
 }
 
-// readWireReport loads a wire-experiment JSON report.
-func readWireReport(path string) ([]bench.WireReport, error) {
+// readBenchReport loads a bench JSON report and returns its experiment
+// name plus the raw document for typed decoding.
+func readBenchReport(path string) (string, []byte, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	var doc struct {
-		Experiment string             `json:"experiment"`
-		Reports    []bench.WireReport `json:"reports"`
+		Experiment string `json:"experiment"`
 	}
 	if err := json.Unmarshal(buf, &doc); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return "", nil, fmt.Errorf("%s: %w", path, err)
 	}
-	if doc.Experiment != "wire" || len(doc.Reports) == 0 {
-		return nil, fmt.Errorf("%s: not a wire-experiment report", path)
+	if doc.Experiment == "" {
+		return "", nil, fmt.Errorf("%s: not a bench report (no experiment field)", path)
+	}
+	return doc.Experiment, buf, nil
+}
+
+// decodeReports extracts the typed report list from a raw bench report.
+func decodeReports[T any](raw []byte) ([]T, error) {
+	var doc struct {
+		Reports []T `json:"reports"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, err
+	}
+	if len(doc.Reports) == 0 {
+		return nil, fmt.Errorf("bench report has no reports")
 	}
 	return doc.Reports, nil
 }

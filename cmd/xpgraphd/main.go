@@ -18,10 +18,20 @@
 //	     --data-binary @edges.xpb
 //
 // Writes are batched through a bounded ingest queue and reads serve from
-// the latest published snapshot (see package server). The unversioned
-// routes still work but are deprecated. With -varint-adj new adjacency
-// blocks use the delta-varint encoding (more edges per 256 B XPLine;
-// see DESIGN.md §10.2).
+// the latest published snapshot (see package server). Only /v1 routes are
+// served: the pre-/v1 unversioned aliases were removed and answer 404
+// with a Link header pointing at the successor. With -varint-adj new
+// adjacency blocks use the delta-varint encoding (more edges per 256 B
+// XPLine; see DESIGN.md §10.2).
+//
+// With -shards N the daemon runs the partitioned cluster layer
+// (DESIGN.md §11): vertices hash-partition across N shard stores, each
+// on its own simulated machine, and -replicas M adds M log-shipping read
+// replicas per shard (again one machine each) that serve a partition's
+// reads if its leader dies. Responses carry the epoch vector (one epoch
+// per shard; length 1 on a single-shard deployment):
+//
+//	xpgraphd -shards 4 -replicas 1 -preload TT
 //
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
@@ -53,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/obs"
@@ -64,6 +75,8 @@ import (
 func main() {
 	addr := flag.String("addr", ":7611", "listen address")
 	vertices := flag.Uint("vertices", 1<<20, "initial vertex-ID space")
+	shards := flag.Int("shards", 1, "partition count: vertices hash across this many shard stores, each on its own simulated machine (DESIGN.md §11)")
+	replicas := flag.Int("replicas", 0, "log-shipping read replicas per shard, each on its own simulated machine")
 	pmemGB := flag.Int64("pmem-gb", 4, "simulated PMEM per NUMA node (GiB)")
 	threads := flag.Int("threads", 16, "archive threads")
 	qthreads := flag.Int("qthreads", 32, "query threads")
@@ -83,28 +96,64 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the phase timeline on shutdown")
 	flag.Parse()
 
-	machine := xpsim.NewMachine(2, *pmemGB<<30, xpsim.DefaultLatency())
-	if *mediaGuard {
-		// Arm the fault model so operators can exercise UE injection and
-		// the health endpoint reports live UE-line counts.
-		faults := machine.TrackFaults()
-		if *ueDecay > 0 {
-			faults.SetDecay(*ueDecay, 0x5EED_DECA)
-		}
-	} else if *ueDecay > 0 {
+	if *ueDecay > 0 && !*mediaGuard {
 		log.Fatal("xpgraphd: -ue-decay requires -media-guard")
 	}
-	store, err := core.New(machine, pmem.NewHeap(machine), nil, core.Options{
-		Name:            "xpgraphd",
-		NumVertices:     uint32(*vertices),
-		ArchiveThreads:  *threads,
-		NUMA:            core.NUMASubgraph,
-		AdjBytes:        (*pmemGB << 30) / 4,
-		MediaGuard:      *mediaGuard,
-		CompressedAdj:   *varintAdj,
-		ArchiveSSDBytes: *archiveSSDMB << 20,
-	})
+	if *shards < 1 {
+		log.Fatal("xpgraphd: -shards must be >= 1")
+	}
+	// Every shard leader and every replica is its own simulated machine —
+	// its own failure domain, DIMMs and telemetry.
+	newNode := func(name string) (*core.Store, error) {
+		m := xpsim.NewMachine(2, *pmemGB<<30, xpsim.DefaultLatency())
+		if *mediaGuard {
+			// Arm the fault model so operators can exercise UE injection and
+			// the health endpoint reports live UE-line counts.
+			faults := m.TrackFaults()
+			if *ueDecay > 0 {
+				faults.SetDecay(*ueDecay, 0x5EED_DECA)
+			}
+		}
+		return core.New(m, pmem.NewHeap(m), nil, core.Options{
+			Name:            name,
+			NumVertices:     uint32(*vertices),
+			ArchiveThreads:  *threads,
+			NUMA:            core.NUMASubgraph,
+			AdjBytes:        (*pmemGB << 30) / 4,
+			MediaGuard:      *mediaGuard,
+			CompressedAdj:   *varintAdj,
+			ArchiveSSDBytes: *archiveSSDMB << 20,
+		})
+	}
+
+	stores := make([]*core.Store, *shards)
+	for i := range stores {
+		var err error
+		stores[i], err = newNode(fmt.Sprintf("xpgraphd-s%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	ccfg := cluster.Config{
+		Replicas:   *replicas,
+		QueueCap:   *queueCap,
+		BatchEdges: *batchEdges,
+		Linger:     *linger,
+		FlushEvery: *flushEvery,
+		ScrubEvery: *scrubEvery,
+	}
+	if *replicas > 0 {
+		ccfg.ReplicaFactory = func(shardID, replica int) (*core.Store, error) {
+			return newNode(fmt.Sprintf("xpgraphd-s%d-r%d", shardID, replica))
+		}
+	}
+	cl, err := cluster.New(stores, ccfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	// Start before pre-loading so the followers exist and the bulk load
+	// ships to them too (Start is idempotent; the server calls it again).
+	if err := cl.Start(); err != nil {
 		log.Fatal(err)
 	}
 
@@ -114,19 +163,19 @@ func main() {
 			log.Fatal(err)
 		}
 		n := int64(float64(ds.Edges) * *scale)
-		fmt.Fprintf(os.Stderr, "pre-loading %d edges of %s...\n", n, ds.Full)
-		rep, err := store.Ingest(gen.RMAT(ds.Scale, n, ds.Seed))
+		fmt.Fprintf(os.Stderr, "pre-loading %d edges of %s across %d shard(s)...\n", n, ds.Full, *shards)
+		simNs, err := cl.IngestLocal(gen.RMAT(ds.Scale, n, ds.Seed))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "loaded in %.3fs simulated\n", float64(rep.TotalNs())/1e9)
+		fmt.Fprintf(os.Stderr, "loaded in %.3fs simulated\n", float64(simNs)/1e9)
 	}
 
 	var tracer *obs.Tracer
 	if *tracePath != "" {
 		tracer = obs.NewTracer(1 << 16)
 	}
-	srv := server.New(store, machine, server.Config{
+	srv := server.NewCluster(cl, server.Config{
 		QueryThreads:   *qthreads,
 		QueueCap:       *queueCap,
 		BatchEdges:     *batchEdges,

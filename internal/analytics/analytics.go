@@ -16,14 +16,13 @@ import (
 	"repro/internal/xpsim"
 )
 
-// View is the query surface a graph store exposes. It now lives in
-// package view (the serving layer shares the same contract); this alias
-// keeps existing callers compiling.
-type View = view.View
-
-// Engine runs queries over a view with a fixed thread budget.
+// Engine runs queries over a view.View — the one canonical read
+// surface — with a fixed thread budget. It never sees a concrete store
+// type: a single core.Snapshot and a partitioned cluster.ClusterView
+// run every algorithm identically. (The old `analytics.View` alias is
+// gone; depend on view.View directly.)
 type Engine struct {
-	view    View
+	view    view.View
 	lat     *xpsim.LatencyModel
 	threads int
 	sockets int
@@ -34,7 +33,7 @@ type Engine struct {
 
 // NewEngine builds a query engine. threads is the total query
 // parallelism (the paper uses all 96 hardware threads).
-func NewEngine(view View, lat *xpsim.LatencyModel, threads int) *Engine {
+func NewEngine(view view.View, lat *xpsim.LatencyModel, threads int) *Engine {
 	if threads <= 0 {
 		threads = 1
 	}

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pmem"
+)
+
+func init() {
+	register("cluster", "Partitioned multi-shard ingest scaling (1 vs 4 shards)", clusterExp)
+}
+
+// clusterShardCounts is the scaling sweep; the acceptance gate reads the
+// largest one (4 shards >= 2x a single shard).
+var clusterShardCounts = []int{1, 2, 4}
+
+// ClusterReport is one (dataset, shard count) row behind BENCH_7.json.
+type ClusterReport struct {
+	Dataset string `json:"dataset"`
+	Shards  int    `json:"shards"`
+	Edges   int64  `json:"edges"`
+	// SimSeconds is the summed simulated time of synchronized ingest
+	// rounds: each round routes one chunk and costs the slowest shard's
+	// application (shards are independent machines applying in parallel).
+	SimSeconds   float64 `json:"sim_seconds"`
+	MEdgesPerSec float64 `json:"medges_per_sec"`
+	// Speedup is this shard count's ingest throughput over the 1-shard
+	// run of the same dataset.
+	Speedup float64 `json:"speedup"`
+}
+
+// newClusterStores builds one leader store per shard, each on its own
+// two-socket machine — a shard is its own simulated PM box, which is
+// what makes the scaling claim honest: adding shards adds devices.
+func newClusterStores(n int, edges int64, numV uint32, cfg Config) ([]*core.Store, error) {
+	perShard := edges/int64(n) + 1
+	stores := make([]*core.Store, n)
+	for i := range stores {
+		m := newMachine(perShard)
+		s, err := core.New(m, pmem.NewHeap(m), nil, core.Options{
+			Name:           fmt.Sprintf("cl%d", i),
+			NumVertices:    numV,
+			ArchiveThreads: cfg.ArchiveThreads,
+			NUMA:           core.NUMASubgraph,
+			AdjBytes:       adjBytesFor(perShard, m.Sockets),
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.SetTracer(cfg.Tracer)
+		stores[i] = s
+	}
+	return stores, nil
+}
+
+// clusterExp measures routed ingest throughput of the partitioned
+// cluster at 1, 2 and 4 shards over the same edge stream. The workload
+// is the bulk-load path (IngestLocal: split by the partition map, apply
+// per shard, publish) driven in synchronized chunks, so a round costs
+// the slowest shard — exactly the parallelism the hash-slot partition
+// map is supposed to buy. Replication is off: followers apply
+// asynchronously on their own machines and do not sit on the ingest
+// path's simulated clock.
+func clusterExp(cfg Config) (Table, error) {
+	dss, err := datasets(cfg, "TT")
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{Exp: "cluster",
+		Title:   "Partitioned multi-shard ingest scaling",
+		Columns: []string{"dataset", "shards", "edges", "sim_s", "Medges_s", "speedup"},
+		Notes: []string{
+			"each shard is its own simulated two-socket PM machine; rounds are synchronized, so a round costs the slowest shard",
+			"speedup is vs the 1-shard run of the same dataset on the same machine model",
+		},
+	}
+	var reports []ClusterReport
+
+	const chunk = 1 << 16
+	for _, ds := range dss {
+		edges := edgesFor(ds, cfg)
+		var baseSec float64
+		for _, nsh := range clusterShardCounts {
+			stores, err := newClusterStores(nsh, int64(len(edges)), ds.NumVertices(), cfg)
+			if err != nil {
+				return Table{}, err
+			}
+			cl, err := cluster.New(stores, cluster.Config{})
+			if err != nil {
+				return Table{}, err
+			}
+			if err := cl.Start(); err != nil {
+				return Table{}, err
+			}
+			var simNs int64
+			for off := 0; off < len(edges); off += chunk {
+				end := off + chunk
+				if end > len(edges) {
+					end = len(edges)
+				}
+				ns, err := cl.IngestLocal(edges[off:end])
+				if err != nil {
+					cl.Close()
+					return Table{}, fmt.Errorf("cluster: %d shards: %w", nsh, err)
+				}
+				simNs += ns
+			}
+			cl.Close()
+
+			rep := ClusterReport{
+				Dataset:    ds.Name,
+				Shards:     nsh,
+				Edges:      int64(len(edges)),
+				SimSeconds: float64(simNs) / 1e9,
+			}
+			if simNs > 0 {
+				rep.MEdgesPerSec = float64(len(edges)) / (float64(simNs) / 1e9) / 1e6
+			}
+			if nsh == 1 {
+				baseSec = rep.SimSeconds
+			}
+			if rep.SimSeconds > 0 {
+				rep.Speedup = baseSec / rep.SimSeconds
+			}
+			reports = append(reports, rep)
+			t.Rows = append(t.Rows, []string{
+				ds.Name, fmt.Sprintf("%d", nsh), fmt.Sprintf("%d", len(edges)),
+				fmt.Sprintf("%.3f", rep.SimSeconds),
+				fmt.Sprintf("%.2f", rep.MEdgesPerSec),
+				fmt.Sprintf("%.2fx", rep.Speedup),
+			})
+		}
+	}
+	t.JSON = map[string]any{"experiment": "cluster", "reports": reports}
+	return t, nil
+}

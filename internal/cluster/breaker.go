@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is the per-shard ingest circuit breaker: repeated media-write
+// failures (the shard's store reporting *xpsim.MediaError from Ingest)
+// open it, and while open every new write routed to the shard is refused
+// up front with a BreakerOpenError instead of being queued into a
+// pipeline that will drop it anyway. After the cooldown the breaker goes
+// half-open: the next write is admitted as a probe, a success closes the
+// breaker, another media failure re-opens it immediately.
+//
+// It moved here from internal/server (PR 5) because failure shedding is
+// a property of one shard, not of the HTTP frontend: in a cluster, one
+// shard's dying device must open one breaker and leave the other
+// partitions writable.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that open the breaker
+	cooldown  time.Duration // open duration before the half-open probe
+	fails     int           // consecutive media failures while closed
+	openUntil time.Time     // zero when closed
+	halfOpen  bool          // a probe write is in flight
+	trips     int64
+	rejected  int64
+}
+
+// allow reports whether a write may enter the pipeline; when refused it
+// also reports how long until the half-open probe is admitted.
+func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		b.rejected++
+		return false, b.openUntil.Sub(now)
+	}
+	b.halfOpen = true
+	return true, 0
+}
+
+// recordFailure counts one media-write failure. The breaker opens at
+// threshold consecutive failures, or immediately when a half-open probe
+// fails.
+func (b *breaker) recordFailure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.fails >= b.threshold || b.halfOpen {
+		b.openUntil = now.Add(b.cooldown)
+		b.trips++
+		b.fails = 0
+		b.halfOpen = false
+	}
+}
+
+// recordSuccess closes the breaker and clears the failure streak.
+func (b *breaker) recordSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.halfOpen = false
+	b.mu.Unlock()
+}
+
+// BreakerView is one consistent copy of a shard breaker's state for
+// metrics and the health endpoint.
+type BreakerView struct {
+	Open     bool
+	Trips    int64
+	Rejected int64
+}
+
+func (b *breaker) view(now time.Time) BreakerView {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerView{
+		Open:     !b.openUntil.IsZero() && now.Before(b.openUntil),
+		Trips:    b.trips,
+		Rejected: b.rejected,
+	}
+}

@@ -1,0 +1,721 @@
+// Package cluster is the partitioned multi-shard layer over N XPGraph
+// stores — the ROADMAP's "N stores behind a router that partitions
+// vertices" north-star item, built by composing the pieces the earlier
+// PRs proved out rather than replacing them:
+//
+//   - partitioning: a stable hash-slot map (shard.SlotMap) routes every
+//     edge by its source vertex and every out-read by its vertex;
+//   - per-shard serving: each shard runs its own core.Store, its own
+//     single-writer ingest.Pipeline, its own refcounted snapshot
+//     publication chain, and its own media circuit breaker — exactly the
+//     single-store server stack, one copy per partition;
+//   - replication: each shard ships every applied chunk to its follower
+//     replicas in application order (log shipping at batch granularity),
+//     so followers converge on edge-for-edge identical views;
+//   - reads: ClusterView pins one publication per shard (leader, or the
+//     best replica once a shard is down) and implements view.Full over
+//     the resulting epoch vector, so analytics and the HTTP handlers
+//     cannot tell one store from sixteen.
+//
+// Failure semantics: a dead or readonly shard degrades its partition,
+// never the cluster. Writes are per-shard atomic — a batch spanning
+// shards may land on some and be refused by others, and the error names
+// the refusing shard — while reads keep serving every surviving
+// partition, through replicas when the leader is gone. See DESIGN.md
+// §11.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/xpsim"
+)
+
+// Config tunes the cluster. The zero value is usable: one shard, no
+// replicas, the single-store server's pipeline defaults.
+type Config struct {
+	// Replicas is the number of log-shipping followers per shard.
+	Replicas int
+	// ReplicaFactory builds one empty follower store; required when
+	// Replicas > 0. It must configure the store like the leader (same
+	// vertex space and options), typically on its own machine — each
+	// follower is its own failure domain.
+	ReplicaFactory func(shardID, replica int) (*core.Store, error)
+	// Slots is the partition-ring size (default shard.DefaultSlots).
+	Slots int
+
+	// Pipeline knobs, one pipeline per shard (defaults as in
+	// internal/ingest).
+	QueueCap   int
+	BatchEdges int
+	Linger     time.Duration
+	FlushEvery time.Duration
+	ScrubEvery time.Duration
+	BatchDelay time.Duration // test hook: pause between chunks
+
+	// Breaker knobs, one breaker per shard.
+	BreakerThreshold int           // consecutive media failures that open it (default 3)
+	BreakerCooldown  time.Duration // open duration before the half-open probe (default 5s)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 1 << 16
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Typed routing errors. The server maps them onto the /v1 error
+// envelope; ShardError carries which partition refused.
+var (
+	// ErrShardDown: the write's owner shard was killed and writes have
+	// no failover (followers are read replicas, not leaders).
+	ErrShardDown = errors.New("cluster: shard is down")
+)
+
+// BreakerOpenError is returned when a shard's circuit breaker sheds the
+// write; Wait is the time until its half-open probe is admitted.
+type BreakerOpenError struct {
+	Wait time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("cluster: ingest circuit breaker is open; retry in %v", e.Wait.Round(time.Millisecond))
+}
+
+// ShardError wraps a per-shard failure with the shard that produced it,
+// so callers (and the HTTP error envelope) can name the partition.
+type ShardError struct {
+	Shard int
+	Err   error
+}
+
+func (e *ShardError) Error() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Err) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Cluster is the router: it owns the partition map and the shards.
+type Cluster struct {
+	cfg    Config
+	pmap   *shard.SlotMap
+	shards []*Shard
+
+	started sync.Once
+	closed  sync.Once
+}
+
+// New builds a stopped cluster over pre-built leader stores, one per
+// shard (a single store makes a degenerate one-shard cluster — the
+// single-store HTTP server is exactly that). Followers are built with
+// cfg.ReplicaFactory when cfg.Replicas > 0. Call Start before serving.
+func New(stores []*core.Store, cfg Config) (*Cluster, error) {
+	if len(stores) == 0 {
+		return nil, fmt.Errorf("cluster: need at least one store")
+	}
+	cfg = cfg.withDefaults()
+	pmap, err := shard.NewSlotMap(len(stores), cfg.Slots)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Replicas > 0 && cfg.ReplicaFactory == nil {
+		return nil, fmt.Errorf("cluster: %d replicas requested without a ReplicaFactory", cfg.Replicas)
+	}
+	c := &Cluster{cfg: cfg, pmap: pmap}
+	for i, st := range stores {
+		sh := &Shard{
+			id:    i,
+			store: st,
+			br:    breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+		}
+		sh.pipe = ingest.New(ingest.Config{
+			QueueCap:   cfg.QueueCap,
+			BatchEdges: cfg.BatchEdges,
+			Linger:     cfg.Linger,
+			FlushEvery: cfg.FlushEvery,
+			ScrubEvery: cfg.ScrubEvery,
+			BatchDelay: cfg.BatchDelay,
+		}, &shardApplier{sh: sh})
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+// Start publishes every shard's initial snapshot (epoch 1), starts the
+// follower apply goroutines, and launches the per-shard writer
+// goroutines. Idempotent. Attach tracers to the shard stores before
+// calling it so the initial snapshots' spans are recorded.
+func (c *Cluster) Start() error {
+	var err error
+	c.started.Do(func() {
+		for _, sh := range c.shards {
+			if c.cfg.Replicas > 0 {
+				for ri := 0; ri < c.cfg.Replicas; ri++ {
+					st, ferr := c.cfg.ReplicaFactory(sh.id, ri)
+					if ferr != nil {
+						err = fmt.Errorf("cluster: shard %d replica %d: %w", sh.id, ri, ferr)
+						return
+					}
+					sh.replicas = append(sh.replicas, newReplica(sh.id, ri, st))
+				}
+			}
+			sh.mu.Lock()
+			sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+			sh.mu.Unlock()
+			sh.pipe.Start()
+		}
+	})
+	return err
+}
+
+// Shards reports the number of partitions.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Shard returns partition i.
+func (c *Cluster) Shard(i int) *Shard { return c.shards[i] }
+
+// Owner maps a vertex to the shard that owns it (edges partition by
+// source).
+func (c *Cluster) Owner(v graph.VID) int { return c.pmap.Owner(v) }
+
+// QueueCap is the per-shard ingest queue bound in edges.
+func (c *Cluster) QueueCap() int { return c.cfg.QueueCap }
+
+// Replicas is the configured follower count per shard.
+func (c *Cluster) Replicas() int { return c.cfg.Replicas }
+
+// EpochVector reads every shard's current snapshot epoch. The scalar
+// epoch the API reports is its sum, so it is monotone under any single
+// shard's publication and degenerates to the old single-store epoch at
+// one shard.
+func (c *Cluster) EpochVector() []uint64 {
+	vec := make([]uint64, len(c.shards))
+	for i, sh := range c.shards {
+		vec[i] = sh.Epoch()
+	}
+	return vec
+}
+
+// EpochScalar folds an epoch vector into the scalar the wire protocol
+// reports alongside it.
+func EpochScalar(vec []uint64) uint64 {
+	var s uint64
+	for _, e := range vec {
+		s += e
+	}
+	return s
+}
+
+// ---- writes ----
+
+// IngestResult reports one routed ingest.
+type IngestResult struct {
+	Accepted int64
+	// SimNs is the simulated wall time of the slowest shard's
+	// application — shards are independent machines applying their
+	// partitions in parallel.
+	SimNs   int64
+	Batches int64
+	// Epochs is the epoch vector after the write: the epoch at which the
+	// write became readable on the shards it touched, and the current
+	// epoch on the ones it did not.
+	Epochs []uint64
+}
+
+// Epoch is the scalar fold of the result's epoch vector.
+func (r IngestResult) Epoch() uint64 { return EpochScalar(r.Epochs) }
+
+// Ingest routes one batch: splits it by owner shard, checks each owner's
+// breaker and queue, and enqueues. With sync=true it waits until every
+// shard has applied and published its part (read-your-writes across the
+// whole batch); with sync=false it returns once every part is queued.
+//
+// The caller keeps ownership of edges (each shard gets a pooled copy).
+//
+// Writes are per-shard atomic, not cluster-atomic: when a shard refuses
+// (queue full, breaker open, down, draining) or fails mid-apply, the
+// parts routed to other shards still land, and the returned *ShardError
+// names the refusing shard. Cross-shard rollback would need distributed
+// transactions the evolving-graph workload does not ask for.
+func (c *Cluster) Ingest(edges []graph.Edge, sync bool) (IngestResult, error) {
+	res := IngestResult{}
+	parts := c.splitPooled(edges)
+	defer func() {
+		for _, p := range parts {
+			if p != nil {
+				ingest.PutEdgeBuf(p)
+			}
+		}
+	}()
+
+	reqs := make([]*ingest.Request, len(parts))
+	enq := make([][]graph.Edge, len(parts)) // buffers the pipelines own
+	var firstErr *ShardError
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		sh := c.shards[i]
+		if sh.down.Load() {
+			firstErr = &ShardError{Shard: i, Err: ErrShardDown}
+			break
+		}
+		if ok, wait := sh.br.allow(time.Now()); !ok {
+			firstErr = &ShardError{Shard: i, Err: &BreakerOpenError{Wait: wait}}
+			break
+		}
+		req := ingest.NewRequest(part)
+		if err := sh.pipe.Enqueue(req); err != nil {
+			firstErr = &ShardError{Shard: i, Err: err}
+			break
+		}
+		// The pipeline owns the part until its Result is delivered.
+		parts[i], enq[i] = nil, part
+		reqs[i] = req
+	}
+
+	// Wait for whatever was enqueued — even on a partial routing failure,
+	// so sync callers always know the fate of the parts that did land and
+	// the pooled buffers can be accounted. Async callers return
+	// immediately; their parts' buffers go to the GC with the pipeline.
+	if !sync {
+		if firstErr != nil {
+			return res, firstErr
+		}
+		res.Accepted = int64(len(edges))
+		res.Epochs = c.EpochVector()
+		return res, nil
+	}
+
+	for i, req := range reqs {
+		if req == nil {
+			continue
+		}
+		sh := c.shards[i]
+		var r ingest.Result
+		select {
+		case r = <-req.Done():
+		case <-sh.pipe.Stopping():
+			if !sh.pipe.Draining() {
+				// Abrupt stop: the pipeline may still hold the buffer; let
+				// the GC take it.
+				if firstErr == nil {
+					firstErr = &ShardError{Shard: i, Err: ingest.ErrShuttingDown}
+				}
+				continue
+			}
+			// Graceful drain: every accepted request is applied and
+			// answered.
+			r = <-req.Done()
+		}
+		// Result delivered: the pipeline is done with the part's buffer.
+		parts[i] = enq[i]
+		if r.Err != nil {
+			if firstErr == nil {
+				firstErr = &ShardError{Shard: i, Err: r.Err}
+			}
+			continue
+		}
+		res.Accepted += r.Accepted
+		res.Batches += r.Batches
+		if r.SimNs > res.SimNs {
+			res.SimNs = r.SimNs // shards apply in parallel: slowest wins
+		}
+	}
+	res.Epochs = c.EpochVector()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	return res, nil
+}
+
+// splitPooled partitions edges by owner into pooled per-shard buffers.
+func (c *Cluster) splitPooled(edges []graph.Edge) [][]graph.Edge {
+	parts := make([][]graph.Edge, len(c.shards))
+	if len(c.shards) == 1 {
+		buf := ingest.GetEdgeBuf()
+		parts[0] = append(buf, edges...)
+		return parts
+	}
+	for i := range parts {
+		parts[i] = ingest.GetEdgeBuf()
+	}
+	for _, e := range edges {
+		o := c.pmap.Owner(e.Src)
+		parts[o] = append(parts[o], e)
+	}
+	return parts
+}
+
+// IngestLocal applies edges synchronously, bypassing the pipelines — the
+// bulk-load path (bench, preload). Each shard applies its partition
+// under its own lock, republishes, and ships to its followers; the
+// returned simulated time is the slowest shard's, since every shard is
+// its own machine applying in parallel.
+func (c *Cluster) IngestLocal(edges []graph.Edge) (simNs int64, err error) {
+	parts := c.splitPooled(edges)
+	defer func() {
+		for _, p := range parts {
+			if p != nil {
+				ingest.PutEdgeBuf(p)
+			}
+		}
+	}()
+	for i, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		sh := c.shards[i]
+		if sh.down.Load() {
+			return simNs, &ShardError{Shard: i, Err: ErrShardDown}
+		}
+		sh.mu.Lock()
+		rep, ierr := sh.store.Ingest(part)
+		var epoch uint64
+		if ierr == nil {
+			epoch = sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+		}
+		sh.mu.Unlock()
+		if ierr != nil {
+			return simNs, &ShardError{Shard: i, Err: ierr}
+		}
+		sh.ship(part, epoch)
+		if ns := rep.TotalNs(); ns > simNs {
+			simNs = ns
+		}
+	}
+	return simNs, nil
+}
+
+// ---- admin ops (exclusive per-shard lock, then republish) ----
+
+// PublishAll publishes a fresh snapshot on every live shard and returns
+// the resulting epoch vector.
+func (c *Cluster) PublishAll() []uint64 {
+	for _, sh := range c.shards {
+		if sh.down.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+		sh.mu.Unlock()
+	}
+	return c.EpochVector()
+}
+
+// FlushAll drains every live shard's vertex buffers to PMEM and
+// republishes. The first failure is returned, named.
+func (c *Cluster) FlushAll() error {
+	for _, sh := range c.shards {
+		if sh.down.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		err := sh.store.FlushAllVbufs()
+		if err == nil {
+			sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return &ShardError{Shard: sh.id, Err: err}
+		}
+	}
+	return nil
+}
+
+// CompactVertex compacts v's adjacency chains on its owner shard and
+// republishes there, returning the simulated cost.
+func (c *Cluster) CompactVertex(v graph.VID) (simNs int64, err error) {
+	sh := c.shards[c.pmap.Owner(v)]
+	if sh.down.Load() {
+		return 0, &ShardError{Shard: sh.id, Err: ErrShardDown}
+	}
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	sh.mu.Lock()
+	cerr := sh.store.CompactAdjs(ctx, v)
+	if cerr == nil {
+		sh.publishLocked(ctx)
+	}
+	sh.mu.Unlock()
+	if cerr != nil {
+		return 0, &ShardError{Shard: sh.id, Err: cerr}
+	}
+	return ctx.Cost.Ns(), nil
+}
+
+// ScrubAll runs one synchronous media-scrub pass on every live shard,
+// returning the summed report. The first failure is returned, named.
+func (c *Cluster) ScrubAll() (core.ScrubReport, error) {
+	var total core.ScrubReport
+	for _, sh := range c.shards {
+		if sh.down.Load() {
+			continue
+		}
+		sh.mu.Lock()
+		rep, serr := sh.store.Scrub()
+		if serr == nil {
+			sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+		}
+		sh.mu.Unlock()
+		if serr != nil {
+			return total, &ShardError{Shard: sh.id, Err: serr}
+		}
+		total.VerticesScanned += rep.VerticesScanned
+		total.Damaged += rep.Damaged
+		total.Repaired += rep.Repaired
+		total.Unrecoverable += rep.Unrecoverable
+		total.SpansQuarantined += rep.SpansQuarantined
+		total.BytesQuarantined += rep.BytesQuarantined
+		total.LogBadRecords += rep.LogBadRecords
+		if rep.SimNs > total.SimNs {
+			total.SimNs = rep.SimNs // shards scrub in parallel
+		}
+	}
+	return total, nil
+}
+
+// ---- failure injection / failover ----
+
+// KillShard simulates partition i's leader process dying: its pipeline
+// stops abruptly (queued writers get ErrShuttingDown), new writes to the
+// partition are refused with ErrShardDown, and reads fail over to the
+// partition's best replica — or fail typed when it has none. The rest of
+// the cluster keeps serving: degraded, not down.
+func (c *Cluster) KillShard(i int) {
+	sh := c.shards[i]
+	if sh.down.Swap(true) {
+		return
+	}
+	sh.pipe.Close()
+}
+
+// ---- stats & health ----
+
+// Stats is the cluster-wide aggregate the /v1/stats endpoint serves.
+type Stats struct {
+	NumVertices     graph.VID // max over shards: vertex IDs are global
+	LoggedEdges     int64
+	MetaDRAMBytes   int64
+	VbufDRAMBytes   int64
+	ElogPMEMBytes   int64
+	PblkPMEMBytes   int64
+	MediaReadBytes  int64
+	MediaWriteBytes int64
+	Epochs          []uint64
+}
+
+// Stats aggregates store and machine statistics across live shards,
+// under each shard's shared lock.
+func (c *Cluster) Stats() Stats {
+	st := Stats{Epochs: c.EpochVector()}
+	for _, sh := range c.shards {
+		if sh.down.Load() {
+			continue
+		}
+		sh.mu.RLock()
+		if nv := sh.store.NumVertices(); nv > st.NumVertices {
+			st.NumVertices = nv
+		}
+		st.LoggedEdges += sh.store.Log().Head()
+		u := sh.store.MemUsage()
+		st.MetaDRAMBytes += u.MetaDRAM
+		st.VbufDRAMBytes += u.VbufDRAM
+		st.ElogPMEMBytes += u.ElogPMEM
+		st.PblkPMEMBytes += u.PblkPMEM
+		ms := sh.store.Machine().SnapshotStats()
+		st.MediaReadBytes += ms.MediaReadBytes()
+		st.MediaWriteBytes += ms.MediaWriteBytes()
+		sh.mu.RUnlock()
+	}
+	return st
+}
+
+// RLockAll takes every live shard's shared lock, runs fn, and releases.
+// The metrics gather uses it: store gauge callbacks read live cursors
+// that writers mutate under the exclusive locks.
+func (c *Cluster) RLockAll(fn func()) {
+	for _, sh := range c.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range c.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+	fn()
+}
+
+// ShardHealth is one partition's health in the cluster report.
+type ShardHealth struct {
+	Shard int
+	// State is the shard's serving state: the store's ok/degraded/
+	// readonly machine, or "down" once killed.
+	State string
+	Down  bool
+	// ServingReplica is set when reads of this partition come from a
+	// follower because the leader is down.
+	ServingReplica bool
+	Health         core.Health // zero when down
+	Epoch          uint64
+	ReplicaEpochs  []uint64
+	Breaker        BreakerView
+}
+
+// ClusterHealth aggregates: the cluster is "ok" only when every
+// partition is; any non-ok partition (including a killed one that a
+// replica still serves) makes it "degraded"; it is "readonly" only when
+// no partition accepts writes.
+type ClusterHealth struct {
+	State  string
+	Shards []ShardHealth
+}
+
+// Health reports per-shard and aggregate health.
+func (c *Cluster) Health() ClusterHealth {
+	ch := ClusterHealth{}
+	now := time.Now()
+	allReadonly := true
+	anyBad := false
+	for _, sh := range c.shards {
+		s := ShardHealth{Shard: sh.id, Breaker: sh.br.view(now), Epoch: sh.Epoch()}
+		for _, r := range sh.replicas {
+			s.ReplicaEpochs = append(s.ReplicaEpochs, r.Epoch())
+		}
+		if sh.down.Load() {
+			s.State = "down"
+			s.Down = true
+			s.ServingReplica = bestReplica(sh) != nil
+			anyBad = true
+		} else {
+			h := sh.health()
+			s.Health = h
+			s.State = h.State.String()
+			if h.State != core.HealthOK {
+				anyBad = true
+			}
+			if h.State != core.HealthReadonly {
+				allReadonly = false
+			}
+		}
+		ch.Shards = append(ch.Shards, s)
+	}
+	switch {
+	case allReadonly:
+		ch.State = core.HealthReadonly.String()
+	case anyBad:
+		ch.State = core.HealthDegraded.String()
+	default:
+		ch.State = core.HealthOK.String()
+	}
+	return ch
+}
+
+// RegisterMetrics registers the cluster's observability surface with a
+// registry: per-shard store gauges, device telemetry, pipeline counters
+// and breaker state. With one shard everything registers unlabeled —
+// byte-for-byte the single-store exposition; with more, every series
+// carries a shard label (replica stores are not scraped; their state is
+// the leader's, shifted in time).
+func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
+	for _, sh := range c.shards {
+		sh := sh
+		r := reg
+		if len(c.shards) > 1 {
+			r = reg.Sub(obs.Label{Key: "shard", Value: fmt.Sprintf("%d", sh.id)})
+		}
+		r.Register(obs.NewMachineCollector(sh.store.Machine()))
+		sh.store.RegisterMetrics(r)
+		r.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
+			v := sh.pipe.Stats()
+			sample := func(name, help string, kind obs.Kind, val float64) {
+				emit(obs.Sample{Name: name, Help: help, Kind: kind, Value: val})
+			}
+			sample("xpgraph_ingest_queue_depth_edges", "Edges accepted but not yet applied or dropped.", obs.KindGauge, float64(v.Queued))
+			sample("xpgraph_ingest_queue_cap_edges", "Bounded ingest queue capacity in edges.", obs.KindGauge, float64(c.cfg.QueueCap))
+			sample("xpgraph_ingest_edges_accepted_total", "Edges admitted past the queue-capacity check.", obs.KindCounter, float64(v.EdgesAccepted))
+			sample("xpgraph_ingest_edges_applied_total", "Edges applied to the store.", obs.KindCounter, float64(v.EdgesApplied))
+			sample("xpgraph_ingest_edges_dropped_total", "Accepted edges dequeued without application (failure or shutdown).", obs.KindCounter, float64(v.EdgesDropped))
+			sample("xpgraph_ingest_batches_total", "Ingest batches applied under the write lock.", obs.KindCounter, float64(v.BatchesApplied))
+			sample("xpgraph_ingest_rejected_writes_total", "Write requests shed with 429 queue_full.", obs.KindCounter, float64(v.Rejected))
+			sample("xpgraph_snapshot_epoch", "Epoch of the currently published snapshot.", obs.KindGauge, float64(v.Epoch))
+			sample("xpgraph_snapshot_age_seconds", "Host seconds since the last snapshot publication.", obs.KindGauge,
+				float64(time.Now().UnixNano()-v.PublishedAtNs)/1e9)
+			sample("xpgraph_last_batch_host_seconds", "Host latency of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchHostNs)/1e9)
+			sample("xpgraph_last_batch_sim_seconds", "Simulated store time of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchSimNs)/1e9)
+			sample("xpgraph_last_batch_edges", "Size of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchEdges))
+
+			b := sh.br.view(time.Now())
+			open := 0.0
+			if b.Open {
+				open = 1
+			}
+			sample("xpgraph_breaker_open", "Ingest circuit breaker state (1 = shedding writes).", obs.KindGauge, open)
+			sample("xpgraph_breaker_trips_total", "Times the ingest circuit breaker opened on media-write failures.", obs.KindCounter, float64(b.Trips))
+			sample("xpgraph_breaker_rejected_writes_total", "Write requests shed with 503 circuit_open.", obs.KindCounter, float64(b.Rejected))
+
+			down := 0.0
+			if sh.down.Load() {
+				down = 1
+			}
+			sample("xpgraph_shard_down", "Partition leader killed (reads fail over to replicas).", obs.KindGauge, down)
+			for ri, rep := range sh.replicas {
+				emit(obs.Sample{Name: "xpgraph_replica_epoch",
+					Help:   "Shipped leader epoch the follower has published up to.",
+					Kind:   obs.KindGauge,
+					Labels: []obs.Label{{Key: "replica", Value: fmt.Sprintf("%d", ri)}},
+					Value:  float64(rep.Epoch())})
+			}
+		}))
+	}
+}
+
+// ---- lifecycle ----
+
+// Close stops every shard's pipeline abruptly (queued writers get
+// ErrShuttingDown) and stops the followers after they drain what was
+// already shipped. Idempotent.
+func (c *Cluster) Close() {
+	c.closed.Do(func() {
+		for _, sh := range c.shards {
+			sh.pipe.Close()
+		}
+		for _, sh := range c.shards {
+			for _, r := range sh.replicas {
+				r.close()
+			}
+		}
+	})
+}
+
+// Shutdown drains gracefully: every accepted write on every shard is
+// applied, flushed, and shipped; followers then drain their queues, so
+// the whole cluster — leaders and replicas — converges before return.
+func (c *Cluster) Shutdown() {
+	c.closed.Do(func() {
+		for _, sh := range c.shards {
+			sh.pipe.SetDraining()
+		}
+		for _, sh := range c.shards {
+			sh.pipe.Close()
+		}
+		for _, sh := range c.shards {
+			for _, r := range sh.replicas {
+				r.close()
+			}
+		}
+	})
+}

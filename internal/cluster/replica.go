@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/view"
+	"repro/internal/xpsim"
+)
+
+// ReplicaQueue bounds each follower's shipping channel in batches. The
+// leader's writer goroutine blocks when a follower falls this far
+// behind, so replica lag is bounded instead of unbounded — the cluster's
+// flow-control choice, documented in DESIGN.md §11.
+const ReplicaQueue = 64
+
+// shipEntry is one applied leader chunk on its way to a follower,
+// tagged with the leader epoch whose publication it produced.
+type shipEntry struct {
+	edges []graph.Edge
+	epoch uint64
+}
+
+// Replica is one log-shipping follower of a shard: its own core.Store
+// fed the leader's applied chunks in application order, publishing a
+// snapshot stamped with the shipped leader epoch after each one. A
+// replica's published view at epoch E is edge-for-edge identical to the
+// leader's published view at epoch E, because both stores applied the
+// identical chunk sequence — the property the replica-lag differential
+// test pins.
+//
+// Replicas only lag on epochs, never on content: leader publications
+// that carry no edges (explicit snapshot, flush, compact, scrub) bump
+// the leader epoch without shipping anything, so a caught-up replica's
+// epoch can trail the leader's while its logical content is identical.
+// The read-scaling path therefore treats a replica as eligible only
+// when its epoch matches the leader's latest *shipped* epoch.
+type Replica struct {
+	shardID int
+	id      int
+	store   *core.Store
+
+	// mu orders the apply goroutine's store mutation against snapshot
+	// reads, exactly like a shard leader's mu.
+	mu  sync.RWMutex
+	cur *published // guarded by mu
+
+	ch   chan shipEntry
+	done chan struct{}
+
+	applyErr error // first apply failure; guarded by mu
+}
+
+// newReplica builds a follower over an empty store and starts its apply
+// goroutine.
+func newReplica(shardID, id int, store *core.Store) *Replica {
+	r := &Replica{
+		shardID: shardID,
+		id:      id,
+		store:   store,
+		ch:      make(chan shipEntry, ReplicaQueue),
+		done:    make(chan struct{}),
+	}
+	// Publish the initial empty snapshot at the leader's initial epoch
+	// (1), so a view acquired before any write still has something to
+	// pin.
+	r.mu.Lock()
+	r.cur = &published{snap: store.Snapshot(xpsim.NewCtx(xpsim.NodeUnbound)), epoch: 1}
+	r.mu.Unlock()
+	go r.loop()
+	return r
+}
+
+// Store returns the follower's store (tests and telemetry).
+func (r *Replica) Store() *core.Store { return r.store }
+
+// Epoch reads the shipped leader epoch the replica has published up to.
+func (r *Replica) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur.epoch
+}
+
+// Err reports the first apply failure, if any (a failed replica stops
+// advancing and is never selected for serving).
+func (r *Replica) Err() error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.applyErr
+}
+
+// ship hands one chunk to the apply goroutine; called from the leader's
+// writer goroutine. Blocks when the replica is ReplicaQueue batches
+// behind.
+func (r *Replica) ship(e shipEntry) {
+	select {
+	case <-r.done:
+		ingest.PutEdgeBuf(e.edges)
+	case r.ch <- e:
+	}
+}
+
+// close stops the apply goroutine after draining everything already
+// shipped, so a graceful cluster shutdown leaves followers caught up.
+func (r *Replica) close() {
+	close(r.ch)
+	<-r.done
+}
+
+// loop applies shipped chunks in order, republishing after each one
+// stamped with the shipped leader epoch.
+func (r *Replica) loop() {
+	defer close(r.done)
+	for e := range r.ch {
+		r.mu.Lock()
+		if r.applyErr == nil {
+			if _, err := r.store.Ingest(e.edges); err != nil {
+				r.applyErr = err
+			} else {
+				old := r.cur
+				r.cur = &published{
+					snap:  r.store.Snapshot(xpsim.NewCtx(xpsim.NodeUnbound)),
+					epoch: e.epoch,
+				}
+				old.retire()
+			}
+		}
+		r.mu.Unlock()
+		ingest.PutEdgeBuf(e.edges)
+	}
+}
+
+// acquire pins the replica's current publication.
+func (r *Replica) acquire() *published {
+	r.mu.RLock()
+	p := r.cur
+	p.refs.Add(1)
+	r.mu.RUnlock()
+	return p
+}
+
+// View pins the replica's current publication and returns a guarded
+// read view over it plus the shipped epoch it represents. Release the
+// view by calling the returned release func. Test and failover surface.
+func (r *Replica) View() (v view.Full, epoch uint64, release func()) {
+	p := r.acquire()
+	return view.GuardFull(p.snap, &r.mu), p.epoch, p.unref
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/ingest"
+	"repro/internal/xpsim"
+)
+
+// published is one snapshot publication of a shard leader or replica.
+// Readers pin it with a refcount under the owner's shared lock; the
+// snapshot is closed (deregistered from compaction fencing) once it is
+// both retired by a newer publication and unreferenced. This is the
+// refcounted-publication protocol the single-store server ran (PR 2);
+// it moved here so every shard — and every replica — runs its own copy.
+type published struct {
+	snap    *core.Snapshot
+	epoch   uint64
+	refs    atomic.Int64
+	retired atomic.Bool
+}
+
+func (p *published) unref() {
+	if p.refs.Add(-1) == 0 && p.retired.Load() {
+		p.snap.Close()
+	}
+}
+
+// retire marks p replaced by a newer publication, closing it when no
+// reader holds it. Snapshot.Close is idempotent, so the benign race with
+// a releasing reader's zero-check is harmless.
+func (p *published) retire() {
+	if p == nil {
+		return
+	}
+	p.retired.Store(true)
+	if p.refs.Load() == 0 {
+		p.snap.Close()
+	}
+}
+
+// Shard is one partition leader: a core.Store, its single-writer ingest
+// pipeline, its snapshot publication chain, its circuit breaker, and the
+// log-shipping fan-out to its follower replicas.
+//
+// The store itself is not goroutine-safe; mu orders the pipeline's write
+// windows against snapshot reads exactly as the single-store server's
+// stateMu did. All reads of the shard go through a pinned publication
+// wrapped in view.GuardFull(pub.snap, &sh.mu).
+type Shard struct {
+	id    int
+	store *core.Store
+
+	// mu orders store mutation against snapshot reads: the writer holds
+	// it exclusively per batch; readers take it shared per neighbor
+	// access and when pinning the published snapshot.
+	mu  sync.RWMutex
+	cur *published // guarded by mu; swapped only under the write lock
+
+	pipe *ingest.Pipeline
+	br   breaker
+
+	replicas []*Replica
+
+	// down simulates the shard process dying (KillShard): writes are
+	// refused up front and reads fail over to the best replica.
+	down atomic.Bool
+}
+
+// ID returns the shard's index in the partition map.
+func (sh *Shard) ID() int { return sh.id }
+
+// Store returns the leader store (tests and telemetry; serving code goes
+// through pinned publications).
+func (sh *Shard) Store() *core.Store { return sh.store }
+
+// Epoch reads the shard's current snapshot epoch.
+func (sh *Shard) Epoch() uint64 { return sh.pipe.Epoch() }
+
+// Down reports whether the shard was killed.
+func (sh *Shard) Down() bool { return sh.down.Load() }
+
+// PipeStats reads one consistent copy of the shard's pipeline counters.
+func (sh *Shard) PipeStats() ingest.Stats { return sh.pipe.Stats() }
+
+// Breaker reads one consistent copy of the shard's breaker state.
+func (sh *Shard) Breaker() BreakerView { return sh.br.view(time.Now()) }
+
+// Replicas returns the shard's followers.
+func (sh *Shard) Replicas() []*Replica { return sh.replicas }
+
+// publishLocked captures a fresh leader snapshot, makes it the served
+// view, and returns the new epoch. Callers must hold mu exclusively.
+func (sh *Shard) publishLocked(ctx *xpsim.Ctx) uint64 {
+	old := sh.cur
+	epoch := sh.pipe.Publish()
+	sh.cur = &published{snap: sh.store.Snapshot(ctx), epoch: epoch}
+	old.retire()
+	return epoch
+}
+
+// acquire pins the current leader publication. The ref is taken under
+// the shared lock, so it cannot race with retirement: a reader either
+// increments before the writer's zero-check or sees the newer
+// publication.
+func (sh *Shard) acquire() *published {
+	sh.mu.RLock()
+	p := sh.cur
+	p.refs.Add(1)
+	sh.mu.RUnlock()
+	return p
+}
+
+// health reads the leader store's media-health summary under the shared
+// lock (the damage sets are mutated under the exclusive lock).
+func (sh *Shard) health() core.Health {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.store.Health()
+}
+
+// ship fans one applied chunk out to every replica, tagged with the
+// leader epoch it produced. Each replica gets its own pooled copy (the
+// caller's chunk is recycled by the pipeline). Runs on the single writer
+// goroutine; a full replica channel blocks it, which bounds replica lag
+// at ReplicaQueue batches instead of letting a slow follower fall
+// arbitrarily behind.
+func (sh *Shard) ship(chunk []graph.Edge, epoch uint64) {
+	for _, r := range sh.replicas {
+		buf := ingest.GetEdgeBuf()
+		buf = append(buf, chunk...)
+		r.ship(shipEntry{edges: buf, epoch: epoch})
+	}
+}
+
+// shardApplier is the shard's side of the ingest.Applier contract. It
+// runs on the pipeline's single writer goroutine and owns the lock
+// ordering: every application takes the shard's exclusive lock, ends in
+// a snapshot publication, feeds the circuit breaker, and ships the
+// applied chunk to the followers.
+type shardApplier struct {
+	sh *Shard
+}
+
+// Apply ingests one chunk under the exclusive lock and, on success,
+// republishes the snapshot and ships the chunk.
+func (a *shardApplier) Apply(chunk []graph.Edge) (int64, uint64, error) {
+	sh := a.sh
+	wctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	sh.mu.Lock()
+	rep, err := sh.store.Ingest(chunk)
+	var epoch uint64
+	if err == nil {
+		epoch = sh.publishLocked(wctx)
+	}
+	sh.mu.Unlock()
+
+	if err != nil {
+		// Media-write failures feed the circuit breaker so repeated ones
+		// shed new writes up front instead of queueing them into a
+		// failing pipeline.
+		var me *xpsim.MediaError
+		if errors.As(err, &me) {
+			sh.br.recordFailure(time.Now())
+		}
+		return 0, 0, err
+	}
+	sh.br.recordSuccess()
+	sh.ship(chunk, epoch)
+	return rep.TotalNs(), epoch, nil
+}
+
+// Flush is the pipeline's background archive step: it drains every
+// vertex buffer to PMEM and republishes. It also runs once at the end of
+// a graceful drain.
+func (a *shardApplier) Flush() {
+	sh := a.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if err := sh.store.FlushAllVbufs(); err != nil {
+		return // surfaced through the flush admin op or the next write
+	}
+	sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+}
+
+// Scrub is the background scrubber: it walks the heap verifying
+// checksums under the exclusive lock and republishes when the pass
+// changed anything.
+func (a *shardApplier) Scrub() {
+	sh := a.sh
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rep, err := sh.store.Scrub()
+	if err != nil {
+		return
+	}
+	if rep.Damaged > 0 || rep.Repaired > 0 {
+		sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+	}
+}

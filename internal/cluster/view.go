@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/view"
+	"repro/internal/xpsim"
+)
+
+// Compile-time proof that a snapshot satisfies the full serving
+// contract — the ClusterView delegates to per-shard snapshots through
+// exactly this interface.
+var (
+	_ view.Full = (*core.Snapshot)(nil)
+	_ view.Full = (*ClusterView)(nil)
+)
+
+// PartitionDownError is returned by checked reads of a partition whose
+// leader is down and which has no live replica to fail over to. The
+// unchecked algorithm surface returns empty results for such a partition
+// instead (analytics is health-gated at the HTTP layer, so this only
+// shows up when the gate is bypassed deliberately).
+type PartitionDownError struct {
+	Shard int
+}
+
+func (e *PartitionDownError) Error() string {
+	return fmt.Sprintf("cluster: partition %d is down and has no live replica", e.Shard)
+}
+
+// ClusterView is one consistent read view of the whole cluster: one
+// pinned snapshot publication per partition, read through that
+// partition's guard so every access is ordered against its writer. It
+// implements view.Full, which is the entire point of the API redesign —
+// the HTTP handlers and the analytics engine run over a 4-shard cluster
+// through the same interface they run over a single snapshot.
+//
+// Consistency model: the view is per-shard consistent, cross-shard
+// loose. Each partition is served at exactly one epoch (the pinned
+// publication's), captured in the epoch vector; different partitions may
+// be pinned at different points in time. Out-reads of v go to v's owner
+// partition only; in-reads union every partition, because an edge (u,v)
+// lives with u's owner and so v's in-records scatter across shards.
+//
+// Failover: a partition whose leader is down is served by its
+// best-caught-up live replica; with no such replica the partition's
+// sources are nil and reads of it degrade (empty / typed error), while
+// every other partition keeps serving.
+type ClusterView struct {
+	c    *Cluster
+	pins []*published // per shard; nil when the partition is unservable
+	srcs []view.Full  // guarded views over pins; nil when unservable
+	// epochs is the pinned epoch vector: the publication epoch each
+	// partition is served at (0 for an unservable partition).
+	epochs []uint64
+	// numV is max over sources, captured at acquire so the view's vertex
+	// space is stable even as shards publish newer snapshots.
+	numV graph.VID
+}
+
+// bestReplica picks the follower to fail a dead shard's reads over to:
+// the live (no apply error) replica with the highest shipped epoch.
+func bestReplica(sh *Shard) *Replica {
+	var best *Replica
+	var bestEpoch uint64
+	for _, r := range sh.replicas {
+		if r.Err() != nil {
+			continue
+		}
+		if e := r.Epoch(); best == nil || e > bestEpoch {
+			best, bestEpoch = r, e
+		}
+	}
+	return best
+}
+
+// AcquireView pins one publication per partition — the leader's, or the
+// best live replica's when the leader is down — and returns the
+// composite read view. The caller must Release it.
+func (c *Cluster) AcquireView() *ClusterView {
+	cv := &ClusterView{
+		c:      c,
+		pins:   make([]*published, len(c.shards)),
+		srcs:   make([]view.Full, len(c.shards)),
+		epochs: make([]uint64, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		if !sh.down.Load() {
+			p := sh.acquire()
+			cv.pins[i] = p
+			cv.srcs[i] = view.GuardFull(p.snap, &sh.mu)
+			cv.epochs[i] = p.epoch
+		} else if r := bestReplica(sh); r != nil {
+			p := r.acquire()
+			cv.pins[i] = p
+			cv.srcs[i] = view.GuardFull(p.snap, &r.mu)
+			cv.epochs[i] = p.epoch
+		}
+		if s := cv.srcs[i]; s != nil {
+			if nv := s.NumVertices(); nv > cv.numV {
+				cv.numV = nv
+			}
+		}
+	}
+	return cv
+}
+
+// Release unpins every publication. The view must not be used after.
+func (cv *ClusterView) Release() {
+	for i, p := range cv.pins {
+		if p != nil {
+			p.unref()
+			cv.pins[i] = nil
+			cv.srcs[i] = nil
+		}
+	}
+}
+
+// EpochVector is the pinned epoch vector (one entry per partition; 0 for
+// an unservable one).
+func (cv *ClusterView) EpochVector() []uint64 { return cv.epochs }
+
+// Epoch is the scalar fold of the pinned epoch vector — what the
+// X-Snapshot-Epoch header carries.
+func (cv *ClusterView) Epoch() uint64 { return EpochScalar(cv.epochs) }
+
+// owner returns the source serving v's owner partition (nil when that
+// partition is unservable).
+func (cv *ClusterView) owner(v graph.VID) view.Full {
+	return cv.srcs[cv.c.pmap.Owner(v)]
+}
+
+// ---- view.View ----
+
+// NumVertices is the max over partitions, captured at acquire time:
+// vertex IDs are global, and every shard's store spans the same ID
+// space (a shard simply holds no records for vertices it does not own).
+func (cv *ClusterView) NumVertices() graph.VID { return cv.numV }
+
+// NbrsOut reads v's out-neighbors from its owner partition — edges
+// partition by source, so one shard holds all of them.
+func (cv *ClusterView) NbrsOut(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	s := cv.owner(v)
+	if s == nil {
+		return dst[:0]
+	}
+	return s.NbrsOut(ctx, v, dst)
+}
+
+// NbrsIn unions v's in-neighbors across every partition: an edge (u,v)
+// is recorded with u's owner, so v's in-records scatter. Concatenation
+// preserves multi-edge multiplicity exactly like a single store; only
+// the order differs (per-shard runs instead of global arrival order).
+func (cv *ClusterView) NbrsIn(ctx *xpsim.Ctx, v graph.VID, dst []uint32) []uint32 {
+	out := dst[:0]
+	for _, s := range cv.srcs {
+		if s == nil {
+			continue
+		}
+		nbrs := s.NbrsIn(ctx, v, nil)
+		out = append(out, nbrs...)
+	}
+	return out
+}
+
+// VisitOut streams v's out-neighbors from its owner partition.
+func (cv *ClusterView) VisitOut(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	if s := cv.owner(v); s != nil {
+		s.VisitOut(ctx, v, fn)
+	}
+}
+
+// VisitIn streams v's in-neighbors from every partition in shard order.
+// Each per-shard guard materializes under its own lock and calls back
+// unlocked, so no lock is held across fn.
+func (cv *ClusterView) VisitIn(ctx *xpsim.Ctx, v graph.VID, fn func(nbr uint32)) {
+	for _, s := range cv.srcs {
+		if s != nil {
+			s.VisitIn(ctx, v, fn)
+		}
+	}
+}
+
+// OutNode reports the NUMA node of v's out-adjacency on its owner
+// partition's machine (partitions are separate machines; the node index
+// is only meaningful for binding queries on that shard).
+func (cv *ClusterView) OutNode(v graph.VID) int {
+	s := cv.owner(v)
+	if s == nil {
+		return xpsim.NodeUnbound
+	}
+	return s.OutNode(v)
+}
+
+// InNode reports v's in-adjacency node on its owner partition. In a
+// cluster the in-records scatter, so this is a placement hint, not a
+// location.
+func (cv *ClusterView) InNode(v graph.VID) int {
+	s := cv.owner(v)
+	if s == nil {
+		return xpsim.NodeUnbound
+	}
+	return s.InNode(v)
+}
+
+// OutDegree is the owner partition's stored out-record count.
+func (cv *ClusterView) OutDegree(v graph.VID) int {
+	s := cv.owner(v)
+	if s == nil {
+		return 0
+	}
+	return s.OutDegree(v)
+}
+
+// ---- view.Checked + InDegree ----
+
+// NbrsOutChecked is the media-checked owner-partition read; it fails
+// typed when the owner partition is unservable.
+func (cv *ClusterView) NbrsOutChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	o := cv.c.pmap.Owner(v)
+	s := cv.srcs[o]
+	if s == nil {
+		return nil, &PartitionDownError{Shard: o}
+	}
+	return s.NbrsOutChecked(ctx, v, dst)
+}
+
+// NbrsInChecked unions the media-checked in-reads across partitions;
+// the first media error (or unservable partition) fails the read, named.
+func (cv *ClusterView) NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	out := dst[:0]
+	for i, s := range cv.srcs {
+		if s == nil {
+			return nil, &PartitionDownError{Shard: i}
+		}
+		nbrs, err := s.NbrsInChecked(ctx, v, nil)
+		if err != nil {
+			return nil, &ShardError{Shard: i, Err: err}
+		}
+		out = append(out, nbrs...)
+	}
+	return out, nil
+}
+
+// InDegree sums v's stored in-record count over every servable
+// partition.
+func (cv *ClusterView) InDegree(v graph.VID) int {
+	d := 0
+	for _, s := range cv.srcs {
+		if s != nil {
+			d += s.InDegree(v)
+		}
+	}
+	return d
+}

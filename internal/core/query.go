@@ -124,6 +124,21 @@ func (s *Store) InNode(v graph.VID) int { return s.PartitionNode(In, v) }
 // OutDegree reports the record count of v's out-adjacency.
 func (s *Store) OutDegree(v graph.VID) int { return s.Degree(Out, v) }
 
+// InDegree reports the record count of v's in-adjacency.
+func (s *Store) InDegree(v graph.VID) int { return s.Degree(In, v) }
+
+// NbrsOutChecked and NbrsInChecked are direction-fixed conveniences over
+// NbrsChecked (media.go), completing the view.Full surface on the live
+// store.
+func (s *Store) NbrsOutChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	return s.NbrsChecked(ctx, Out, v, dst)
+}
+
+// NbrsInChecked returns v's in-neighbors through the checked path.
+func (s *Store) NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	return s.NbrsChecked(ctx, In, v, dst)
+}
+
 // Degree reports the number of live records known for v (records minus
 // nothing — tombstones still count as records; use Nbrs for the resolved
 // view). It is the cheap DRAM-side degree GraphOne also maintains.

@@ -119,6 +119,9 @@ func (sn *Snapshot) Degree(d Direction, v graph.VID) int {
 // OutDegree reports the out-record count of v as of the snapshot.
 func (sn *Snapshot) OutDegree(v graph.VID) int { return sn.Degree(Out, v) }
 
+// InDegree reports the in-record count of v as of the snapshot.
+func (sn *Snapshot) InDegree(v graph.VID) int { return sn.Degree(In, v) }
+
 // OutNode and InNode report the NUMA home of v's adjacency data; the
 // placement is fixed at store creation, so delegating to the live store
 // is snapshot-safe.

@@ -86,27 +86,75 @@ type CollectorFunc func(emit func(Sample))
 // Collect implements Collector.
 func (f CollectorFunc) Collect(emit func(Sample)) { f(emit) }
 
+// WithLabels wraps a collector so every sample it emits carries the
+// extra constant labels (prepended, so a sample's own labels stay last).
+// This is how one registry hosts N copies of the same metric family —
+// e.g. per-shard store gauges in a cluster — without renaming anything.
+func WithLabels(c Collector, labels ...Label) Collector {
+	if len(labels) == 0 {
+		return c
+	}
+	return CollectorFunc(func(emit func(Sample)) {
+		c.Collect(func(s Sample) {
+			ls := make([]Label, 0, len(labels)+len(s.Labels))
+			ls = append(ls, labels...)
+			ls = append(ls, s.Labels...)
+			s.Labels = ls
+			emit(s)
+		})
+	})
+}
+
 // Registry holds collectors and gathers them into one exposition.
 type Registry struct {
 	mu         sync.Mutex
 	collectors []Collector
+
+	// parent/labels implement Sub: a sub-registry holds no collectors of
+	// its own, it forwards label-wrapped registrations to the root.
+	parent *Registry
+	labels []Label
 }
 
 // NewRegistry builds an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
 
+// Sub returns a registry that forwards every Register into r with the
+// given constant labels attached (on top of r's own, when r is itself a
+// Sub). Code written against a plain registry — core.Store's
+// RegisterMetrics, for instance — can then be instantiated N times with
+// distinguishing labels: register each instance through its own Sub and
+// the shared exposition keeps every series separable.
+func (r *Registry) Sub(labels ...Label) *Registry {
+	ls := make([]Label, 0, len(r.labels)+len(labels))
+	ls = append(ls, r.labels...)
+	ls = append(ls, labels...)
+	return &Registry{parent: r.root(), labels: ls}
+}
+
+func (r *Registry) root() *Registry {
+	if r.parent != nil {
+		return r.parent
+	}
+	return r
+}
+
 // Register adds a collector. Name collisions are not policed: the
 // exposition merges samples by name, so two collectors emitting the same
 // family with different labels compose naturally.
 func (r *Registry) Register(c Collector) {
-	r.mu.Lock()
-	r.collectors = append(r.collectors, c)
-	r.mu.Unlock()
+	c = WithLabels(c, r.labels...)
+	root := r.root()
+	root.mu.Lock()
+	root.collectors = append(root.collectors, c)
+	root.mu.Unlock()
 }
 
 // Gather collects every sample, sorted by name then label signature, so
-// expositions are deterministic.
+// expositions are deterministic. Gathering a Sub gathers its root: there
+// is exactly one exposition per registry tree.
 func (r *Registry) Gather() []Sample {
+	r = r.root()
 	r.mu.Lock()
 	cs := make([]Collector, len(r.collectors))
 	copy(cs, r.collectors)

@@ -69,21 +69,28 @@ func TestVersionedRoutes(t *testing.T) {
 	}
 }
 
-func TestLegacyRoutesDeprecated(t *testing.T) {
+// TestLegacyRoutesRemoved pins the API-redesign contract: the pre-/v1
+// unversioned aliases served their deprecation release and are gone —
+// 404 with the JSON envelope and a successor-version pointer, never the
+// old handler.
+func TestLegacyRoutesRemoved(t *testing.T) {
 	_, ts := testServer(t)
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("legacy stats: %d", resp.StatusCode)
-	}
-	if resp.Header.Get("Deprecation") != "true" {
-		t.Fatal("legacy route missing Deprecation header")
-	}
-	if resp.Header.Get("Link") == "" {
-		t.Fatal("legacy route missing successor-version Link header")
+	for _, path := range []string{"/stats", "/edges", "/vertices/1/out", "/query/bfs", "/flush"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb errorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("legacy %s: body not the JSON envelope: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || eb.Error.Code != "not_found" {
+			t.Fatalf("legacy %s: code=%d envelope=%+v, want 404 not_found", path, resp.StatusCode, eb)
+		}
+		if resp.Header.Get("Link") == "" {
+			t.Fatalf("legacy %s: missing successor-version Link header", path)
+		}
 	}
 }
 

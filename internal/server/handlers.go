@@ -14,24 +14,19 @@ import (
 	"time"
 
 	"repro/internal/analytics"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/obs"
-	"repro/internal/view"
 	"repro/internal/xpsim"
 )
 
-// readView pairs a pinned publication with a guarded View over its
-// snapshot; queries through the view take the state lock per access, so
-// they interleave with ingest batches instead of excluding them.
-func (s *Server) readView(p *published) view.View {
-	return view.Guard(p.snap, &s.stateMu)
-}
-
-// engineFor builds a per-request analytics engine over the publication.
-func (s *Server) engineFor(p *published) *analytics.Engine {
-	return analytics.NewEngine(s.readView(p), &s.machine.Lat, s.cfg.QueryThreads)
+// engineFor builds a per-request analytics engine over a pinned cluster
+// view. The engine only sees view.View — it cannot tell one shard from
+// sixteen, which is the whole point of the view-only read API.
+func (s *Server) engineFor(cv *cluster.ClusterView) *analytics.Engine {
+	return analytics.NewEngine(cv, &s.machine.Lat, s.cfg.QueryThreads)
 }
 
 // ---- writes ----
@@ -47,9 +42,9 @@ func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request, binary 
 	edges := ingest.GetEdgeBuf()
 	var err error
 	if binary {
-		edges, err = ingest.DecodeBatch(body, edges, s.cfg.QueueCap)
+		edges, err = ingest.DecodeBatch(body, edges, s.cl.QueueCap())
 	} else {
-		edges, err = ingest.DecodeJSONEdges(body, edges, r.Method == http.MethodDelete, s.cfg.QueueCap)
+		edges, err = ingest.DecodeJSONEdges(body, edges, r.Method == http.MethodDelete, s.cl.QueueCap())
 	}
 	if err == nil && len(edges) == 0 {
 		err = errors.New("no edges")
@@ -60,7 +55,7 @@ func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request, binary 
 		switch {
 		case errors.Is(err, ingest.ErrBatchTooLarge):
 			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
-				"request exceeds the queue capacity of %d edges; split it", s.cfg.QueueCap)
+				"request exceeds the queue capacity of %d edges; split it", s.cl.QueueCap())
 		case errors.As(err, &mbe):
 			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
 				"request body exceeds the %d byte limit; split it", s.cfg.MaxBodyBytes)
@@ -74,80 +69,78 @@ func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request, binary 
 	return edges
 }
 
-// enqueueAndRespond pushes decoded edges through the breaker and the
-// pipeline and writes the ingest response. It owns the pooled edges
-// slice: the pipeline holds it until the Result is delivered, so it is
-// recycled only after a synchronous write completes (an async enqueue
-// lets its buffer go to the GC).
-func (s *Server) enqueueAndRespond(w http.ResponseWriter, r *http.Request, edges []graph.Edge) {
-	if ok, wait := s.br.allow(time.Now()); !ok {
-		ingest.PutEdgeBuf(edges)
-		w.Header().Set("Retry-After", strconv.Itoa(int(wait/time.Second)+1))
-		httpError(w, http.StatusServiceUnavailable, "circuit_open",
-			"ingest circuit breaker is open after repeated media-write failures; retry in %v", wait.Round(time.Millisecond))
-		return
+// writeIngestError maps a cluster routing/application failure onto the
+// error envelope, naming the shard that refused.
+func (s *Server) writeIngestError(w http.ResponseWriter, err error) {
+	shardID := -1
+	var se *cluster.ShardError
+	if errors.As(err, &se) {
+		shardID = se.Shard
 	}
-
-	ireq := ingest.NewRequest(edges)
-	switch err := s.pipe.Enqueue(ireq); {
-	case err == nil:
+	vec := s.cl.EpochVector()
+	var boe *cluster.BreakerOpenError
+	var me *xpsim.MediaError
+	switch {
+	case errors.As(err, &boe):
+		w.Header().Set("Retry-After", strconv.Itoa(int(boe.Wait/time.Second)+1))
+		httpShardError(w, http.StatusServiceUnavailable, "circuit_open", shardID, vec,
+			"ingest circuit breaker is open after repeated media-write failures; retry in %v",
+			boe.Wait.Round(time.Millisecond))
+	case errors.Is(err, cluster.ErrShardDown):
+		httpShardError(w, http.StatusServiceUnavailable, "shard_down", shardID, vec,
+			"shard %d is down; its partition refuses writes", shardID)
 	case errors.Is(err, ingest.ErrShuttingDown):
-		ingest.PutEdgeBuf(edges)
 		httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
-		return
-	default:
-		ingest.PutEdgeBuf(edges)
+	case errors.Is(err, ingest.ErrQueueFull):
 		// Jitter the retry delay so a burst of shed writers spreads out
 		// instead of stampeding back on the same second.
 		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs(s.retrySeq.Add(1))))
-		httpError(w, http.StatusTooManyRequests, "queue_full",
-			"ingest queue is full (%d edges queued, capacity %d)",
-			s.pipe.Stats().Queued, s.cfg.QueueCap)
+		queued := int64(0)
+		if shardID >= 0 {
+			queued = s.cl.Shard(shardID).PipeStats().Queued
+		}
+		httpShardError(w, http.StatusTooManyRequests, "queue_full", shardID, vec,
+			"ingest queue of shard %d is full (%d edges queued, capacity %d)",
+			shardID, queued, s.cl.QueueCap())
+	case errors.As(err, &me):
+		// A media failure, not a capacity problem: the device under the
+		// write is gone or erroring. 503 so clients back off.
+		httpShardError(w, http.StatusServiceUnavailable, "media_error", shardID, vec,
+			"ingest: %v", err)
+	default:
+		httpShardError(w, http.StatusInsufficientStorage, "ingest_failed", shardID, vec,
+			"ingest: %v", err)
+	}
+}
+
+// enqueueAndRespond routes decoded edges through the cluster — breaker
+// and queue admission per owner shard — and writes the ingest response.
+// The cluster copies each shard's part into its own pooled buffer, so
+// the decoded slice is recycled here as soon as Ingest returns.
+func (s *Server) enqueueAndRespond(w http.ResponseWriter, r *http.Request, edges []graph.Edge) {
+	async := r.URL.Query().Get("async") == "1"
+	n := int64(len(edges))
+	res, err := s.cl.Ingest(edges, !async)
+	ingest.PutEdgeBuf(edges)
+	if err != nil {
+		s.writeIngestError(w, err)
 		return
 	}
-
-	if r.URL.Query().Get("async") == "1" {
-		epoch := s.pipe.Epoch()
+	if async {
+		epoch := cluster.EpochScalar(res.Epochs)
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
 		w.WriteHeader(http.StatusAccepted)
-		writeJSON(w, IngestResponse{Accepted: int64(len(edges)), Epoch: epoch})
+		writeJSON(w, IngestResponse{Accepted: n, Epoch: epoch, EpochVector: res.Epochs})
 		return
 	}
-
-	var res ingest.Result
-	select {
-	case res = <-ireq.Done():
-	case <-s.pipe.Stopping():
-		if !s.pipe.Draining() {
-			httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
-			return
-		}
-		// Graceful drain: every accepted request is applied and answered.
-		res = <-ireq.Done()
-	}
-	// The Result is delivered: the pipeline is done with the slice.
-	defer ingest.PutEdgeBuf(edges)
-	if res.Err != nil {
-		if errors.Is(res.Err, ingest.ErrShuttingDown) {
-			httpError(w, http.StatusServiceUnavailable, "shutting_down", "server is shutting down")
-			return
-		}
-		var me *xpsim.MediaError
-		if errors.As(res.Err, &me) {
-			// A media failure, not a capacity problem: the device under
-			// the write is gone or erroring. 503 so clients back off.
-			httpError(w, http.StatusServiceUnavailable, "media_error", "ingest: %v", res.Err)
-			return
-		}
-		httpError(w, http.StatusInsufficientStorage, "ingest_failed", "ingest: %v", res.Err)
-		return
-	}
-	writeEpochJSON(w, res.Epoch, IngestResponse{
-		Accepted: res.Accepted,
-		SimMs:    float64(res.SimNs) / 1e6,
-		Batches:  res.Batches,
-		Epoch:    res.Epoch,
+	epoch := res.Epoch()
+	writeEpochJSON(w, epoch, IngestResponse{
+		Accepted:    res.Accepted,
+		SimMs:       float64(res.SimNs) / 1e6,
+		Batches:     res.Batches,
+		Epoch:       epoch,
+		EpochVector: res.Epochs,
 	})
 }
 
@@ -224,6 +217,31 @@ func vertexPath(path string) (graph.VID, string, error) {
 	return graph.VID(id), sub, nil
 }
 
+// writeReadError maps a checked-read failure onto the envelope: typed
+// partition-down, exhausted-rebuild, or plain media error — always with
+// the partition named.
+func (s *Server) writeReadError(w http.ResponseWriter, cv *cluster.ClusterView, v graph.VID, err error) {
+	shardID := s.cl.Owner(v)
+	var se *cluster.ShardError
+	if errors.As(err, &se) {
+		shardID = se.Shard
+	}
+	var pd *cluster.PartitionDownError
+	if errors.As(err, &pd) {
+		httpShardError(w, http.StatusServiceUnavailable, "partition_down", pd.Shard, cv.EpochVector(),
+			"vertex %d: %v", v, err)
+		return
+	}
+	var ue *core.UnrecoverableError
+	if errors.As(err, &ue) {
+		httpShardError(w, http.StatusServiceUnavailable, "unrecoverable", shardID, cv.EpochVector(),
+			"vertex %d: %v", v, err)
+		return
+	}
+	httpShardError(w, http.StatusServiceUnavailable, "media_error", shardID, cv.EpochVector(),
+		"vertex %d: %v (a scrub may repair it: POST /v1/scrub)", v, err)
+}
+
 func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
@@ -234,57 +252,40 @@ func (s *Server) handleVertex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad_request", "%v", err)
 		return
 	}
-	p := s.acquire()
-	defer s.release(p)
-	ctx := xpsim.NewCtx(p.snap.OutNode(v))
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	ctx := xpsim.NewCtx(cv.OutNode(v))
 	switch sub {
 	case "out", "in":
 		// Read through the media-checked path: a neighbor list whose
 		// adjacency blocks fail their checksum or sit on uncorrectable
-		// lines answers 503 instead of silently wrong edges.
+		// lines answers 503 instead of silently wrong edges. The view's
+		// per-shard guards take each shard's read lock internally.
 		scratch := getNbrScratch()
 		var nbrs []uint32
 		var nerr error
-		s.stateMu.RLock()
 		if sub == "out" {
-			nbrs, nerr = p.snap.NbrsOutChecked(ctx, v, (*scratch)[:0])
+			nbrs, nerr = cv.NbrsOutChecked(ctx, v, (*scratch)[:0])
 		} else {
-			nbrs, nerr = p.snap.NbrsInChecked(ctx, v, (*scratch)[:0])
+			nbrs, nerr = cv.NbrsInChecked(ctx, v, (*scratch)[:0])
 		}
-		s.stateMu.RUnlock()
 		defer putNbrScratch(scratch, nbrs)
 		if nerr != nil {
-			var ue *core.UnrecoverableError
-			if errors.As(nerr, &ue) {
-				httpError(w, http.StatusServiceUnavailable, "unrecoverable",
-					"vertex %d: %v", v, nerr)
-				return
-			}
-			httpError(w, http.StatusServiceUnavailable, "media_error",
-				"vertex %d: %v (a scrub may repair it: POST /v1/scrub)", v, nerr)
+			s.writeReadError(w, cv, v, nerr)
 			return
 		}
 		if nbrs == nil {
 			nbrs = []uint32{}
 		}
-		writeEpochJSON(w, p.epoch, NeighborsResponse{Vertex: v, Neighbors: nbrs,
-			SimUs: float64(ctx.Cost.Ns()) / 1e3, Epoch: p.epoch})
+		writeEpochJSON(w, cv.Epoch(), NeighborsResponse{Vertex: v, Neighbors: nbrs,
+			SimUs: float64(ctx.Cost.Ns()) / 1e3, Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 	case "degree":
-		s.stateMu.RLock()
-		out, in := p.snap.Degree(core.Out, v), p.snap.Degree(core.In, v)
-		s.stateMu.RUnlock()
-		writeEpochJSON(w, p.epoch, DegreeResponse{Vertex: v, Out: out, In: in, Epoch: p.epoch})
+		out, in := cv.OutDegree(v), cv.InDegree(v)
+		writeEpochJSON(w, cv.Epoch(), DegreeResponse{Vertex: v, Out: out, In: in,
+			Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 	default:
 		httpError(w, http.StatusNotFound, "not_found", "unknown vertex view %q", sub)
 	}
-}
-
-// health reads the store's media-health summary under the shared state
-// lock (the damage sets are mutated under the exclusive lock).
-func (s *Server) health() core.Health {
-	s.stateMu.RLock()
-	defer s.stateMu.RUnlock()
-	return s.store.Health()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -292,23 +293,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET")
 		return
 	}
-	h := s.health()
-	epoch := s.pipe.Epoch()
+	ch := s.cl.Health()
+	vec := s.cl.EpochVector()
 	resp := HealthzResponse{
-		Status:                h.State.String(),
-		Epoch:                 epoch,
-		DamagedVertices:       h.DamagedVertices,
-		UnrecoverableVertices: h.UnrecoverableVertices,
-		QuarantinedSpans:      h.QuarantinedSpans,
-		QuarantinedBytes:      h.QuarantinedBytes,
-		DeadNodes:             h.DeadNodes,
-		UELines:               h.UELines,
-		BreakerOpen:           s.br.view(time.Now()).Open,
+		Status:      ch.State,
+		Epoch:       cluster.EpochScalar(vec),
+		EpochVector: vec,
 	}
-	w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
-	if h.State == core.HealthReadonly {
-		// Probes should see the store as unavailable for writes; the body
-		// still carries the full health detail.
+	for _, sh := range ch.Shards {
+		resp.DamagedVertices += sh.Health.DamagedVertices
+		resp.UnrecoverableVertices += sh.Health.UnrecoverableVertices
+		resp.QuarantinedSpans += sh.Health.QuarantinedSpans
+		resp.QuarantinedBytes += sh.Health.QuarantinedBytes
+		resp.DeadNodes = append(resp.DeadNodes, sh.Health.DeadNodes...)
+		resp.UELines += sh.Health.UELines
+		resp.BreakerOpen = resp.BreakerOpen || sh.Breaker.Open
+		resp.Shards = append(resp.Shards, ShardHealthJSON{
+			Shard:                 sh.Shard,
+			Status:                sh.State,
+			ServingReplica:        sh.ServingReplica,
+			Epoch:                 sh.Epoch,
+			ReplicaEpochs:         sh.ReplicaEpochs,
+			DamagedVertices:       sh.Health.DamagedVertices,
+			UnrecoverableVertices: sh.Health.UnrecoverableVertices,
+			BreakerOpen:           sh.Breaker.Open,
+		})
+	}
+	w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", resp.Epoch))
+	if ch.State == core.HealthReadonly.String() {
+		// Probes should see the cluster as unavailable for writes; the
+		// body still carries the full health detail.
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
@@ -333,13 +347,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if wantsPrometheus(r) {
-		// Gather under the shared state lock: store gauge callbacks read
-		// live log cursors and pool counters that concurrent ingest
-		// batches mutate under the exclusive lock.
+		// Gather under every shard's shared lock: store gauge callbacks
+		// read live log cursors and pool counters that concurrent ingest
+		// batches mutate under the exclusive locks.
 		var buf bytes.Buffer
-		s.stateMu.RLock()
-		err := s.reg.WritePrometheus(&buf)
-		s.stateMu.RUnlock()
+		var err error
+		s.cl.RLockAll(func() {
+			err = s.reg.WritePrometheus(&buf)
+		})
 		if err != nil {
 			httpError(w, http.StatusInternalServerError, "internal", "gather: %v", err)
 			return
@@ -348,21 +363,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_, _ = w.Write(buf.Bytes())
 		return
 	}
-	v := s.pipe.Stats() // one consistent copy: applied can never exceed accepted
-	writeJSON(w, MetricsResponse{
-		QueueDepthEdges: v.Queued,
-		QueueCapEdges:   int64(s.cfg.QueueCap),
-		EdgesAccepted:   v.EdgesAccepted,
-		EdgesApplied:    v.EdgesApplied,
-		EdgesDropped:    v.EdgesDropped,
-		BatchesApplied:  v.BatchesApplied,
-		RejectedWrites:  v.Rejected,
-		LastBatchHostUs: float64(v.LastBatchHostNs) / 1e3,
-		LastBatchSimMs:  float64(v.LastBatchSimNs) / 1e6,
-		LastBatchEdges:  v.LastBatchEdges,
-		SnapshotEpoch:   v.Epoch,
-		SnapshotAgeMs:   float64(time.Now().UnixNano()-v.PublishedAtNs) / 1e6,
-	})
+	// One consistent Stats copy per shard pipeline, summed: applied can
+	// never exceed accepted, per shard and therefore in the sum.
+	var resp MetricsResponse
+	var lastPub int64
+	for i := 0; i < s.cl.Shards(); i++ {
+		v := s.cl.Shard(i).PipeStats()
+		resp.QueueDepthEdges += v.Queued
+		resp.EdgesAccepted += v.EdgesAccepted
+		resp.EdgesApplied += v.EdgesApplied
+		resp.EdgesDropped += v.EdgesDropped
+		resp.BatchesApplied += v.BatchesApplied
+		resp.RejectedWrites += v.Rejected
+		resp.SnapshotEpoch += v.Epoch
+		resp.EpochVector = append(resp.EpochVector, v.Epoch)
+		if v.PublishedAtNs > lastPub {
+			lastPub = v.PublishedAtNs
+		}
+		if v.LastBatchHostNs > 0 && float64(v.LastBatchHostNs)/1e3 > resp.LastBatchHostUs {
+			resp.LastBatchHostUs = float64(v.LastBatchHostNs) / 1e3
+			resp.LastBatchSimMs = float64(v.LastBatchSimNs) / 1e6
+			resp.LastBatchEdges = v.LastBatchEdges
+		}
+	}
+	resp.QueueCapEdges = int64(s.cl.QueueCap()) * int64(s.cl.Shards())
+	resp.SnapshotAgeMs = float64(time.Now().UnixNano()-lastPub) / 1e6
+	writeJSON(w, resp)
 }
 
 // handleTrace drains the span ring as Chrome trace-event JSON: each GET
@@ -380,36 +406,50 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.stateMu.RLock()
-	u := s.store.MemUsage()
-	st := s.machine.SnapshotStats()
+	st := s.cl.Stats()
 	resp := StatsResponse{
-		NumVertices:     s.store.NumVertices(),
-		LoggedEdges:     s.store.Log().Head(),
-		MetaDRAMBytes:   u.MetaDRAM,
-		VbufDRAMBytes:   u.VbufDRAM,
-		ElogPMEMBytes:   u.ElogPMEM,
-		PblkPMEMBytes:   u.PblkPMEM,
-		MediaReadBytes:  st.MediaReadBytes(),
-		MediaWriteBytes: st.MediaWriteBytes(),
-		Epoch:           s.pipe.Epoch(),
+		NumVertices:     st.NumVertices,
+		LoggedEdges:     st.LoggedEdges,
+		MetaDRAMBytes:   st.MetaDRAMBytes,
+		VbufDRAMBytes:   st.VbufDRAMBytes,
+		ElogPMEMBytes:   st.ElogPMEMBytes,
+		PblkPMEMBytes:   st.PblkPMEMBytes,
+		MediaReadBytes:  st.MediaReadBytes,
+		MediaWriteBytes: st.MediaWriteBytes,
+		Shards:          s.cl.Shards(),
+		Epoch:           cluster.EpochScalar(st.Epochs),
+		EpochVector:     st.Epochs,
 	}
-	s.stateMu.RUnlock()
 	writeEpochJSON(w, resp.Epoch, resp)
 }
 
-// ---- admin writes (exclusive lock, then republish) ----
+// ---- admin writes (exclusive per-shard lock, then republish) ----
+
+// writeAdminError maps an admin-op failure, attributing the shard when
+// the cluster named one.
+func (s *Server) writeAdminError(w http.ResponseWriter, op string, err error) {
+	var se *cluster.ShardError
+	if errors.As(err, &se) {
+		if errors.Is(err, cluster.ErrShardDown) {
+			httpShardError(w, http.StatusServiceUnavailable, "shard_down", se.Shard,
+				s.cl.EpochVector(), "%s: %v", op, err)
+			return
+		}
+		httpShardError(w, http.StatusInternalServerError, "internal", se.Shard,
+			s.cl.EpochVector(), "%s: %v", op, err)
+		return
+	}
+	httpError(w, http.StatusInternalServerError, "internal", "%s: %v", op, err)
+}
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
-	s.stateMu.Lock()
-	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	epoch := s.pipe.Epoch()
-	s.stateMu.Unlock()
-	writeEpochJSON(w, epoch, SnapshotResponse{Epoch: epoch})
+	vec := s.cl.PublishAll()
+	epoch := cluster.EpochScalar(vec)
+	writeEpochJSON(w, epoch, SnapshotResponse{Epoch: epoch, EpochVector: vec})
 }
 
 func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
@@ -423,20 +463,15 @@ func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad_request", "bad vertex id %q", idStr)
 		return
 	}
-	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
-	s.stateMu.Lock()
-	cerr := s.store.CompactAdjs(ctx, graph.VID(id))
-	if cerr == nil {
-		s.publishLocked(ctx)
-	}
-	epoch := s.pipe.Epoch()
-	s.stateMu.Unlock()
+	simNs, cerr := s.cl.CompactVertex(graph.VID(id))
 	if cerr != nil {
-		httpError(w, http.StatusInternalServerError, "internal", "compact: %v", cerr)
+		s.writeAdminError(w, "compact", cerr)
 		return
 	}
+	vec := s.cl.EpochVector()
+	epoch := cluster.EpochScalar(vec)
 	writeEpochJSON(w, epoch, map[string]any{
-		"compacted": id, "sim_us": float64(ctx.Cost.Ns()) / 1e3, "epoch": epoch})
+		"compacted": id, "sim_us": float64(simNs) / 1e3, "epoch": epoch, "epoch_vector": vec})
 }
 
 func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
@@ -444,41 +479,31 @@ func (s *Server) handleFlush(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
-	s.stateMu.Lock()
-	ferr := s.store.FlushAllVbufs()
-	if ferr == nil {
-		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	}
-	epoch := s.pipe.Epoch()
-	s.stateMu.Unlock()
-	if ferr != nil {
-		httpError(w, http.StatusInternalServerError, "internal", "flush: %v", ferr)
+	if ferr := s.cl.FlushAll(); ferr != nil {
+		s.writeAdminError(w, "flush", ferr)
 		return
 	}
-	writeEpochJSON(w, epoch, map[string]any{"flushed": true, "epoch": epoch})
+	vec := s.cl.EpochVector()
+	epoch := cluster.EpochScalar(vec)
+	writeEpochJSON(w, epoch, map[string]any{"flushed": true, "epoch": epoch, "epoch_vector": vec})
 }
 
-// handleScrub runs one synchronous media-scrub pass: verify every chain,
-// rebuild damaged vertices from the archive or log window, quarantine the
-// replaced spans, and republish so reads see the repaired view.
+// handleScrub runs one synchronous media-scrub pass on every live
+// shard: verify every chain, rebuild damaged vertices from the archive
+// or log window, quarantine the replaced spans, and republish so reads
+// see the repaired view.
 func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
 		return
 	}
-	s.stateMu.Lock()
-	rep, serr := s.store.Scrub()
-	var h core.Health
-	if serr == nil {
-		h = s.store.Health()
-		s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	}
-	epoch := s.pipe.Epoch()
-	s.stateMu.Unlock()
+	rep, serr := s.cl.ScrubAll()
 	if serr != nil {
-		httpError(w, http.StatusInternalServerError, "internal", "scrub: %v", serr)
+		s.writeAdminError(w, "scrub", serr)
 		return
 	}
+	vec := s.cl.EpochVector()
+	epoch := cluster.EpochScalar(vec)
 	writeEpochJSON(w, epoch, ScrubResponse{
 		VerticesScanned:  rep.VerticesScanned,
 		Damaged:          rep.Damaged,
@@ -488,26 +513,34 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 		BytesQuarantined: rep.BytesQuarantined,
 		LogBadRecords:    rep.LogBadRecords,
 		SimMs:            float64(rep.SimNs) / 1e6,
-		Health:           h.State.String(),
+		Health:           s.cl.Health().State,
 		Epoch:            epoch,
+		EpochVector:      vec,
 	})
 }
 
-// ---- analytics over the published snapshot ----
+// ---- analytics over the pinned cluster view ----
 
 // rejectIfDegraded gates whole-graph analytics: a traversal reads every
 // reachable vertex through the unchecked fast path and cannot skip
-// damaged ones and stay correct, so while damage is outstanding the
-// query answers 503 degraded (scrub, then retry). Point reads stay
-// available throughout — they fail per vertex, typed.
+// damaged ones — or a dead partition — and stay correct, so while any
+// partition is damaged or down the query answers 503 degraded (scrub or
+// restore, then retry). Point reads stay available throughout — they
+// fail per vertex, typed, and fail over to replicas.
 func (s *Server) rejectIfDegraded(w http.ResponseWriter) bool {
-	h := s.health()
-	if h.State == core.HealthOK {
+	ch := s.cl.Health()
+	if ch.State == core.HealthOK.String() {
 		return false
 	}
+	bad := 0
+	for _, sh := range ch.Shards {
+		if sh.Down || sh.State != core.HealthOK.String() {
+			bad++
+		}
+	}
 	httpError(w, http.StatusServiceUnavailable, "degraded",
-		"store is %s (%d damaged, %d unrecoverable vertices, %d dead nodes); whole-graph queries are suspended",
-		h.State, h.DamagedVertices, h.UnrecoverableVertices, len(h.DeadNodes))
+		"cluster is %s (%d of %d partitions unhealthy); whole-graph queries are suspended",
+		ch.State, bad, len(ch.Shards))
 	return true
 }
 
@@ -520,11 +553,12 @@ func (s *Server) handleBFS(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfDegraded(w) {
 		return
 	}
-	p := s.acquire()
-	defer s.release(p)
-	res := s.engineFor(p).BFS(req.Root)
-	writeEpochJSON(w, p.epoch, BFSResponse{Root: req.Root, Visited: res.Visited,
-		Levels: res.Levels, SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	res := s.engineFor(cv).BFS(req.Root)
+	writeEpochJSON(w, cv.Epoch(), BFSResponse{Root: req.Root, Visited: res.Visited,
+		Levels: res.Levels, SimMs: float64(res.SimNs) / 1e6,
+		Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 }
 
 func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
@@ -542,9 +576,9 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfDegraded(w) {
 		return
 	}
-	p := s.acquire()
-	defer s.release(p)
-	res := s.engineFor(p).PageRank(req.Iterations)
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	res := s.engineFor(cv).PageRank(req.Iterations)
 
 	ranked := make([]RankedVertex, len(res.Ranks))
 	for v, rk := range res.Ranks {
@@ -554,19 +588,19 @@ func (s *Server) handlePageRank(w http.ResponseWriter, r *http.Request) {
 	if len(ranked) > req.Top {
 		ranked = ranked[:req.Top]
 	}
-	writeEpochJSON(w, p.epoch, PageRankResponse{Top: ranked,
-		SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+	writeEpochJSON(w, cv.Epoch(), PageRankResponse{Top: ranked,
+		SimMs: float64(res.SimNs) / 1e6, Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 }
 
 func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfDegraded(w) {
 		return
 	}
-	p := s.acquire()
-	defer s.release(p)
-	res := s.engineFor(p).CC()
-	writeEpochJSON(w, p.epoch, CCResponse{Components: res.Components,
-		SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	res := s.engineFor(cv).CC()
+	writeEpochJSON(w, cv.Epoch(), CCResponse{Components: res.Components,
+		SimMs: float64(res.SimNs) / 1e6, Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 }
 
 func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
@@ -581,9 +615,10 @@ func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
 	if s.rejectIfDegraded(w) {
 		return
 	}
-	p := s.acquire()
-	defer s.release(p)
-	res := s.engineFor(p).KHop(req.Root, req.K)
-	writeEpochJSON(w, p.epoch, KHopResponse{Root: req.Root, Reached: res.Reached,
-		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6, Epoch: p.epoch})
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	res := s.engineFor(cv).KHop(req.Root, req.K)
+	writeEpochJSON(w, cv.Epoch(), KHopResponse{Root: req.Root, Reached: res.Reached,
+		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6,
+		Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 }

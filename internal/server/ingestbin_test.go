@@ -45,7 +45,7 @@ func TestIngestBinRoundTrip(t *testing.T) {
 			t.Fatalf("compact=%v: code=%d resp=%+v", compact, code, ing)
 		}
 		var nb NeighborsResponse
-		if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb); code != 200 || len(nb.Neighbors) != 2 {
+		if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb); code != 200 || len(nb.Neighbors) != 2 {
 			t.Fatalf("compact=%v: out(1) code=%d %v", compact, code, nb.Neighbors)
 		}
 	}
@@ -62,7 +62,7 @@ func TestIngestBinDeletes(t *testing.T) {
 		t.Fatalf("deletes: %d", code)
 	}
 	var nb NeighborsResponse
-	if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb); code != 200 {
 		t.Fatalf("out: %d", code)
 	}
 	if len(nb.Neighbors) != 1 || nb.Neighbors[0] != 3 {
@@ -143,7 +143,7 @@ func TestMaxBodyBytes(t *testing.T) {
 		big = append(big, EdgeJSON{Src: i, Dst: i + 1})
 	}
 	var e errorBody
-	if code := do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: big}, &e); code != 413 || e.Error.Code != "batch_too_large" {
+	if code := do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: big}, &e); code != 413 || e.Error.Code != "batch_too_large" {
 		t.Fatalf("oversized body: code=%d %+v", code, e)
 	}
 }

@@ -50,50 +50,8 @@ func TestRetryAfterJitter(t *testing.T) {
 	}
 }
 
-func TestBreakerStateMachine(t *testing.T) {
-	b := breaker{threshold: 3, cooldown: time.Second}
-	t0 := time.Unix(1000, 0)
-
-	for i := 0; i < 2; i++ {
-		b.recordFailure(t0)
-	}
-	if ok, _ := b.allow(t0); !ok {
-		t.Fatal("breaker opened before the threshold")
-	}
-	b.recordFailure(t0) // third consecutive failure trips it
-	if ok, wait := b.allow(t0); ok || wait <= 0 {
-		t.Fatalf("breaker should be open: ok=%v wait=%v", ok, wait)
-	}
-	if v := b.view(t0); !v.Open || v.Trips != 1 || v.Rejected != 1 {
-		t.Fatalf("view = %+v", v)
-	}
-
-	// After the cooldown a half-open probe is admitted; its failure
-	// re-opens immediately, without a fresh threshold's worth of failures.
-	t1 := t0.Add(2 * time.Second)
-	if ok, _ := b.allow(t1); !ok {
-		t.Fatal("half-open probe refused after cooldown")
-	}
-	b.recordFailure(t1)
-	if ok, _ := b.allow(t1); ok {
-		t.Fatal("breaker should re-open on a failed half-open probe")
-	}
-
-	// A successful probe closes it fully.
-	t2 := t1.Add(2 * time.Second)
-	if ok, _ := b.allow(t2); !ok {
-		t.Fatal("second probe refused")
-	}
-	b.recordSuccess()
-	if v := b.view(t2); v.Open {
-		t.Fatal("breaker still open after a successful probe")
-	}
-	b.recordFailure(t2)
-	b.recordFailure(t2)
-	if ok, _ := b.allow(t2); !ok {
-		t.Fatal("failure streak should have reset on success")
-	}
-}
+// The breaker state-machine test moved to internal/cluster with the
+// breaker itself (the per-shard failure-shedding policy lives there now).
 
 // TestDegradedServing drives the full degraded-mode loop over HTTP:
 // inject UEs under a vertex's adjacency chain, watch the checked read
@@ -106,19 +64,19 @@ func TestDegradedServing(t *testing.T) {
 	for i := uint32(0); i < 8; i++ {
 		edges = append(edges, EdgeJSON{Src: 1, Dst: 10 + i})
 	}
-	if code := do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges}, nil); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges}, nil); code != 200 {
 		t.Fatalf("ingest: %d", code)
 	}
-	if code := do(t, "POST", ts.URL+"/flush", nil, nil); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/flush", nil, nil); code != 200 {
 		t.Fatalf("flush: %d", code)
 	}
 
 	var h HealthzResponse
-	if code := do(t, "GET", ts.URL+"/healthz", nil, &h); code != 200 || h.Status != "ok" {
+	if code := do(t, "GET", ts.URL+"/v1/healthz", nil, &h); code != 200 || h.Status != "ok" {
 		t.Fatalf("healthz before damage: code=%d %+v", code, h)
 	}
 
-	lines := srv.store.VertexMediaLines(core.Out, 1)
+	lines := srv.cl.Shard(0).Store().VertexMediaLines(core.Out, 1)
 	if len(lines) == 0 {
 		t.Fatal("vertex 1 has no PMEM chain to damage")
 	}
@@ -127,10 +85,10 @@ func TestDegradedServing(t *testing.T) {
 	}
 
 	// Republish so the served snapshot has no pre-damage frozen copy.
-	do(t, "POST", ts.URL+"/snapshot", nil, nil)
+	do(t, "POST", ts.URL+"/v1/snapshot", nil, nil)
 
 	var eb errorBody
-	if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &eb); code != http.StatusServiceUnavailable {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &eb); code != http.StatusServiceUnavailable {
 		t.Fatalf("read of damaged vertex: code=%d body=%+v", code, eb)
 	}
 	if eb.Error.Code != "media_error" {
@@ -138,7 +96,7 @@ func TestDegradedServing(t *testing.T) {
 	}
 
 	var sc ScrubResponse
-	if code := do(t, "POST", ts.URL+"/scrub", nil, &sc); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/scrub", nil, &sc); code != 200 {
 		t.Fatalf("scrub: %d", code)
 	}
 	if sc.Damaged == 0 || sc.Repaired != sc.Damaged || sc.Unrecoverable != 0 {
@@ -149,13 +107,13 @@ func TestDegradedServing(t *testing.T) {
 	}
 
 	var nb NeighborsResponse
-	if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb); code != 200 {
 		t.Fatalf("read after repair: %d", code)
 	}
 	if len(nb.Neighbors) != 8 {
 		t.Fatalf("out(1) after repair = %v", nb.Neighbors)
 	}
-	if code := do(t, "GET", ts.URL+"/healthz", nil, &h); code != 200 || h.Status != "ok" {
+	if code := do(t, "GET", ts.URL+"/v1/healthz", nil, &h); code != 200 || h.Status != "ok" {
 		t.Fatalf("healthz after scrub: code=%d %+v", code, h)
 	}
 }
@@ -166,11 +124,11 @@ func TestDegradedServing(t *testing.T) {
 func TestNodeFailureReadonly(t *testing.T) {
 	_, ts, m := mediaServer(t, Config{QueryThreads: 4, BreakerThreshold: 2, BreakerCooldown: time.Hour})
 
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil)
 	m.Faults().FailNode(1)
 
 	var h HealthzResponse
-	if code := do(t, "GET", ts.URL+"/healthz", nil, &h); code != http.StatusServiceUnavailable {
+	if code := do(t, "GET", ts.URL+"/v1/healthz", nil, &h); code != http.StatusServiceUnavailable {
 		t.Fatalf("healthz with dead node: code=%d %+v", code, h)
 	}
 	if h.Status != "readonly" || len(h.DeadNodes) != 1 {
@@ -178,7 +136,7 @@ func TestNodeFailureReadonly(t *testing.T) {
 	}
 
 	var eb errorBody
-	if code := do(t, "POST", ts.URL+"/query/bfs", BFSRequest{Root: 1}, &eb); code != http.StatusServiceUnavailable || eb.Error.Code != "degraded" {
+	if code := do(t, "POST", ts.URL+"/v1/query/bfs", BFSRequest{Root: 1}, &eb); code != http.StatusServiceUnavailable || eb.Error.Code != "degraded" {
 		t.Fatalf("bfs on readonly store: code=%d body=%+v", code, eb)
 	}
 
@@ -186,11 +144,11 @@ func TestNodeFailureReadonly(t *testing.T) {
 	// shed up front with circuit_open and a Retry-After.
 	body := EdgesRequest{Edges: []EdgeJSON{{Src: 3, Dst: 4}}}
 	for i := 0; i < 2; i++ {
-		if code := do(t, "POST", ts.URL+"/edges", body, &eb); code != http.StatusServiceUnavailable || eb.Error.Code != "media_error" {
+		if code := do(t, "POST", ts.URL+"/v1/edges", body, &eb); code != http.StatusServiceUnavailable || eb.Error.Code != "media_error" {
 			t.Fatalf("write %d on dead node: code=%d body=%+v", i, code, eb)
 		}
 	}
-	resp := doRaw(t, "POST", ts.URL+"/edges", body)
+	resp := doRaw(t, "POST", ts.URL+"/v1/edges", body)
 	if resp.code != http.StatusServiceUnavailable || resp.errCode != "circuit_open" {
 		t.Fatalf("post-trip write: %+v", resp)
 	}
@@ -201,12 +159,12 @@ func TestNodeFailureReadonly(t *testing.T) {
 	// Reads on the healthy partition keep answering. Vertex 1's out-chain
 	// lives on node 0 (out-direction data is interleave-partitioned).
 	var nb NeighborsResponse
-	if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb); code != 200 || len(nb.Neighbors) != 1 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb); code != 200 || len(nb.Neighbors) != 1 {
 		t.Fatalf("healthy-partition read: code=%d %v", code, nb.Neighbors)
 	}
 
 	m.Faults().ReviveNode(1)
-	if code := do(t, "GET", ts.URL+"/healthz", nil, &h); code != 200 || h.Status != "ok" {
+	if code := do(t, "GET", ts.URL+"/v1/healthz", nil, &h); code != 200 || h.Status != "ok" {
 		t.Fatalf("healthz after revive: code=%d %+v", code, h)
 	}
 }
@@ -252,7 +210,7 @@ func TestRequestTimeout(t *testing.T) {
 	for i := uint32(0); i < 6; i++ {
 		edges = append(edges, EdgeJSON{Src: i, Dst: i + 1})
 	}
-	resp := doRaw(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges})
+	resp := doRaw(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges})
 	if resp.code != http.StatusServiceUnavailable || resp.errCode != "deadline_exceeded" {
 		t.Fatalf("slow request: %+v", resp)
 	}

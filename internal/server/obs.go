@@ -2,18 +2,18 @@ package server
 
 import (
 	"strings"
-	"time"
 
 	"repro/internal/obs"
 )
 
-// initMetrics builds the server's registry: simulated-device telemetry,
-// the store's occupancy gauges, the pipeline counters, per-endpoint
-// latency histograms, and tracer-ring health.
+// initMetrics builds the server's registry: the cluster registers the
+// per-shard surface (simulated-device telemetry, store occupancy gauges,
+// pipeline counters, breaker and replica state — shard-labeled when the
+// cluster has more than one partition), and the server adds its own
+// per-endpoint latency histograms and tracer-ring health.
 func (s *Server) initMetrics() {
 	s.reg = obs.NewRegistry()
-	s.reg.Register(obs.NewMachineCollector(s.machine))
-	s.store.RegisterMetrics(s.reg)
+	s.cl.RegisterMetrics(s.reg)
 
 	s.httpLat = obs.NewHistogramVec("xpgraph_http_request_duration_seconds",
 		"HTTP request latency by normalized route.", "route", obs.DefBuckets)
@@ -22,47 +22,12 @@ func (s *Server) initMetrics() {
 	s.reg.Register(s.httpLat)
 	s.reg.Register(s.httpReqs)
 
-	// Pipeline counters from one consistent view() per scrape — the
-	// Prometheus exposition upholds the same applied <= accepted
-	// invariant the JSON shape does.
-	s.reg.Register(obs.CollectorFunc(func(emit func(obs.Sample)) {
-		v := s.pipe.Stats()
-		sample := func(name, help string, kind obs.Kind, val float64) {
-			emit(obs.Sample{Name: name, Help: help, Kind: kind, Value: val})
-		}
-		sample("xpgraph_ingest_queue_depth_edges", "Edges accepted but not yet applied or dropped.", obs.KindGauge, float64(v.Queued))
-		sample("xpgraph_ingest_queue_cap_edges", "Bounded ingest queue capacity in edges.", obs.KindGauge, float64(s.cfg.QueueCap))
-		sample("xpgraph_ingest_edges_accepted_total", "Edges admitted past the queue-capacity check.", obs.KindCounter, float64(v.EdgesAccepted))
-		sample("xpgraph_ingest_edges_applied_total", "Edges applied to the store.", obs.KindCounter, float64(v.EdgesApplied))
-		sample("xpgraph_ingest_edges_dropped_total", "Accepted edges dequeued without application (failure or shutdown).", obs.KindCounter, float64(v.EdgesDropped))
-		sample("xpgraph_ingest_batches_total", "Ingest batches applied under the write lock.", obs.KindCounter, float64(v.BatchesApplied))
-		sample("xpgraph_ingest_rejected_writes_total", "Write requests shed with 429 queue_full.", obs.KindCounter, float64(v.Rejected))
-		sample("xpgraph_snapshot_epoch", "Epoch of the currently published snapshot.", obs.KindGauge, float64(v.Epoch))
-		sample("xpgraph_snapshot_age_seconds", "Host seconds since the last snapshot publication.", obs.KindGauge,
-			float64(time.Now().UnixNano()-v.PublishedAtNs)/1e9)
-		sample("xpgraph_last_batch_host_seconds", "Host latency of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchHostNs)/1e9)
-		sample("xpgraph_last_batch_sim_seconds", "Simulated store time of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchSimNs)/1e9)
-		sample("xpgraph_last_batch_edges", "Size of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchEdges))
-
-		b := s.br.view(time.Now())
-		sample("xpgraph_breaker_open", "Ingest circuit breaker state (1 = shedding writes).", obs.KindGauge, boolGauge(b.Open))
-		sample("xpgraph_breaker_trips_total", "Times the ingest circuit breaker opened on media-write failures.", obs.KindCounter, float64(b.Trips))
-		sample("xpgraph_breaker_rejected_writes_total", "Write requests shed with 503 circuit_open.", obs.KindCounter, float64(b.Rejected))
-	}))
-
 	s.reg.Register(obs.NewGaugeFunc("obs_trace_spans",
 		"Phase spans currently buffered in the trace ring.",
 		func() float64 { return float64(s.tracer.Len()) }))
 	s.reg.Register(obs.NewGaugeFunc("obs_trace_dropped_total",
 		"Spans overwritten because the trace ring wrapped.",
 		func() float64 { return float64(s.tracer.Dropped()) }))
-}
-
-func boolGauge(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // knownRoutes bounds the route-label cardinality of the HTTP metrics.

@@ -43,10 +43,10 @@ func TestPrometheusScrape(t *testing.T) {
 	for i := uint32(0); i < 200; i++ {
 		edges = append(edges, EdgeJSON{Src: i % 50, Dst: i%50 + 1})
 	}
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges}, nil)
-	do(t, "GET", ts.URL+"/vertices/1/out", nil, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges}, nil)
+	do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, nil)
 
-	body, ctype := scrape(t, ts.URL+"/metrics", "text/plain")
+	body, ctype := scrape(t, ts.URL+"/v1/metrics", "text/plain")
 	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
 		t.Fatalf("Content-Type = %q", ctype)
 	}
@@ -68,13 +68,13 @@ func TestPrometheusScrape(t *testing.T) {
 		}
 	}
 	// ?format=prometheus works without an Accept header.
-	body2, _ := scrape(t, ts.URL+"/metrics?format=prometheus", "")
+	body2, _ := scrape(t, ts.URL+"/v1/metrics?format=prometheus", "")
 	if !strings.Contains(body2, "xpsim_media_write_lines_total") {
 		t.Error("?format=prometheus did not switch to text exposition")
 	}
 	// Default Accept still serves the JSON shape.
 	var mr MetricsResponse
-	if code := do(t, "GET", ts.URL+"/metrics", nil, &mr); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/metrics", nil, &mr); code != 200 {
 		t.Fatalf("JSON metrics: %d", code)
 	}
 	if mr.EdgesAccepted != 200 || mr.EdgesApplied != 200 {
@@ -104,7 +104,7 @@ func TestMetricsConsistentUnderIngest(t *testing.T) {
 				for j := uint32(0); j < 32; j++ {
 					edges = append(edges, EdgeJSON{Src: (seed*31 + i + j) % 900, Dst: (i + j) % 900})
 				}
-				do(t, "POST", ts.URL+"/edges?async=1", EdgesRequest{Edges: edges}, nil)
+				do(t, "POST", ts.URL+"/v1/edges?async=1", EdgesRequest{Edges: edges}, nil)
 			}
 		}(uint32(w))
 	}
@@ -117,7 +117,7 @@ func TestMetricsConsistentUnderIngest(t *testing.T) {
 		default:
 		}
 		var mr MetricsResponse
-		if code := do(t, "GET", ts.URL+"/metrics", nil, &mr); code != 200 {
+		if code := do(t, "GET", ts.URL+"/v1/metrics", nil, &mr); code != 200 {
 			t.Fatalf("scrape: %d", code)
 		}
 		if mr.EdgesApplied > mr.EdgesAccepted {
@@ -140,10 +140,10 @@ func TestTraceEndpoint(t *testing.T) {
 	for i := uint32(0); i < 400; i++ {
 		edges = append(edges, EdgeJSON{Src: i % 100, Dst: (i + 1) % 100})
 	}
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges}, nil)
-	do(t, "POST", ts.URL+"/flush", nil, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges}, nil)
+	do(t, "POST", ts.URL+"/v1/flush", nil, nil)
 
-	body, ctype := scrape(t, ts.URL+"/trace", "")
+	body, ctype := scrape(t, ts.URL+"/v1/trace", "")
 	if !strings.HasPrefix(ctype, "application/json") {
 		t.Fatalf("Content-Type = %q", ctype)
 	}
@@ -176,7 +176,7 @@ func TestTraceEndpoint(t *testing.T) {
 	}
 
 	// Drained: a second scrape has no complete events.
-	body2, _ := scrape(t, ts.URL+"/trace", "")
+	body2, _ := scrape(t, ts.URL+"/v1/trace", "")
 	var events2 []map[string]any
 	if err := json.Unmarshal([]byte(body2), &events2); err != nil {
 		t.Fatalf("second trace not valid JSON: %v", err)
@@ -198,14 +198,14 @@ func TestGracefulShutdown(t *testing.T) {
 		for j := uint32(0); j < 50; j++ {
 			edges = append(edges, EdgeJSON{Src: i*50 + j, Dst: j})
 		}
-		if code := do(t, "POST", ts.URL+"/edges?async=1", EdgesRequest{Edges: edges}, nil); code != 202 {
+		if code := do(t, "POST", ts.URL+"/v1/edges?async=1", EdgesRequest{Edges: edges}, nil); code != 202 {
 			t.Fatalf("async ingest: %d", code)
 		}
 		accepted += int64(len(edges))
 	}
 	srv.Shutdown()
 
-	v := srv.pipe.Stats()
+	v := srv.cl.Shard(0).PipeStats()
 	if v.Queued != 0 {
 		t.Fatalf("after Shutdown queue depth = %d, want 0", v.Queued)
 	}
@@ -217,7 +217,7 @@ func TestGracefulShutdown(t *testing.T) {
 	}
 	// The final flush left nothing buffered in DRAM: the live pool gauge
 	// (not the peak watermark) reads zero.
-	metrics, _ := scrape(t, ts.URL+"/metrics?format=prometheus", "")
+	metrics, _ := scrape(t, ts.URL+"/v1/metrics?format=prometheus", "")
 	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, "xpgraph_pool_used_bytes ") {
 			if !strings.HasSuffix(line, " 0") {
@@ -228,13 +228,13 @@ func TestGracefulShutdown(t *testing.T) {
 
 	// New writes are fenced with 503.
 	var er errorBody
-	code := do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, &er)
+	code := do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, &er)
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("write after Shutdown: code=%d, want 503", code)
 	}
 	// Reads keep serving the last published snapshot.
 	var nb NeighborsResponse
-	if code := do(t, "GET", ts.URL+"/vertices/0/in", nil, &nb); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/0/in", nil, &nb); code != 200 {
 		t.Fatalf("read after Shutdown: %d", code)
 	}
 }

@@ -1,6 +1,6 @@
-// Package server exposes an XPGraph store as an HTTP graph service — the
-// kind of application layer a downstream adopter puts in front of the
-// library. It speaks JSON over stdlib net/http, versioned under /v1:
+// Package server exposes an XPGraph cluster as an HTTP graph service —
+// the kind of application layer a downstream adopter puts in front of
+// the library. It speaks JSON over stdlib net/http, versioned under /v1:
 //
 //	POST /v1/edges            {"edges":[{"src":1,"dst":2}, ...]}   ingest a batch
 //	DELETE /v1/edges          {"edges":[{"src":1,"dst":2}]}        delete edges
@@ -8,12 +8,12 @@
 //	GET  /v1/vertices/{id}/out                                     resolved out-neighbors
 //	GET  /v1/vertices/{id}/in                                      resolved in-neighbors
 //	GET  /v1/vertices/{id}/degree                                  out/in record counts
-//	POST /v1/snapshot                                              publish a fresh snapshot
+//	POST /v1/snapshot                                              publish fresh snapshots
 //	POST /v1/compact/{id}                                          compact one vertex
 //	POST /v1/flush                                                 flush all vertex buffers
 //	POST /v1/scrub                                                 verify checksums, repair + quarantine damage
 //	GET  /v1/stats                                                 store + machine statistics
-//	GET  /v1/healthz                                               liveness + current epoch
+//	GET  /v1/healthz                                               liveness + per-shard health
 //	GET  /v1/metrics                                               pipeline + device metrics (JSON or Prometheus)
 //	GET  /v1/trace                                                 drain phase spans as Chrome trace JSON
 //	POST /v1/query/bfs        {"root":1}                           BFS traversal
@@ -21,17 +21,25 @@
 //	POST /v1/query/cc         {}                                   connected components
 //	POST /v1/query/khop       {"root":1,"k":2}                     bounded exploration
 //
+// The serving backend is an internal/cluster.Cluster: New wraps a single
+// store in a degenerate one-shard cluster (the classic single-box
+// deployment), NewCluster serves a partitioned one — same routes, same
+// payloads, because every read goes through the one view.Full surface
+// (cluster.ClusterView) and every write goes through the cluster router.
+//
 // # Concurrency model
 //
 // Writes and reads are decoupled. POST/DELETE /v1/edges and
-// POST /v1/ingest/bin enqueue into a bounded ingest pipeline
-// (internal/ingest): a single writer goroutine gathers requests into
-// batches (by size and by linger time), applies each batch to the
-// store under the write lock, and publishes a fresh core.Snapshot after
-// every batch. When the queue is full the server sheds load with
-// 429 + Retry-After instead of blocking. By default a write responds
-// after its edges are applied (read-your-writes); `?async=1` returns 202
-// as soon as the edges are queued.
+// POST /v1/ingest/bin route each batch to its owner shards, where a
+// bounded per-shard ingest pipeline (internal/ingest) gathers requests
+// into batches, applies them under the shard's write lock, and publishes
+// a fresh core.Snapshot after every batch. When an owner shard's queue
+// is full the server sheds load with 429 + Retry-After instead of
+// blocking. By default a write responds after its edges are applied on
+// every owner shard (read-your-writes); `?async=1` returns 202 as soon
+// as every part is queued. Writes are per-shard atomic: a batch spanning
+// shards may land on some and be refused by others, and the error
+// envelope names the refusing shard.
 //
 // POST /v1/ingest/bin is the allocation-free fast path: a
 // length-prefixed binary batch (Content-Type application/x-xpgraph-batch,
@@ -41,68 +49,63 @@
 // neither path ever buffers a whole request body as an intermediate
 // struct slice.
 //
-// Reads and analytics never touch the ingest queue or the live store
-// directly: they run against the latest published snapshot through a
-// read-locked view (view.Guard), taking the lock per neighbor access
-// rather than per request. A BFS therefore interleaves with in-flight
-// ingest batches and still returns answers that are exact for its
-// snapshot's epoch — snapshot answers do not change as later records
-// arrive. Every snapshot-served response carries the epoch, both as an
-// `epoch` JSON field and an `X-Snapshot-Epoch` header.
+// Reads and analytics never touch the ingest queues or the live stores
+// directly: they run against a pinned ClusterView — one published
+// snapshot per shard, each read through that shard's guard — so a BFS
+// interleaves with in-flight ingest batches and still returns answers
+// exact for its epoch vector. Every snapshot-served response carries the
+// scalar epoch (the vector's sum) as an `epoch` JSON field and an
+// `X-Snapshot-Epoch` header, plus the full per-shard vector as
+// `epoch_vector` (length 1 on a single-shard deployment).
 //
 // # Observability
 //
-// GET /v1/metrics answers with the legacy JSON MetricsResponse by
-// default and with the full Prometheus text exposition (device
-// telemetry, store gauges, per-endpoint latency histograms) when the
-// request prefers it — Accept: text/plain, an openmetrics Accept, or
-// ?format=prometheus. GET /v1/trace drains the phase-span ring as
-// Chrome trace-event JSON (load it in chrome://tracing or Perfetto).
-// See internal/obs and DESIGN.md §8 for the metric catalog and span
-// taxonomy.
+// GET /v1/metrics answers with the cluster-aggregated JSON
+// MetricsResponse by default and with the full Prometheus text
+// exposition (device telemetry, store gauges, per-endpoint latency
+// histograms; series carry a shard label when the cluster has more than
+// one) when the request prefers it — Accept: text/plain, an openmetrics
+// Accept, or ?format=prometheus. GET /v1/trace drains the phase-span
+// ring as Chrome trace-event JSON. See internal/obs and DESIGN.md §8.
 //
 // # Degraded-mode serving
 //
-// On a MediaGuard store the server degrades instead of lying or dying.
+// On MediaGuard stores the server degrades instead of lying or dying.
 // GET /v1/vertices/{id}/out|in read through the media-checked path: a
 // neighbor list whose adjacency blocks fail their CRC or sit on
 // uncorrectable lines answers 503 media_error (or 503 unrecoverable once
 // a scrub has exhausted every rebuild source) — never silently wrong
-// edges. GET /v1/healthz reports the store's health state machine
-// (ok → degraded → readonly) with damage counts, answering 503 once a
-// whole NUMA node is down. Whole-graph analytics (/v1/query/*) answer
-// 503 degraded while damage is outstanding, since a traversal cannot
-// skip bad vertices and stay correct. Writes get a circuit breaker:
-// repeated media-write failures open it and further writes are shed with
-// 503 circuit_open + Retry-After until a cooldown probe succeeds.
-// POST /v1/scrub runs a synchronous scrub pass (Config.ScrubEvery runs
-// the same pass periodically from the writer goroutine), and
-// Config.RequestTimeout bounds every request with a 503
-// deadline_exceeded envelope.
+// edges. A killed shard degrades only its partition: reads of it fail
+// over to the shard's best replica, and only when it has none do they
+// answer 503 partition_down; other partitions keep serving throughout.
+// GET /v1/healthz reports the aggregate state (ok → degraded →
+// readonly) with per-shard detail, answering 503 only when no partition
+// accepts writes. Whole-graph analytics (/v1/query/*) answer 503
+// degraded while any partition is damaged or down, since a traversal
+// cannot skip bad vertices and stay correct. Writes get a per-shard
+// circuit breaker: repeated media-write failures on one shard shed that
+// shard's writes with 503 circuit_open + Retry-After until a cooldown
+// probe succeeds, leaving the other partitions writable.
 //
 // # Errors
 //
 // All errors use one envelope:
 //
-//	{"error": {"code": "queue_full", "message": "ingest queue is full"}}
+//	{"error": {"code": "queue_full", "message": "...", "shard": 2,
+//	           "epoch_vector": [4,7,3,9]}}
 //
 // with machine-readable codes (bad_request, bad_frame,
 // unsupported_media_type, method_not_allowed, not_found, queue_full,
 // batch_too_large, ingest_failed, internal, shutting_down, media_error,
-// unrecoverable, degraded, readonly,
-// circuit_open, deadline_exceeded). 429 and circuit_open responses
-// carry a Retry-After header; the 429 delay is jittered over 1-3 s so
-// shed writers do not retry in lockstep.
+// unrecoverable, degraded, readonly, circuit_open, partition_down,
+// shard_down, deadline_exceeded). `shard` and `epoch_vector` appear when
+// the failure is attributable to one partition. 429 and circuit_open
+// responses carry a Retry-After header; the 429 delay is jittered over
+// 1-3 s so shed writers do not retry in lockstep.
 //
-// # Legacy routes (deprecated)
-//
-// The pre-/v1 unversioned routes (/edges, /vertices/{id}/..., /compact/,
-// /flush, /stats, /query/*) remain as aliases of the /v1 equivalents for
-// one release. They serve the same handlers and payloads but answer with
-// a `Deprecation: true` header and a `Link: </v1>;
-// rel="successor-version"` pointer. Migrate by prefixing paths with /v1;
-// request and response bodies are unchanged (responses gain `epoch`
-// fields). The unversioned aliases will be removed in the next release.
+// The pre-/v1 unversioned aliases that earlier releases served with
+// Deprecation headers have been removed; they now answer 404 with a
+// `Link: </v1>; rel="successor-version"` pointer.
 package server
 
 import (
@@ -110,13 +113,12 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/ingest"
 	"repro/internal/obs"
 	"repro/internal/xpsim"
 )
@@ -127,34 +129,34 @@ type Config struct {
 	// QueryThreads is the simulated parallelism of /v1/query/* runs
 	// (default 8).
 	QueryThreads int
-	// QueueCap bounds the ingest queue in edges; writes beyond it get
-	// 429 + Retry-After (default 1<<16).
+	// QueueCap bounds each shard's ingest queue in edges; writes beyond
+	// it get 429 + Retry-After (default 1<<16).
 	QueueCap int
-	// BatchEdges caps how many edges one ingest batch applies under the
-	// write lock before the snapshot is republished (default 4096).
+	// BatchEdges caps how many edges one ingest batch applies under a
+	// shard's write lock before its snapshot is republished (default 4096).
 	BatchEdges int
-	// Linger is how long the writer waits for more requests to fill a
-	// batch before applying a partial one (default 2ms).
+	// Linger is how long each shard's writer waits for more requests to
+	// fill a batch before applying a partial one (default 2ms).
 	Linger time.Duration
 	// FlushEvery periodically flushes all vertex buffers to PMEM from
-	// the writer goroutine (0 disables; flushing still happens through
-	// the store's own archive thresholds and POST /v1/flush).
+	// each shard's writer goroutine (0 disables; flushing still happens
+	// through the store's own archive thresholds and POST /v1/flush).
 	FlushEvery time.Duration
-	// Tracer receives the store's phase spans and backs GET /v1/trace.
-	// When nil the server uses the store's attached tracer, or creates
-	// a default bounded ring so /v1/trace always works.
+	// Tracer receives the stores' phase spans and backs GET /v1/trace.
+	// When nil the server uses the first store's attached tracer, or
+	// creates a default bounded ring so /v1/trace always works.
 	Tracer *obs.Tracer
 	// RequestTimeout bounds every request; one that runs past it answers
 	// 503 deadline_exceeded (0 disables).
 	RequestTimeout time.Duration
-	// ScrubEvery periodically runs a media scrub pass from the writer
-	// goroutine — MediaGuard stores only (0 disables; POST /v1/scrub
-	// always works).
+	// ScrubEvery periodically runs a media scrub pass from each shard's
+	// writer goroutine — MediaGuard stores only (0 disables; POST
+	// /v1/scrub always works).
 	ScrubEvery time.Duration
 	// BreakerThreshold is how many consecutive media-write failures open
-	// the ingest circuit breaker (default 3).
+	// a shard's ingest circuit breaker (default 3).
 	BreakerThreshold int
-	// BreakerCooldown is how long the breaker stays open before admitting
+	// BreakerCooldown is how long a breaker stays open before admitting
 	// a half-open probe write (default 5s).
 	BreakerCooldown time.Duration
 	// MaxBodyBytes bounds every write-request body via
@@ -163,7 +165,7 @@ type Config struct {
 	MaxBodyBytes int64
 
 	// batchDelay is a test hook: sleep between batch applications,
-	// outside the write lock, so tests can observe reads completing
+	// outside the write locks, so tests can observe reads completing
 	// while a multi-batch ingest is mid-flight.
 	batchDelay time.Duration
 }
@@ -175,29 +177,36 @@ func (c Config) withDefaults() Config {
 	if c.QueueCap <= 0 {
 		c.QueueCap = 1 << 16
 	}
-	if c.BatchEdges <= 0 {
-		c.BatchEdges = 4096
-	}
-	if c.Linger <= 0 {
-		c.Linger = 2 * time.Millisecond
-	}
-	if c.BreakerThreshold <= 0 {
-		c.BreakerThreshold = 3
-	}
-	if c.BreakerCooldown <= 0 {
-		c.BreakerCooldown = 5 * time.Second
-	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 32 << 20
 	}
 	return c
 }
 
-// Server wraps a store with an http.Handler. Create with New, dispose
-// with Close (stops the ingest pipeline).
+// clusterConfig maps the server's pipeline knobs onto the cluster's.
+func (c Config) clusterConfig() cluster.Config {
+	return cluster.Config{
+		QueueCap:         c.QueueCap,
+		BatchEdges:       c.BatchEdges,
+		Linger:           c.Linger,
+		FlushEvery:       c.FlushEvery,
+		ScrubEvery:       c.ScrubEvery,
+		BreakerThreshold: c.BreakerThreshold,
+		BreakerCooldown:  c.BreakerCooldown,
+		BatchDelay:       c.batchDelay,
+	}
+}
+
+// Server wraps a cluster with an http.Handler. Create with New (single
+// store) or NewCluster (partitioned), dispose with Close (stops the
+// ingest pipelines).
 type Server struct {
-	cfg     Config
-	store   *core.Store
+	cfg Config
+	// cl is the serving backend: partitioning, pipelines, publications,
+	// breakers, replicas. A single-store server is a one-shard cluster.
+	cl *cluster.Cluster
+	// machine is the reference machine for query latency modeling (shard
+	// 0's; all shards of a cluster are configured identically).
 	machine *xpsim.Machine
 	mux     *http.ServeMux
 	// inner is the mux, optionally wrapped in http.TimeoutHandler when
@@ -205,20 +214,6 @@ type Server struct {
 	// /v1 prefix handling.
 	inner http.Handler
 
-	// stateMu orders store mutation against snapshot reads: the writer
-	// holds it exclusively per batch; readers take it shared per
-	// neighbor access (via view.Guard) and when acquiring the published
-	// snapshot.
-	stateMu sync.RWMutex
-	// cur is the latest published snapshot (guarded by stateMu; swapped
-	// only under the write lock).
-	cur *published
-
-	// pipe is the transport-independent write pipeline; the server's
-	// storeApplier supplies application, publication, and breaker policy.
-	pipe *ingest.Pipeline
-	// br sheds writes while the store keeps failing media writes.
-	br breaker
 	// retrySeq sequences the jittered Retry-After values of 429 responses.
 	retrySeq atomic.Uint64
 
@@ -231,39 +226,47 @@ type Server struct {
 	httpReqs *obs.CounterVec
 }
 
-// New builds a server over the store and starts its ingest pipeline.
+// New builds a server over a single store — a one-shard cluster — and
+// starts its ingest pipeline. The classic deployment, and bit-compatible
+// with the pre-cluster wire surface (scalar epochs gain a length-1
+// epoch_vector alongside).
 func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:     cfg,
-		store:   store,
-		machine: machine,
-		br:      breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+	cl, err := cluster.New([]*core.Store{store}, cfg.withDefaults().clusterConfig())
+	if err != nil {
+		panic(fmt.Sprintf("server: building one-shard cluster: %v", err))
 	}
-	s.pipe = ingest.New(ingest.Config{
-		QueueCap:   cfg.QueueCap,
-		BatchEdges: cfg.BatchEdges,
-		Linger:     cfg.Linger,
-		FlushEvery: cfg.FlushEvery,
-		ScrubEvery: cfg.ScrubEvery,
-		BatchDelay: cfg.batchDelay,
-	}, &storeApplier{s: s})
-	// Attach the tracer before the first publication so even the initial
-	// snapshot's spans land in the ring.
+	return newServer(cl, machine, cfg)
+}
+
+// NewCluster builds a server over a pre-built, not-yet-started cluster
+// (its pipeline knobs were fixed at cluster.New; the server's own
+// pipeline fields are ignored here). The server takes ownership: Close/
+// Shutdown stop the cluster.
+func NewCluster(cl *cluster.Cluster, cfg Config) *Server {
+	return newServer(cl, cl.Shard(0).Store().Machine(), cfg)
+}
+
+func newServer(cl *cluster.Cluster, machine *xpsim.Machine, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{cfg: cfg, cl: cl, machine: machine}
+
+	// Attach the tracer before Start's first publications so even the
+	// initial snapshots' spans land in the ring.
 	s.tracer = cfg.Tracer
 	if s.tracer == nil {
-		s.tracer = store.Tracer()
+		s.tracer = cl.Shard(0).Store().Tracer()
 	}
 	if s.tracer == nil {
 		s.tracer = obs.NewTracer(0)
 	}
-	store.SetTracer(s.tracer)
+	for i := 0; i < cl.Shards(); i++ {
+		cl.Shard(i).Store().SetTracer(s.tracer)
+	}
 	s.initMetrics()
 
-	// Publish the initial snapshot (epoch 1) before serving anything.
-	s.stateMu.Lock()
-	s.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
-	s.stateMu.Unlock()
+	if err := cl.Start(); err != nil {
+		panic(fmt.Sprintf("server: starting cluster: %v", err))
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/edges", s.handleEdges)
@@ -298,50 +301,50 @@ func New(store *core.Store, machine *xpsim.Machine, cfg Config) *Server {
 		}})
 		s.inner = http.TimeoutHandler(mux, cfg.RequestTimeout, string(body))
 	}
-
-	s.pipe.Start()
 	return s
 }
 
-// ServeHTTP implements http.Handler. /v1/* routes are canonical; the
-// unversioned legacy aliases serve the same handlers with deprecation
-// headers (see the package comment for the migration path). Every
+// Cluster returns the serving backend (tests and embedding callers).
+func (s *Server) Cluster() *cluster.Cluster { return s.cl }
+
+// ServeHTTP implements http.Handler. Only /v1/* routes exist; the
+// pre-/v1 unversioned aliases were removed after their deprecation
+// release and now answer 404 with a successor-version pointer. Every
 // request is timed into the per-endpoint latency histogram under a
 // normalized route label.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	path := r.URL.Path
+	route := "other"
 	if p, ok := strings.CutPrefix(r.URL.Path, "/v1"); ok && (p == "" || strings.HasPrefix(p, "/")) {
-		path = p
+		route = routeLabel(p)
 		r2 := r.Clone(r.Context())
 		r2.URL.Path = p
 		s.inner.ServeHTTP(w, r2)
 	} else {
-		w.Header().Set("Deprecation", "true")
 		w.Header().Set("Link", `</v1>; rel="successor-version"`)
-		s.inner.ServeHTTP(w, r)
+		httpError(w, http.StatusNotFound, "not_found",
+			"unversioned route %q was removed; use /v1%s", r.URL.Path, r.URL.Path)
 	}
-	route := routeLabel(path)
 	s.httpReqs.With(route).Inc()
 	s.httpLat.With(route).Observe(time.Since(start).Seconds())
 }
 
-// Close stops the ingest pipeline abruptly. Pending synchronous writers
-// are released with a shutting_down error; queued-but-unapplied async
-// edges are dropped. Close the HTTP listener first. For a drain that
-// applies queued writes, use Shutdown.
+// Close stops the cluster's ingest pipelines abruptly. Pending
+// synchronous writers are released with a shutting_down error;
+// queued-but-unapplied async edges are dropped. Close the HTTP listener
+// first. For a drain that applies queued writes, use Shutdown.
 func (s *Server) Close() {
-	s.pipe.Close()
+	s.cl.Close()
 }
 
-// Shutdown gracefully stops the ingest pipeline: new writes are
-// rejected with shutting_down, every already-accepted write is applied
-// normally (synchronous writers receive their results), and a final
-// vertex-buffer flush lands everything in the PMEM adjacency lists.
-// Returns once the pipeline has exited; Close afterwards is a no-op.
+// Shutdown gracefully stops the cluster: new writes are rejected with
+// shutting_down, every already-accepted write is applied normally
+// (synchronous writers receive their results), each shard runs a final
+// vertex-buffer flush, and the replicas drain everything shipped.
+// Returns once every pipeline has exited; Close afterwards is a no-op.
 // Stop accepting HTTP traffic (http.Server.Shutdown) first.
 func (s *Server) Shutdown() {
-	s.pipe.Shutdown()
+	s.cl.Shutdown()
 }
 
 // Tracer returns the phase tracer the server records into (never nil;
@@ -362,32 +365,39 @@ type EdgesRequest struct {
 }
 
 // IngestResponse reports an ingestion. For async (202) responses only
-// Accepted and Epoch (the epoch current at enqueue time) are set.
+// Accepted and the epochs (current at enqueue time) are set.
 type IngestResponse struct {
 	Accepted int64   `json:"accepted"`
 	SimMs    float64 `json:"sim_ms"`
 	Batches  int64   `json:"batches"`
-	// Epoch is the snapshot epoch at which the write became readable.
+	// Epoch is the scalar snapshot epoch (the vector's sum) at which the
+	// write became readable on every shard it touched.
 	Epoch uint64 `json:"epoch"`
+	// EpochVector is the per-shard epoch vector (length 1 on a
+	// single-shard deployment).
+	EpochVector []uint64 `json:"epoch_vector"`
 }
 
 // NeighborsResponse reports a neighbor query.
 type NeighborsResponse struct {
-	Vertex    graph.VID `json:"vertex"`
-	Neighbors []uint32  `json:"neighbors"`
-	SimUs     float64   `json:"sim_us"`
-	Epoch     uint64    `json:"epoch"`
+	Vertex      graph.VID `json:"vertex"`
+	Neighbors   []uint32  `json:"neighbors"`
+	SimUs       float64   `json:"sim_us"`
+	Epoch       uint64    `json:"epoch"`
+	EpochVector []uint64  `json:"epoch_vector"`
 }
 
 // DegreeResponse reports record counts.
 type DegreeResponse struct {
-	Vertex graph.VID `json:"vertex"`
-	Out    int       `json:"out"`
-	In     int       `json:"in"`
-	Epoch  uint64    `json:"epoch"`
+	Vertex      graph.VID `json:"vertex"`
+	Out         int       `json:"out"`
+	In          int       `json:"in"`
+	Epoch       uint64    `json:"epoch"`
+	EpochVector []uint64  `json:"epoch_vector"`
 }
 
-// StatsResponse reports store and machine statistics.
+// StatsResponse reports store and machine statistics, summed across
+// shards (NumVertices is the max: vertex IDs are global).
 type StatsResponse struct {
 	NumVertices     graph.VID `json:"num_vertices"`
 	LoggedEdges     int64     `json:"logged_edges"`
@@ -397,48 +407,75 @@ type StatsResponse struct {
 	PblkPMEMBytes   int64     `json:"pblk_pmem_bytes"`
 	MediaReadBytes  int64     `json:"pmem_media_read_bytes"`
 	MediaWriteBytes int64     `json:"pmem_media_write_bytes"`
+	Shards          int       `json:"shards"`
 	Epoch           uint64    `json:"epoch"`
+	EpochVector     []uint64  `json:"epoch_vector"`
 }
 
 // SnapshotResponse reports an explicit snapshot publication.
 type SnapshotResponse struct {
-	Epoch uint64 `json:"epoch"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
 }
 
-// HealthzResponse is the liveness probe body. Status is the media-health
-// state machine: "ok", "degraded" (detected or unrecoverable damage;
-// checked reads of healthy vertices keep working), or "readonly" (a NUMA
-// node is down; writes are refused, the response is 503).
+// ShardHealthJSON is one partition's health in the healthz body.
+type ShardHealthJSON struct {
+	Shard int `json:"shard"`
+	// Status is ok/degraded/readonly from the store's health machine, or
+	// "down" once the shard was killed.
+	Status string `json:"status"`
+	// ServingReplica is true when the partition's reads come from a
+	// follower because the leader is down.
+	ServingReplica        bool     `json:"serving_replica,omitempty"`
+	Epoch                 uint64   `json:"epoch"`
+	ReplicaEpochs         []uint64 `json:"replica_epochs,omitempty"`
+	DamagedVertices       int      `json:"damaged_vertices,omitempty"`
+	UnrecoverableVertices int      `json:"unrecoverable_vertices,omitempty"`
+	BreakerOpen           bool     `json:"breaker_open,omitempty"`
+}
+
+// HealthzResponse is the liveness probe body. Status is the aggregate
+// state: "ok" only when every partition is ok, "degraded" when any
+// partition is damaged or down (its reads may be served by a replica),
+// "readonly" (503) only when no partition accepts writes. The damage
+// counts are summed across partitions; Shards carries the per-partition
+// detail.
 type HealthzResponse struct {
-	Status                string `json:"status"`
-	Epoch                 uint64 `json:"epoch"`
-	DamagedVertices       int    `json:"damaged_vertices"`
-	UnrecoverableVertices int    `json:"unrecoverable_vertices"`
-	QuarantinedSpans      int    `json:"quarantined_spans"`
-	QuarantinedBytes      int64  `json:"quarantined_bytes"`
-	DeadNodes             []int  `json:"dead_nodes,omitempty"`
-	UELines               int    `json:"ue_lines"`
-	BreakerOpen           bool   `json:"breaker_open"`
+	Status                string            `json:"status"`
+	Epoch                 uint64            `json:"epoch"`
+	EpochVector           []uint64          `json:"epoch_vector"`
+	DamagedVertices       int               `json:"damaged_vertices"`
+	UnrecoverableVertices int               `json:"unrecoverable_vertices"`
+	QuarantinedSpans      int               `json:"quarantined_spans"`
+	QuarantinedBytes      int64             `json:"quarantined_bytes"`
+	DeadNodes             []int             `json:"dead_nodes,omitempty"`
+	UELines               int               `json:"ue_lines"`
+	BreakerOpen           bool              `json:"breaker_open"`
+	Shards                []ShardHealthJSON `json:"shards"`
 }
 
-// ScrubResponse reports one POST /v1/scrub pass.
+// ScrubResponse reports one POST /v1/scrub pass (summed across shards;
+// SimMs is the slowest shard's — they scrub in parallel).
 type ScrubResponse struct {
-	VerticesScanned  int64   `json:"vertices_scanned"`
-	Damaged          int64   `json:"damaged"`
-	Repaired         int64   `json:"repaired"`
-	Unrecoverable    int64   `json:"unrecoverable"`
-	SpansQuarantined int64   `json:"spans_quarantined"`
-	BytesQuarantined int64   `json:"bytes_quarantined"`
-	LogBadRecords    int64   `json:"log_bad_records"`
-	SimMs            float64 `json:"sim_ms"`
-	Health           string  `json:"health"`
-	Epoch            uint64  `json:"epoch"`
+	VerticesScanned  int64    `json:"vertices_scanned"`
+	Damaged          int64    `json:"damaged"`
+	Repaired         int64    `json:"repaired"`
+	Unrecoverable    int64    `json:"unrecoverable"`
+	SpansQuarantined int64    `json:"spans_quarantined"`
+	BytesQuarantined int64    `json:"bytes_quarantined"`
+	LogBadRecords    int64    `json:"log_bad_records"`
+	SimMs            float64  `json:"sim_ms"`
+	Health           string   `json:"health"`
+	Epoch            uint64   `json:"epoch"`
+	EpochVector      []uint64 `json:"epoch_vector"`
 }
 
-// MetricsResponse reports ingest-pipeline and snapshot metrics. All
-// counters come from one consistent snapshot of the pipeline state, so
-// EdgesApplied + EdgesDropped + QueueDepthEdges == EdgesAccepted holds
-// in every response, even one racing concurrent ingest.
+// MetricsResponse reports ingest-pipeline and snapshot metrics, summed
+// across shards. All counters come from one consistent snapshot per
+// shard pipeline, so EdgesApplied + EdgesDropped + QueueDepthEdges ==
+// EdgesAccepted holds in every response, even one racing concurrent
+// ingest. The LastBatch* fields describe the most recently applied batch
+// on any shard.
 type MetricsResponse struct {
 	QueueDepthEdges int64 `json:"queue_depth_edges"`
 	QueueCapEdges   int64 `json:"queue_cap_edges"`
@@ -449,11 +486,12 @@ type MetricsResponse struct {
 	RejectedWrites  int64 `json:"rejected_writes"`
 	// LastBatch* describe the most recently applied ingest batch:
 	// host-clock latency, simulated store time, and size.
-	LastBatchHostUs float64 `json:"last_batch_host_us"`
-	LastBatchSimMs  float64 `json:"last_batch_sim_ms"`
-	LastBatchEdges  int64   `json:"last_batch_edges"`
-	SnapshotEpoch   uint64  `json:"snapshot_epoch"`
-	SnapshotAgeMs   float64 `json:"snapshot_age_ms"`
+	LastBatchHostUs float64  `json:"last_batch_host_us"`
+	LastBatchSimMs  float64  `json:"last_batch_sim_ms"`
+	LastBatchEdges  int64    `json:"last_batch_edges"`
+	SnapshotEpoch   uint64   `json:"snapshot_epoch"`
+	SnapshotAgeMs   float64  `json:"snapshot_age_ms"`
+	EpochVector     []uint64 `json:"epoch_vector"`
 }
 
 // BFSRequest selects a traversal root.
@@ -463,11 +501,12 @@ type BFSRequest struct {
 
 // BFSResponse reports a traversal.
 type BFSResponse struct {
-	Root    graph.VID `json:"root"`
-	Visited int64     `json:"visited"`
-	Levels  int       `json:"levels"`
-	SimMs   float64   `json:"sim_ms"`
-	Epoch   uint64    `json:"epoch"`
+	Root        graph.VID `json:"root"`
+	Visited     int64     `json:"visited"`
+	Levels      int       `json:"levels"`
+	SimMs       float64   `json:"sim_ms"`
+	Epoch       uint64    `json:"epoch"`
+	EpochVector []uint64  `json:"epoch_vector"`
 }
 
 // PageRankRequest configures a PageRank run.
@@ -484,16 +523,18 @@ type RankedVertex struct {
 
 // PageRankResponse reports the top-ranked vertices.
 type PageRankResponse struct {
-	Top   []RankedVertex `json:"top"`
-	SimMs float64        `json:"sim_ms"`
-	Epoch uint64         `json:"epoch"`
+	Top         []RankedVertex `json:"top"`
+	SimMs       float64        `json:"sim_ms"`
+	Epoch       uint64         `json:"epoch"`
+	EpochVector []uint64       `json:"epoch_vector"`
 }
 
 // CCResponse reports connected components.
 type CCResponse struct {
-	Components int     `json:"components"`
-	SimMs      float64 `json:"sim_ms"`
-	Epoch      uint64  `json:"epoch"`
+	Components  int      `json:"components"`
+	SimMs       float64  `json:"sim_ms"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
 }
 
 // KHopRequest bounds a neighborhood exploration.
@@ -504,11 +545,12 @@ type KHopRequest struct {
 
 // KHopResponse reports the bounded exploration.
 type KHopResponse struct {
-	Root    graph.VID `json:"root"`
-	Reached int64     `json:"reached"`
-	PerHop  []int64   `json:"per_hop"`
-	SimMs   float64   `json:"sim_ms"`
-	Epoch   uint64    `json:"epoch"`
+	Root        graph.VID `json:"root"`
+	Reached     int64     `json:"reached"`
+	PerHop      []int64   `json:"per_hop"`
+	SimMs       float64   `json:"sim_ms"`
+	Epoch       uint64    `json:"epoch"`
+	EpochVector []uint64  `json:"epoch_vector"`
 }
 
 // ---- JSON plumbing ----
@@ -521,6 +563,13 @@ type errorBody struct {
 type errorDetail struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// Shard names the partition the failure is attributable to, when it
+	// is one partition's (queue_full, circuit_open, media_error,
+	// partition_down, ...).
+	Shard *int `json:"shard,omitempty"`
+	// EpochVector is the cluster's epoch vector at failure time, when a
+	// consistent read of it was available.
+	EpochVector []uint64 `json:"epoch_vector,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -531,18 +580,33 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// writeEpochJSON emits v with the snapshot epoch mirrored in a header,
-// so clients that discard bodies can still track staleness.
+// writeEpochJSON emits v with the scalar snapshot epoch mirrored in a
+// header, so clients that discard bodies can still track staleness.
 func writeEpochJSON(w http.ResponseWriter, epoch uint64, v any) {
 	w.Header().Set("X-Snapshot-Epoch", fmt.Sprintf("%d", epoch))
 	writeJSON(w, v)
 }
 
 func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(errorBody{Error: errorDetail{
+	writeErrorDetail(w, status, errorDetail{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
-	}})
+	})
+}
+
+// httpShardError is httpError with the partition attribution the
+// cluster-aware envelope carries.
+func httpShardError(w http.ResponseWriter, status int, code string, shardID int, vec []uint64, format string, args ...any) {
+	writeErrorDetail(w, status, errorDetail{
+		Code:        code,
+		Message:     fmt.Sprintf(format, args...),
+		Shard:       &shardID,
+		EpochVector: vec,
+	})
+}
+
+func writeErrorDetail(w http.ResponseWriter, status int, d errorDetail) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: d})
 }

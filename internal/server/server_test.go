@@ -62,7 +62,7 @@ func do(t *testing.T, method, url string, body any, out any) int {
 func TestIngestAndQuery(t *testing.T) {
 	_, ts := testServer(t)
 	var ing IngestResponse
-	code := do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{
+	code := do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{
 		{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}, {Src: 3, Dst: 1},
 	}}, &ing)
 	if code != 200 || ing.Accepted != 4 {
@@ -70,18 +70,18 @@ func TestIngestAndQuery(t *testing.T) {
 	}
 
 	var nb NeighborsResponse
-	if code := do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb); code != 200 {
 		t.Fatalf("out: %d", code)
 	}
 	if len(nb.Neighbors) != 2 {
 		t.Fatalf("out(1) = %v", nb.Neighbors)
 	}
-	if code := do(t, "GET", ts.URL+"/vertices/1/in", nil, &nb); code != 200 || len(nb.Neighbors) != 1 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/in", nil, &nb); code != 200 || len(nb.Neighbors) != 1 {
 		t.Fatalf("in(1): code=%d %v", code, nb.Neighbors)
 	}
 
 	var deg DegreeResponse
-	do(t, "GET", ts.URL+"/vertices/1/degree", nil, &deg)
+	do(t, "GET", ts.URL+"/v1/vertices/1/degree", nil, &deg)
 	if deg.Out != 2 || deg.In != 1 {
 		t.Fatalf("degree = %+v", deg)
 	}
@@ -89,12 +89,12 @@ func TestIngestAndQuery(t *testing.T) {
 
 func TestDeleteEdges(t *testing.T) {
 	_, ts := testServer(t)
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 5, Dst: 6}, {Src: 5, Dst: 7}}}, nil)
-	if code := do(t, "DELETE", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 5, Dst: 6}}}, nil); code != 200 {
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 5, Dst: 6}, {Src: 5, Dst: 7}}}, nil)
+	if code := do(t, "DELETE", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 5, Dst: 6}}}, nil); code != 200 {
 		t.Fatalf("delete: %d", code)
 	}
 	var nb NeighborsResponse
-	do(t, "GET", ts.URL+"/vertices/5/out", nil, &nb)
+	do(t, "GET", ts.URL+"/v1/vertices/5/out", nil, &nb)
 	if len(nb.Neighbors) != 1 || nb.Neighbors[0] != 7 {
 		t.Fatalf("after delete out(5) = %v", nb.Neighbors)
 	}
@@ -108,16 +108,16 @@ func TestQueries(t *testing.T) {
 		edges = append(edges, EdgeJSON{Src: i, Dst: i + 1})
 		edges = append(edges, EdgeJSON{Src: i + 100, Dst: 0})
 	}
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges}, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges}, nil)
 
 	var bfs BFSResponse
-	do(t, "POST", ts.URL+"/query/bfs", BFSRequest{Root: 0}, &bfs)
+	do(t, "POST", ts.URL+"/v1/query/bfs", BFSRequest{Root: 0}, &bfs)
 	if bfs.Visited != 21 {
 		t.Fatalf("bfs visited = %d, want 21", bfs.Visited)
 	}
 
 	var pr PageRankResponse
-	do(t, "POST", ts.URL+"/query/pagerank", PageRankRequest{Iterations: 5, Top: 3}, &pr)
+	do(t, "POST", ts.URL+"/v1/query/pagerank", PageRankRequest{Iterations: 5, Top: 3}, &pr)
 	if len(pr.Top) != 3 {
 		t.Fatalf("pagerank top = %+v", pr.Top)
 	}
@@ -126,7 +126,7 @@ func TestQueries(t *testing.T) {
 	}
 	// The 20-follower hub must outrank an arbitrary leaf vertex.
 	var all PageRankResponse
-	do(t, "POST", ts.URL+"/query/pagerank", PageRankRequest{Iterations: 5, Top: 1 << 20}, &all)
+	do(t, "POST", ts.URL+"/v1/query/pagerank", PageRankRequest{Iterations: 5, Top: 1 << 20}, &all)
 	var hub, leaf float64
 	for _, rv := range all.Top {
 		if rv.Vertex == 0 {
@@ -141,7 +141,7 @@ func TestQueries(t *testing.T) {
 	}
 
 	var cc CCResponse
-	do(t, "POST", ts.URL+"/query/cc", struct{}{}, &cc)
+	do(t, "POST", ts.URL+"/v1/query/cc", struct{}{}, &cc)
 	if cc.Components <= 0 {
 		t.Fatalf("cc = %+v", cc)
 	}
@@ -149,22 +149,22 @@ func TestQueries(t *testing.T) {
 
 func TestStatsFlushCompact(t *testing.T) {
 	_, ts := testServer(t)
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil)
 	var st StatsResponse
-	if code := do(t, "GET", ts.URL+"/stats", nil, &st); code != 200 {
+	if code := do(t, "GET", ts.URL+"/v1/stats", nil, &st); code != 200 {
 		t.Fatal("stats failed")
 	}
 	if st.LoggedEdges != 1 || st.NumVertices < 3 || st.ElogPMEMBytes == 0 {
 		t.Fatalf("stats = %+v", st)
 	}
-	if code := do(t, "POST", ts.URL+"/flush", nil, nil); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/flush", nil, nil); code != 200 {
 		t.Fatal("flush failed")
 	}
-	if code := do(t, "POST", ts.URL+"/compact/1", nil, nil); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/compact/1", nil, nil); code != 200 {
 		t.Fatal("compact failed")
 	}
 	var nb NeighborsResponse
-	do(t, "GET", ts.URL+"/vertices/1/out", nil, &nb)
+	do(t, "GET", ts.URL+"/v1/vertices/1/out", nil, &nb)
 	if len(nb.Neighbors) != 1 {
 		t.Fatalf("after flush+compact: %v", nb.Neighbors)
 	}
@@ -172,19 +172,19 @@ func TestStatsFlushCompact(t *testing.T) {
 
 func TestBadRequests(t *testing.T) {
 	_, ts := testServer(t)
-	if code := do(t, "POST", ts.URL+"/edges", map[string]any{"edges": []any{}}, nil); code != 400 {
+	if code := do(t, "POST", ts.URL+"/v1/edges", map[string]any{"edges": []any{}}, nil); code != 400 {
 		t.Fatalf("empty edges = %d, want 400", code)
 	}
-	if code := do(t, "PUT", ts.URL+"/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil); code != 405 {
+	if code := do(t, "PUT", ts.URL+"/v1/edges", EdgesRequest{Edges: []EdgeJSON{{Src: 1, Dst: 2}}}, nil); code != 405 {
 		t.Fatalf("PUT = %d, want 405", code)
 	}
-	if code := do(t, "GET", ts.URL+"/vertices/abc/out", nil, nil); code != 400 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/abc/out", nil, nil); code != 400 {
 		t.Fatalf("bad id = %d, want 400", code)
 	}
-	if code := do(t, "GET", ts.URL+"/vertices/1/sideways", nil, nil); code != 404 {
+	if code := do(t, "GET", ts.URL+"/v1/vertices/1/sideways", nil, nil); code != 404 {
 		t.Fatalf("bad view = %d, want 404", code)
 	}
-	if code := do(t, "POST", ts.URL+"/vertices/1/out", nil, nil); code != 405 {
+	if code := do(t, "POST", ts.URL+"/v1/vertices/1/out", nil, nil); code != 405 {
 		t.Fatalf("POST vertex = %d, want 405", code)
 	}
 }
@@ -202,7 +202,7 @@ func TestConcurrentClients(t *testing.T) {
 			for i := 0; i < 8; i++ {
 				src := uint32(g*100 + i)
 				body, _ := json.Marshal(EdgesRequest{Edges: []EdgeJSON{{Src: src, Dst: src + 1}}})
-				resp, err := http.Post(ts.URL+"/edges", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(ts.URL+"/v1/edges", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs <- err
 					return
@@ -221,7 +221,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	var st StatsResponse
-	do(t, "GET", ts.URL+"/stats", nil, &st)
+	do(t, "GET", ts.URL+"/v1/stats", nil, &st)
 	if st.LoggedEdges != 64 {
 		t.Fatalf("logged = %d, want 64", st.LoggedEdges)
 	}
@@ -233,9 +233,9 @@ func TestKHopEndpoint(t *testing.T) {
 	for i := uint32(0); i < 6; i++ {
 		edges = append(edges, EdgeJSON{Src: i, Dst: i + 1})
 	}
-	do(t, "POST", ts.URL+"/edges", EdgesRequest{Edges: edges}, nil)
+	do(t, "POST", ts.URL+"/v1/edges", EdgesRequest{Edges: edges}, nil)
 	var kh KHopResponse
-	if code := do(t, "POST", ts.URL+"/query/khop", KHopRequest{Root: 0, K: 3}, &kh); code != 200 {
+	if code := do(t, "POST", ts.URL+"/v1/query/khop", KHopRequest{Root: 0, K: 3}, &kh); code != 200 {
 		t.Fatalf("khop: %d", code)
 	}
 	if kh.Reached != 3 {

@@ -9,9 +9,12 @@
 //     §II-B / §III-B of the paper),
 //   - graphone.Store: the GraphOne comparison baseline.
 //
-// The interface was born as analytics.View; it moved here so that the
-// serving layer can depend on the read contract without pulling in the
-// query algorithms.
+// View is deliberately the *only* read surface: the serving layer and
+// the analytics engine never touch a concrete store type, so a view that
+// spans many stores (cluster.ClusterView, one snapshot epoch per shard)
+// slots in without a single algorithm change. The Full interface below
+// extends the contract with the media-checked reads and the in-degree
+// the HTTP handlers need.
 package view
 
 import (
@@ -37,6 +40,29 @@ type View interface {
 	// OutDegree is the stored out-record count (PageRank's divisor and
 	// the one-hop query's non-zero filter).
 	OutDegree(v graph.VID) int
+}
+
+// Checked is the media-error-aware half of the read surface: reads that
+// touch uncorrectable lines or checksum-mismatched blocks return a typed
+// error instead of silently wrong neighbors (DESIGN.md §9). Implemented
+// by core.Store, core.Snapshot, and cluster.ClusterView; stores without
+// a media guard simply never fail.
+type Checked interface {
+	NbrsOutChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error)
+	NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error)
+}
+
+// Full is the complete serving-layer read contract: the algorithm
+// surface (View), the checked point reads, and the in-degree the degree
+// endpoint reports. Everything the HTTP handlers ever ask of a graph
+// goes through this interface, which is what lets a partitioned cluster
+// view replace a single snapshot with zero handler changes.
+type Full interface {
+	View
+	Checked
+	// InDegree is the stored in-record count of v (the counterpart of
+	// View.OutDegree).
+	InDegree(v graph.VID) int
 }
 
 // Guard wraps a View so that every method runs under mu.RLock. It is
@@ -116,4 +142,37 @@ func (g *guarded) OutDegree(v graph.VID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.v.OutDegree(v)
+}
+
+// GuardFull is Guard over the Full surface: the same per-call RLock
+// discipline (and the same materialize-locked/call-back-unlocked rule
+// for the visitors), extended to the checked reads and the in-degree.
+// The cluster layer builds its per-shard read sources with it, so every
+// shard access is ordered against that shard's writer without the
+// composite view owning any lock itself.
+func GuardFull(v Full, mu *sync.RWMutex) Full {
+	return &guardedFull{guarded: guarded{v: v, mu: mu}, f: v}
+}
+
+type guardedFull struct {
+	guarded
+	f Full
+}
+
+func (g *guardedFull) NbrsOutChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.NbrsOutChecked(ctx, v, dst)
+}
+
+func (g *guardedFull) NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.NbrsInChecked(ctx, v, dst)
+}
+
+func (g *guardedFull) InDegree(v graph.VID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.InDegree(v)
 }

@@ -45,6 +45,14 @@ go test -race -short ./...
 echo "== crash-point sweeps (capped, native)"
 go test -run Crash -short ./internal/crashtest/ ./internal/core/ ./internal/elog/
 
+echo "== cluster router + failover (-race)"
+# The partitioned-cluster suite under the race detector: the 4-shard
+# differential vs a single store, replica log-shipping convergence,
+# leader-kill failover (replica serving / typed degradation), and the
+# partition-map stability properties (DESIGN.md §11).
+go test -race -run 'TestCluster|TestFailover|TestReplica|TestShutdown|TestEpochVector|TestBreaker' ./internal/cluster/
+go test -race -run 'TestHash64|TestOwner|TestSlot|TestSplit|TestNewSlotMap' ./internal/shard/
+
 echo "== wire bench + benchgate (DESIGN.md §10.3)"
 # Regenerate the binary-ingest/varint-density report at the same scale
 # as the committed BENCH_6.json and gate it: absolute floors (binary
@@ -53,9 +61,18 @@ echo "== wire bench + benchgate (DESIGN.md §10.3)"
 # from the simulator and are deterministic; the decode speedup is
 # host-clock, so the baseline comparison gives it a loose bound.
 wire_report=$(mktemp -t bench6.XXXXXX.json)
-trap 'rm -f "$wire_report"' EXIT
+cluster_report=$(mktemp -t bench7.XXXXXX.json)
+trap 'rm -f "$wire_report" "$cluster_report"' EXIT
 go run ./cmd/xpgraph bench -exp wire -scale 0.5 -json "$wire_report" >/dev/null
 go run ./cmd/xpgraph benchgate -new "$wire_report" -baseline BENCH_6.json
+
+echo "== cluster bench + benchgate (DESIGN.md §11)"
+# Regenerate the multi-shard ingest-scaling report at the committed
+# BENCH_7.json scale and gate it: 4-shard ingest >= 2x a single shard,
+# plus no-regression against the committed baseline. All numbers are
+# simulated-clock, so at a fixed scale the comparison is exact.
+go run ./cmd/xpgraph bench -exp cluster -scale 0.5 -json "$cluster_report" >/dev/null
+go run ./cmd/xpgraph benchgate -new "$cluster_report" -baseline BENCH_7.json
 
 echo "== media-scrub differentials (short)"
 # The UE-injection differential harness (DESIGN.md §9): every read under
