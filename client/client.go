@@ -60,6 +60,10 @@ type Client struct {
 	base string
 	http *http.Client
 	opts Options
+	// sleep waits out one Retry-After delay, honoring ctx cancellation.
+	// Tests stub it with a fake clock to assert the retry loop's waits
+	// without real time passing.
+	sleep func(ctx context.Context, d time.Duration) error
 }
 
 // New builds a client for the server at baseURL (e.g.
@@ -76,7 +80,19 @@ func New(baseURL string, opts Options) *Client {
 	}
 	base := strings.TrimSuffix(baseURL, "/")
 	base = strings.TrimSuffix(base, "/v1")
-	return &Client{base: base, http: opts.HTTPClient, opts: opts}
+	return &Client{base: base, http: opts.HTTPClient, opts: opts, sleep: realSleep}
+}
+
+// realSleep is the production retry backoff: a timer bounded by ctx.
+func realSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // APIError is a non-2xx /v1 response: the HTTP status plus the decoded
@@ -286,12 +302,8 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			wait = c.opts.MaxRetryWait
 		}
 		if wait > 0 {
-			t := time.NewTimer(wait)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return ctx.Err()
-			case <-t.C:
+			if err := c.sleep(ctx, wait); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,168 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock stubs the client's retry backoff: it records every wait the
+// retry loop asked for instead of actually sleeping, so the tests
+// assert the Retry-After handling without real time passing.
+type fakeClock struct {
+	mu    sync.Mutex
+	waits []time.Duration
+	// cancelAfter, when > 0, makes the sleep report ctx cancellation on
+	// that (1-based) call.
+	cancelAfter int
+}
+
+func (f *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	f.mu.Lock()
+	f.waits = append(f.waits, d)
+	n := len(f.waits)
+	f.mu.Unlock()
+	if f.cancelAfter > 0 && n >= f.cancelAfter {
+		return context.Canceled
+	}
+	return ctx.Err()
+}
+
+func (f *fakeClock) recorded() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.waits...)
+}
+
+// shed429 builds a stub server that sheds the first n writes with 429 +
+// the given per-attempt Retry-After values, then accepts.
+func shed429(t *testing.T, calls *atomic.Int64, retryAfter []string) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		if int(n) <= len(retryAfter) {
+			w.Header().Set("Retry-After", retryAfter[n-1])
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":{"code":"queue_full","message":"full","shard":0}}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"accepted":1,"epoch":2,"epoch_vector":[2]}`)
+	}))
+}
+
+// TestRetryHonorsJitteredRetryAfter pins that each retry sleeps exactly
+// the delay the server's jittered Retry-After advertised — observed on
+// a fake clock, so varying server-side jitter (1s/3s/2s) is asserted
+// wait-for-wait without the test actually waiting.
+func TestRetryHonorsJitteredRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	stub := shed429(t, &calls, []string{"1", "3", "2"})
+	defer stub.Close()
+
+	clk := &fakeClock{}
+	c := New(stub.URL, Options{Retries: 3})
+	c.sleep = clk.sleep
+
+	ir, err := c.AddEdges(context.Background(), []Edge{{Src: 1, Dst: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ir.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", ir.Accepted)
+	}
+	if calls.Load() != 4 { // 3 sheds + the success
+		t.Fatalf("calls = %d, want 4", calls.Load())
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 2 * time.Second}
+	got := clk.recorded()
+	if len(got) != len(want) {
+		t.Fatalf("waits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("wait %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestRetryWaitCappedByMaxRetryWait pins the bound: a server advertising
+// a huge Retry-After cannot park the caller past Options.MaxRetryWait.
+func TestRetryWaitCappedByMaxRetryWait(t *testing.T) {
+	var calls atomic.Int64
+	stub := shed429(t, &calls, []string{"3600", "3600"})
+	defer stub.Close()
+
+	clk := &fakeClock{}
+	c := New(stub.URL, Options{Retries: 2, MaxRetryWait: 2 * time.Second})
+	c.sleep = clk.sleep
+
+	if _, err := c.AddEdges(context.Background(), []Edge{{Src: 1, Dst: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range clk.recorded() {
+		if w != 2*time.Second {
+			t.Fatalf("wait %d = %v, want the 2s cap", i, w)
+		}
+	}
+	if len(clk.recorded()) != 2 {
+		t.Fatalf("waits = %v, want exactly 2 capped waits", clk.recorded())
+	}
+}
+
+// TestRetryBoundedThenTypedError pins the retry budget end to end on the
+// fake clock: Retries sheds exhaust the budget (initial + Retries
+// requests, one recorded wait per retry), and the caller gets the final
+// 429 as a typed *APIError — not a generic error, not a hang.
+func TestRetryBoundedThenTypedError(t *testing.T) {
+	var calls atomic.Int64
+	stub := shed429(t, &calls, []string{"1", "1", "1", "1", "1", "1", "1", "1"})
+	defer stub.Close()
+
+	clk := &fakeClock{}
+	c := New(stub.URL, Options{Retries: 2})
+	c.sleep = clk.sleep
+
+	_, err := c.AddEdges(context.Background(), []Edge{{Src: 1, Dst: 2}})
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *APIError", err)
+	}
+	if ae.Status != 429 || ae.Code != "queue_full" || ae.RetryAfter != time.Second {
+		t.Fatalf("APIError = %+v", ae)
+	}
+	if calls.Load() != 3 { // initial + 2 retries
+		t.Fatalf("calls = %d, want 3", calls.Load())
+	}
+	if len(clk.recorded()) != 2 { // the final 429 is returned, not slept on
+		t.Fatalf("waits = %v, want exactly 2 (no sleep after the last attempt)", clk.recorded())
+	}
+}
+
+// TestRetryStopsOnContextCancel pins that a context cancelled mid-wait
+// aborts the retry loop with the context's error instead of burning the
+// remaining budget.
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	var calls atomic.Int64
+	stub := shed429(t, &calls, []string{"1", "1", "1", "1"})
+	defer stub.Close()
+
+	clk := &fakeClock{cancelAfter: 1}
+	c := New(stub.URL, Options{Retries: 4})
+	c.sleep = clk.sleep
+
+	_, err := c.AddEdges(context.Background(), []Edge{{Src: 1, Dst: 2}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retry after cancellation)", calls.Load())
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/graphone"
 	"repro/internal/obs"
 	"repro/internal/pmem"
+	"repro/internal/soak"
 	"repro/internal/xpsim"
 )
 
@@ -61,6 +62,8 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "benchgate":
 		err = cmdBenchgate(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "list":
 		err = cmdList()
 	case "-h", "--help", "help":
@@ -85,6 +88,8 @@ func usage() {
   recover -dataset D [-scale f] [-load state.xpg]
   gen     -dataset D -out file [-scale f]
   benchgate -new report.json [-baseline committed.json] [-tol f]
+  soak    -scenario <short-mix|bursty-ingest|fault-storm> [-seed n] [-adaptive]
+          [-horizon d] [-dump dir] [-json out.json]
   list`)
 }
 
@@ -227,9 +232,78 @@ func cmdBenchgate(args []string) error {
 		return gateWire(raw, baseRaw, *tol)
 	case "cluster":
 		return gateCluster(raw, baseRaw, *tol)
+	case "soak":
+		return gateSoak(raw, baseRaw, *tol)
 	default:
 		return fmt.Errorf("benchgate: no gates defined for experiment %q", exp)
 	}
+}
+
+// gateSoak enforces the PR-8 adaptive-admission gates on a soak bench
+// report: under the bursty-ingest scenario the AIMD controller must
+// achieve >= 1.2x lower p99 read latency than the static defaults (or
+// >= 1.2x fewer 429s at equal p99), it must actually have tuned, and
+// neither mode may violate the scenario's own SLO. With a baseline the
+// adaptive advantage must not regress by more than tol.
+func gateSoak(raw, baseRaw []byte, tol float64) error {
+	cur, err := decodeReports[bench.SoakReport](raw)
+	if err != nil {
+		return err
+	}
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	byMode := map[string]bench.SoakReport{}
+	for _, r := range cur {
+		byMode[r.Mode] = r
+		fmt.Printf("%-8s %6d reads  p99 %8.2fus  wr p99 %6.2fms  shed %d  tuned %d/%d  violations %d\n",
+			r.Mode, r.Reads, r.ReadP99Us, r.WriteP99Ms, r.Shed429, r.TuneDecreases, r.TuneIncreases, r.Violations)
+	}
+	st, okS := byMode["static"]
+	ad, okA := byMode["adaptive"]
+	if !okS || !okA {
+		return fmt.Errorf("benchgate: soak report needs both a static and an adaptive row")
+	}
+	check(st.Violations == 0, "static run violated the scenario SLO (%d violations)", st.Violations)
+	check(ad.Violations == 0, "adaptive run violated the scenario SLO (%d violations)", ad.Violations)
+	check(ad.TuneDecreases > 0, "adaptive run never tuned (0 decreases); the comparison is vacuous")
+	check(st.Reads > 0 && ad.Reads > 0, "degenerate run: %d/%d reads", st.Reads, ad.Reads)
+
+	// The headline claim: >= 1.2x lower p99 read latency, or >= 1.2x
+	// fewer 429s at (approximately) equal p99.
+	p99Win := ad.ReadP99Us > 0 && st.ReadP99Us >= 1.2*ad.ReadP99Us
+	shedWin := ad.Shed429 > 0 && float64(st.Shed429) >= 1.2*float64(ad.Shed429) &&
+		ad.ReadP99Us <= 1.05*st.ReadP99Us
+	check(p99Win || shedWin,
+		"adaptive admission is not >= 1.2x better: p99 %.2fus vs static %.2fus, shed %d vs %d",
+		ad.ReadP99Us, st.ReadP99Us, ad.Shed429, st.Shed429)
+
+	if baseRaw != nil {
+		base, err := decodeReports[bench.SoakReport](baseRaw)
+		if err != nil {
+			return err
+		}
+		baseByMode := map[string]bench.SoakReport{}
+		for _, r := range base {
+			baseByMode[r.Mode] = r
+		}
+		bs, okS := baseByMode["static"]
+		ba, okA := baseByMode["adaptive"]
+		// Only comparable at the same virtual horizon (same -scale);
+		// otherwise the headline >= 1.2x floor above is the whole gate.
+		if okS && okA && ba.ReadP99Us > 0 && ad.ReadP99Us > 0 &&
+			ba.HorizonS == ad.HorizonS && bs.HorizonS == st.HorizonS {
+			baseAdv := bs.ReadP99Us / ba.ReadP99Us
+			curAdv := st.ReadP99Us / ad.ReadP99Us
+			check(curAdv >= baseAdv*(1-tol),
+				"adaptive p99 advantage regressed: %.2fx vs baseline %.2fx", curAdv, baseAdv)
+		}
+	}
+	return gateVerdict(fails)
 }
 
 // gateWire enforces the PR-6 gates: binary ingest >= 2x JSON decode
@@ -357,6 +431,66 @@ func gateCluster(raw, baseRaw []byte, tol float64) error {
 		}
 	}
 	return gateVerdict(fails)
+}
+
+// cmdSoak runs one soak scenario (internal/soak) against the full
+// server/cluster/ingest/core stack and reports its SLO verdict: exit 0
+// when the scenario meets its spec, exit 1 with the violations (and a
+// replayable failure dump when -dump is set) otherwise.
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	name := fs.String("scenario", soak.ShortMix, "builtin scenario: "+strings.Join(soak.Names(), ", "))
+	seed := fs.Uint64("seed", 0, "override the scenario seed (0 keeps the builtin default)")
+	adaptive := fs.Bool("adaptive", false, "enable the AIMD adaptive admission controller (DESIGN.md §12.3)")
+	horizon := fs.Duration("horizon", 0, "override the virtual horizon (0 keeps the builtin default)")
+	dump := fs.String("dump", "", "directory for the failure dump (report+scenario JSON, Chrome trace, metrics) on SLO violation")
+	jsonPath := fs.String("json", "", "write the report JSON to this file")
+	fs.Parse(args)
+
+	sc, err := soak.ByName(*name)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *adaptive {
+		sc.Adaptive = true
+	}
+	if *horizon > 0 {
+		sc.Horizon = *horizon
+	}
+	rep, err := soak.Run(sc, *dump)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak %s seed %d (adaptive=%v): %d reads, %d khops, %d edges accepted over %.1fs virtual\n",
+		rep.Scenario, rep.Seed, rep.Adaptive, rep.Reads, rep.KHops, rep.EdgesAccepted, rep.HorizonS)
+	fmt.Printf("  read p50/p95/p99/max %.2f/%.2f/%.2f/%.2f us   write p50/p99 %.2f/%.2f ms\n",
+		rep.ReadP50Us, rep.ReadP95Us, rep.ReadP99Us, rep.ReadMaxUs, rep.WriteP50Ms, rep.WriteP99Ms)
+	fmt.Printf("  shed 429 %d/%d parts   read errors %d/%d   health %s   max queue %d edges\n",
+		rep.Shed429, rep.WriteParts, rep.ReadErrors, rep.Reads, rep.FinalHealth, rep.MaxQueueDepthEdges)
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if rep.Failed() {
+		for _, v := range rep.Violations {
+			fmt.Fprintln(os.Stderr, "soak SLO FAIL:", v)
+		}
+		if *dump != "" {
+			fmt.Fprintf(os.Stderr, "soak: dump in %s; replay with: xpgraph soak -scenario %s -seed %d\n",
+				*dump, sc.Name, sc.Seed)
+		}
+		return fmt.Errorf("soak: %d SLO violation(s)", len(rep.Violations))
+	}
+	fmt.Println("soak: SLO met")
+	return nil
 }
 
 // gateVerdict prints and folds the failure list into the exit status.

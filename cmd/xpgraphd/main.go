@@ -83,6 +83,8 @@ func main() {
 	queueCap := flag.Int("queue-cap", 1<<16, "ingest queue capacity (edges)")
 	batchEdges := flag.Int("batch-edges", 4096, "edges applied per ingest batch")
 	linger := flag.Duration("linger", 2*time.Millisecond, "batching linger time")
+	adaptive := flag.Bool("adaptive", false, "AIMD adaptive admission: auto-tune batch size, linger and the 429 threshold from observed queue depth and batch latency (DESIGN.md §12.3)")
+	adaptiveTarget := flag.Duration("adaptive-target", 0, "applied-batch latency target for -adaptive (default 2ms)")
 	flushEvery := flag.Duration("flush-every", 5*time.Second, "periodic vertex-buffer flush (0 disables)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline; requests past it answer 503 deadline_exceeded (0 disables)")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "bound on graceful shutdown: HTTP drain plus ingest-queue drain share this budget (0 waits forever)")
@@ -135,12 +137,14 @@ func main() {
 		}
 	}
 	ccfg := cluster.Config{
-		Replicas:   *replicas,
-		QueueCap:   *queueCap,
-		BatchEdges: *batchEdges,
-		Linger:     *linger,
-		FlushEvery: *flushEvery,
-		ScrubEvery: *scrubEvery,
+		Replicas:       *replicas,
+		QueueCap:       *queueCap,
+		BatchEdges:     *batchEdges,
+		Linger:         *linger,
+		FlushEvery:     *flushEvery,
+		ScrubEvery:     *scrubEvery,
+		Adaptive:       *adaptive,
+		AdaptiveTarget: *adaptiveTarget,
 	}
 	if *replicas > 0 {
 		ccfg.ReplicaFactory = func(shardID, replica int) (*core.Store, error) {

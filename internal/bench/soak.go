@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/soak"
+)
+
+func init() {
+	register("soak", "Adaptive vs static admission under the bursty-ingest soak", soakExp)
+}
+
+// SoakReport is one mode's run of the bursty-ingest soak scenario —
+// the rows behind BENCH_8.json. The gate compares the static and
+// adaptive rows: the AIMD controller must cut the p99 read latency by
+// >= 1.2x (or shed >= 1.2x fewer 429s at equal p99).
+type SoakReport struct {
+	Mode     string  `json:"mode"` // "static" or "adaptive"
+	Scenario string  `json:"scenario"`
+	Seed     uint64  `json:"seed"`
+	HorizonS float64 `json:"horizon_s"`
+
+	Reads         int64   `json:"reads"`
+	EdgesAccepted int64   `json:"edges_accepted"`
+	ReadP50Us     float64 `json:"read_p50_us"`
+	ReadP95Us     float64 `json:"read_p95_us"`
+	ReadP99Us     float64 `json:"read_p99_us"`
+	WriteP99Ms    float64 `json:"write_p99_ms"`
+	Shed429       int64   `json:"shed_429"`
+	WriteParts    int64   `json:"write_parts"`
+	Violations    int     `json:"violations"`
+
+	// TuneDecreases/TuneIncreases are the AIMD controller's steps (zero
+	// in static mode, and proof the adaptive run actually tuned).
+	TuneDecreases int64 `json:"tune_decreases"`
+	TuneIncreases int64 `json:"tune_increases"`
+}
+
+// soakExp runs the bursty-ingest soak scenario twice — static pipeline
+// defaults, then the AIMD adaptive admission controller — on identical
+// seeds and virtual load, and reports both. EdgeScale scales the
+// virtual horizon (the warm load stays fixed: it positions the run in
+// the store's spike-free steady state; see soak.BurstyIngest).
+func soakExp(cfg Config) (Table, error) {
+	sc, err := soak.ByName(soak.BurstyIngest)
+	if err != nil {
+		return Table{}, err
+	}
+	if cfg.EdgeScale != 1 {
+		sc.Horizon = time.Duration(float64(sc.Horizon) * cfg.EdgeScale)
+		if sc.Horizon < time.Second {
+			sc.Horizon = time.Second
+		}
+	}
+
+	t := Table{Exp: "soak",
+		Title:   "Adaptive vs static admission under the bursty-ingest soak",
+		Columns: []string{"mode", "reads", "p50_us", "p95_us", "p99_us", "wr_p99_ms", "shed", "tuned"},
+		Notes: []string{
+			"one shard under periodic ingest bursts; latencies are simulated (lock wait + media cost)",
+			"identical seed and virtual load in both modes; only the admission policy differs",
+		},
+	}
+	var reports []SoakReport
+	for _, mode := range []string{"static", "adaptive"} {
+		sc.Adaptive = mode == "adaptive"
+		rep, err := soak.Run(sc, "")
+		if err != nil {
+			return Table{}, fmt.Errorf("soak %s: %w", mode, err)
+		}
+		r := SoakReport{
+			Mode:          mode,
+			Scenario:      rep.Scenario,
+			Seed:          rep.Seed,
+			HorizonS:      rep.HorizonS,
+			Reads:         rep.Reads,
+			EdgesAccepted: rep.EdgesAccepted,
+			ReadP50Us:     rep.ReadP50Us,
+			ReadP95Us:     rep.ReadP95Us,
+			ReadP99Us:     rep.ReadP99Us,
+			WriteP99Ms:    rep.WriteP99Ms,
+			Shed429:       rep.Shed429,
+			WriteParts:    rep.WriteParts,
+			Violations:    len(rep.Violations),
+		}
+		for _, tr := range rep.FinalTuning {
+			r.TuneDecreases += tr.Decreases
+			r.TuneIncreases += tr.Increases
+		}
+		reports = append(reports, r)
+		t.Rows = append(t.Rows, []string{
+			mode, fmt.Sprintf("%d", r.Reads),
+			fmt.Sprintf("%.2f", r.ReadP50Us),
+			fmt.Sprintf("%.2f", r.ReadP95Us),
+			fmt.Sprintf("%.2f", r.ReadP99Us),
+			fmt.Sprintf("%.2f", r.WriteP99Ms),
+			fmt.Sprintf("%d", r.Shed429),
+			fmt.Sprintf("%d/%d", r.TuneDecreases, r.TuneIncreases),
+		})
+	}
+	t.JSON = map[string]any{"experiment": "soak", "reports": reports}
+	return t, nil
+}

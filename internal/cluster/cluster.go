@@ -61,6 +61,14 @@ type Config struct {
 	ScrubEvery time.Duration
 	BatchDelay time.Duration // test hook: pause between chunks
 
+	// Adaptive attaches the AIMD admission controller to every shard's
+	// pipeline: BatchEdges/Linger/QueueCap become ceilings and the live
+	// knobs tune down under congestion (DESIGN.md §12.3).
+	Adaptive bool
+	// AdaptiveTarget overrides the controller's applied-batch latency
+	// target (default 2ms host time).
+	AdaptiveTarget time.Duration
+
 	// Breaker knobs, one breaker per shard.
 	BreakerThreshold int           // consecutive media failures that open it (default 3)
 	BreakerCooldown  time.Duration // open duration before the half-open probe (default 5s)
@@ -142,14 +150,18 @@ func New(stores []*core.Store, cfg Config) (*Cluster, error) {
 			store: st,
 			br:    breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
 		}
-		sh.pipe = ingest.New(ingest.Config{
+		icfg := ingest.Config{
 			QueueCap:   cfg.QueueCap,
 			BatchEdges: cfg.BatchEdges,
 			Linger:     cfg.Linger,
 			FlushEvery: cfg.FlushEvery,
 			ScrubEvery: cfg.ScrubEvery,
 			BatchDelay: cfg.BatchDelay,
-		}, &shardApplier{sh: sh})
+		}
+		if cfg.Adaptive {
+			icfg.Adaptive = &ingest.AdaptiveConfig{Target: cfg.AdaptiveTarget}
+		}
+		sh.pipe = ingest.New(icfg, &shardApplier{sh: sh})
 		c.shards = append(c.shards, sh)
 	}
 	return c, nil
@@ -657,6 +669,11 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 			sample("xpgraph_last_batch_host_seconds", "Host latency of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchHostNs)/1e9)
 			sample("xpgraph_last_batch_sim_seconds", "Simulated store time of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchSimNs)/1e9)
 			sample("xpgraph_last_batch_edges", "Size of the most recent ingest batch.", obs.KindGauge, float64(v.LastBatchEdges))
+			sample("xpgraph_ingest_batch_edges_live", "Live write-window cap (static config, or the adaptive controller's current value).", obs.KindGauge, float64(v.CurBatchEdges))
+			sample("xpgraph_ingest_linger_seconds_live", "Live batching linger.", obs.KindGauge, float64(v.CurLingerNs)/1e9)
+			sample("xpgraph_ingest_admit_edges_live", "Live 429 admission threshold in queued edges.", obs.KindGauge, float64(v.AdmitEdges))
+			sample("xpgraph_ingest_tune_decreases_total", "Multiplicative decreases taken by the adaptive admission controller.", obs.KindCounter, float64(v.TuneDecreases))
+			sample("xpgraph_ingest_tune_increases_total", "Additive increases taken by the adaptive admission controller.", obs.KindCounter, float64(v.TuneIncreases))
 
 			b := sh.br.view(time.Now())
 			open := 0.0

@@ -51,6 +51,11 @@ type Replica struct {
 	done chan struct{}
 
 	applyErr error // first apply failure; guarded by mu
+
+	// applyGate, when set, runs before each shipped chunk is applied —
+	// outside mu, so reads keep flowing. Tests use it to stall the apply
+	// goroutine and create replica lag deterministically. Guarded by mu.
+	applyGate func()
 }
 
 // newReplica builds a follower over an empty store and starts its apply
@@ -114,6 +119,12 @@ func (r *Replica) close() {
 func (r *Replica) loop() {
 	defer close(r.done)
 	for e := range r.ch {
+		r.mu.RLock()
+		gate := r.applyGate
+		r.mu.RUnlock()
+		if gate != nil {
+			gate()
+		}
 		r.mu.Lock()
 		if r.applyErr == nil {
 			if _, err := r.store.Ingest(e.edges); err != nil {

@@ -1,0 +1,265 @@
+// Adaptive admission control: an AIMD controller with hysteresis that
+// tunes the pipeline's batching and admission knobs from what the writer
+// actually observes — applied-batch latency and queue depth — instead of
+// trusting the static Config values under every load shape.
+//
+// The control loop (DESIGN.md §12.3):
+//
+//   - congestion signal: an applied batch ran longer than the target
+//     latency, or the queue sits above the high-water mark. Hold
+//     consecutive signals halve BatchEdges, Linger, and the 429
+//     admission threshold (multiplicative decrease) — shorter write
+//     windows mean readers wait less behind the exclusive lock, and a
+//     lower admission threshold sheds load before the queue drowns.
+//   - clear signal: a batch finished well under target with the queue
+//     near empty. Hold consecutive signals step every knob an additive
+//     increment back toward its static configured value.
+//   - anything in between is the hysteresis band: both counters reset,
+//     nothing moves. The Hold requirement plus the band keep the
+//     controller from flapping on a single outlier batch.
+//
+// The static Config values are the ceiling: under light load the
+// controller converges back to them and behaves exactly like a static
+// pipeline. It only ever tunes *down* from there, so enabling it cannot
+// make an uncongested deployment slower.
+package ingest
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tuning is the dynamic knob set the controller manages. The pipeline
+// reads it before every gather and admission check.
+type Tuning struct {
+	// BatchEdges caps one write window (one Applier.Apply call).
+	BatchEdges int
+	// Linger is how long a partial batch waits for company.
+	Linger time.Duration
+	// AdmitEdges is the 429 admission threshold: a write is shed once
+	// queued+new exceeds it. At most the queue capacity.
+	AdmitEdges int
+}
+
+// AdaptiveConfig tunes the controller. Zero fields take the defaults.
+type AdaptiveConfig struct {
+	// Target is the applied-batch latency the controller steers toward;
+	// batches slower than it signal congestion (default 2ms). The
+	// pipeline observes host latency; the soak harness feeds simulated
+	// latency — the rules are clock-agnostic.
+	Target time.Duration
+	// LowWater and HighWater bound the hysteresis band as fractions of
+	// the queue capacity: depth above HighWater*cap signals congestion,
+	// and a clear signal additionally needs depth below LowWater*cap
+	// (defaults 0.25 and 0.75).
+	LowWater, HighWater float64
+	// MinBatchEdges floors the multiplicative decrease (default 256).
+	MinBatchEdges int
+	// MinAdmitFrac floors the admission threshold as a fraction of the
+	// queue capacity (default 1/8).
+	MinAdmitFrac float64
+	// Hold is how many consecutive same-direction signals are required
+	// before the controller acts (default 3).
+	Hold int
+}
+
+func (c AdaptiveConfig) withDefaults() AdaptiveConfig {
+	if c.Target <= 0 {
+		c.Target = 2 * time.Millisecond
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 0.25
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 0.75
+	}
+	if c.MinBatchEdges <= 0 {
+		c.MinBatchEdges = 256
+	}
+	if c.MinAdmitFrac <= 0 {
+		c.MinAdmitFrac = 0.125
+	}
+	if c.Hold <= 0 {
+		c.Hold = 3
+	}
+	return c
+}
+
+// Controller is the AIMD admission controller. Observe runs on the
+// single writer goroutine (or the soak harness's event loop); the knob
+// reads are lock-free atomics so admission checks on request goroutines
+// never contend with it.
+type Controller struct {
+	cfg      AdaptiveConfig
+	queueCap int
+	base     Tuning // the static configured ceiling
+
+	batchEdges atomic.Int64
+	lingerNs   atomic.Int64
+	admitEdges atomic.Int64
+
+	mu               sync.Mutex
+	congestN, clearN int
+	decreases        atomic.Int64
+	increases        atomic.Int64
+}
+
+// NewController builds a controller starting at the static ceiling
+// (base), which it never exceeds. queueCap bounds AdmitEdges.
+func NewController(queueCap int, base Tuning, cfg AdaptiveConfig) *Controller {
+	cfg = cfg.withDefaults()
+	if base.AdmitEdges <= 0 || base.AdmitEdges > queueCap {
+		base.AdmitEdges = queueCap
+	}
+	if base.BatchEdges < cfg.MinBatchEdges {
+		cfg.MinBatchEdges = base.BatchEdges
+	}
+	c := &Controller{cfg: cfg, queueCap: queueCap, base: base}
+	c.batchEdges.Store(int64(base.BatchEdges))
+	c.lingerNs.Store(int64(base.Linger))
+	c.admitEdges.Store(int64(base.AdmitEdges))
+	return c
+}
+
+// Tuning reads the current knob set.
+func (c *Controller) Tuning() Tuning {
+	return Tuning{
+		BatchEdges: int(c.batchEdges.Load()),
+		Linger:     time.Duration(c.lingerNs.Load()),
+		AdmitEdges: int(c.admitEdges.Load()),
+	}
+}
+
+// BatchEdges reads the current write-window cap.
+func (c *Controller) BatchEdges() int { return int(c.batchEdges.Load()) }
+
+// Linger reads the current batching linger.
+func (c *Controller) Linger() time.Duration { return time.Duration(c.lingerNs.Load()) }
+
+// AdmitEdges reads the current 429 admission threshold.
+func (c *Controller) AdmitEdges() int { return int(c.admitEdges.Load()) }
+
+// Steps reports how many multiplicative decreases and additive
+// increases the controller has taken.
+func (c *Controller) Steps() (decreases, increases int64) {
+	return c.decreases.Load(), c.increases.Load()
+}
+
+// Observe feeds one applied batch: the queue depth after it drained,
+// its size in edges, and its latency (host or simulated — whichever
+// clock Target was written for). Returns true when the tuning moved.
+func (c *Controller) Observe(queued int64, batchEdges int, latency time.Duration) bool {
+	congested := latency > c.cfg.Target ||
+		float64(queued) > c.cfg.HighWater*float64(c.queueCap)
+	clear := latency < c.cfg.Target/2 &&
+		float64(queued) < c.cfg.LowWater*float64(c.queueCap)
+	_ = batchEdges // size rides along for telemetry; the rules key on latency+depth
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case congested:
+		c.congestN++
+		c.clearN = 0
+		if c.congestN >= c.cfg.Hold {
+			c.congestN = 0
+			return c.decrease()
+		}
+	case clear:
+		c.clearN++
+		c.congestN = 0
+		if c.clearN >= c.cfg.Hold {
+			c.clearN = 0
+			return c.increase()
+		}
+	default:
+		// Hysteresis band: hold position.
+		c.congestN, c.clearN = 0, 0
+	}
+	return false
+}
+
+// decrease halves every knob toward its floor. Called under mu.
+func (c *Controller) decrease() bool {
+	moved := false
+	if b := int(c.batchEdges.Load()); b > c.cfg.MinBatchEdges {
+		nb := b / 2
+		if nb < c.cfg.MinBatchEdges {
+			nb = c.cfg.MinBatchEdges
+		}
+		c.batchEdges.Store(int64(nb))
+		moved = true
+	}
+	minLinger := c.base.Linger / 8
+	if l := time.Duration(c.lingerNs.Load()); l > minLinger {
+		nl := l / 2
+		if nl < minLinger {
+			nl = minLinger
+		}
+		c.lingerNs.Store(int64(nl))
+		moved = true
+	}
+	minAdmit := int(c.cfg.MinAdmitFrac * float64(c.queueCap))
+	if minAdmit < 1 {
+		minAdmit = 1
+	}
+	if a := int(c.admitEdges.Load()); a > minAdmit {
+		na := a / 2
+		if na < minAdmit {
+			na = minAdmit
+		}
+		c.admitEdges.Store(int64(na))
+		moved = true
+	}
+	if moved {
+		c.decreases.Add(1)
+	}
+	return moved
+}
+
+// increase steps every knob an additive increment back toward the
+// static ceiling. Called under mu.
+func (c *Controller) increase() bool {
+	moved := false
+	if b := int(c.batchEdges.Load()); b < c.base.BatchEdges {
+		step := c.base.BatchEdges / 8
+		if step < 1 {
+			step = 1
+		}
+		nb := b + step
+		if nb > c.base.BatchEdges {
+			nb = c.base.BatchEdges
+		}
+		c.batchEdges.Store(int64(nb))
+		moved = true
+	}
+	if l := time.Duration(c.lingerNs.Load()); l < c.base.Linger {
+		step := c.base.Linger / 8
+		if step < 1 {
+			step = 1
+		}
+		nl := l + step
+		if nl > c.base.Linger {
+			nl = c.base.Linger
+		}
+		c.lingerNs.Store(int64(nl))
+		moved = true
+	}
+	if a := int(c.admitEdges.Load()); a < c.base.AdmitEdges {
+		step := c.queueCap / 8
+		if step < 1 {
+			step = 1
+		}
+		na := a + step
+		if na > c.base.AdmitEdges {
+			na = c.base.AdmitEdges
+		}
+		c.admitEdges.Store(int64(na))
+		moved = true
+	}
+	if moved {
+		c.increases.Add(1)
+	}
+	return moved
+}

@@ -1,0 +1,101 @@
+package ingest
+
+import (
+	"testing"
+	"time"
+)
+
+// TestConfigWithDefaults pins the defaulting rules: zero and negative
+// fields take the documented defaults, set fields survive untouched.
+func TestConfigWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{
+			name: "zero value takes every default",
+			in:   Config{},
+			want: Config{QueueCap: 1 << 16, BatchEdges: 4096, Linger: 2 * time.Millisecond},
+		},
+		{
+			name: "negative fields are treated as unset",
+			in:   Config{QueueCap: -1, BatchEdges: -4096, Linger: -time.Second},
+			want: Config{QueueCap: 1 << 16, BatchEdges: 4096, Linger: 2 * time.Millisecond},
+		},
+		{
+			name: "already-set fields survive",
+			in:   Config{QueueCap: 128, BatchEdges: 16, Linger: time.Microsecond},
+			want: Config{QueueCap: 128, BatchEdges: 16, Linger: time.Microsecond},
+		},
+		{
+			name: "partial: only the unset fields default",
+			in:   Config{BatchEdges: 512},
+			want: Config{QueueCap: 1 << 16, BatchEdges: 512, Linger: 2 * time.Millisecond},
+		},
+		{
+			name: "optional periods and hooks stay zero (disabled)",
+			in:   Config{FlushEvery: 0, ScrubEvery: 0, BatchDelay: 0},
+			want: Config{QueueCap: 1 << 16, BatchEdges: 4096, Linger: 2 * time.Millisecond},
+		},
+		{
+			name: "set periods pass through",
+			in:   Config{FlushEvery: time.Second, ScrubEvery: time.Minute, BatchDelay: time.Millisecond},
+			want: Config{QueueCap: 1 << 16, BatchEdges: 4096, Linger: 2 * time.Millisecond,
+				FlushEvery: time.Second, ScrubEvery: time.Minute, BatchDelay: time.Millisecond},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.withDefaults(); got != tc.want {
+				t.Fatalf("withDefaults(%+v)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestAdaptiveConfigWithDefaults does the same for the AIMD
+// controller's knob set.
+func TestAdaptiveConfigWithDefaults(t *testing.T) {
+	def := AdaptiveConfig{
+		Target:        2 * time.Millisecond,
+		LowWater:      0.25,
+		HighWater:     0.75,
+		MinBatchEdges: 256,
+		MinAdmitFrac:  0.125,
+		Hold:          3,
+	}
+	cases := []struct {
+		name string
+		in   AdaptiveConfig
+		want AdaptiveConfig
+	}{
+		{name: "zero value takes every default", in: AdaptiveConfig{}, want: def},
+		{
+			name: "negative fields are treated as unset",
+			in: AdaptiveConfig{Target: -time.Second, LowWater: -1, HighWater: -1,
+				MinBatchEdges: -5, MinAdmitFrac: -0.5, Hold: -2},
+			want: def,
+		},
+		{
+			name: "already-set fields survive",
+			in: AdaptiveConfig{Target: time.Millisecond, LowWater: 0.1, HighWater: 0.9,
+				MinBatchEdges: 64, MinAdmitFrac: 0.25, Hold: 5},
+			want: AdaptiveConfig{Target: time.Millisecond, LowWater: 0.1, HighWater: 0.9,
+				MinBatchEdges: 64, MinAdmitFrac: 0.25, Hold: 5},
+		},
+		{
+			name: "partial: only the unset fields default",
+			in:   AdaptiveConfig{Target: 10 * time.Millisecond, Hold: 1},
+			want: AdaptiveConfig{Target: 10 * time.Millisecond, LowWater: 0.25, HighWater: 0.75,
+				MinBatchEdges: 256, MinAdmitFrac: 0.125, Hold: 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.in.withDefaults(); got != tc.want {
+				t.Fatalf("withDefaults(%+v)\n got %+v\nwant %+v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

@@ -32,6 +32,11 @@ type Config struct {
 	FlushEvery time.Duration // background vertex-buffer flush period; 0 = off
 	ScrubEvery time.Duration // background scrub period; 0 = off
 	BatchDelay time.Duration // test-only pause between chunks; 0 = none
+	// Adaptive enables the AIMD admission controller (adaptive.go): the
+	// static BatchEdges/Linger/QueueCap values become the ceiling and the
+	// controller tunes the live knobs down under congestion. Nil keeps
+	// the classic fully-static pipeline.
+	Adaptive *AdaptiveConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -105,12 +110,20 @@ type Stats struct {
 	LastBatchSimNs  int64
 	LastBatchEdges  int64
 	PublishedAtNs   int64
+	// Live tuning: the static Config values, or the adaptive
+	// controller's current knobs when one is attached.
+	CurBatchEdges int64
+	CurLingerNs   int64
+	AdmitEdges    int64
+	TuneDecreases int64
+	TuneIncreases int64
 }
 
 // Pipeline is the single-writer batched ingest engine.
 type Pipeline struct {
 	cfg   Config
 	ap    Applier
+	ctl   *Controller // nil: static knobs
 	queue chan *Request
 
 	stop    chan struct{}
@@ -127,12 +140,48 @@ type Pipeline struct {
 // publication so readers never observe epoch 0.
 func New(cfg Config, ap Applier) *Pipeline {
 	cfg = cfg.withDefaults()
-	return &Pipeline{
+	p := &Pipeline{
 		cfg:   cfg,
 		ap:    ap,
 		queue: make(chan *Request, cfg.QueueCap),
 		stop:  make(chan struct{}),
 	}
+	if cfg.Adaptive != nil {
+		p.ctl = NewController(cfg.QueueCap, Tuning{
+			BatchEdges: cfg.BatchEdges,
+			Linger:     cfg.Linger,
+			AdmitEdges: cfg.QueueCap,
+		}, *cfg.Adaptive)
+	}
+	return p
+}
+
+// Controller returns the adaptive admission controller, nil when the
+// pipeline runs static knobs.
+func (p *Pipeline) Controller() *Controller { return p.ctl }
+
+// batchEdges reads the live write-window cap.
+func (p *Pipeline) batchEdges() int {
+	if p.ctl != nil {
+		return p.ctl.BatchEdges()
+	}
+	return p.cfg.BatchEdges
+}
+
+// linger reads the live batching linger.
+func (p *Pipeline) linger() time.Duration {
+	if p.ctl != nil {
+		return p.ctl.Linger()
+	}
+	return p.cfg.Linger
+}
+
+// admitEdges reads the live 429 admission threshold.
+func (p *Pipeline) admitEdges() int64 {
+	if p.ctl != nil {
+		return int64(p.ctl.AdmitEdges())
+	}
+	return int64(p.cfg.QueueCap)
 }
 
 // Start launches the writer goroutine.
@@ -141,11 +190,19 @@ func (p *Pipeline) Start() {
 	go p.loop()
 }
 
-// Stats snapshots every counter under one lock acquisition.
+// Stats snapshots every counter under one lock acquisition, plus the
+// live tuning knobs (atomics; consistent enough for telemetry).
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.st
+	st := p.st
+	p.mu.Unlock()
+	st.CurBatchEdges = int64(p.batchEdges())
+	st.CurLingerNs = int64(p.linger())
+	st.AdmitEdges = p.admitEdges()
+	if p.ctl != nil {
+		st.TuneDecreases, st.TuneIncreases = p.ctl.Steps()
+	}
+	return st
 }
 
 // Epoch reads the current snapshot epoch.
@@ -203,15 +260,19 @@ func (p *Pipeline) Shutdown() {
 // the writer. Reservation and acceptance counting share one critical
 // section, so accepted >= applied + dropped + queued can never be
 // violated by an interleaved scrape. Returns ErrQueueFull when the
-// bounded queue is full and ErrShuttingDown once draining started.
+// bounded queue is full — or, with the adaptive controller attached,
+// when the queue sits above its current admission threshold (always at
+// most QueueCap, so the channel reservation stays safe) — and
+// ErrShuttingDown once draining started.
 func (p *Pipeline) Enqueue(req *Request) error {
 	n := int64(len(req.edges))
+	admit := p.admitEdges()
 	p.mu.Lock()
 	if p.draining {
 		p.mu.Unlock()
 		return ErrShuttingDown
 	}
-	if p.st.Queued+n > int64(p.cfg.QueueCap) {
+	if p.st.Queued+n > admit {
 		p.st.Rejected++
 		p.mu.Unlock()
 		return ErrQueueFull
@@ -254,22 +315,48 @@ func (p *Pipeline) loop() {
 		case req := <-p.queue:
 			p.gatherAndApply(req)
 		case <-flushC:
+			// A tick racing shutdown is dropped: the graceful drain runs
+			// its own final Flush, and the abrupt path wants out now.
+			if p.stopRequested() {
+				continue
+			}
 			p.ap.Flush()
 		case <-scrubC:
+			// Same guard for background scrubs: a scrub is minutes of
+			// exclusive-lock work on a big store, and a tick that lands
+			// while stop/draining is already decided must not race the
+			// drain — it is cancelled, and an in-flight one (started
+			// before the drain) finishes on this goroutine before the
+			// stop case can be selected, so drain always waits for it.
+			if p.stopRequested() {
+				continue
+			}
 			p.ap.Scrub()
 		}
 	}
 }
 
+// stopRequested reports whether stop has been closed or a graceful
+// drain has begun — without blocking.
+func (p *Pipeline) stopRequested() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+	}
+	return p.Draining()
+}
+
 // gatherAndApply batches more requests behind the first one — up to
-// BatchEdges edges or until Linger expires — then applies them.
+// the live BatchEdges cap or until the live Linger expires — then
+// applies them.
 func (p *Pipeline) gatherAndApply(first *Request) {
 	reqs := []*Request{first}
 	total := len(first.edges)
-	linger := time.NewTimer(p.cfg.Linger)
+	linger := time.NewTimer(p.linger())
 	defer linger.Stop()
 gather:
-	for total < p.cfg.BatchEdges {
+	for total < p.batchEdges() {
 		select {
 		case r := <-p.queue:
 			reqs = append(reqs, r)
@@ -312,30 +399,39 @@ func (p *Pipeline) applyAll(reqs []*Request) {
 		}
 	}
 
-	for off := 0; off < len(all); off += p.cfg.BatchEdges {
-		end := off + p.cfg.BatchEdges
+	for off := 0; off < len(all); {
+		// Re-read the live cap per chunk so adaptive tuning takes effect
+		// mid-request: a long ingest shrinks its own write windows once
+		// the controller reacts to the first slow chunks.
+		end := off + p.batchEdges()
 		if end > len(all) {
 			end = len(all)
 		}
 		chunk := all[off:end]
+		off = end
 
 		hostStart := time.Now()
 		simNs, epoch, err := p.ap.Apply(chunk)
 		if err != nil {
 			// The failed chunk and everything behind it is dropped:
 			// dequeued without application.
-			fail(err, int64(len(all)-off))
+			fail(err, int64(len(all)-(off-len(chunk))))
 			return
 		}
 
+		hostNs := time.Since(hostStart).Nanoseconds()
 		p.mu.Lock()
 		p.st.Queued -= int64(len(chunk))
 		p.st.EdgesApplied += int64(len(chunk))
 		p.st.BatchesApplied++
-		p.st.LastBatchHostNs = time.Since(hostStart).Nanoseconds()
+		p.st.LastBatchHostNs = hostNs
 		p.st.LastBatchSimNs = simNs
 		p.st.LastBatchEdges = int64(len(chunk))
+		queued := p.st.Queued
 		p.mu.Unlock()
+		if p.ctl != nil {
+			p.ctl.Observe(queued, len(chunk), time.Duration(hostNs))
+		}
 
 		// Credit the chunk to the requests it covered; a request is done
 		// when its last edge has been applied and published.

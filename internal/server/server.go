@@ -163,6 +163,13 @@ type Config struct {
 	// http.MaxBytesReader; oversized bodies answer 413 batch_too_large
 	// (default 32 MiB).
 	MaxBodyBytes int64
+	// Adaptive attaches the AIMD admission controller to every shard's
+	// ingest pipeline: BatchEdges/Linger/QueueCap become ceilings and
+	// the live knobs tune down under congestion (DESIGN.md §12.3).
+	Adaptive bool
+	// AdaptiveTarget overrides the controller's applied-batch latency
+	// target (default 2ms host time).
+	AdaptiveTarget time.Duration
 
 	// batchDelay is a test hook: sleep between batch applications,
 	// outside the write locks, so tests can observe reads completing
@@ -194,6 +201,8 @@ func (c Config) clusterConfig() cluster.Config {
 		BreakerThreshold: c.BreakerThreshold,
 		BreakerCooldown:  c.BreakerCooldown,
 		BatchDelay:       c.batchDelay,
+		Adaptive:         c.Adaptive,
+		AdaptiveTarget:   c.AdaptiveTarget,
 	}
 }
 

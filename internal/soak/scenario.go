@@ -1,0 +1,280 @@
+// Scenario and SLO specs for the soak harness (DESIGN.md §12.1–§12.2).
+//
+// A Scenario is a complete, JSON-serializable description of one soak
+// run: the cluster shape, the open-loop load mix (zipfian reads,
+// bursty batched ingest, tenant skew), the virtual ingest-pipeline
+// knobs under test, a fault schedule, and the SLO the run is judged
+// against. Everything is derived from one seed, so a failing run's
+// dump replays bit-identically with `xpgraph soak -scenario X -seed N`.
+package soak
+
+import (
+	"fmt"
+	"time"
+)
+
+// FaultOp is one scheduled fault-injection step (DESIGN.md §12.1).
+type FaultOp struct {
+	// At is the virtual time the fault fires.
+	At time.Duration `json:"at"`
+	// Kind selects the fault: "ue" injects uncorrectable media errors
+	// under the Vertices hottest vertices' adjacency lines, "slow"
+	// marks the same lines latency-degraded by Mult, "kill" kills
+	// shard leader Shard, "scrub" runs a cluster-wide media scrub.
+	Kind string `json:"kind"`
+	// Shard is the target leader for "kill".
+	Shard int `json:"shard,omitempty"`
+	// Vertices is how many of the hottest vertices "ue"/"slow" damage.
+	Vertices int `json:"vertices,omitempty"`
+	// Mult is the latency multiplier for "slow".
+	Mult float64 `json:"mult,omitempty"`
+}
+
+// SLO is the per-scenario service-level objective (DESIGN.md §12.2).
+// A negative field is unchecked; zero is a real (strict) budget.
+type SLO struct {
+	// ReadP99Us bounds the p99 read latency in simulated microseconds
+	// (lock wait + media cost).
+	ReadP99Us float64 `json:"read_p99_us"`
+	// WriteP99Ms bounds the p99 write (arrival → applied) latency in
+	// simulated milliseconds.
+	WriteP99Ms float64 `json:"write_p99_ms"`
+	// Max429Frac bounds shed write parts / offered write parts.
+	Max429Frac float64 `json:"max_429_frac"`
+	// MaxErrorFrac bounds error-envelope read responses / read attempts.
+	MaxErrorFrac float64 `json:"max_error_frac"`
+	// MaxReplicaLag bounds the worst leader−follower epoch gap seen at
+	// any scrape.
+	MaxReplicaLag int64 `json:"max_replica_lag"`
+}
+
+// Scenario fully describes one soak run. The zero value is not usable;
+// start from a builtin (ByName) or fill every field.
+type Scenario struct {
+	Name string `json:"name"`
+	// Seed drives every random choice in the run; same seed, same
+	// scenario ⇒ bit-identical Report.
+	Seed uint64 `json:"seed"`
+
+	// Cluster shape.
+	Shards        int    `json:"shards"`
+	Replicas      int    `json:"replicas"`
+	Vertices      uint32 `json:"vertices"`
+	PMEMPerNodeMB int64  `json:"pmem_per_node_mb"`
+	MediaGuard    bool   `json:"media_guard"`
+
+	// Horizon is the virtual run length; WarmEdges are bulk-loaded
+	// before the clock starts.
+	Horizon   time.Duration `json:"horizon"`
+	WarmEdges int           `json:"warm_edges"`
+
+	// Open-loop load mix. Rates are arrivals per virtual second with
+	// ±50% deterministic jitter; each write arrival carries WriteBatch
+	// edges. KHopFrac of reads run a 2-hop exploration instead of a
+	// neighbor lookup; DeleteFrac of write arrivals are deletions.
+	ReadsPerSec  int     `json:"reads_per_sec"`
+	WritesPerSec int     `json:"writes_per_sec"`
+	WriteBatch   int     `json:"write_batch"`
+	KHopFrac     float64 `json:"khop_frac"`
+	DeleteFrac   float64 `json:"delete_frac"`
+
+	// ZipfSkew skews vertex popularity inside a tenant's range (0 =
+	// uniform; larger = hotter head). Tenants partitions the vertex
+	// space; TenantSkew skews which tenant each request hits.
+	ZipfSkew   float64 `json:"zipf_skew"`
+	Tenants    int     `json:"tenants"`
+	TenantSkew float64 `json:"tenant_skew"`
+
+	// Bursts: every BurstEvery the write arrival rate multiplies by
+	// BurstMult for BurstLen (0 disables).
+	BurstEvery time.Duration `json:"burst_every"`
+	BurstLen   time.Duration `json:"burst_len"`
+	BurstMult  int           `json:"burst_mult"`
+
+	// Virtual ingest-pipeline knobs under test (the admission model the
+	// harness enforces on the virtual clock; DESIGN.md §12.3). With
+	// Adaptive they are the AIMD controller's ceiling.
+	QueueCap   int           `json:"queue_cap"`
+	BatchEdges int           `json:"batch_edges"`
+	Linger     time.Duration `json:"linger"`
+	Adaptive   bool          `json:"adaptive"`
+	// Target is the AIMD applied-batch latency target on the simulated
+	// clock (only with Adaptive).
+	Target time.Duration `json:"target"`
+
+	// ScrapeEvery is the metrics/health scrape cadence.
+	ScrapeEvery time.Duration `json:"scrape_every"`
+
+	Faults []FaultOp `json:"faults,omitempty"`
+	SLO    SLO       `json:"slo"`
+}
+
+// withDefaults fills the knobs a hand-built scenario may omit.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Shards <= 0 {
+		sc.Shards = 1
+	}
+	if sc.Vertices == 0 {
+		sc.Vertices = 1 << 16
+	}
+	if sc.PMEMPerNodeMB <= 0 {
+		sc.PMEMPerNodeMB = 256
+	}
+	if sc.Horizon <= 0 {
+		sc.Horizon = time.Second
+	}
+	if sc.WriteBatch <= 0 {
+		sc.WriteBatch = 256
+	}
+	if sc.Tenants <= 0 {
+		sc.Tenants = 1
+	}
+	if sc.QueueCap <= 0 {
+		sc.QueueCap = 1 << 14
+	}
+	if sc.BatchEdges <= 0 {
+		sc.BatchEdges = 4096
+	}
+	if sc.Linger <= 0 {
+		sc.Linger = 2 * time.Millisecond
+	}
+	if sc.Target <= 0 {
+		sc.Target = 200 * time.Microsecond
+	}
+	if sc.ScrapeEvery <= 0 {
+		sc.ScrapeEvery = 500 * time.Millisecond
+	}
+	return sc
+}
+
+// Builtin scenario names.
+const (
+	// ShortMix is the deterministic CI scenario: a small cluster under
+	// a mixed read/write load with mild bursts and no faults. Fixed
+	// seed ⇒ identical Report across runs; its SLO passes.
+	ShortMix = "short-mix"
+	// BurstyIngest is the adaptive-admission benchmark scenario: one
+	// shard under heavy periodic ingest bursts with a zipfian read
+	// load. Run static vs adaptive to measure the p99 read-latency win
+	// (BENCH_8, `xpgraph bench -exp soak`).
+	BurstyIngest = "bursty-ingest"
+	// FaultStorm schedules media UEs under the hottest vertices, a
+	// shard-leader kill, and a late scrub. Its strict SLO fails by
+	// design: the run demonstrates violation reporting and dumps
+	// seed + scenario + Chrome trace for replay.
+	FaultStorm = "fault-storm"
+)
+
+// ByName returns a builtin scenario, seeded with its default seed.
+func ByName(name string) (Scenario, error) {
+	switch name {
+	case ShortMix:
+		return Scenario{
+			Name:          ShortMix,
+			Seed:          0x50A6_0001,
+			Shards:        2,
+			Vertices:      1 << 16,
+			PMEMPerNodeMB: 256,
+			Horizon:       2 * time.Second,
+			WarmEdges:     30_000,
+			ReadsPerSec:   2000,
+			WritesPerSec:  40,
+			WriteBatch:    512,
+			KHopFrac:      0.02,
+			DeleteFrac:    0.05,
+			ZipfSkew:      0.8,
+			Tenants:       4,
+			TenantSkew:    0.6,
+			BurstEvery:    500 * time.Millisecond,
+			BurstLen:      150 * time.Millisecond,
+			BurstMult:     6,
+			QueueCap:      1 << 14,
+			BatchEdges:    4096,
+			Linger:        2 * time.Millisecond,
+			ScrapeEvery:   250 * time.Millisecond,
+			SLO: SLO{
+				ReadP99Us:     2000,
+				WriteP99Ms:    50,
+				Max429Frac:    0.05,
+				MaxErrorFrac:  0,
+				MaxReplicaLag: -1,
+			},
+		}, nil
+	case BurstyIngest:
+		// WarmEdges deliberately overshoots the store's first big
+		// elog-archive event (~1.05M edges) so the measured window is
+		// spike-free: the read tail is then driven by routine apply
+		// windows, whose length the live BatchEdges knob controls —
+		// the effect the static-vs-adaptive comparison measures.
+		return Scenario{
+			Name:          BurstyIngest,
+			Seed:          0x50A6_0002,
+			Shards:        1,
+			Vertices:      1 << 18,
+			PMEMPerNodeMB: 384,
+			Horizon:       2 * time.Second,
+			WarmEdges:     1_200_000,
+			ReadsPerSec:   2500,
+			WritesPerSec:  4,
+			WriteBatch:    4096,
+			ZipfSkew:      0.3,
+			Tenants:       1,
+			BurstEvery:    500 * time.Millisecond,
+			BurstLen:      200 * time.Millisecond,
+			BurstMult:     50,
+			QueueCap:      1 << 15,
+			BatchEdges:    4096,
+			Linger:        2 * time.Millisecond,
+			Target:        100 * time.Microsecond,
+			ScrapeEvery:   250 * time.Millisecond,
+			SLO: SLO{
+				ReadP99Us:     1000,
+				WriteP99Ms:    50,
+				Max429Frac:    0.05,
+				MaxErrorFrac:  0,
+				MaxReplicaLag: -1,
+			},
+		}, nil
+	case FaultStorm:
+		return Scenario{
+			Name:          FaultStorm,
+			Seed:          0x50A6_0003,
+			Shards:        2,
+			Replicas:      1,
+			Vertices:      1 << 15,
+			PMEMPerNodeMB: 256,
+			MediaGuard:    true,
+			Horizon:       3 * time.Second,
+			WarmEdges:     40_000,
+			ReadsPerSec:   1500,
+			WritesPerSec:  20,
+			WriteBatch:    512,
+			KHopFrac:      0.01,
+			ZipfSkew:      0.9,
+			Tenants:       2,
+			TenantSkew:    0.5,
+			QueueCap:      1 << 14,
+			BatchEdges:    4096,
+			Linger:        2 * time.Millisecond,
+			ScrapeEvery:   250 * time.Millisecond,
+			Faults: []FaultOp{
+				{At: 500 * time.Millisecond, Kind: "ue", Vertices: 64},
+				{At: 1200 * time.Millisecond, Kind: "slow", Vertices: 32, Mult: 8},
+				{At: 1500 * time.Millisecond, Kind: "kill", Shard: 1},
+				{At: 2 * time.Second, Kind: "scrub"},
+			},
+			SLO: SLO{
+				ReadP99Us:     2000,
+				WriteP99Ms:    50,
+				Max429Frac:    0.05,
+				MaxErrorFrac:  0.002,
+				MaxReplicaLag: -1,
+			},
+		}, nil
+	}
+	return Scenario{}, fmt.Errorf("soak: unknown scenario %q (builtins: %s, %s, %s)",
+		name, ShortMix, BurstyIngest, FaultStorm)
+}
+
+// Names lists the builtin scenarios.
+func Names() []string { return []string{ShortMix, BurstyIngest, FaultStorm} }

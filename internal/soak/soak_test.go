@@ -1,0 +1,211 @@
+package soak
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeterministicReport pins the harness's replayability contract:
+// the same scenario with the same seed produces a bit-identical Report
+// — every latency quantile, counter, epoch and tuning step — across
+// two full runs of the real server/cluster/ingest/core stack.
+func TestDeterministicReport(t *testing.T) {
+	sc, err := ByName(ShortMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		sc.Horizon = time.Second
+	}
+	a, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		t.Fatalf("same seed, different reports:\n run 1: %s\n run 2: %s", aj, bj)
+	}
+	if a.Failed() {
+		t.Fatalf("%s violated its SLO: %v", sc.Name, a.Violations)
+	}
+	if a.Reads == 0 || a.EdgesAccepted == 0 {
+		t.Fatalf("degenerate run: %d reads, %d edges accepted", a.Reads, a.EdgesAccepted)
+	}
+	if a.Scrapes == 0 {
+		t.Fatal("no metrics/health scrapes ran")
+	}
+}
+
+// TestSeedChangesReport guards against the opposite failure: a report
+// that is "deterministic" because the load generator ignores the seed.
+func TestSeedChangesReport(t *testing.T) {
+	sc, err := ByName(ShortMix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Horizon = 500 * time.Millisecond
+	a, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Seed++
+	b, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different seeds produced identical reports; the seed is not driving the load")
+	}
+}
+
+// TestFaultScenarioFailsSLO runs the builtin fault-injection scenario
+// (UEs under the hottest vertices, a slow-line region, a shard-leader
+// kill, a late scrub) and requires that it fails its strict SLO spec
+// and dumps the replay artifacts: scenario + seed + report JSON, a
+// Chrome trace of the virtual timeline, and the metrics exposition.
+func TestFaultScenarioFailsSLO(t *testing.T) {
+	sc, err := ByName(FaultStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	rep, err := Run(sc, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed() {
+		t.Fatalf("fault scenario met its SLO; injected faults had no effect: %+v", rep)
+	}
+	var sawErrRate bool
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "read error rate") {
+			sawErrRate = true
+		}
+	}
+	if !sawErrRate {
+		t.Fatalf("expected a read-error-rate violation, got %v", rep.Violations)
+	}
+	if rep.Errors["media_error"] == 0 {
+		t.Fatalf("UE injection produced no media_error reads: %v", rep.Errors)
+	}
+	if rep.Errors["shard_down"] == 0 {
+		t.Fatalf("shard kill produced no shard_down writes: %v", rep.Errors)
+	}
+
+	files := sc.DumpFiles(dir)
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("missing dump artifact: %v", err)
+		}
+	}
+	// The report artifact must carry the seed and full scenario so the
+	// run replays with `xpgraph soak -scenario fault-storm -seed N`.
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Scenario Scenario `json:"scenario"`
+		Report   Report   `json:"report"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("report dump is not valid JSON: %v", err)
+	}
+	if dump.Scenario.Seed != sc.Seed || dump.Scenario.Name != sc.Name {
+		t.Fatalf("dump does not identify the run: %+v", dump.Scenario)
+	}
+	if len(dump.Report.Violations) == 0 {
+		t.Fatal("dumped report lost its violations")
+	}
+	// The trace artifact must be valid Chrome trace-event JSON with a
+	// non-empty virtual timeline.
+	raw, err = os.ReadFile(files[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		t.Fatalf("trace dump is not valid Chrome trace JSON: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace dump has no events")
+	}
+}
+
+// TestAdaptiveBeatsStatic is the tentpole claim at test scale: under
+// the bursty-ingest scenario the AIMD admission controller must cut
+// the p99 read latency by at least 1.2x vs the static defaults (the
+// committed BENCH_8.json gates the same comparison at bench scale).
+func TestAdaptiveBeatsStatic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench-scale comparison; run without -short or via xpgraph bench -exp soak")
+	}
+	sc, err := ByName(BurstyIngest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.Adaptive = true
+	adaptive, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.Failed() || adaptive.Failed() {
+		t.Fatalf("bursty scenario violated its own SLO: static %v adaptive %v",
+			static.Violations, adaptive.Violations)
+	}
+	if adaptive.ReadP99Us*1.2 > static.ReadP99Us {
+		t.Fatalf("adaptive p99 %.1fus is not >=1.2x better than static %.1fus",
+			adaptive.ReadP99Us, static.ReadP99Us)
+	}
+	var tuned bool
+	for _, tr := range adaptive.FinalTuning {
+		if tr.Decreases > 0 {
+			tuned = true
+		}
+	}
+	if !tuned {
+		t.Fatal("adaptive run never tuned; the comparison is vacuous")
+	}
+}
+
+// TestScenarioRoundTrip pins that a scenario survives JSON (the dump
+// format) unchanged, so a replayed dump runs exactly what failed.
+func TestScenarioRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		sc, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Fatalf("%s does not round-trip: %+v vs %+v", name, sc, back)
+		}
+	}
+}
+
+// TestUnknownScenario pins the error path CLI users hit.
+func TestUnknownScenario(t *testing.T) {
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Fatal("expected an error for an unknown scenario")
+	}
+}

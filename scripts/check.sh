@@ -62,7 +62,8 @@ echo "== wire bench + benchgate (DESIGN.md §10.3)"
 # host-clock, so the baseline comparison gives it a loose bound.
 wire_report=$(mktemp -t bench6.XXXXXX.json)
 cluster_report=$(mktemp -t bench7.XXXXXX.json)
-trap 'rm -f "$wire_report" "$cluster_report"' EXIT
+soak_report=$(mktemp -t bench8.XXXXXX.json)
+trap 'rm -f "$wire_report" "$cluster_report" "$soak_report"' EXIT
 go run ./cmd/xpgraph bench -exp wire -scale 0.5 -json "$wire_report" >/dev/null
 go run ./cmd/xpgraph benchgate -new "$wire_report" -baseline BENCH_6.json
 
@@ -73,6 +74,20 @@ echo "== cluster bench + benchgate (DESIGN.md §11)"
 # simulated-clock, so at a fixed scale the comparison is exact.
 go run ./cmd/xpgraph bench -exp cluster -scale 0.5 -json "$cluster_report" >/dev/null
 go run ./cmd/xpgraph benchgate -new "$cluster_report" -baseline BENCH_7.json
+
+echo "== soak harness (short) + adaptive-admission benchgate (DESIGN.md §12)"
+# Short soak coverage ran above inside `go test -race -short ./...`
+# (deterministic short-mix replay + the fault-storm SLO-failure dump);
+# here the bursty-ingest static-vs-adaptive comparison regenerates and
+# gates: adaptive p99 >= 1.2x better (or >= 1.2x fewer 429s at equal
+# p99), the controller actually tuned, no SLO violations, plus
+# no-regression against the committed BENCH_8.json. Full scale, unlike
+# the benches above: the builtin horizon is only 2 virtual seconds, and
+# a shorter one samples too little burst congestion for the adaptive
+# advantage to register. All numbers are simulated-clock, so the gates
+# are exact.
+go run ./cmd/xpgraph bench -exp soak -json "$soak_report" >/dev/null
+go run ./cmd/xpgraph benchgate -new "$soak_report" -baseline BENCH_8.json
 
 echo "== media-scrub differentials (short)"
 # The UE-injection differential harness (DESIGN.md §9): every read under
