@@ -1,0 +1,116 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+
+	"repro/internal/graph"
+	"repro/internal/ingest"
+)
+
+// The property-graph surface of the /v1 API (DESIGN.md §13): typed-edge
+// ingest over the XPB1 binary transport, the label table, and the
+// filtered traversals whose predicates the server pushes down into the
+// storage layer.
+
+// PropSet is one vertex-property write, aliased from the core graph
+// type so property batches flow between client and library uncopied.
+type PropSet = graph.PropSet
+
+// Filter is a vertex-property predicate: keep a neighbor only when its
+// property Key relates to Value under Op — one of "eq", "ne", "lt",
+// "le", "gt", "ge", "exists" (Value ignored for exists). A vertex with
+// no value under Key fails every op except "ne".
+type Filter struct {
+	Key   uint16 `json:"key"`
+	Op    string `json:"op"`
+	Value int64  `json:"value"`
+}
+
+// LabelTable is the edge-label table: Labels[id] names label id, with
+// id 0 the default (untyped) label whose name is "".
+type LabelTable struct {
+	Labels      []string `json:"labels"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// Label reports a registration.
+type Label struct {
+	ID          uint16   `json:"id"`
+	Name        string   `json:"name"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// PathResult reports a filtered shortest-path search.
+type PathResult struct {
+	Root        VID      `json:"root"`
+	Target      VID      `json:"target"`
+	Found       bool     `json:"found"`
+	Path        []VID    `json:"path"`
+	Hops        int      `json:"hops"`
+	SimMs       float64  `json:"sim_ms"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// Labels reads the edge-label table.
+func (c *Client) Labels(ctx context.Context) (LabelTable, error) {
+	var out LabelTable
+	err := c.do(ctx, http.MethodGet, "/labels", "", nil, &out)
+	return out, err
+}
+
+// RegisterLabel registers an edge-label name cluster-wide and returns
+// its id. Idempotent: registering an existing name returns its id.
+func (c *Client) RegisterLabel(ctx context.Context, name string) (Label, error) {
+	var out Label
+	body, _ := json.Marshal(map[string]string{"name": name})
+	err := c.do(ctx, http.MethodPost, "/labels", "application/json", body, &out)
+	return out, err
+}
+
+// AddTypedEdges ingests a typed batch over the XPB1 binary transport:
+// edges[i] carries labels[i] (short or nil labels slices pad with the
+// default label), props are vertex-property writes riding in the same
+// batch. Typed batches apply synchronously under the owner shards'
+// write locks — read-your-writes, no async option.
+func (c *Client) AddTypedEdges(ctx context.Context, edges []Edge, labels []uint16, props []PropSet) (IngestResult, error) {
+	var out IngestResult
+	body := ingest.EncodeTypedBatch(edges, labels, props)
+	err := c.do(ctx, http.MethodPost, "/ingest/bin", ingest.ContentTypeBatch, body, &out)
+	return out, err
+}
+
+// SetProps writes vertex properties without edges.
+func (c *Client) SetProps(ctx context.Context, props []PropSet) (IngestResult, error) {
+	return c.AddTypedEdges(ctx, nil, nil, props)
+}
+
+// KHopFiltered explores root's k-hop neighborhood expanding only edges
+// whose label name is in types (all when empty) and whose destination
+// passes filter (nil for none). The server pushes both down into the
+// traversal, so pruned vertices never cost media reads at the next hop.
+func (c *Client) KHopFiltered(ctx context.Context, root VID, k int, types []string, filter *Filter) (KHopResult, error) {
+	var out KHopResult
+	body, _ := json.Marshal(map[string]any{
+		"root": root, "k": k, "types": types, "filter": filter,
+	})
+	err := c.do(ctx, http.MethodPost, "/query/khop", "application/json", body, &out)
+	return out, err
+}
+
+// Path finds a shortest path (by hop count) from root to target through
+// edges passing the types/filter predicate, exploring at most maxDepth
+// hops (0 for the server default).
+func (c *Client) Path(ctx context.Context, root, target VID, maxDepth int, types []string, filter *Filter) (PathResult, error) {
+	var out PathResult
+	body, _ := json.Marshal(map[string]any{
+		"root": root, "target": target, "max_depth": maxDepth,
+		"types": types, "filter": filter,
+	})
+	err := c.do(ctx, http.MethodPost, "/query/path", "application/json", body, &out)
+	return out, err
+}

@@ -234,6 +234,8 @@ func cmdBenchgate(args []string) error {
 		return gateCluster(raw, baseRaw, *tol)
 	case "soak":
 		return gateSoak(raw, baseRaw, *tol)
+	case "prop":
+		return gateProp(raw, baseRaw, *tol)
 	default:
 		return fmt.Errorf("benchgate: no gates defined for experiment %q", exp)
 	}
@@ -428,6 +430,74 @@ func gateCluster(raw, baseRaw []byte, tol float64) error {
 			check(r.MEdgesPerSec >= b.MEdgesPerSec*floor,
 				"%s@%d: ingest throughput regressed: %.2f vs baseline %.2f Medges/s",
 				r.Dataset, r.Shards, r.MEdgesPerSec, b.MEdgesPerSec)
+		}
+	}
+	return gateVerdict(fails)
+}
+
+// gateProp enforces the PR-9 property-graph gates on a prop bench
+// report: the filtered 2-hop with the label predicate pushed into
+// adjacency decode must read >= 2x fewer media lines than the
+// read-all-then-filter traversal, and typed-edge ingest must hold
+// >= 0.8x the plain pipeline's throughput. Both sides are
+// simulated-clock / simulated-media, so at a fixed scale the numbers
+// are exact; the baseline comparison only applies at matching edge
+// counts.
+func gateProp(raw, baseRaw []byte, tol float64) error {
+	cur, err := decodeReports[bench.PropReport](raw)
+	if err != nil {
+		return err
+	}
+
+	var fails []string
+	check := func(ok bool, format string, a ...any) {
+		if !ok {
+			fails = append(fails, fmt.Sprintf(format, a...))
+		}
+	}
+	for _, r := range cur {
+		fmt.Printf("%-4s rd lines filtered %d / read-all %d (%.2fx)  ingest plain %.2f / typed %.2f Medges/s (%.3fx)\n",
+			r.Dataset, r.FilteredMediaReadLines, r.ReadAllMediaReadLines, r.MediaReadSavings,
+			r.PlainIngestMEdgesPerSec, r.TypedIngestMEdgesPerSec, r.TypedIngestRatio)
+		check(r.FilteredMediaReadLines > 0 && r.ReadAllMediaReadLines > 0,
+			"%s: degenerate media measurement (%d filtered / %d read-all lines)",
+			r.Dataset, r.FilteredMediaReadLines, r.ReadAllMediaReadLines)
+		check(r.MediaReadSavings >= 2.0,
+			"%s: filtered 2-hop reads only %.2fx fewer media lines than read-all-then-filter (need >= 2x)",
+			r.Dataset, r.MediaReadSavings)
+		check(r.FilteredReached > 0,
+			"%s: filtered traversal reached nothing; the savings are vacuous", r.Dataset)
+		check(r.PlainIngestMEdgesPerSec > 0 && r.TypedIngestMEdgesPerSec > 0,
+			"%s: missing ingest throughput measurements", r.Dataset)
+		check(r.TypedIngestRatio >= 0.8,
+			"%s: typed ingest only %.3fx plain throughput (need >= 0.8x)", r.Dataset, r.TypedIngestRatio)
+	}
+
+	if baseRaw != nil {
+		base, err := decodeReports[bench.PropReport](baseRaw)
+		if err != nil {
+			return err
+		}
+		type key struct {
+			ds    string
+			edges int64
+		}
+		byKey := map[key]bench.PropReport{}
+		for _, r := range base {
+			byKey[key{r.Dataset, r.Edges}] = r
+		}
+		for _, r := range cur {
+			b, ok := byKey[key{r.Dataset, r.Edges}]
+			if !ok {
+				continue // different scale: nothing comparable
+			}
+			floor := 1 - tol
+			check(r.MediaReadSavings >= b.MediaReadSavings*floor,
+				"%s: pushdown savings regressed: %.2fx vs baseline %.2fx",
+				r.Dataset, r.MediaReadSavings, b.MediaReadSavings)
+			check(r.TypedIngestRatio >= b.TypedIngestRatio*floor,
+				"%s: typed ingest ratio regressed: %.3fx vs baseline %.3fx",
+				r.Dataset, r.TypedIngestRatio, b.TypedIngestRatio)
 		}
 	}
 	return gateVerdict(fails)

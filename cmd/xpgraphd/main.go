@@ -36,6 +36,12 @@
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
 //
+// The property graph layer (DESIGN.md §13) is on by default: register
+// edge labels via POST /v1/labels, ingest typed batches over the binary
+// endpoint (frame ops 0x04/0x05), and run filtered traversals
+// (POST /v1/query/khop with types/filter, POST /v1/query/path). Disable
+// with -props=false; -prop-log-mb sizes the per-shard column log.
+//
 // With -media-guard the store runs checksummed adjacency blocks and log
 // records, a scrubber (-scrub-every, or POST /v1/scrub), and degraded-mode
 // serving: GET /v1/healthz reports the ok/degraded/readonly health state
@@ -90,6 +96,8 @@ func main() {
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "bound on graceful shutdown: HTTP drain plus ingest-queue drain share this budget (0 waits forever)")
 	mediaGuard := flag.Bool("media-guard", false, "checksummed media-error detection, scrubbing, and quarantine (see DESIGN.md §9)")
 	varintAdj := flag.Bool("varint-adj", false, "delta-varint compressed adjacency blocks (see DESIGN.md §10.2)")
+	props := flag.Bool("props", true, "property graph layer: typed edges, vertex properties, filtered traversals (DESIGN.md §13)")
+	propLogMB := flag.Int64("prop-log-mb", 16, "property column log per shard, in MiB (requires -props)")
 	archiveSSDMB := flag.Int64("archive-ssd-mb", 0, "SSD edge archive for scrub rebuilds, in MiB (requires -media-guard)")
 	scrubEvery := flag.Duration("scrub-every", 0, "periodic media scrub pass (requires -media-guard; 0 disables)")
 	ueDecay := flag.Float64("ue-decay", 0, "per-read probability a media line decays uncorrectable — demo/chaos knob (requires -media-guard)")
@@ -125,6 +133,8 @@ func main() {
 			MediaGuard:      *mediaGuard,
 			CompressedAdj:   *varintAdj,
 			ArchiveSSDBytes: *archiveSSDMB << 20,
+			Props:           *props,
+			PropLogBytes:    *propLogMB << 20,
 		})
 	}
 

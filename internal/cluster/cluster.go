@@ -493,6 +493,10 @@ func (c *Cluster) ScrubAll() (core.ScrubReport, error) {
 		total.SpansQuarantined += rep.SpansQuarantined
 		total.BytesQuarantined += rep.BytesQuarantined
 		total.LogBadRecords += rep.LogBadRecords
+		total.PropBlocksScrubbed += rep.PropBlocksScrubbed
+		total.PropBlocksBad += rep.PropBlocksBad
+		total.PropBlocksRebuilt += rep.PropBlocksRebuilt
+		total.PropUnrecoverable += rep.PropUnrecoverable
 		if rep.SimNs > total.SimNs {
 			total.SimNs = rep.SimNs // shards scrub in parallel
 		}

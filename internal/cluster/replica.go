@@ -17,10 +17,24 @@ import (
 const ReplicaQueue = 64
 
 // shipEntry is one applied leader chunk on its way to a follower,
-// tagged with the leader epoch whose publication it produced.
+// tagged with the leader epoch whose publication it produced. Typed
+// entries additionally carry per-edge labels, vertex-property writes,
+// and label-table broadcasts (DESIGN.md §13), so a follower's property
+// columns converge with its leader's exactly like its adjacency does.
 type shipEntry struct {
 	edges []graph.Edge
 	epoch uint64
+
+	typed  bool
+	labels []uint16        // labels[i] types edges[i]
+	props  []graph.PropSet // vertex-property writes in the same window
+	defs   []labelDef      // label-table (id, name) broadcasts
+}
+
+// labelDef is one broadcast label-table assignment.
+type labelDef struct {
+	id   uint16
+	name string
 }
 
 // Replica is one log-shipping follower of a shard: its own core.Store
@@ -127,7 +141,7 @@ func (r *Replica) loop() {
 		}
 		r.mu.Lock()
 		if r.applyErr == nil {
-			if _, err := r.store.Ingest(e.edges); err != nil {
+			if err := r.apply(e); err != nil {
 				r.applyErr = err
 			} else {
 				old := r.cur
@@ -141,6 +155,34 @@ func (r *Replica) loop() {
 		r.mu.Unlock()
 		ingest.PutEdgeBuf(e.edges)
 	}
+}
+
+// apply replays one shipped entry into the follower store (callers hold
+// mu exclusively). Plain entries are a straight Ingest; typed entries
+// replay label-table broadcasts first (so shipped ids always resolve),
+// then the typed edges, then the property writes — the same order the
+// leader applied them in.
+func (r *Replica) apply(e shipEntry) error {
+	if !e.typed {
+		_, err := r.store.Ingest(e.edges)
+		return err
+	}
+	for _, d := range e.defs {
+		if err := r.store.SetLabelDef(d.id, d.name); err != nil {
+			return err
+		}
+	}
+	if len(e.edges) > 0 {
+		if _, err := r.store.IngestTyped(e.edges, e.labels); err != nil {
+			return err
+		}
+	}
+	if len(e.props) > 0 {
+		if err := r.store.SetProps(e.props); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // acquire pins the replica's current publication.

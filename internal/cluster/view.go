@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/prop"
 	"repro/internal/view"
 	"repro/internal/xpsim"
 )
@@ -254,4 +255,93 @@ func (cv *ClusterView) InDegree(v graph.VID) int {
 		}
 	}
 	return d
+}
+
+// ---- view.Typed ----
+
+// Labels reads the label table from the first servable partition: label
+// registration broadcasts (id, name) to every shard and its replicas, so
+// any live partition's table is authoritative.
+func (cv *ClusterView) Labels() []string {
+	for _, s := range cv.srcs {
+		if s != nil {
+			return s.Labels()
+		}
+	}
+	return []string{""}
+}
+
+// LabelID resolves a label name on the first servable partition.
+func (cv *ClusterView) LabelID(name string) (uint16, bool) {
+	for _, s := range cv.srcs {
+		if s != nil {
+			return s.LabelID(name)
+		}
+	}
+	return 0, false
+}
+
+// VProp reads vertex v's property from its owner partition — property
+// writes route with the owner shard, so one shard holds the value.
+func (cv *ClusterView) VProp(v graph.VID, key uint16) (int64, bool, error) {
+	o := cv.c.pmap.Owner(v)
+	s := cv.srcs[o]
+	if s == nil {
+		return 0, false, &PartitionDownError{Shard: o}
+	}
+	return s.VProp(v, key)
+}
+
+// VisitOutTyped streams v's filtered out-neighbors from its owner
+// partition. The label half of the filter pushes down to v's owner —
+// edge labels live with the edge — but a neighbor's property column
+// lives with the NEIGHBOR's owner, so the vertex predicate routes each
+// surviving neighbor through the cluster-level property read. An
+// unservable partition fails the read typed (it is a checked read).
+func (cv *ClusterView) VisitOutTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error {
+	o := cv.c.pmap.Owner(v)
+	s := cv.srcs[o]
+	if s == nil {
+		return &PartitionDownError{Shard: o}
+	}
+	if f.Op == prop.OpNone {
+		return s.VisitOutTyped(ctx, v, f, fn)
+	}
+	var verr error
+	err := s.VisitOutTyped(ctx, v, prop.Filter{Types: f.Types}, func(nbr uint32, lbl uint16) {
+		if verr != nil {
+			return
+		}
+		keep := f.MatchVertex(func(key uint16) (int64, bool) {
+			val, ok, perr := cv.VProp(graph.VID(nbr), key)
+			if perr != nil {
+				verr = perr
+				return 0, false
+			}
+			return val, ok
+		})
+		if verr == nil && keep {
+			fn(nbr, lbl)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return verr
+}
+
+// VisitInTyped unions the filtered in-reads across partitions — an edge
+// (u,v) and its label both live with u's owner, so each shard filters
+// the in-records it holds. The first failing partition fails the read,
+// named.
+func (cv *ClusterView) VisitInTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error {
+	for i, s := range cv.srcs {
+		if s == nil {
+			return &PartitionDownError{Shard: i}
+		}
+		if err := s.VisitInTyped(ctx, v, f, fn); err != nil {
+			return &ShardError{Shard: i, Err: err}
+		}
+	}
+	return nil
 }

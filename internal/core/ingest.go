@@ -373,6 +373,9 @@ func (s *Store) initialClass(d Direction, v graph.VID) int {
 func (s *Store) FlushAllVbufs() error {
 	if s.opts.Buffer == BufferNone {
 		ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+		if err := s.flushProps(ctx); err != nil {
+			return err
+		}
 		s.commitFlush(ctx)
 		s.report.FlushNs += ctx.Cost.Ns()
 		s.emitSpan("flush", obs.LaneFlushing, ctx.Cost.Ns())
@@ -423,11 +426,24 @@ func (s *Store) FlushAllVbufs() error {
 		}
 	}
 	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	if err := s.flushProps(ctx); err != nil {
+		return err
+	}
 	s.commitFlush(ctx)
 	s.pool.Reset()
 	s.report.FlushNs += phaseNs + ctx.Cost.Ns()
 	s.emitSpan("flush", obs.LaneFlushing, phaseNs+ctx.Cost.Ns())
 	return nil
+}
+
+// flushProps pushes pending property records into the column log so a
+// flush point is a durability point for the property layer as well as
+// the adjacency lists. No-op without Options.Props.
+func (s *Store) flushProps(ctx *xpsim.Ctx) error {
+	if s.props == nil {
+		return nil
+	}
+	return s.props.Flush(ctx)
 }
 
 // commitFlush advances the flushing cursor over everything buffered,

@@ -526,6 +526,26 @@ func (s *Store) VertexMediaLines(d Direction, v graph.VID) []MediaLine {
 	return out
 }
 
+// PropMediaLines reports the machine lines backing the written property
+// column blocks, one per block in physical order (MediaGuard stores with
+// Options.Props; nil otherwise). Like VertexMediaLines, it exists so
+// fault-injection harnesses can aim UEs at live column data.
+func (s *Store) PropMediaLines() []MediaLine {
+	if !s.opts.MediaGuard || s.props == nil {
+		return nil
+	}
+	r, ok := s.heap.Get(s.opts.Name + "-prop")
+	if !ok {
+		return nil
+	}
+	var out []MediaLine
+	for _, off := range s.props.BlockOffsets() {
+		node, line := r.LineAt(off)
+		out = append(out, MediaLine{Node: node, Line: line})
+	}
+	return out
+}
+
 // ---- scrubbing ----
 
 // ScrubReport summarizes one scrub pass.
@@ -537,7 +557,12 @@ type ScrubReport struct {
 	SpansQuarantined int64
 	BytesQuarantined int64
 	LogBadRecords    int64 // edge-log window records failing CRC or unreadable
-	SimNs            int64
+	// Property-column counters (Options.Props stores; see internal/prop).
+	PropBlocksBad      int64 // column blocks failing checksum or unreadable
+	PropBlocksRebuilt  int64 // rebuilt as patch blocks from the DRAM mirror
+	PropUnrecoverable  int64 // no mirror or log full: typed reads fail closed
+	PropBlocksScrubbed int64
+	SimNs              int64
 }
 
 // ScrubStats accumulates scrub activity across runs (for metrics).
@@ -648,6 +673,22 @@ func (s *Store) Scrub() (ScrubReport, error) {
 				rep.Repaired++
 			}
 		}
+	}
+
+	if s.props != nil {
+		// The property columns scrub on the same pass: bad blocks are
+		// re-published as patch blocks from the DRAM mirror and the
+		// damaged lines retired; a block with no mirror leaves the layer
+		// damaged, and checked property reads fail instead of serving
+		// silently-default values.
+		pr, err := s.props.Scrub(ctx)
+		if err != nil {
+			return rep, err
+		}
+		rep.PropBlocksScrubbed = pr.BlocksScanned
+		rep.PropBlocksBad = pr.BadBlocks
+		rep.PropBlocksRebuilt = pr.Rebuilt
+		rep.PropUnrecoverable = pr.Unrecoverable
 	}
 
 	s.persistBarrier(ctx)

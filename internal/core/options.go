@@ -176,6 +176,17 @@ type Options struct {
 	// path: pass Store.Archive() of the crashed store (the SSD survives
 	// a machine crash). New accepts a fresh (empty) Space as well.
 	Archive *ssd.Space
+
+	// Props enables the property-graph layer (internal/prop, DESIGN.md
+	// §13): typed edges and vertex-property columns in a PMEM-resident,
+	// CRC-guarded column log under region "{Name}-prop", recovered by
+	// core.Recover and scrubbed by Store.Scrub. PMEM stores only (the
+	// columns ride the persistent heap).
+	Props bool
+
+	// PropLogBytes sizes the property column log (default 1 MiB — 4096
+	// blocks, ~61 k property records).
+	PropLogBytes int64
 }
 
 // crashSafe reports whether the store runs the crash-safe persistence
@@ -221,6 +232,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PoolBulk <= 0 {
 		o.PoolBulk = mempool.DefaultBulkSize
+	}
+	if o.PropLogBytes <= 0 {
+		o.PropLogBytes = 1 << 20
 	}
 	if o.Medium != MediumPMEM {
 		// Volatile variants: XPGraph-D uses fixed 64-byte buffers to

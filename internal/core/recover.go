@@ -163,6 +163,17 @@ func Recover(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts O
 	}
 	rep.Replayed = int64(len(replay))
 	s.log.MarkBuffered(ctx, s.log.Head())
+
+	if opts.Props {
+		// Re-attach the property columns last: their CRC-guarded blocks
+		// replay into the DRAM index, truncating a torn tail (unflushed
+		// records roll back to defaults) and flagging unrecoverable
+		// mid-log damage so typed reads fail closed instead of serving
+		// silently-default labels.
+		if err := s.attachProps(ctx, true); err != nil {
+			return nil, RecoveryReport{}, err
+		}
+	}
 	rep.SimNs = ctx.Cost.Ns()
 	s.emitSpan("recover", obs.LaneRecovery, rep.SimNs)
 	return s, rep, nil

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/obs"
 	"repro/internal/pmem"
+	"repro/internal/prop"
 	"repro/internal/ssd"
 	"repro/internal/vbuf"
 	"repro/internal/xpsim"
@@ -89,6 +90,11 @@ type Store struct {
 	snapMu sync.Mutex
 	snaps  map[*Snapshot]struct{}
 
+	// props is the property-graph layer (typed edges + vertex property
+	// columns; nil unless Options.Props). Its column log lives in region
+	// "{Name}-prop" and flushes at the same points as the vertex buffers.
+	props *prop.Store
+
 	// Media-error tolerance state (MediaGuard; see media.go). mediaMu
 	// guards the damaged/unrec maps: checked reads record detections
 	// concurrently (many readers run under the server's shared lock)
@@ -141,6 +147,11 @@ func New(machine *xpsim.Machine, heap *pmem.Heap, budget *mem.Budget, opts Optio
 	}
 	if opts.MediaGuard {
 		if err := s.initMediaGuard(ctx, false); err != nil {
+			return nil, err
+		}
+	}
+	if opts.Props {
+		if err := s.attachProps(ctx, false); err != nil {
 			return nil, err
 		}
 	}
@@ -296,6 +307,44 @@ func (s *Store) mapMemories(ctx *xpsim.Ctx, ackSlot int) error {
 	}
 	return nil
 }
+
+// attachProps creates (or, for recovery, re-attaches) the property
+// column log region. The recovery path replays the CRC-guarded blocks
+// into the DRAM index and flags unrecoverable mid-log damage.
+func (s *Store) attachProps(ctx *xpsim.Ctx, reattach bool) error {
+	if s.opts.Medium != MediumPMEM || s.heap == nil {
+		return fmt.Errorf("core: the property layer requires PMEM app-direct (it rides the persistent heap)")
+	}
+	capBlocks := s.opts.PropLogBytes / prop.BlockBytes
+	if capBlocks < 1 {
+		capBlocks = 1
+	}
+	name := s.opts.Name + "-prop"
+	size := int64(prop.BlockBytes) + capBlocks*prop.BlockBytes
+	var r *pmem.Region
+	var err error
+	if reattach {
+		var ok bool
+		if r, ok = s.heap.Get(name); !ok {
+			return fmt.Errorf("core: property region %q not found: the crashed store ran without Options.Props", name)
+		}
+		if r.Size() != size {
+			return fmt.Errorf("core: property region %q is %d bytes, options say %d", name, r.Size(), size)
+		}
+	} else if r, err = s.heap.Map(name, size, pmem.Placement{Kind: pmem.Interleave}); err != nil {
+		return err
+	}
+	base := alignUp(r.UserStart(), prop.BlockBytes)
+	if reattach {
+		s.props, _, err = prop.Attach(ctx, r, s.lat, base, capBlocks)
+	} else {
+		s.props, err = prop.Create(r, s.lat, base, capBlocks)
+	}
+	return err
+}
+
+// Props returns the property-graph layer (nil unless Options.Props).
+func (s *Store) Props() *prop.Store { return s.props }
 
 // SSDBytes reports adjacency bytes that overflowed onto the SSD tier
 // (zero unless the SSDOverflow extension is enabled).

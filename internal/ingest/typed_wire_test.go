@@ -1,0 +1,187 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func randomTyped(n int, seed int64) ([]graph.Edge, []uint16, []graph.PropSet) {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, n)
+	labels := make([]uint16, n)
+	for i := range edges {
+		e := graph.Edge{Src: uint32(rng.Intn(1 << 20)), Dst: uint32(rng.Intn(1 << 20))}
+		if rng.Intn(5) == 0 {
+			e.Dst |= graph.DelFlag
+		} else {
+			labels[i] = uint16(rng.Intn(8))
+		}
+		edges[i] = e
+	}
+	props := make([]graph.PropSet, n/4)
+	for i := range props {
+		props[i] = graph.PropSet{
+			V:   uint32(rng.Intn(1 << 20)),
+			Key: uint16(rng.Intn(16)),
+			Val: rng.Int63() - rng.Int63(),
+		}
+	}
+	return edges, labels, props
+}
+
+func TestTypedBatchRoundTrip(t *testing.T) {
+	edges, labels, props := randomTyped(5000, 1)
+	buf := EncodeTypedBatch(edges, labels, props)
+	var b TypedBatch
+	if err := DecodeBatchTyped(bytes.NewReader(buf), &b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Edges) != len(edges) || len(b.Labels) != len(edges) || len(b.Props) != len(props) {
+		t.Fatalf("decoded %d/%d/%d, want %d/%d/%d",
+			len(b.Edges), len(b.Labels), len(b.Props), len(edges), len(edges), len(props))
+	}
+	for i := range edges {
+		if b.Edges[i] != edges[i] {
+			t.Fatalf("edge %d: got %v, want %v", i, b.Edges[i], edges[i])
+		}
+		want := labels[i]
+		if edges[i].IsDelete() {
+			want = uint16(graph.DefaultLabel) // deletions never carry labels
+		}
+		if b.Labels[i] != want {
+			t.Fatalf("label %d: got %d, want %d", i, b.Labels[i], want)
+		}
+	}
+	for i := range props {
+		if b.Props[i] != props[i] {
+			t.Fatalf("prop %d: got %v, want %v", i, b.Props[i], props[i])
+		}
+	}
+}
+
+// TestTypedBatchLabelAlignment pins the mixed-frame rule: once any typed
+// frame materializes Labels, edges from untyped frames carry the default
+// label at their index.
+func TestTypedBatchLabelAlignment(t *testing.T) {
+	buf := EncodeBatch([]graph.Edge{{Src: 1, Dst: 2}}, false)
+	buf = append(buf, EncodeTypedBatch([]graph.Edge{{Src: 3, Dst: 4}}, []uint16{7}, nil)[4:]...)
+	buf = append(buf, EncodeBatch([]graph.Edge{{Src: 5, Dst: 6}}, false)[4:]...)
+	var b TypedBatch
+	if err := DecodeBatchTyped(bytes.NewReader(buf), &b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Edges) != 3 || len(b.Labels) != 3 {
+		t.Fatalf("decoded %d edges, %d labels", len(b.Edges), len(b.Labels))
+	}
+	if b.Labels[0] != 0 || b.Labels[1] != 7 || b.Labels[2] != 0 {
+		t.Fatalf("labels = %v, want [0 7 0]", b.Labels)
+	}
+}
+
+// TestTypedBatchPlainStaysUntyped: a batch with no typed frames decodes
+// with Labels nil, which is how the server tells the async pipeline path
+// from the synchronous typed one.
+func TestTypedBatchPlainStaysUntyped(t *testing.T) {
+	buf := EncodeBatch(randomEdges(100, 6), false)
+	var b TypedBatch
+	if err := DecodeBatchTyped(bytes.NewReader(buf), &b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Labels != nil || b.Props != nil {
+		t.Fatalf("plain batch decoded typed: labels=%v props=%v", b.Labels, b.Props)
+	}
+}
+
+// TestPlainDecodeRejectsTypedOps pins the downgrade guard: DecodeBatch
+// must refuse typed frames as bad_frame, never silently drop labels.
+func TestPlainDecodeRejectsTypedOps(t *testing.T) {
+	typed := EncodeTypedBatch([]graph.Edge{{Src: 1, Dst: 2}}, []uint16{3}, nil)
+	if _, err := DecodeBatch(bytes.NewReader(typed), nil, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("typed frame: err = %v, want ErrBadFrame", err)
+	}
+	props := EncodeTypedBatch(nil, nil, []graph.PropSet{{V: 1, Key: 2, Val: 3}})
+	if _, err := DecodeBatch(bytes.NewReader(props), nil, 0); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("prop frame: err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestTypedBatchBadInputs(t *testing.T) {
+	cases := map[string][]byte{
+		"truncated typed":  append([]byte(BatchMagic), opTypedAdd, 1, 0, 0, 0, 9, 9),
+		"typed del bit":    append([]byte(BatchMagic), opTypedAdd, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0x80, 5, 0),
+		"truncated prop":   append([]byte(BatchMagic), opPropSet, 1, 0, 0, 0, 1, 2, 3),
+		"zero typed count": append([]byte(BatchMagic), opTypedAdd, 0, 0, 0, 0),
+	}
+	for name, in := range cases {
+		var b TypedBatch
+		if err := DecodeBatchTyped(bytes.NewReader(in), &b, 0); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+	// Props count toward the maxEdges allocation bound too.
+	_, _, props := randomTyped(400, 2)
+	buf := EncodeTypedBatch(nil, nil, props)
+	var b TypedBatch
+	if err := DecodeBatchTyped(bytes.NewReader(buf), &b, 50); !errors.Is(err, ErrBatchTooLarge) {
+		t.Fatalf("err = %v, want ErrBatchTooLarge", err)
+	}
+}
+
+// FuzzTypedBatchDecode throws arbitrary bytes at the typed decoder with
+// the same contract as FuzzBinaryBatchDecode: fail typed, never panic,
+// never over-read — and anything that decodes must survive an
+// encode/decode round trip, label-for-label and prop-for-prop.
+func FuzzTypedBatchDecode(f *testing.F) {
+	e1, l1, p1 := randomTyped(50, 4)
+	f.Add(EncodeTypedBatch(e1, l1, p1))
+	f.Add(EncodeTypedBatch(nil, nil, p1[:3]))
+	f.Add(EncodeBatch(randomEdges(20, 5), true))
+	f.Add([]byte(BatchMagic))
+	f.Add(append([]byte(BatchMagic), opTypedAdd, 1, 0, 0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		var b TypedBatch
+		if err := DecodeBatchTyped(bytes.NewReader(in), &b, 1<<16); err != nil {
+			if !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrBatchTooLarge) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		if b.Labels != nil && len(b.Labels) != len(b.Edges) {
+			t.Fatalf("labels misaligned: %d labels for %d edges", len(b.Labels), len(b.Edges))
+		}
+		again := TypedBatch{}
+		buf := EncodeTypedBatch(b.Edges, b.Labels, b.Props)
+		if err := DecodeBatchTyped(bytes.NewReader(buf), &again, 0); err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(again.Edges) != len(b.Edges) || len(again.Props) != len(b.Props) {
+			t.Fatalf("round trip %d/%d, want %d/%d",
+				len(again.Edges), len(again.Props), len(b.Edges), len(b.Props))
+		}
+		for i := range b.Edges {
+			if again.Edges[i] != b.Edges[i] {
+				t.Fatalf("round trip edge %d: %v != %v", i, again.Edges[i], b.Edges[i])
+			}
+			var want uint16
+			if b.Labels != nil && !b.Edges[i].IsDelete() {
+				want = b.Labels[i]
+			}
+			var got uint16
+			if again.Labels != nil {
+				got = again.Labels[i]
+			}
+			if got != want {
+				t.Fatalf("round trip label %d: %d != %d", i, got, want)
+			}
+		}
+		for i := range b.Props {
+			if again.Props[i] != b.Props[i] {
+				t.Fatalf("round trip prop %d: %v != %v", i, again.Props[i], b.Props[i])
+			}
+		}
+	})
+}

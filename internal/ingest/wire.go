@@ -11,6 +11,8 @@ package ingest
 //	op 0x03 compact varint: payload = count ×
 //	          (uvarint zigzag(int64(src) - int64(prevSrc)) ·
 //	           uvarint (dst<<1 | del))
+//	op 0x04 typed add:      payload = count × (src u32le · dst u32le · lbl u16le)
+//	op 0x05 property set:   payload = count × (vid u32le · key u16le · val i64le)
 //
 // count is 1..MaxFrameEdges. Fixed payloads require the destination's
 // top bit (graph.DelFlag) clear — the op carries deletion, so a set flag
@@ -18,6 +20,13 @@ package ingest
 // prevSrc to 0 at each frame start and carries the delete bit in the
 // destination word's low bit, so a source-sorted batch (the natural
 // output of an edge-list loader) costs ~3 bytes/edge instead of 8.
+//
+// Ops 0x04/0x05 are the property-graph extension (DESIGN.md §13): a
+// typed add carries the edge's label id and a property frame carries
+// last-write-wins vertex-property records. They decode only through
+// DecodeBatchTyped — the plain DecodeBatch rejects them like any unknown
+// op, so a store without the property layer refuses typed batches with
+// bad_frame instead of silently dropping the labels.
 //
 // Versioning: the magic's trailing byte is the format version ("XPB1");
 // a future layout bumps it and servers reject unknown magics as
@@ -47,6 +56,11 @@ const (
 	opAddFixed = 0x01
 	opDelFixed = 0x02
 	opCompact  = 0x03
+	opTypedAdd = 0x04
+	opPropSet  = 0x05
+
+	typedRecBytes = 10 // src u32le · dst u32le · lbl u16le
+	propRecBytes  = 14 // vid u32le · key u16le · val i64le
 
 	// MaxFrameEdges bounds one frame's count word, so a corrupt count
 	// cannot make the decoder attempt a multi-gigabyte allocation.
@@ -73,11 +87,36 @@ var readerPool = sync.Pool{
 	New: func() any { return bufio.NewReaderSize(nil, 64<<10) },
 }
 
+// TypedBatch is a decoded binary batch together with its property-graph
+// payload. Labels is nil until a typed frame appears; once non-nil it is
+// index-aligned with Edges (edges from untyped frames carry the default
+// label).
+type TypedBatch struct {
+	Edges  []graph.Edge
+	Labels []uint16
+	Props  []graph.PropSet
+}
+
 // DecodeBatch decodes a binary batch stream, appending to dst. It stops
 // at clean EOF (the stream may hold any number of frames) and returns
 // ErrBadFrame for structural corruption and ErrBatchTooLarge once more
 // than maxEdges records accumulate (maxEdges <= 0 means unlimited).
+// Typed frames (ops 0x04/0x05) are rejected; see DecodeBatchTyped.
 func DecodeBatch(r io.Reader, dst []graph.Edge, maxEdges int) ([]graph.Edge, error) {
+	b := TypedBatch{Edges: dst}
+	err := decodeFrames(r, &b, maxEdges, false)
+	return b.Edges, err
+}
+
+// DecodeBatchTyped decodes a binary batch stream including the typed ops,
+// appending to b (b.Edges may carry a pooled buffer). maxEdges bounds
+// edges and property records together — both are attacker-controlled
+// allocation.
+func DecodeBatchTyped(r io.Reader, b *TypedBatch, maxEdges int) error {
+	return decodeFrames(r, b, maxEdges, true)
+}
+
+func decodeFrames(r io.Reader, b *TypedBatch, maxEdges int, typed bool) error {
 	br := readerPool.Get().(*bufio.Reader)
 	br.Reset(r)
 	defer func() {
@@ -87,43 +126,113 @@ func DecodeBatch(r io.Reader, dst []graph.Edge, maxEdges int) ([]graph.Edge, err
 
 	var magic [4]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return dst, fmt.Errorf("%w: missing magic: %v", ErrBadFrame, err)
+		return fmt.Errorf("%w: missing magic: %v", ErrBadFrame, err)
 	}
 	if string(magic[:]) != BatchMagic {
-		return dst, fmt.Errorf("%w: magic %q", ErrBadFrame, magic[:])
+		return fmt.Errorf("%w: magic %q", ErrBadFrame, magic[:])
 	}
 
 	var scratch [4096]byte
 	for {
 		op, err := br.ReadByte()
 		if err == io.EOF {
-			return dst, nil
+			return nil
 		}
 		if err != nil {
-			return dst, err
+			return err
 		}
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
-			return dst, fmt.Errorf("%w: truncated frame header: %v", ErrBadFrame, err)
+			return fmt.Errorf("%w: truncated frame header: %v", ErrBadFrame, err)
 		}
 		count := int(binary.LittleEndian.Uint32(scratch[:4]))
 		if count == 0 || count > MaxFrameEdges {
-			return dst, fmt.Errorf("%w: frame count %d", ErrBadFrame, count)
+			return fmt.Errorf("%w: frame count %d", ErrBadFrame, count)
 		}
-		if maxEdges > 0 && len(dst)+count > maxEdges {
-			return dst, ErrBatchTooLarge
+		if maxEdges > 0 && len(b.Edges)+len(b.Props)+count > maxEdges {
+			return ErrBatchTooLarge
 		}
 		switch op {
 		case opAddFixed, opDelFixed:
-			dst, err = decodeFixedFrame(br, dst, count, op == opDelFixed, scratch[:])
+			b.Edges, err = decodeFixedFrame(br, b.Edges, count, op == opDelFixed, scratch[:])
 		case opCompact:
-			dst, err = decodeCompactFrame(br, dst, count)
+			b.Edges, err = decodeCompactFrame(br, b.Edges, count)
+		case opTypedAdd:
+			if !typed {
+				return fmt.Errorf("%w: typed op 0x%02x outside a typed decode", ErrBadFrame, op)
+			}
+			err = decodeTypedFrame(br, b, count, scratch[:])
+		case opPropSet:
+			if !typed {
+				return fmt.Errorf("%w: typed op 0x%02x outside a typed decode", ErrBadFrame, op)
+			}
+			err = decodePropFrame(br, b, count, scratch[:])
 		default:
-			return dst, fmt.Errorf("%w: unknown op 0x%02x", ErrBadFrame, op)
+			return fmt.Errorf("%w: unknown op 0x%02x", ErrBadFrame, op)
 		}
 		if err != nil {
-			return dst, err
+			return err
+		}
+		// Keep Labels index-aligned with Edges once any typed frame
+		// materialized it: untyped frames' edges carry the default label.
+		if b.Labels != nil && len(b.Labels) < len(b.Edges) {
+			b.Labels = append(b.Labels, make([]uint16, len(b.Edges)-len(b.Labels))...)
 		}
 	}
+}
+
+// decodeTypedFrame reads count 10-byte typed-add records.
+func decodeTypedFrame(br *bufio.Reader, b *TypedBatch, count int, scratch []byte) error {
+	if b.Labels == nil {
+		b.Labels = make([]uint16, len(b.Edges))
+	}
+	for count > 0 {
+		n := count
+		if n > len(scratch)/typedRecBytes {
+			n = len(scratch) / typedRecBytes
+		}
+		chunk := scratch[:n*typedRecBytes]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return fmt.Errorf("%w: truncated typed payload: %v", ErrBadFrame, err)
+		}
+		for i := 0; i < n; i++ {
+			rec := chunk[i*typedRecBytes:]
+			e := graph.Edge{
+				Src: binary.LittleEndian.Uint32(rec[0:4]),
+				Dst: binary.LittleEndian.Uint32(rec[4:8]),
+			}
+			if e.Dst&graph.DelFlag != 0 {
+				return fmt.Errorf("%w: typed destination %d carries the delete bit", ErrBadFrame, e.Dst)
+			}
+			b.Edges = append(b.Edges, e)
+			b.Labels = append(b.Labels, binary.LittleEndian.Uint16(rec[8:10]))
+		}
+		count -= n
+	}
+	return nil
+}
+
+// decodePropFrame reads count 14-byte property-set records.
+func decodePropFrame(br *bufio.Reader, b *TypedBatch, count int, scratch []byte) error {
+	for count > 0 {
+		n := count
+		if n > len(scratch)/propRecBytes {
+			n = len(scratch) / propRecBytes
+		}
+		chunk := scratch[:n*propRecBytes]
+		if _, err := io.ReadFull(br, chunk); err != nil {
+			return fmt.Errorf("%w: truncated property payload: %v", ErrBadFrame, err)
+		}
+		for i := 0; i < n; i++ {
+			rec := chunk[i*propRecBytes:]
+			b.Props = append(b.Props, graph.PropSet{
+				V:   binary.LittleEndian.Uint32(rec[0:4]),
+				Key: binary.LittleEndian.Uint16(rec[4:6]),
+				Val: int64(binary.LittleEndian.Uint64(rec[6:14])),
+			})
+		}
+		count -= n
+	}
+	return nil
 }
 
 // decodeFixedFrame reads count 8-byte records through a reused scratch
@@ -231,6 +340,55 @@ func EncodeBatch(edges []graph.Edge, compact bool) []byte {
 		}
 		buf = appendFixedFrame(buf, edges[off:end], del)
 		off = end
+	}
+	return buf
+}
+
+// EncodeTypedBatch builds a typed binary batch stream: adds go out as
+// typed frames carrying labels[i] (default label when labels is short),
+// deletes as plain delete frames (deletions never carry labels), and
+// props as property frames after the edges. Decode with
+// DecodeBatchTyped; a server without the property layer rejects the
+// stream as bad_frame.
+func EncodeTypedBatch(edges []graph.Edge, labels []uint16, props []graph.PropSet) []byte {
+	buf := append(make([]byte, 0, 5+len(edges)*typedRecBytes+len(props)*propRecBytes), BatchMagic...)
+	lbl := func(i int) uint16 {
+		if i < len(labels) {
+			return labels[i]
+		}
+		return uint16(graph.DefaultLabel)
+	}
+	for off := 0; off < len(edges); {
+		del := edges[off].IsDelete()
+		end := off
+		for end < len(edges) && edges[end].IsDelete() == del && end-off < MaxFrameEdges {
+			end++
+		}
+		if del {
+			buf = appendFixedFrame(buf, edges[off:end], true)
+		} else {
+			buf = append(buf, opTypedAdd)
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(end-off))
+			for i := off; i < end; i++ {
+				buf = binary.LittleEndian.AppendUint32(buf, edges[i].Src)
+				buf = binary.LittleEndian.AppendUint32(buf, edges[i].Dst&^graph.DelFlag)
+				buf = binary.LittleEndian.AppendUint16(buf, lbl(i))
+			}
+		}
+		off = end
+	}
+	for off := 0; off < len(props); off += MaxFrameEdges {
+		end := off + MaxFrameEdges
+		if end > len(props) {
+			end = len(props)
+		}
+		buf = append(buf, opPropSet)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(end-off))
+		for _, p := range props[off:end] {
+			buf = binary.LittleEndian.AppendUint32(buf, p.V)
+			buf = binary.LittleEndian.AppendUint16(buf, p.Key)
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Val))
+		}
 	}
 	return buf
 }

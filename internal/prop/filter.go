@@ -1,0 +1,84 @@
+package prop
+
+import "fmt"
+
+// Predicate operators accepted by Filter.Op.
+const (
+	OpNone   = ""
+	OpEq     = "eq"
+	OpNe     = "ne"
+	OpLt     = "lt"
+	OpLe     = "le"
+	OpGt     = "gt"
+	OpGe     = "ge"
+	OpExists = "exists"
+)
+
+// Filter is the pushdown predicate of a typed traversal: an edge is
+// expanded only when its label is in Types (empty: any) AND its
+// destination vertex satisfies the property predicate (Op empty: any).
+// The view layer applies the filter while decoding, so a filtered k-hop
+// never materializes — or charges media reads for — the pruned frontier.
+type Filter struct {
+	// Types is the accepted label-id set (nil/empty: all labels).
+	Types []uint16
+	// Key/Op/Val predicate the destination vertex's property Key.
+	Key uint16
+	Op  string
+	Val int64
+}
+
+// Empty reports a filter that accepts everything.
+func (f Filter) Empty() bool { return len(f.Types) == 0 && f.Op == OpNone }
+
+// Validate rejects unknown operators before a traversal starts.
+func (f Filter) Validate() error {
+	switch f.Op {
+	case OpNone, OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpExists:
+		return nil
+	}
+	return fmt.Errorf("prop: unknown filter op %q", f.Op)
+}
+
+// MatchLabel reports whether an edge label passes the type set.
+func (f Filter) MatchLabel(lbl uint16) bool {
+	if len(f.Types) == 0 {
+		return true
+	}
+	for _, t := range f.Types {
+		if t == lbl {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchVertex reports whether a vertex passes the property predicate,
+// reading its property through get (ok=false: property unset; an unset
+// property fails every predicate except none).
+func (f Filter) MatchVertex(get func(key uint16) (int64, bool)) bool {
+	if f.Op == OpNone {
+		return true
+	}
+	val, ok := get(f.Key)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case OpExists:
+		return true
+	case OpEq:
+		return val == f.Val
+	case OpNe:
+		return val != f.Val
+	case OpLt:
+		return val < f.Val
+	case OpLe:
+		return val <= f.Val
+	case OpGt:
+		return val > f.Val
+	case OpGe:
+		return val >= f.Val
+	}
+	return false
+}

@@ -1,0 +1,495 @@
+package prop
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/mem"
+	"repro/internal/xpsim"
+)
+
+var (
+	// ErrFull reports an exhausted column log: no further property
+	// writes are accepted until the store is recreated larger.
+	ErrFull = errors.New("prop: property column log full")
+	// ErrDamaged reports an unrecoverable column block: a mid-log block
+	// failed its checksum (or sits on uncorrectable media) with no patch
+	// to supersede it, so some property records are lost. Typed reads
+	// fail with this instead of silently answering default labels.
+	ErrDamaged = errors.New("prop: property columns damaged (unrecoverable block)")
+	// ErrBadLabel reports an invalid label registration.
+	ErrBadLabel = errors.New("prop: invalid label name")
+)
+
+// blockMeta is the DRAM mirror of one physical column block.
+type blockMeta struct {
+	recs []Record // current content (nil: unreadable, awaiting a patch)
+	// patchOf is the physical block this one replaces (-1: normal).
+	patchOf int
+	// superseded marks a block whose content now lives in a later patch.
+	superseded bool
+}
+
+// Store is the property column store of one graph shard. Mutations go
+// through Apply*/RegisterLabel and become durable at the next Flush
+// (which core ties to the same flush points as the vertex buffers); a
+// crash rolls unflushed records back, so a recovered label is always
+// either the last flushed value or the default — never garbage, because
+// every block is CRC-guarded.
+type Store struct {
+	mu  sync.RWMutex
+	m   mem.Mem
+	lat *xpsim.LatencyModel
+
+	base      int64
+	capBlocks int64
+	head      int64 // physical blocks written
+
+	pending []Record
+	blocks  []blockMeta
+
+	labels  map[uint64]uint16
+	vprops  map[uint64]int64
+	names   []string // label id -> name; 0 is the default label ""
+	damaged bool
+
+	quarantined int64 // physical blocks retired by scrub
+}
+
+// RecoverInfo reports what Attach found in the durable image.
+type RecoverInfo struct {
+	Blocks      int64 // readable blocks (incl. patches)
+	Records     int64 // live records applied to the index
+	TornTail    bool  // a torn newest block was truncated
+	BadBlocks   int64 // unreadable blocks (patched or unrecoverable)
+	Unreadable  int64 // unreadable blocks with no patch (=> damaged)
+	Quarantined int64 // blocks superseded by patches
+}
+
+// Create initializes an empty column store over m. base must be
+// XPLine-aligned; the log spans [base, base+capBlocks*BlockBytes).
+func Create(m mem.Mem, lat *xpsim.LatencyModel, base, capBlocks int64) (*Store, error) {
+	if base%BlockBytes != 0 {
+		return nil, fmt.Errorf("prop: base %d not block-aligned", base)
+	}
+	if base+capBlocks*BlockBytes > m.Size() {
+		return nil, fmt.Errorf("prop: %d blocks at %d exceed region size %d", capBlocks, base, m.Size())
+	}
+	return &Store{
+		m: m, lat: lat, base: base, capBlocks: capBlocks,
+		labels: make(map[uint64]uint16),
+		vprops: make(map[uint64]int64),
+		names:  []string{""},
+	}, nil
+}
+
+// Attach recovers a column store from the durable image: it scans blocks
+// forward, truncates a torn tail, resolves patch blocks onto their
+// targets, and rebuilds the DRAM index by replaying the logical record
+// sequence. An unreadable block that no patch supersedes marks the store
+// damaged: checked reads fail with ErrDamaged instead of silently
+// answering defaults.
+func Attach(ctx *xpsim.Ctx, m mem.Mem, lat *xpsim.LatencyModel, base, capBlocks int64) (*Store, RecoverInfo, error) {
+	s, err := Create(m, lat, base, capBlocks)
+	if err != nil {
+		return nil, RecoverInfo{}, err
+	}
+	var info RecoverInfo
+	buf := make([]byte, BlockBytes)
+	// Scan every physical block. Blocks are written strictly
+	// sequentially, so the first all-zero block ends the log; a bad
+	// block before it is either media damage (patched later or
+	// unrecoverable) or — when nothing follows it — a torn tail.
+	type scanned struct {
+		recs  []Record
+		patch uint16
+		bad   bool
+	}
+	var scan []scanned
+	for i := int64(0); i < capBlocks; i++ {
+		rerr := mem.ReadChecked(s.m, ctx, s.base+i*BlockBytes, buf)
+		if rerr != nil {
+			scan = append(scan, scanned{bad: true})
+			continue
+		}
+		recs, patch, derr := DecodeBlock(buf)
+		if derr != nil {
+			scan = append(scan, scanned{bad: true})
+			continue
+		}
+		if recs == nil { // all-zero: end of log
+			break
+		}
+		scan = append(scan, scanned{recs: recs, patch: patch})
+	}
+	// Trim trailing bad blocks: the newest one may be a torn tail (a
+	// normal crash artifact, truncated without complaint).
+	for len(scan) > 0 && scan[len(scan)-1].bad {
+		scan = scan[:len(scan)-1]
+		info.TornTail = true
+		info.BadBlocks++
+	}
+	s.head = int64(len(scan))
+	s.blocks = make([]blockMeta, len(scan))
+	lastPatch := make(map[int]int) // target -> newest patch block
+	for i, b := range scan {
+		s.blocks[i] = blockMeta{recs: b.recs, patchOf: -1}
+		if b.bad {
+			info.BadBlocks++
+			continue
+		}
+		info.Blocks++
+		if b.patch > 0 {
+			t := int(b.patch) - 1
+			s.blocks[i].patchOf = t
+			if t < i {
+				if p, ok := lastPatch[t]; ok {
+					s.blocks[p].superseded = true
+				} else {
+					info.Quarantined++
+				}
+				lastPatch[t] = i
+				s.blocks[t].recs = b.recs
+				s.blocks[t].superseded = true
+			}
+		}
+	}
+	// Replay the logical sequence: every non-patch block's (possibly
+	// patched) records, in physical order.
+	for i := range s.blocks {
+		b := &s.blocks[i]
+		if b.patchOf >= 0 {
+			continue
+		}
+		if b.recs == nil {
+			s.damaged = true
+			info.Unreadable++
+			continue
+		}
+		for _, r := range b.recs {
+			s.applyIndex(r)
+			info.Records++
+		}
+	}
+	s.quarantined = info.Quarantined
+	return s, info, nil
+}
+
+// applyIndex folds one record into the DRAM index (callers hold mu).
+func (s *Store) applyIndex(r Record) {
+	switch r.Kind {
+	case KindEdgeLabel:
+		k := uint64(r.Src)<<32 | uint64(r.Dst)
+		if r.Lbl == graph.DefaultLabel {
+			delete(s.labels, k)
+		} else {
+			s.labels[k] = r.Lbl
+		}
+	case KindVProp:
+		s.vprops[uint64(r.Src)<<32|uint64(r.Lbl)] = r.Value()
+	case KindLabelDef:
+		for int(r.Lbl) >= len(s.names) {
+			s.names = append(s.names, "")
+		}
+		s.names[r.Lbl] = r.LabelName()
+	}
+}
+
+// RegisterLabel assigns the next label id to name, appends its def
+// record, and flushes it durable before returning the id — so a crash
+// can never re-assign the id to a different name after a caller has
+// started using it. Registering an existing name returns its id.
+func (s *Store) RegisterLabel(ctx *xpsim.Ctx, name string) (uint16, error) {
+	if name == "" || len(name) > MaxLabelName {
+		return 0, fmt.Errorf("%w: %q (1..%d bytes)", ErrBadLabel, name, MaxLabelName)
+	}
+	s.mu.Lock()
+	for id, n := range s.names {
+		if n == name {
+			s.mu.Unlock()
+			return uint16(id), nil
+		}
+	}
+	id := uint16(len(s.names))
+	s.names = append(s.names, name)
+	s.pending = append(s.pending, LabelDefRecord(id, name))
+	s.mu.Unlock()
+	if err := s.Flush(ctx); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// SetLabelDef installs a (id, name) pair decided elsewhere — the path a
+// cluster uses to broadcast one shard's registration to its peers and
+// replicas with the identical id.
+func (s *Store) SetLabelDef(ctx *xpsim.Ctx, id uint16, name string) error {
+	if name == "" || len(name) > MaxLabelName {
+		return fmt.Errorf("%w: %q (1..%d bytes)", ErrBadLabel, name, MaxLabelName)
+	}
+	s.mu.Lock()
+	if int(id) < len(s.names) && s.names[id] == name {
+		s.mu.Unlock()
+		return nil
+	}
+	s.pending = append(s.pending, LabelDefRecord(id, name))
+	s.applyIndex(LabelDefRecord(id, name))
+	s.mu.Unlock()
+	return s.Flush(ctx)
+}
+
+// LabelID resolves a registered label name.
+func (s *Store) LabelID(name string) (uint16, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for id, n := range s.names {
+		if id > 0 && n == name {
+			return uint16(id), true
+		}
+	}
+	return 0, false
+}
+
+// LabelName resolves a label id ("" for the default label or unknown).
+func (s *Store) LabelName(id uint16) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) < len(s.names) {
+		return s.names[id]
+	}
+	return ""
+}
+
+// Labels returns the label table: index = label id, names[0] = "" (the
+// default label of untyped edges).
+func (s *Store) Labels() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.names...)
+}
+
+// ApplyEdgeLabels records the labels of a typed edge batch: labels[i] is
+// the type of edges[i]. Default-label edges append no record (they read
+// back as default with zero column cost — the mixed typed/untyped
+// upgrade rule), unless they overwrite an earlier non-default label.
+// Deletion records never carry labels.
+func (s *Store) ApplyEdgeLabels(edges []graph.Edge, labels []uint16) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range edges {
+		if e.IsDelete() {
+			continue
+		}
+		lbl := uint16(graph.DefaultLabel)
+		if i < len(labels) {
+			lbl = labels[i]
+		}
+		k := uint64(e.Src)<<32 | uint64(e.Dst)
+		if lbl == graph.DefaultLabel {
+			if _, relabel := s.labels[k]; !relabel {
+				continue
+			}
+		}
+		r := EdgeLabelRecord(e.Src, e.Dst, lbl)
+		s.pending = append(s.pending, r)
+		s.applyIndex(r)
+	}
+}
+
+// ApplyProps records a batch of vertex-property writes.
+func (s *Store) ApplyProps(sets []graph.PropSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range sets {
+		r := VPropRecord(p.V, p.Key, p.Val)
+		s.pending = append(s.pending, r)
+		s.applyIndex(r)
+	}
+}
+
+// Flush writes every pending record out as full column blocks (the last
+// one possibly partial — blocks are never rewritten, so the next flush
+// starts a fresh block). Records are durable in append order: a crash
+// mid-flush keeps a prefix.
+func (s *Store) Flush(ctx *xpsim.Ctx) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked(ctx)
+}
+
+func (s *Store) flushLocked(ctx *xpsim.Ctx) error {
+	var buf [BlockBytes]byte
+	for len(s.pending) > 0 {
+		if s.head >= s.capBlocks {
+			return ErrFull
+		}
+		n := len(s.pending)
+		if n > RecordsPerBlock {
+			n = RecordsPerBlock
+		}
+		recs := append([]Record(nil), s.pending[:n]...)
+		EncodeBlock(buf[:], recs, 0)
+		off := s.base + s.head*BlockBytes
+		s.m.Write(ctx, off, buf[:])
+		s.m.Flush(ctx, off, BlockBytes)
+		s.blocks = append(s.blocks, blockMeta{recs: recs, patchOf: -1})
+		s.head++
+		s.pending = s.pending[n:]
+	}
+	s.pending = nil
+	return nil
+}
+
+// Label answers the type of edge (src, dst): the last applied label, or
+// the default label for edges never typed. Unchecked — callers that must
+// not serve defaults off damaged columns use LabelChecked.
+func (s *Store) Label(src, dst uint32) uint16 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.labels[uint64(src)<<32|uint64(dst)]
+}
+
+// LabelChecked is Label, failing with ErrDamaged once an unrecoverable
+// column block means the answer could be silently wrong.
+func (s *Store) LabelChecked(src, dst uint32) (uint16, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.damaged {
+		return 0, ErrDamaged
+	}
+	return s.labels[uint64(src)<<32|uint64(dst)], nil
+}
+
+// VProp reads vertex v's property key.
+func (s *Store) VProp(v uint32, key uint16) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	val, ok := s.vprops[uint64(v)<<32|uint64(key)]
+	return val, ok
+}
+
+// VPropChecked is VProp with the damage guard.
+func (s *Store) VPropChecked(v uint32, key uint16) (int64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.damaged {
+		return 0, false, ErrDamaged
+	}
+	val, ok := s.vprops[uint64(v)<<32|uint64(key)]
+	return val, ok, nil
+}
+
+// Damaged reports whether an unrecoverable block poisons the columns.
+func (s *Store) Damaged() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.damaged
+}
+
+// PendingRecords reports how many applied records await a flush.
+func (s *Store) PendingRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// Blocks reports how many physical blocks the log holds.
+func (s *Store) Blocks() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+// Bytes reports the PMEM footprint of the written column log.
+func (s *Store) Bytes() int64 { return s.Blocks() * BlockBytes }
+
+// BlockOffsets lists the region-relative byte offset of every written
+// physical block, in physical order — the media surface a scrub covers.
+func (s *Store) BlockOffsets() []int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int64, s.head)
+	for i := range out {
+		out[i] = s.base + int64(i)*BlockBytes
+	}
+	return out
+}
+
+// ScrubReport summarizes one column scrub pass.
+type ScrubReport struct {
+	BlocksScanned int64
+	BadBlocks     int64 // failed checksum or media read
+	Rebuilt       int64 // re-published as patch blocks from the DRAM mirror
+	Unrecoverable int64 // bad with no DRAM mirror to rebuild from
+}
+
+// Scrub verifies every live column block against its checksum through
+// the media-checked read path. A bad block is rebuilt by appending a
+// patch block carrying the same records (from the DRAM mirror) and the
+// damaged physical block is retired — reads never touch it again. A bad
+// block with no mirror (damage that predates this process) is counted
+// unrecoverable and keeps the store damaged.
+func (s *Store) Scrub(ctx *xpsim.Ctx) (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rep ScrubReport
+	buf := make([]byte, BlockBytes)
+	head := s.head // patches appended during the pass are not re-scanned
+	var blkbuf [BlockBytes]byte
+	for i := int64(0); i < head; i++ {
+		b := &s.blocks[i]
+		if b.superseded {
+			continue
+		}
+		rep.BlocksScanned++
+		bad := false
+		if err := mem.ReadChecked(s.m, ctx, s.base+i*BlockBytes, buf); err != nil {
+			bad = true
+		} else if _, _, err := DecodeBlock(buf); err != nil {
+			bad = true
+		}
+		if !bad {
+			continue
+		}
+		rep.BadBlocks++
+		// Rebuild from the DRAM mirror: append a patch block that
+		// logically replaces the damaged one, then retire it.
+		target := i
+		if b.patchOf >= 0 {
+			target = int64(b.patchOf)
+		}
+		recs := s.blocks[target].recs
+		if recs == nil {
+			rep.Unrecoverable++
+			s.damaged = true
+			continue
+		}
+		if s.head >= s.capBlocks {
+			rep.Unrecoverable++
+			s.damaged = true
+			continue
+		}
+		EncodeBlock(blkbuf[:], recs, uint16(target)+1)
+		off := s.base + s.head*BlockBytes
+		s.m.Write(ctx, off, blkbuf[:])
+		s.m.Flush(ctx, off, BlockBytes)
+		s.blocks = append(s.blocks, blockMeta{recs: recs, patchOf: int(target)})
+		s.blocks[i].superseded = true
+		if target != i {
+			s.blocks[target].superseded = true
+		}
+		s.head++
+		s.quarantined++
+		rep.Rebuilt++
+	}
+	return rep, nil
+}
+
+// Quarantined reports how many physical blocks scrubs have retired.
+func (s *Store) Quarantined() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.quarantined
+}

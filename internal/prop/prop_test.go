@@ -1,0 +1,307 @@
+package prop
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/pmem"
+	"repro/internal/xpsim"
+)
+
+func testRegion(t *testing.T, capBlocks int64) (*pmem.Region, *xpsim.Machine, int64) {
+	t.Helper()
+	m := xpsim.NewMachine(1, 64<<20, xpsim.DefaultLatency())
+	h := pmem.NewHeap(m)
+	r, err := h.Map("t-prop", BlockBytes+capBlocks*BlockBytes, pmem.Placement{Kind: pmem.Interleave})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := (r.UserStart() + BlockBytes - 1) / BlockBytes * BlockBytes
+	return r, m, base
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	recs := []Record{
+		EdgeLabelRecord(1, 2, 7),
+		VPropRecord(9, 3, -123456789),
+		LabelDefRecord(4, "follows"),
+	}
+	var buf [BlockBytes]byte
+	EncodeBlock(buf[:], recs, 5)
+	got, patch, err := DecodeBlock(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patch != 5 || len(got) != 3 {
+		t.Fatalf("patch %d len %d", patch, len(got))
+	}
+	if got[0] != recs[0] || got[1] != recs[1] || got[2] != recs[2] {
+		t.Fatalf("records differ: %+v vs %+v", got, recs)
+	}
+	if got[1].Value() != -123456789 {
+		t.Fatalf("value %d", got[1].Value())
+	}
+	if got[2].LabelName() != "follows" {
+		t.Fatalf("name %q", got[2].LabelName())
+	}
+	// Corrupt one byte: decode must fail, not return wrong records.
+	buf[100] ^= 0xFF
+	if _, _, err := DecodeBlock(buf[:]); err == nil {
+		t.Fatal("corrupt block decoded cleanly")
+	}
+	// All-zero block is a clean end-of-log.
+	var zero [BlockBytes]byte
+	recs2, _, err := DecodeBlock(zero[:])
+	if err != nil || recs2 != nil {
+		t.Fatalf("zero block: %v %v", recs2, err)
+	}
+}
+
+func TestApplyFlushAttach(t *testing.T) {
+	r, _, base := testRegion(t, 64)
+	lat := xpsim.DefaultLatency()
+	s, err := Create(r, &lat, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+
+	id, err := s.RegisterLabel(ctx, "follows")
+	if err != nil || id != 1 {
+		t.Fatalf("register: id %d err %v", id, err)
+	}
+	// Re-registering is idempotent.
+	if id2, _ := s.RegisterLabel(ctx, "follows"); id2 != id {
+		t.Fatalf("re-register gave %d", id2)
+	}
+
+	edges := []graph.Edge{{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}
+	s.ApplyEdgeLabels(edges, []uint16{id, 0, id})
+	s.ApplyProps([]graph.PropSet{{V: 2, Key: 1, Val: 42}, {V: 2, Key: 1, Val: 43}})
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Label(1, 2); got != id {
+		t.Fatalf("label(1,2)=%d", got)
+	}
+	if got := s.Label(1, 3); got != 0 {
+		t.Fatalf("untyped edge label %d", got)
+	}
+	if v, ok := s.VProp(2, 1); !ok || v != 43 {
+		t.Fatalf("vprop %d %v (want last-write-wins 43)", v, ok)
+	}
+
+	// Relabel back to default must round-trip through recovery too.
+	s.ApplyEdgeLabels([]graph.Edge{{Src: 2, Dst: 3}}, []uint16{0})
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, info, err := Attach(ctx, r, &lat, base, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Unreadable != 0 || info.TornTail {
+		t.Fatalf("clean attach reported damage: %+v", info)
+	}
+	if got := s2.Label(1, 2); got != id {
+		t.Fatalf("recovered label(1,2)=%d", got)
+	}
+	if got := s2.Label(2, 3); got != 0 {
+		t.Fatalf("recovered relabeled edge %d", got)
+	}
+	if v, ok := s2.VProp(2, 1); !ok || v != 43 {
+		t.Fatalf("recovered vprop %d %v", v, ok)
+	}
+	if name := s2.LabelName(id); name != "follows" {
+		t.Fatalf("recovered name %q", name)
+	}
+	if lid, ok := s2.LabelID("follows"); !ok || lid != id {
+		t.Fatalf("recovered id %d %v", lid, ok)
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	r, _, base := testRegion(t, 8)
+	lat := xpsim.DefaultLatency()
+	s, _ := Create(r, &lat, base, 8)
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	s.ApplyProps([]graph.PropSet{{V: 1, Key: 1, Val: 10}})
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyProps([]graph.PropSet{{V: 1, Key: 1, Val: 20}})
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the newest block: flip a byte mid-record area.
+	var b [1]byte
+	off := base + 1*BlockBytes + 17
+	r.Read(ctx, off, b[:])
+	b[0] ^= 0xA5
+	r.Write(ctx, off, b[:])
+	r.Flush(ctx, off, 1)
+
+	s2, info, err := Attach(ctx, r, &lat, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.TornTail || info.Unreadable != 0 {
+		t.Fatalf("want torn tail, got %+v", info)
+	}
+	if s2.Damaged() {
+		t.Fatal("torn tail must not poison the store")
+	}
+	if v, ok := s2.VProp(1, 1); !ok || v != 10 {
+		t.Fatalf("rolled-back vprop = %d %v (want flushed prefix 10)", v, ok)
+	}
+}
+
+func TestMidLogDamageFailsClosed(t *testing.T) {
+	r, _, base := testRegion(t, 8)
+	lat := xpsim.DefaultLatency()
+	s, _ := Create(r, &lat, base, 8)
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	for i := 0; i < 3; i++ {
+		s.ApplyProps([]graph.PropSet{{V: uint32(i), Key: 1, Val: int64(i)}})
+		if err := s.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the middle block: a later valid block exists, so this is
+	// data loss, not a torn tail.
+	var b [1]byte
+	off := base + 1*BlockBytes + 9
+	r.Read(ctx, off, b[:])
+	b[0] ^= 0xA5
+	r.Write(ctx, off, b[:])
+	r.Flush(ctx, off, 1)
+
+	s2, info, err := Attach(ctx, r, &lat, base, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Unreadable != 1 || !s2.Damaged() {
+		t.Fatalf("mid-log damage not flagged: %+v damaged=%v", info, s2.Damaged())
+	}
+	if _, err := s2.LabelChecked(1, 2); err == nil {
+		t.Fatal("checked read served a damaged store")
+	}
+	if _, _, err := s2.VPropChecked(1, 1); err == nil {
+		t.Fatal("checked vprop served a damaged store")
+	}
+}
+
+func TestScrubRebuildsUEBlock(t *testing.T) {
+	r, m, base := testRegion(t, 16)
+	lat := xpsim.DefaultLatency()
+	s, _ := Create(r, &lat, base, 16)
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	faults := m.TrackFaults()
+
+	s.ApplyProps([]graph.PropSet{{V: 7, Key: 2, Val: 99}})
+	s.ApplyEdgeLabels([]graph.Edge{{Src: 4, Dst: 5}}, []uint16{3})
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncorrectable error on the first column block's line.
+	node, line := r.LineAt(base)
+	faults.InjectUE(node, line)
+
+	rep, err := s.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BadBlocks != 1 || rep.Rebuilt != 1 || rep.Unrecoverable != 0 {
+		t.Fatalf("scrub report %+v", rep)
+	}
+	if s.Damaged() {
+		t.Fatal("rebuilt store still damaged")
+	}
+	// Reads stay correct after the rebuild.
+	if lbl, err := s.LabelChecked(4, 5); err != nil || lbl != 3 {
+		t.Fatalf("post-scrub label %d %v", lbl, err)
+	}
+	// A second scrub pass skips the quarantined block and stays clean.
+	rep2, err := s.Scrub(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.BadBlocks != 0 {
+		t.Fatalf("second scrub still sees damage: %+v", rep2)
+	}
+
+	// Recovery over the patched image: the UE block is superseded by the
+	// patch, so the attach is clean and the index is intact.
+	s2, info, err := Attach(ctx, r, &lat, base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Damaged() || info.Unreadable != 0 {
+		t.Fatalf("patched image attach damaged: %+v", info)
+	}
+	if lbl := s2.Label(4, 5); lbl != 3 {
+		t.Fatalf("recovered patched label %d", lbl)
+	}
+	if v, ok := s2.VProp(7, 2); !ok || v != 99 {
+		t.Fatalf("recovered patched vprop %d %v", v, ok)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	props := map[uint16]int64{1: 10}
+	get := func(k uint16) (int64, bool) { v, ok := props[k]; return v, ok }
+
+	f := Filter{}
+	if !f.Empty() || !f.MatchLabel(5) || !f.MatchVertex(get) {
+		t.Fatal("empty filter must accept everything")
+	}
+	f = Filter{Types: []uint16{2, 3}}
+	if f.MatchLabel(1) || !f.MatchLabel(3) {
+		t.Fatal("type set mismatch")
+	}
+	for _, tc := range []struct {
+		op   string
+		val  int64
+		want bool
+	}{
+		{OpEq, 10, true}, {OpEq, 11, false},
+		{OpNe, 10, false}, {OpNe, 11, true},
+		{OpLt, 11, true}, {OpLt, 10, false},
+		{OpLe, 10, true}, {OpGt, 9, true},
+		{OpGe, 10, true}, {OpGe, 11, false},
+		{OpExists, 0, true},
+	} {
+		f := Filter{Key: 1, Op: tc.op, Val: tc.val}
+		if got := f.MatchVertex(get); got != tc.want {
+			t.Fatalf("%s %d: got %v", tc.op, tc.val, got)
+		}
+	}
+	// Unset property fails every real predicate.
+	f = Filter{Key: 9, Op: OpExists}
+	if f.MatchVertex(get) {
+		t.Fatal("unset property passed exists")
+	}
+	if (Filter{Op: "bogus"}).Validate() == nil {
+		t.Fatal("bogus op validated")
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	r, _, base := testRegion(t, 2)
+	lat := xpsim.DefaultLatency()
+	s, _ := Create(r, &lat, base, 2)
+	ctx := xpsim.NewCtx(xpsim.NodeUnbound)
+	for i := 0; i < 2*RecordsPerBlock; i++ {
+		s.ApplyProps([]graph.PropSet{{V: uint32(i), Key: 1, Val: 1}})
+	}
+	if err := s.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyProps([]graph.PropSet{{V: 999, Key: 1, Val: 1}})
+	if err := s.Flush(ctx); err != ErrFull {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+}

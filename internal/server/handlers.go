@@ -19,6 +19,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ingest"
 	"repro/internal/obs"
+	"repro/internal/prop"
 	"repro/internal/xpsim"
 )
 
@@ -31,42 +32,42 @@ func (s *Server) engineFor(cv *cluster.ClusterView) *analytics.Engine {
 
 // ---- writes ----
 
-// decodeWriteBody reads an ingest request body into a pooled edge
-// buffer. On error it writes the response, recycles the buffer, and
-// returns nil. Both transports share it: the JSON handlers stream
-// through ingest.DecodeJSONEdges, the binary endpoint through
-// ingest.DecodeBatch — neither materializes an intermediate struct
-// slice, and http.MaxBytesReader fences runaway bodies either way.
-func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request, binary bool) []graph.Edge {
+// decodeWriteBody reads a JSON ingest request body into a pooled edge
+// buffer, streaming through ingest.DecodeJSONEdges — no intermediate
+// struct slice, and http.MaxBytesReader fences runaway bodies. On error
+// it writes the response, recycles the buffer, and returns nil.
+func (s *Server) decodeWriteBody(w http.ResponseWriter, r *http.Request) []graph.Edge {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	edges := ingest.GetEdgeBuf()
 	var err error
-	if binary {
-		edges, err = ingest.DecodeBatch(body, edges, s.cl.QueueCap())
-	} else {
-		edges, err = ingest.DecodeJSONEdges(body, edges, r.Method == http.MethodDelete, s.cl.QueueCap())
-	}
+	edges, err = ingest.DecodeJSONEdges(body, edges, r.Method == http.MethodDelete, s.cl.QueueCap())
 	if err == nil && len(edges) == 0 {
 		err = errors.New("no edges")
 	}
 	if err != nil {
 		ingest.PutEdgeBuf(edges)
-		var mbe *http.MaxBytesError
-		switch {
-		case errors.Is(err, ingest.ErrBatchTooLarge):
-			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
-				"request exceeds the queue capacity of %d edges; split it", s.cl.QueueCap())
-		case errors.As(err, &mbe):
-			httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
-				"request body exceeds the %d byte limit; split it", s.cfg.MaxBodyBytes)
-		case binary && errors.Is(err, ingest.ErrBadFrame):
-			httpError(w, http.StatusBadRequest, "bad_frame", "bad batch: %v", err)
-		default:
-			httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
-		}
+		s.writeDecodeError(w, err, false)
 		return nil
 	}
 	return edges
+}
+
+// writeDecodeError maps a body-decode failure onto the envelope; both
+// the JSON and binary transports share it.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error, binary bool) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.Is(err, ingest.ErrBatchTooLarge):
+		httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"request exceeds the queue capacity of %d edges; split it", s.cl.QueueCap())
+	case errors.As(err, &mbe):
+		httpError(w, http.StatusRequestEntityTooLarge, "batch_too_large",
+			"request body exceeds the %d byte limit; split it", s.cfg.MaxBodyBytes)
+	case binary && errors.Is(err, ingest.ErrBadFrame):
+		httpError(w, http.StatusBadRequest, "bad_frame", "bad batch: %v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+	}
 }
 
 // writeIngestError maps a cluster routing/application failure onto the
@@ -149,7 +150,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST or DELETE")
 		return
 	}
-	edges := s.decodeWriteBody(w, r, false)
+	edges := s.decodeWriteBody(w, r)
 	if edges == nil {
 		return
 	}
@@ -158,7 +159,12 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 
 // handleIngestBin is the binary batch endpoint: the same pipeline as
 // POST /v1/edges behind the length-prefixed wire format of
-// ingest.DecodeBatch (DESIGN.md §10.1).
+// ingest.DecodeBatch (DESIGN.md §10.1), extended with typed-edge and
+// property-set frames (§13.6). A plain batch — no typed frames — takes
+// the async-capable pipeline path exactly as before; a batch carrying
+// labels or property writes is applied synchronously under the owner
+// shards' locks (cluster.IngestTyped), because an edge's adjacency
+// record and its label must land in one lock window.
 func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use POST")
@@ -171,11 +177,41 @@ func (s *Server) handleIngestBin(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	edges := s.decodeWriteBody(w, r, true)
-	if edges == nil {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	b := ingest.TypedBatch{Edges: ingest.GetEdgeBuf()}
+	err := ingest.DecodeBatchTyped(body, &b, s.cl.QueueCap())
+	if err == nil && len(b.Edges) == 0 && len(b.Props) == 0 {
+		err = errors.New("no edges")
+	}
+	if err != nil {
+		ingest.PutEdgeBuf(b.Edges)
+		s.writeDecodeError(w, err, true)
 		return
 	}
-	s.enqueueAndRespond(w, r, edges)
+	if b.Labels == nil && len(b.Props) == 0 {
+		s.enqueueAndRespond(w, r, b.Edges)
+		return
+	}
+	if r.URL.Query().Get("async") == "1" {
+		ingest.PutEdgeBuf(b.Edges)
+		httpError(w, http.StatusBadRequest, "invalid_argument",
+			"typed batches are applied synchronously; drop ?async=1")
+		return
+	}
+	res, ierr := s.cl.IngestTyped(b.Edges, b.Labels, b.Props)
+	ingest.PutEdgeBuf(b.Edges)
+	if ierr != nil {
+		s.writeIngestError(w, ierr)
+		return
+	}
+	epoch := res.Epoch()
+	writeEpochJSON(w, epoch, IngestResponse{
+		Accepted:    res.Accepted,
+		SimMs:       float64(res.SimNs) / 1e6,
+		Batches:     res.Batches,
+		Epoch:       epoch,
+		EpochVector: res.Epochs,
+	})
 }
 
 // ---- snapshot reads ----
@@ -505,17 +541,21 @@ func (s *Server) handleScrub(w http.ResponseWriter, r *http.Request) {
 	vec := s.cl.EpochVector()
 	epoch := cluster.EpochScalar(vec)
 	writeEpochJSON(w, epoch, ScrubResponse{
-		VerticesScanned:  rep.VerticesScanned,
-		Damaged:          rep.Damaged,
-		Repaired:         rep.Repaired,
-		Unrecoverable:    rep.Unrecoverable,
-		SpansQuarantined: rep.SpansQuarantined,
-		BytesQuarantined: rep.BytesQuarantined,
-		LogBadRecords:    rep.LogBadRecords,
-		SimMs:            float64(rep.SimNs) / 1e6,
-		Health:           s.cl.Health().State,
-		Epoch:            epoch,
-		EpochVector:      vec,
+		VerticesScanned:    rep.VerticesScanned,
+		Damaged:            rep.Damaged,
+		Repaired:           rep.Repaired,
+		Unrecoverable:      rep.Unrecoverable,
+		SpansQuarantined:   rep.SpansQuarantined,
+		BytesQuarantined:   rep.BytesQuarantined,
+		LogBadRecords:      rep.LogBadRecords,
+		PropBlocksScrubbed: rep.PropBlocksScrubbed,
+		PropBlocksBad:      rep.PropBlocksBad,
+		PropBlocksRebuilt:  rep.PropBlocksRebuilt,
+		PropUnrecoverable:  rep.PropUnrecoverable,
+		SimMs:              float64(rep.SimNs) / 1e6,
+		Health:             s.cl.Health().State,
+		Epoch:              epoch,
+		EpochVector:        vec,
 	})
 }
 
@@ -603,13 +643,62 @@ func (s *Server) handleCC(w http.ResponseWriter, r *http.Request) {
 		SimMs: float64(res.SimNs) / 1e6, Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
 }
 
+// maxTraversalDepth bounds K and MaxDepth: a hop count past it is a
+// client bug (the frontier saturates the graph long before), not a
+// bigger query, so it answers 400 instead of burning a core.
+const maxTraversalDepth = 64
+
+// buildFilter resolves a request's types/filter pair against the pinned
+// view's label table into the prop.Filter the engine pushes down. An
+// unknown label name or a malformed predicate fails typed so the handler
+// can answer 400 invalid_argument.
+func buildFilter(cv *cluster.ClusterView, types []string, fj *FilterJSON) (prop.Filter, error) {
+	var f prop.Filter
+	for _, name := range types {
+		id, ok := cv.LabelID(name)
+		if !ok {
+			return f, fmt.Errorf("unknown edge type %q (register it: POST /v1/labels)", name)
+		}
+		f.Types = append(f.Types, id)
+	}
+	if fj != nil {
+		f.Key, f.Op, f.Val = fj.Key, fj.Op, fj.Value
+	}
+	if err := f.Validate(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// writeQueryError maps a filtered-traversal failure: damaged property
+// columns answer like any other media failure (scrub may rebuild them),
+// a dead partition answers partition_down, anything else is internal.
+func (s *Server) writeQueryError(w http.ResponseWriter, cv *cluster.ClusterView, err error) {
+	var pd *cluster.PartitionDownError
+	switch {
+	case errors.As(err, &pd):
+		httpShardError(w, http.StatusServiceUnavailable, "partition_down", pd.Shard,
+			cv.EpochVector(), "query: %v", err)
+	case errors.Is(err, prop.ErrDamaged):
+		httpError(w, http.StatusServiceUnavailable, "media_error",
+			"query: %v (a scrub may rebuild the property columns: POST /v1/scrub)", err)
+	default:
+		httpError(w, http.StatusInternalServerError, "internal", "query: %v", err)
+	}
+}
+
 func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
 	var req KHopRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
 		return
 	}
-	if req.K <= 0 {
+	if req.K < 0 || req.K > maxTraversalDepth {
+		httpError(w, http.StatusBadRequest, "invalid_argument",
+			"k must be in [0, %d], got %d", maxTraversalDepth, req.K)
+		return
+	}
+	if req.K == 0 {
 		req.K = 2
 	}
 	if s.rejectIfDegraded(w) {
@@ -617,8 +706,105 @@ func (s *Server) handleKHop(w http.ResponseWriter, r *http.Request) {
 	}
 	cv := s.cl.AcquireView()
 	defer cv.Release()
-	res := s.engineFor(cv).KHop(req.Root, req.K)
+	var res analytics.KHopResult
+	if len(req.Types) > 0 || req.Filter != nil {
+		f, ferr := buildFilter(cv, req.Types, req.Filter)
+		if ferr != nil {
+			httpError(w, http.StatusBadRequest, "invalid_argument", "%v", ferr)
+			return
+		}
+		var qerr error
+		res, qerr = s.engineFor(cv).KHopFiltered(req.Root, req.K, f)
+		if qerr != nil {
+			s.writeQueryError(w, cv, qerr)
+			return
+		}
+	} else {
+		res = s.engineFor(cv).KHop(req.Root, req.K)
+	}
 	writeEpochJSON(w, cv.Epoch(), KHopResponse{Root: req.Root, Reached: res.Reached,
 		PerHop: res.PerHop, SimMs: float64(res.SimNs) / 1e6,
 		Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	var req PathRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+		return
+	}
+	if req.MaxDepth < 0 || req.MaxDepth > maxTraversalDepth {
+		httpError(w, http.StatusBadRequest, "invalid_argument",
+			"max_depth must be in [0, %d], got %d", maxTraversalDepth, req.MaxDepth)
+		return
+	}
+	if req.MaxDepth == 0 {
+		req.MaxDepth = 8
+	}
+	if s.rejectIfDegraded(w) {
+		return
+	}
+	cv := s.cl.AcquireView()
+	defer cv.Release()
+	f, ferr := buildFilter(cv, req.Types, req.Filter)
+	if ferr != nil {
+		httpError(w, http.StatusBadRequest, "invalid_argument", "%v", ferr)
+		return
+	}
+	res, qerr := s.engineFor(cv).Path(req.Root, req.Target, req.MaxDepth, f)
+	if qerr != nil {
+		s.writeQueryError(w, cv, qerr)
+		return
+	}
+	writeEpochJSON(w, cv.Epoch(), PathResponse{Root: req.Root, Target: req.Target,
+		Found: res.Found, Path: res.Path, Hops: res.Hops,
+		SimMs: float64(res.SimNs) / 1e6,
+		Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
+}
+
+// handleLabels serves the edge-label table: GET reads it from the
+// pinned view (any servable partition's table is authoritative — label
+// registration broadcasts to every shard), POST registers a name
+// cluster-wide and returns its id (idempotent for an existing name).
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		cv := s.cl.AcquireView()
+		defer cv.Release()
+		writeEpochJSON(w, cv.Epoch(), LabelsResponse{Labels: cv.Labels(),
+			Epoch: cv.Epoch(), EpochVector: cv.EpochVector()})
+	case http.MethodPost:
+		var req LabelRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad_request", "bad body: %v", err)
+			return
+		}
+		id, err := s.cl.RegisterLabel(req.Name)
+		if err != nil {
+			switch {
+			case errors.Is(err, prop.ErrBadLabel):
+				httpError(w, http.StatusBadRequest, "invalid_argument", "%v", err)
+			case errors.Is(err, core.ErrNoProps):
+				httpError(w, http.StatusNotImplemented, "no_property_layer",
+					"this deployment was built without the property layer (core.Options.Props)")
+			case errors.Is(err, cluster.ErrShardDown):
+				var se *cluster.ShardError
+				shardID := -1
+				if errors.As(err, &se) {
+					shardID = se.Shard
+				}
+				httpShardError(w, http.StatusServiceUnavailable, "shard_down", shardID,
+					s.cl.EpochVector(), "label registration needs every shard up: %v", err)
+			default:
+				s.writeAdminError(w, "register label", err)
+			}
+			return
+		}
+		vec := s.cl.EpochVector()
+		epoch := cluster.EpochScalar(vec)
+		writeEpochJSON(w, epoch, LabelResponse{ID: id, Name: req.Name,
+			Epoch: epoch, EpochVector: vec})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "method_not_allowed", "use GET or POST")
+	}
 }

@@ -36,7 +36,7 @@ var knownRoutes = map[string]bool{
 	"/stats":   true,
 	"/healthz": true, "/metrics": true, "/trace": true,
 	"/query/bfs": true, "/query/pagerank": true, "/query/cc": true,
-	"/query/khop": true,
+	"/query/khop": true, "/query/path": true, "/labels": true,
 }
 
 // routeLabel normalizes a request path (after /v1 stripping) into a

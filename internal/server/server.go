@@ -19,7 +19,10 @@
 //	POST /v1/query/bfs        {"root":1}                           BFS traversal
 //	POST /v1/query/pagerank   {"iterations":10,"top":5}            PageRank top-k
 //	POST /v1/query/cc         {}                                   connected components
-//	POST /v1/query/khop       {"root":1,"k":2}                     bounded exploration
+//	POST /v1/query/khop       {"root":1,"k":2,"types":["follows"],"filter":{...}}  bounded (optionally filtered) exploration
+//	POST /v1/query/path       {"root":1,"target":9,"types":[...]}  filtered shortest path
+//	GET  /v1/labels                                                the edge-label table
+//	POST /v1/labels           {"name":"follows"}                   register an edge label
 //
 // The serving backend is an internal/cluster.Cluster: New wraps a single
 // store in a degenerate one-shard cluster (the classic single-box
@@ -98,7 +101,7 @@
 // unsupported_media_type, method_not_allowed, not_found, queue_full,
 // batch_too_large, ingest_failed, internal, shutting_down, media_error,
 // unrecoverable, degraded, readonly, circuit_open, partition_down,
-// shard_down, deadline_exceeded). `shard` and `epoch_vector` appear when
+// shard_down, deadline_exceeded, invalid_argument, no_property_layer). `shard` and `epoch_vector` appear when
 // the failure is attributable to one partition. 429 and circuit_open
 // responses carry a Retry-After header; the 429 delay is jittered over
 // 1-3 s so shed writers do not retry in lockstep.
@@ -293,6 +296,8 @@ func newServer(cl *cluster.Cluster, machine *xpsim.Machine, cfg Config) *Server 
 	mux.HandleFunc("/query/pagerank", s.handlePageRank)
 	mux.HandleFunc("/query/cc", s.handleCC)
 	mux.HandleFunc("/query/khop", s.handleKHop)
+	mux.HandleFunc("/query/path", s.handlePath)
+	mux.HandleFunc("/labels", s.handleLabels)
 	// Catch-all so unknown routes get the JSON error envelope instead of
 	// the mux's plain-text 404.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -466,17 +471,23 @@ type HealthzResponse struct {
 // ScrubResponse reports one POST /v1/scrub pass (summed across shards;
 // SimMs is the slowest shard's — they scrub in parallel).
 type ScrubResponse struct {
-	VerticesScanned  int64    `json:"vertices_scanned"`
-	Damaged          int64    `json:"damaged"`
-	Repaired         int64    `json:"repaired"`
-	Unrecoverable    int64    `json:"unrecoverable"`
-	SpansQuarantined int64    `json:"spans_quarantined"`
-	BytesQuarantined int64    `json:"bytes_quarantined"`
-	LogBadRecords    int64    `json:"log_bad_records"`
-	SimMs            float64  `json:"sim_ms"`
-	Health           string   `json:"health"`
-	Epoch            uint64   `json:"epoch"`
-	EpochVector      []uint64 `json:"epoch_vector"`
+	VerticesScanned  int64 `json:"vertices_scanned"`
+	Damaged          int64 `json:"damaged"`
+	Repaired         int64 `json:"repaired"`
+	Unrecoverable    int64 `json:"unrecoverable"`
+	SpansQuarantined int64 `json:"spans_quarantined"`
+	BytesQuarantined int64 `json:"bytes_quarantined"`
+	LogBadRecords    int64 `json:"log_bad_records"`
+	// Property-column counters (zero unless the stores carry columns).
+	PropBlocksScrubbed int64 `json:"prop_blocks_scrubbed,omitempty"`
+	PropBlocksBad      int64 `json:"prop_blocks_bad,omitempty"`
+	PropBlocksRebuilt  int64 `json:"prop_blocks_rebuilt,omitempty"`
+	PropUnrecoverable  int64 `json:"prop_unrecoverable,omitempty"`
+
+	SimMs       float64  `json:"sim_ms"`
+	Health      string   `json:"health"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
 }
 
 // MetricsResponse reports ingest-pipeline and snapshot metrics, summed
@@ -546,10 +557,26 @@ type CCResponse struct {
 	EpochVector []uint64 `json:"epoch_vector"`
 }
 
-// KHopRequest bounds a neighborhood exploration.
+// FilterJSON is the wire form of a vertex-property predicate: keep a
+// neighbor only when its property Key relates to Value under Op (eq, ne,
+// lt, le, gt, ge, exists). The predicate — like the types list it rides
+// with — is pushed down into the view layer, pruning the traversal
+// frontier at adjacency-decode time (DESIGN.md §13.4).
+type FilterJSON struct {
+	Key   uint16 `json:"key"`
+	Op    string `json:"op"`
+	Value int64  `json:"value"`
+}
+
+// KHopRequest bounds a neighborhood exploration. Types and Filter are
+// optional: when either is set the traversal expands only edges whose
+// label name is in Types (all labels when empty) and whose destination
+// passes Filter. K must be in [0, 64]; 0 defaults to 2.
 type KHopRequest struct {
-	Root graph.VID `json:"root"`
-	K    int       `json:"k"`
+	Root   graph.VID   `json:"root"`
+	K      int         `json:"k"`
+	Types  []string    `json:"types,omitempty"`
+	Filter *FilterJSON `json:"filter,omitempty"`
 }
 
 // KHopResponse reports the bounded exploration.
@@ -560,6 +587,52 @@ type KHopResponse struct {
 	SimMs       float64   `json:"sim_ms"`
 	Epoch       uint64    `json:"epoch"`
 	EpochVector []uint64  `json:"epoch_vector"`
+}
+
+// PathRequest asks for a shortest path (by hop count) from Root to
+// Target through edges passing the optional Types/Filter predicate,
+// exploring at most MaxDepth hops (default 8, max 64).
+type PathRequest struct {
+	Root     graph.VID   `json:"root"`
+	Target   graph.VID   `json:"target"`
+	MaxDepth int         `json:"max_depth"`
+	Types    []string    `json:"types,omitempty"`
+	Filter   *FilterJSON `json:"filter,omitempty"`
+}
+
+// PathResponse reports the search: when Found, Path is the vertex
+// sequence root..target inclusive and Hops == len(path)-1.
+type PathResponse struct {
+	Root        graph.VID   `json:"root"`
+	Target      graph.VID   `json:"target"`
+	Found       bool        `json:"found"`
+	Path        []graph.VID `json:"path,omitempty"`
+	Hops        int         `json:"hops"`
+	SimMs       float64     `json:"sim_ms"`
+	Epoch       uint64      `json:"epoch"`
+	EpochVector []uint64    `json:"epoch_vector"`
+}
+
+// LabelsResponse is the edge-label table: Labels[id] is the name of
+// label id, with id 0 the default (untyped) label whose name is "".
+type LabelsResponse struct {
+	Labels      []string `json:"labels"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
+}
+
+// LabelRequest is the body of POST /v1/labels.
+type LabelRequest struct {
+	Name string `json:"name"`
+}
+
+// LabelResponse reports a label registration (idempotent: registering
+// an existing name returns its id).
+type LabelResponse struct {
+	ID          uint16   `json:"id"`
+	Name        string   `json:"name"`
+	Epoch       uint64   `json:"epoch"`
+	EpochVector []uint64 `json:"epoch_vector"`
 }
 
 // ---- JSON plumbing ----

@@ -76,7 +76,12 @@ type Scenario struct {
 	WritesPerSec int     `json:"writes_per_sec"`
 	WriteBatch   int     `json:"write_batch"`
 	KHopFrac     float64 `json:"khop_frac"`
-	DeleteFrac   float64 `json:"delete_frac"`
+	// FilteredKHopFrac of reads run a typed 2-hop exploration through
+	// the property layer (types=["hot"], pushed down; DESIGN.md §13).
+	// Setting it attaches property columns to every store and warm-loads
+	// a typed edge set alongside the plain warm edges.
+	FilteredKHopFrac float64 `json:"filtered_khop_frac"`
+	DeleteFrac       float64 `json:"delete_frac"`
 
 	// ZipfSkew skews vertex popularity inside a tenant's range (0 =
 	// uniform; larger = hotter head). Tenants partitions the vertex
@@ -170,28 +175,29 @@ func ByName(name string) (Scenario, error) {
 	switch name {
 	case ShortMix:
 		return Scenario{
-			Name:          ShortMix,
-			Seed:          0x50A6_0001,
-			Shards:        2,
-			Vertices:      1 << 16,
-			PMEMPerNodeMB: 256,
-			Horizon:       2 * time.Second,
-			WarmEdges:     30_000,
-			ReadsPerSec:   2000,
-			WritesPerSec:  40,
-			WriteBatch:    512,
-			KHopFrac:      0.02,
-			DeleteFrac:    0.05,
-			ZipfSkew:      0.8,
-			Tenants:       4,
-			TenantSkew:    0.6,
-			BurstEvery:    500 * time.Millisecond,
-			BurstLen:      150 * time.Millisecond,
-			BurstMult:     6,
-			QueueCap:      1 << 14,
-			BatchEdges:    4096,
-			Linger:        2 * time.Millisecond,
-			ScrapeEvery:   250 * time.Millisecond,
+			Name:             ShortMix,
+			Seed:             0x50A6_0001,
+			Shards:           2,
+			Vertices:         1 << 16,
+			PMEMPerNodeMB:    256,
+			Horizon:          2 * time.Second,
+			WarmEdges:        30_000,
+			ReadsPerSec:      2000,
+			WritesPerSec:     40,
+			WriteBatch:       512,
+			KHopFrac:         0.02,
+			FilteredKHopFrac: 0.02,
+			DeleteFrac:       0.05,
+			ZipfSkew:         0.8,
+			Tenants:          4,
+			TenantSkew:       0.6,
+			BurstEvery:       500 * time.Millisecond,
+			BurstLen:         150 * time.Millisecond,
+			BurstMult:        6,
+			QueueCap:         1 << 14,
+			BatchEdges:       4096,
+			Linger:           2 * time.Millisecond,
+			ScrapeEvery:      250 * time.Millisecond,
 			SLO: SLO{
 				ReadP99Us:     2000,
 				WriteP99Ms:    50,

@@ -84,9 +84,10 @@ type Report struct {
 	Adaptive bool    `json:"adaptive"`
 	HorizonS float64 `json:"horizon_s"`
 
-	Reads      int64 `json:"reads"`
-	KHops      int64 `json:"khops"`
-	ReadErrors int64 `json:"read_errors"`
+	Reads         int64 `json:"reads"`
+	KHops         int64 `json:"khops"`
+	FilteredKHops int64 `json:"filtered_khops"`
+	ReadErrors    int64 `json:"read_errors"`
 
 	WriteParts    int64 `json:"write_parts"`
 	EdgesOffered  int64 `json:"edges_offered"`
@@ -232,6 +233,7 @@ func newRunner(sc Scenario) (*runner, error) {
 			NUMA:           core.NUMASubgraph,
 			AdjBytes:       perNode / 4,
 			MediaGuard:     sc.MediaGuard,
+			Props:          sc.FilteredKHopFrac > 0,
 		})
 		return st, f, err
 	}
@@ -310,6 +312,27 @@ func newRunner(sc Scenario) (*runner, error) {
 		if _, err := cl.IngestLocal(warm); err != nil {
 			cl.Close()
 			return nil, fmt.Errorf("soak: warm load: %w", err)
+		}
+	}
+	// Typed warm set for the filtered-khop read fraction: one "hot"
+	// label over a tenth of the warm volume, so the typed traversals have
+	// real labeled adjacency to prune against.
+	if sc.FilteredKHopFrac > 0 {
+		hot, err := cl.RegisterLabel(soakLabel)
+		if err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("soak: registering warm label: %w", err)
+		}
+		n := sc.WarmEdges/10 + 1
+		typed := make([]graph.Edge, n)
+		labels := make([]uint16, n)
+		for i := range typed {
+			typed[i] = graph.Edge{Src: r.pickVertex(), Dst: graph.VID(r.rng.intn(int(sc.Vertices)))}
+			labels[i] = hot
+		}
+		if _, err := cl.IngestTyped(typed, labels, nil); err != nil {
+			cl.Close()
+			return nil, fmt.Errorf("soak: typed warm load: %w", err)
 		}
 	}
 
@@ -522,16 +545,30 @@ func (r *runner) waitAt(si int, pruneBefore, t int64) int64 {
 
 // ---- events ----
 
+// soakLabel is the edge label the typed warm set and the filtered-khop
+// reads share.
+const soakLabel = "hot"
+
 func (r *runner) read() {
 	sc := &r.sc
 	v := r.pickVertex()
 	khop := sc.KHopFrac > 0 && r.rng.float() < sc.KHopFrac
+	filtered := false
+	if !khop && sc.FilteredKHopFrac > 0 && r.rng.float() < sc.FilteredKHopFrac {
+		khop, filtered = true, true
+	}
 
 	var costNs, waitNs int64
 	var code string
 	if khop {
-		r.rep.KHops++
-		body, _ := json.Marshal(server.KHopRequest{Root: v, K: 2})
+		kreq := server.KHopRequest{Root: v, K: 2}
+		if filtered {
+			r.rep.FilteredKHops++
+			kreq.Types = []string{soakLabel}
+		} else {
+			r.rep.KHops++
+		}
+		body, _ := json.Marshal(kreq)
 		var resp server.KHopResponse
 		code = r.call("POST", "/v1/query/khop", "application/json", body, &resp)
 		if code == "" {

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/prop"
 	"repro/internal/xpsim"
 )
 
@@ -52,14 +53,40 @@ type Checked interface {
 	NbrsInChecked(ctx *xpsim.Ctx, v graph.VID, dst []uint32) ([]uint32, error)
 }
 
+// Typed is the property-graph half of the read surface (DESIGN.md §13):
+// edge labels, vertex properties, and filtered traversal with the
+// predicate pushed down into the view. Pushdown is the contract, not an
+// optimization hint — a neighbor pruned by the filter never reaches the
+// caller, so a filtered frontier never charges the next hop's media
+// reads. Stores without a property layer implement this trivially (every
+// edge carries the default label, no vertex has properties).
+type Typed interface {
+	// Labels reports the label table: index = label id; entry 0 is ""
+	// (the default label every untyped edge carries).
+	Labels() []string
+	// LabelID resolves a registered label name (false when unknown).
+	LabelID(name string) (uint16, bool)
+	// VisitOutTyped streams the out-neighbors of v that pass f, together
+	// with each edge's label. Checked: once the property columns are
+	// damaged the visit fails with prop.ErrDamaged instead of silently
+	// reading lost labels as defaults.
+	VisitOutTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error
+	// VisitInTyped mirrors VisitOutTyped over the in-direction.
+	VisitInTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error
+	// VProp reads vertex v's property key (checked like the visits).
+	VProp(v graph.VID, key uint16) (int64, bool, error)
+}
+
 // Full is the complete serving-layer read contract: the algorithm
-// surface (View), the checked point reads, and the in-degree the degree
-// endpoint reports. Everything the HTTP handlers ever ask of a graph
-// goes through this interface, which is what lets a partitioned cluster
-// view replace a single snapshot with zero handler changes.
+// surface (View), the checked point reads, the property-graph reads,
+// and the in-degree the degree endpoint reports. Everything the HTTP
+// handlers ever ask of a graph goes through this interface, which is
+// what lets a partitioned cluster view replace a single snapshot with
+// zero handler changes.
 type Full interface {
 	View
 	Checked
+	Typed
 	// InDegree is the stored in-record count of v (the counterpart of
 	// View.OutDegree).
 	InDegree(v graph.VID) int
@@ -175,4 +202,62 @@ func (g *guardedFull) InDegree(v graph.VID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	return g.f.InDegree(v)
+}
+
+func (g *guardedFull) Labels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.Labels()
+}
+
+func (g *guardedFull) LabelID(name string) (uint16, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.LabelID(name)
+}
+
+// typedPair buffers one (neighbor, label) emission so the typed visits
+// can follow the same materialize-locked/call-back-unlocked rule as
+// VisitOut/VisitIn.
+type typedPair struct {
+	nbr uint32
+	lbl uint16
+}
+
+func (g *guardedFull) VisitOutTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error {
+	g.mu.RLock()
+	var pairs []typedPair
+	err := g.f.VisitOutTyped(ctx, v, f, func(nbr uint32, lbl uint16) {
+		pairs = append(pairs, typedPair{nbr, lbl})
+	})
+	g.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		fn(p.nbr, p.lbl)
+	}
+	return nil
+}
+
+func (g *guardedFull) VisitInTyped(ctx *xpsim.Ctx, v graph.VID, f prop.Filter, fn func(nbr uint32, lbl uint16)) error {
+	g.mu.RLock()
+	var pairs []typedPair
+	err := g.f.VisitInTyped(ctx, v, f, func(nbr uint32, lbl uint16) {
+		pairs = append(pairs, typedPair{nbr, lbl})
+	})
+	g.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	for _, p := range pairs {
+		fn(p.nbr, p.lbl)
+	}
+	return nil
+}
+
+func (g *guardedFull) VProp(v graph.VID, key uint16) (int64, bool, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.f.VProp(v, key)
 }

@@ -63,7 +63,8 @@ echo "== wire bench + benchgate (DESIGN.md §10.3)"
 wire_report=$(mktemp -t bench6.XXXXXX.json)
 cluster_report=$(mktemp -t bench7.XXXXXX.json)
 soak_report=$(mktemp -t bench8.XXXXXX.json)
-trap 'rm -f "$wire_report" "$cluster_report" "$soak_report"' EXIT
+prop_report=$(mktemp -t bench9.XXXXXX.json)
+trap 'rm -f "$wire_report" "$cluster_report" "$soak_report" "$prop_report"' EXIT
 go run ./cmd/xpgraph bench -exp wire -scale 0.5 -json "$wire_report" >/dev/null
 go run ./cmd/xpgraph benchgate -new "$wire_report" -baseline BENCH_6.json
 
@@ -88,6 +89,16 @@ echo "== soak harness (short) + adaptive-admission benchgate (DESIGN.md §12)"
 # are exact.
 go run ./cmd/xpgraph bench -exp soak -json "$soak_report" >/dev/null
 go run ./cmd/xpgraph benchgate -new "$soak_report" -baseline BENCH_8.json
+
+echo "== property-graph bench + benchgate (DESIGN.md §13)"
+# Regenerate the filter-pushdown / typed-ingest report at the committed
+# BENCH_9.json scale and gate it: the filtered 2-hop reads >= 2x fewer
+# media lines than read-all-then-filter, typed ingest holds >= 0.8x
+# plain throughput, plus no-regression against the committed baseline.
+# All numbers are simulated-clock / simulated-media, so at a fixed
+# scale the comparison is exact.
+go run ./cmd/xpgraph bench -exp prop -scale 0.5 -json "$prop_report" >/dev/null
+go run ./cmd/xpgraph benchgate -new "$prop_report" -baseline BENCH_9.json
 
 echo "== media-scrub differentials (short)"
 # The UE-injection differential harness (DESIGN.md §9): every read under
