@@ -88,7 +88,7 @@ func usage() {
   recover -dataset D [-scale f] [-load state.xpg]
   gen     -dataset D -out file [-scale f]
   benchgate -new report.json [-baseline committed.json] [-tol f]
-  soak    -scenario <short-mix|bursty-ingest|fault-storm> [-seed n] [-adaptive]
+  soak    -scenario <short-mix|bursty-ingest|fault-storm|sustained-overload> [-seed n] [-adaptive]
           [-horizon d] [-dump dir] [-json out.json]
   list`)
 }

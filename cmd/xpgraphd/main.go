@@ -33,6 +33,13 @@
 //
 //	xpgraphd -shards 4 -replicas 1 -preload TT
 //
+// The leader→replica shipping path is a fallible RPC (DESIGN.md §14):
+// -chaos arms seeded fault injection on every shipping link so operators
+// can watch the retry/dedupe/resync machinery work under /v1/metrics and
+// /v1/healthz (replica_states):
+//
+//	xpgraphd -shards 2 -replicas 1 -chaos "seed=7,drop=0.05,dup=0.02,delay=0.1:2ms"
+//
 // Optionally pre-loads a catalog dataset (-preload FS -scale 0.1) so the
 // service starts with a realistic graph.
 //
@@ -69,6 +76,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -101,6 +109,7 @@ func main() {
 	archiveSSDMB := flag.Int64("archive-ssd-mb", 0, "SSD edge archive for scrub rebuilds, in MiB (requires -media-guard)")
 	scrubEvery := flag.Duration("scrub-every", 0, "periodic media scrub pass (requires -media-guard; 0 disables)")
 	ueDecay := flag.Float64("ue-decay", 0, "per-read probability a media line decays uncorrectable — demo/chaos knob (requires -media-guard)")
+	chaosSpec := flag.String("chaos", "", `seeded fault injection on the leader→replica shipping links, e.g. "seed=7,drop=0.05,dup=0.02,delay=0.1:2ms,part=2x40@400" (requires -replicas; DESIGN.md §14.4)`)
 	preload := flag.String("preload", "", "catalog dataset to pre-load (TT, FS, ...)")
 	scale := flag.Float64("scale", 0.1, "pre-load edge scale")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the phase timeline on shutdown")
@@ -160,6 +169,24 @@ func main() {
 		ccfg.ReplicaFactory = func(shardID, replica int) (*core.Store, error) {
 			return newNode(fmt.Sprintf("xpgraphd-s%d-r%d", shardID, replica))
 		}
+	}
+	if *chaosSpec != "" {
+		if *replicas < 1 {
+			log.Fatal("xpgraphd: -chaos requires -replicas (it injects faults on the shipping links)")
+		}
+		plan, parts, err := chaos.Parse(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var links []chaos.Link
+		for s := 0; s < *shards; s++ {
+			for r := 0; r < *replicas; r++ {
+				links = append(links, chaos.Link{Shard: s, Replica: r})
+			}
+		}
+		parts.Finish(plan, links)
+		ccfg.Transport = cluster.NewChaosTransport(plan)
+		fmt.Fprintf(os.Stderr, "xpgraphd: chaos armed on %d shipping link(s): %s\n", len(links), *chaosSpec)
 	}
 	cl, err := cluster.New(stores, ccfg)
 	if err != nil {

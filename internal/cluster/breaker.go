@@ -5,32 +5,49 @@ import (
 	"time"
 )
 
-// breaker is the per-shard ingest circuit breaker: repeated media-write
-// failures (the shard's store reporting *xpsim.MediaError from Ingest)
-// open it, and while open every new write routed to the shard is refused
-// up front with a BreakerOpenError instead of being queued into a
-// pipeline that will drop it anyway. After the cooldown the breaker goes
-// half-open: the next write is admitted as a probe, a success closes the
-// breaker, another media failure re-opens it immediately.
+// Breaker is the per-shard ingest circuit breaker. It has two arms:
 //
-// It moved here from internal/server (PR 5) because failure shedding is
-// a property of one shard, not of the HTTP frontend: in a cluster, one
-// shard's dying device must open one breaker and leave the other
-// partitions writable.
-type breaker struct {
+//   - media: repeated media-write failures (the shard's store reporting
+//     *xpsim.MediaError from Ingest) open it, so a dying device sheds
+//     new writes up front with a BreakerOpenError instead of queueing
+//     them into a pipeline that will drop them anyway;
+//   - overload: sustained queue-full sheds (consecutive ErrQueueFull
+//     refusals with no admit between them) open it too, so a shard
+//     drowning in offered load converts the 429 storm into typed 503s
+//     with a Retry-After instead of letting every caller hammer the
+//     full queue (DESIGN.md §12.4).
+//
+// After the cooldown the breaker goes half-open: the next write is
+// admitted as a probe; a success (applied, or at least admitted past
+// the queue) closes the breaker, another failure re-opens it
+// immediately. It moved here from internal/server (PR 5) because
+// failure shedding is a property of one shard, not of the HTTP
+// frontend; the soak harness reuses the same policy on its virtual
+// clock, which is why every method takes an explicit now.
+type Breaker struct {
 	mu        sync.Mutex
-	threshold int           // consecutive failures that open the breaker
+	threshold int           // consecutive media failures that open the breaker
+	overload  int           // consecutive queue-full sheds that open it (0 = arm disabled)
 	cooldown  time.Duration // open duration before the half-open probe
 	fails     int           // consecutive media failures while closed
+	sheds     int           // consecutive queue-full sheds while closed
 	openUntil time.Time     // zero when closed
 	halfOpen  bool          // a probe write is in flight
 	trips     int64
+	closes    int64
+	probes    int64
 	rejected  int64
+}
+
+// NewBreaker builds a breaker for the soak harness's virtual admission
+// model (the cluster builds its shards' breakers from Config directly).
+func NewBreaker(mediaThreshold, overloadThreshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: mediaThreshold, overload: overloadThreshold, cooldown: cooldown}
 }
 
 // allow reports whether a write may enter the pipeline; when refused it
 // also reports how long until the half-open probe is admitted.
-func (b *breaker) allow(now time.Time) (bool, time.Duration) {
+func (b *Breaker) allow(now time.Time) (bool, time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.openUntil.IsZero() {
@@ -40,48 +57,106 @@ func (b *breaker) allow(now time.Time) (bool, time.Duration) {
 		b.rejected++
 		return false, b.openUntil.Sub(now)
 	}
-	b.halfOpen = true
+	if !b.halfOpen {
+		b.halfOpen = true
+		b.probes++
+	}
 	return true, 0
+}
+
+// Allow is the exported admission check (soak's virtual model).
+func (b *Breaker) Allow(now time.Time) (bool, time.Duration) { return b.allow(now) }
+
+// openLocked trips the breaker (callers hold mu).
+func (b *Breaker) openLocked(now time.Time) {
+	b.openUntil = now.Add(b.cooldown)
+	b.trips++
+	b.fails = 0
+	b.sheds = 0
+	b.halfOpen = false
+}
+
+// closeLocked closes an open or half-open breaker (callers hold mu).
+func (b *Breaker) closeLocked() {
+	if !b.openUntil.IsZero() || b.halfOpen {
+		b.closes++
+	}
+	b.fails = 0
+	b.sheds = 0
+	b.openUntil = time.Time{}
+	b.halfOpen = false
 }
 
 // recordFailure counts one media-write failure. The breaker opens at
 // threshold consecutive failures, or immediately when a half-open probe
 // fails.
-func (b *breaker) recordFailure(now time.Time) {
+func (b *Breaker) recordFailure(now time.Time) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.fails++
 	if b.fails >= b.threshold || b.halfOpen {
-		b.openUntil = now.Add(b.cooldown)
-		b.trips++
-		b.fails = 0
-		b.halfOpen = false
+		b.openLocked(now)
 	}
 }
 
-// recordSuccess closes the breaker and clears the failure streak.
-func (b *breaker) recordSuccess() {
+// recordSuccess closes the breaker and clears both failure streaks.
+func (b *Breaker) recordSuccess() {
 	b.mu.Lock()
-	b.fails = 0
-	b.openUntil = time.Time{}
-	b.halfOpen = false
+	b.closeLocked()
+	b.mu.Unlock()
+}
+
+// NoteShed counts one queue-full refusal on the overload arm. The
+// breaker opens at `overload` consecutive sheds, or immediately when a
+// half-open probe is shed again.
+func (b *Breaker) NoteShed(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.overload <= 0 {
+		return
+	}
+	b.sheds++
+	if b.sheds >= b.overload || b.halfOpen {
+		b.openLocked(now)
+	}
+}
+
+// NoteAdmit records a write admitted past the queue: it clears the
+// overload streak and closes a half-open breaker (the probe got
+// through, so the queue is draining again).
+func (b *Breaker) NoteAdmit() {
+	b.mu.Lock()
+	b.sheds = 0
+	if b.halfOpen {
+		b.closeLocked()
+	}
 	b.mu.Unlock()
 }
 
 // BreakerView is one consistent copy of a shard breaker's state for
 // metrics and the health endpoint.
 type BreakerView struct {
-	Open     bool
+	Open bool
+	// Trips counts open transitions (either arm); Closes counts
+	// half-open → closed recoveries; Probes counts half-open probe
+	// admissions. Together they pin the open/half-open/close cycle.
 	Trips    int64
+	Closes   int64
+	Probes   int64
 	Rejected int64
 }
 
-func (b *breaker) view(now time.Time) BreakerView {
+func (b *Breaker) view(now time.Time) BreakerView {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return BreakerView{
 		Open:     !b.openUntil.IsZero() && now.Before(b.openUntil),
 		Trips:    b.trips,
+		Closes:   b.closes,
+		Probes:   b.probes,
 		Rejected: b.rejected,
 	}
 }
+
+// View is the exported state read (soak's virtual model).
+func (b *Breaker) View(now time.Time) BreakerView { return b.view(now) }

@@ -10,7 +10,7 @@ import (
 // admits a half-open probe, a failed probe re-opens immediately, a
 // successful one closes and resets the streak.
 func TestBreakerStateMachine(t *testing.T) {
-	b := breaker{threshold: 3, cooldown: time.Second}
+	b := Breaker{threshold: 3, cooldown: time.Second}
 	t0 := time.Unix(1000, 0)
 
 	for i := 0; i < 2; i++ {

@@ -72,6 +72,36 @@ type Config struct {
 	// Breaker knobs, one breaker per shard.
 	BreakerThreshold int           // consecutive media failures that open it (default 3)
 	BreakerCooldown  time.Duration // open duration before the half-open probe (default 5s)
+	// BreakerSheds arms the overload side: consecutive queue-full sheds
+	// that open the breaker (0 disables the arm — the default, matching
+	// the pre-PR-10 behavior where only media failures tripped it).
+	BreakerSheds int
+
+	// Shipping transport knobs (DESIGN.md §14). Transport is the
+	// leader→replica delivery fabric; nil means the in-process perfect
+	// transport. Chaos harnesses pass NewChaosTransport(plan).
+	Transport Transport
+	// ShipAttempts bounds delivery attempts per (chunk, replica) before
+	// the leader gives up and flips the follower into resync (default 4).
+	ShipAttempts int
+	// ShipBackoff/ShipBackoffMax bound the exponential retry backoff
+	// (defaults 200µs and 2ms).
+	ShipBackoff    time.Duration
+	ShipBackoffMax time.Duration
+	// ShipRetain is the per-shard retention ring length in chunks: a
+	// resyncing follower within this window replays the log tail instead
+	// of a full snapshot rebuild (default 256).
+	ShipRetain int
+	// ReorderWindow bounds how far ahead of the next expected sequence a
+	// follower stashes out-of-order chunks; a wider hole triggers resync
+	// (default ReplicaQueue/2).
+	ReorderWindow int
+	// GapWait is how long a follower sits on a sequence hole before
+	// declaring the chunk lost and resyncing (default 5ms).
+	GapWait time.Duration
+	// ResyncLimit is the consecutive failed snapshot-resync attempts
+	// before a follower is declared damaged (default 3).
+	ResyncLimit int
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +113,30 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Transport == nil {
+		c.Transport = perfectTransport{}
+	}
+	if c.ShipAttempts <= 0 {
+		c.ShipAttempts = 4
+	}
+	if c.ShipBackoff <= 0 {
+		c.ShipBackoff = 200 * time.Microsecond
+	}
+	if c.ShipBackoffMax <= 0 {
+		c.ShipBackoffMax = 2 * time.Millisecond
+	}
+	if c.ShipRetain <= 0 {
+		c.ShipRetain = 256
+	}
+	if c.ReorderWindow <= 0 {
+		c.ReorderWindow = ReplicaQueue / 2
+	}
+	if c.GapWait <= 0 {
+		c.GapWait = 5 * time.Millisecond
+	}
+	if c.ResyncLimit <= 0 {
+		c.ResyncLimit = 3
 	}
 	return c
 }
@@ -148,7 +202,16 @@ func New(stores []*core.Store, cfg Config) (*Cluster, error) {
 		sh := &Shard{
 			id:    i,
 			store: st,
-			br:    breaker{threshold: cfg.BreakerThreshold, cooldown: cfg.BreakerCooldown},
+			br: Breaker{
+				threshold: cfg.BreakerThreshold,
+				overload:  cfg.BreakerSheds,
+				cooldown:  cfg.BreakerCooldown,
+			},
+			tr:             cfg.Transport,
+			shipAttempts:   cfg.ShipAttempts,
+			shipBackoff:    cfg.ShipBackoff,
+			shipBackoffMax: cfg.ShipBackoffMax,
+			retCap:         cfg.ShipRetain,
 		}
 		icfg := ingest.Config{
 			QueueCap:   cfg.QueueCap,
@@ -182,7 +245,9 @@ func (c *Cluster) Start() error {
 						err = fmt.Errorf("cluster: shard %d replica %d: %w", sh.id, ri, ferr)
 						return
 					}
-					sh.replicas = append(sh.replicas, newReplica(sh.id, ri, st))
+					ri := ri
+					factory := func() (*core.Store, error) { return c.cfg.ReplicaFactory(sh.id, ri) }
+					sh.replicas = append(sh.replicas, newReplica(sh, ri, st, factory, c.cfg))
 				}
 			}
 			sh.mu.Lock()
@@ -292,9 +357,15 @@ func (c *Cluster) Ingest(edges []graph.Edge, sync bool) (IngestResult, error) {
 		}
 		req := ingest.NewRequest(part)
 		if err := sh.pipe.Enqueue(req); err != nil {
+			if errors.Is(err, ingest.ErrQueueFull) {
+				// Feed the overload arm: sustained queue-full streaks trip
+				// the breaker so the 429 storm becomes typed 503s.
+				sh.br.NoteShed(time.Now())
+			}
 			firstErr = &ShardError{Shard: i, Err: err}
 			break
 		}
+		sh.br.NoteAdmit()
 		// The pipeline owns the part until its Result is delivered.
 		parts[i], enq[i] = nil, part
 		reqs[i] = req
@@ -397,15 +468,16 @@ func (c *Cluster) IngestLocal(edges []graph.Edge) (simNs int64, err error) {
 		}
 		sh.mu.Lock()
 		rep, ierr := sh.store.Ingest(part)
-		var epoch uint64
+		var msg shipMsg
 		if ierr == nil {
-			epoch = sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+			epoch := sh.publishLocked(xpsim.NewCtx(xpsim.NodeUnbound))
+			msg = sh.recordShipLocked(shipEntry{edges: part, epoch: epoch})
 		}
 		sh.mu.Unlock()
 		if ierr != nil {
 			return simNs, &ShardError{Shard: i, Err: ierr}
 		}
-		sh.ship(part, epoch)
+		sh.dispatch(msg)
 		if ns := rep.TotalNs(); ns > simNs {
 			simNs = ns
 		}
@@ -588,7 +660,10 @@ type ShardHealth struct {
 	Health         core.Health // zero when down
 	Epoch          uint64
 	ReplicaEpochs  []uint64
-	Breaker        BreakerView
+	// ReplicaStates mirrors ReplicaEpochs: "running", "resyncing", or
+	// "damaged" per follower (DESIGN.md §14.3).
+	ReplicaStates []string
+	Breaker       BreakerView
 }
 
 // ClusterHealth aggregates: the cluster is "ok" only when every
@@ -610,6 +685,7 @@ func (c *Cluster) Health() ClusterHealth {
 		s := ShardHealth{Shard: sh.id, Breaker: sh.br.view(now), Epoch: sh.Epoch()}
 		for _, r := range sh.replicas {
 			s.ReplicaEpochs = append(s.ReplicaEpochs, r.Epoch())
+			s.ReplicaStates = append(s.ReplicaStates, r.State())
 		}
 		if sh.down.Load() {
 			s.State = "down"
@@ -685,8 +761,16 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 				open = 1
 			}
 			sample("xpgraph_breaker_open", "Ingest circuit breaker state (1 = shedding writes).", obs.KindGauge, open)
-			sample("xpgraph_breaker_trips_total", "Times the ingest circuit breaker opened on media-write failures.", obs.KindCounter, float64(b.Trips))
+			sample("xpgraph_breaker_trips_total", "Times the ingest circuit breaker opened (media failures or overload sheds).", obs.KindCounter, float64(b.Trips))
+			sample("xpgraph_breaker_closes_total", "Times a half-open probe closed the ingest circuit breaker.", obs.KindCounter, float64(b.Closes))
+			sample("xpgraph_breaker_probes_total", "Half-open probe writes admitted through the ingest circuit breaker.", obs.KindCounter, float64(b.Probes))
 			sample("xpgraph_breaker_rejected_writes_total", "Write requests shed with 503 circuit_open.", obs.KindCounter, float64(b.Rejected))
+
+			sc := sh.ShipCounters()
+			sample("xpgraph_ship_attempts_total", "Transport delivery attempts for shipped chunks (first tries and retries).", obs.KindCounter, float64(sc.Attempts))
+			sample("xpgraph_ship_retries_total", "Shipped-chunk delivery attempts after the first (retry with backoff).", obs.KindCounter, float64(sc.Retries))
+			sample("xpgraph_ship_giveups_total", "Chunks abandoned after the retry budget; the follower resyncs.", obs.KindCounter, float64(sc.GiveUps))
+			sample("xpgraph_ship_skips_total", "Chunks not shipped because the follower was resyncing or damaged.", obs.KindCounter, float64(sc.Skips))
 
 			down := 0.0
 			if sh.down.Load() {
@@ -694,11 +778,24 @@ func (c *Cluster) RegisterMetrics(reg *obs.Registry) {
 			}
 			sample("xpgraph_shard_down", "Partition leader killed (reads fail over to replicas).", obs.KindGauge, down)
 			for ri, rep := range sh.replicas {
-				emit(obs.Sample{Name: "xpgraph_replica_epoch",
-					Help:   "Shipped leader epoch the follower has published up to.",
-					Kind:   obs.KindGauge,
-					Labels: []obs.Label{{Key: "replica", Value: fmt.Sprintf("%d", ri)}},
-					Value:  float64(rep.Epoch())})
+				lbl := []obs.Label{{Key: "replica", Value: fmt.Sprintf("%d", ri)}}
+				rsample := func(name, help string, kind obs.Kind, val float64) {
+					emit(obs.Sample{Name: name, Help: help, Kind: kind, Labels: lbl, Value: val})
+				}
+				rsample("xpgraph_replica_epoch", "Shipped leader epoch the follower has published up to.", obs.KindGauge, float64(rep.Epoch()))
+				running := 0.0
+				if rep.State() == "running" {
+					running = 1
+				}
+				rsample("xpgraph_replica_running", "Follower apply state (1 = running, 0 = resyncing or damaged).", obs.KindGauge, running)
+				rc := rep.Counters()
+				rsample("xpgraph_replica_dedupes_total", "Duplicate chunk deliveries discarded by sequence number.", obs.KindCounter, float64(rc.Dedupes))
+				rsample("xpgraph_replica_reorders_total", "Out-of-order chunk deliveries stashed for in-order apply.", obs.KindCounter, float64(rc.Reorders))
+				rsample("xpgraph_replica_misroutes_total", "Chunks dropped on chunk-id verification failure.", obs.KindCounter, float64(rc.Misroutes))
+				rsample("xpgraph_replica_resyncs_total", "Times the follower entered the resyncing state.", obs.KindCounter, float64(rc.Resyncs))
+				rsample("xpgraph_replica_resync_log_total", "Resyncs satisfied by retained-log replay.", obs.KindCounter, float64(rc.LogReplays))
+				rsample("xpgraph_replica_resync_snapshot_total", "Resyncs satisfied by full snapshot rebuild.", obs.KindCounter, float64(rc.SnapReplays))
+				rsample("xpgraph_replica_transient_apply_errors_total", "Apply errors classified transient (resync, not damage).", obs.KindCounter, float64(rc.TransientApplyErrors))
 			}
 		}))
 	}

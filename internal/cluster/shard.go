@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/ingest"
@@ -44,9 +45,24 @@ func (p *published) retire() {
 	}
 }
 
+// ShipCounters is one consistent copy of a shard's leader-side shipping
+// counters (DESIGN.md §14.2).
+type ShipCounters struct {
+	// Attempts: transport Ship calls (first tries and retries).
+	Attempts int64
+	// Retries: attempts after the first for a (chunk, replica) pair.
+	Retries int64
+	// GiveUps: chunks abandoned after the retry budget — the follower
+	// was flipped into resync.
+	GiveUps int64
+	// Skips: chunks not shipped because the follower was already
+	// resyncing or damaged (the lag breaker's steady state).
+	Skips int64
+}
+
 // Shard is one partition leader: a core.Store, its single-writer ingest
 // pipeline, its snapshot publication chain, its circuit breaker, and the
-// log-shipping fan-out to its follower replicas.
+// log-shipping fan-out to its follower replicas over the transport.
 //
 // The store itself is not goroutine-safe; mu orders the pipeline's write
 // windows against snapshot reads exactly as the single-store server's
@@ -63,9 +79,28 @@ type Shard struct {
 	cur *published // guarded by mu; swapped only under the write lock
 
 	pipe *ingest.Pipeline
-	br   breaker
+	br   Breaker
 
 	replicas []*Replica
+
+	// Shipping stream state, guarded by mu: the sequence number is
+	// assigned in the same exclusive window that applies and publishes
+	// the chunk, so the stream order IS the application order, and the
+	// retention ring holds the recent tail for resync replay.
+	shipSeq uint64
+	ret     []shipMsg
+	retCap  int
+
+	// Transport policy (from Config).
+	tr             Transport
+	shipAttempts   int
+	shipBackoff    time.Duration
+	shipBackoffMax time.Duration
+
+	shipsTotal  atomic.Int64
+	shipRetries atomic.Int64
+	shipGiveUps atomic.Int64
+	shipSkips   atomic.Int64
 
 	// down simulates the shard process dying (KillShard): writes are
 	// refused up front and reads fail over to the best replica.
@@ -89,10 +124,27 @@ func (sh *Shard) Down() bool { return sh.down.Load() }
 func (sh *Shard) PipeStats() ingest.Stats { return sh.pipe.Stats() }
 
 // Breaker reads one consistent copy of the shard's breaker state.
-func (sh *Shard) Breaker() BreakerView { return sh.br.view(time.Now()) }
+func (sh *Shard) Breaker() BreakerView { return sh.br.View(time.Now()) }
 
 // Replicas returns the shard's followers.
 func (sh *Shard) Replicas() []*Replica { return sh.replicas }
+
+// ShipSeq reads the last assigned stream sequence number.
+func (sh *Shard) ShipSeq() uint64 {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.shipSeq
+}
+
+// ShipCounters reads the leader-side shipping counters.
+func (sh *Shard) ShipCounters() ShipCounters {
+	return ShipCounters{
+		Attempts: sh.shipsTotal.Load(),
+		Retries:  sh.shipRetries.Load(),
+		GiveUps:  sh.shipGiveUps.Load(),
+		Skips:    sh.shipSkips.Load(),
+	}
+}
 
 // publishLocked captures a fresh leader snapshot, makes it the served
 // view, and returns the new epoch. Callers must hold mu exclusively.
@@ -124,39 +176,122 @@ func (sh *Shard) health() core.Health {
 	return sh.store.Health()
 }
 
-// ship fans one applied chunk out to every replica, tagged with the
-// leader epoch it produced. Each replica gets its own pooled copy (the
-// caller's chunk is recycled by the pipeline). Runs on the single writer
-// goroutine; a full replica channel blocks it, which bounds replica lag
-// at ReplicaQueue batches instead of letting a slow follower fall
-// arbitrarily behind.
-func (sh *Shard) ship(chunk []graph.Edge, epoch uint64) {
+// recordShipLocked assigns the next stream sequence number to one
+// applied chunk, deep-copies its payload into an immutable entry, and
+// appends it to the retention ring. Callers must hold mu exclusively —
+// in the SAME window that applied and published the chunk, so sequence
+// order is application order even when the pipeline and the synchronous
+// typed path interleave. Returns the framed message to dispatch after
+// the lock is released; the zero shipMsg (no replicas) dispatches as a
+// no-op.
+func (sh *Shard) recordShipLocked(e shipEntry) shipMsg {
+	if len(sh.replicas) == 0 {
+		return shipMsg{}
+	}
+	ent := &shipEntry{
+		epoch:  e.epoch,
+		typed:  e.typed,
+		edges:  append([]graph.Edge(nil), e.edges...),
+		labels: append([]uint16(nil), e.labels...),
+		props:  append([]graph.PropSet(nil), e.props...),
+		defs:   append([]labelDef(nil), e.defs...),
+	}
+	sh.shipSeq++
+	m := shipMsg{seq: sh.shipSeq, id: chunkID(sh.id, sh.shipSeq), e: ent}
+	sh.ret = append(sh.ret, m)
+	if len(sh.ret) > sh.retCap {
+		n := copy(sh.ret, sh.ret[1:])
+		sh.ret[n] = shipMsg{} // release the dropped entry
+		sh.ret = sh.ret[:n]
+	}
+	return m
+}
+
+// retainedFromLocked returns the retained stream tail starting at seq,
+// or nil when the ring no longer reaches back that far (callers hold
+// mu). The returned messages share the ring's immutable entries.
+func (sh *Shard) retainedFromLocked(seq uint64) []shipMsg {
+	if len(sh.ret) == 0 || seq < sh.ret[0].seq {
+		return nil
+	}
+	idx := int(seq - sh.ret[0].seq)
+	if idx >= len(sh.ret) {
+		return nil
+	}
+	return append([]shipMsg(nil), sh.ret[idx:]...)
+}
+
+// backoff derives the bounded, jittered sleep before retry `attempt+1`:
+// exponential from shipBackoff, capped at shipBackoffMax, with seeded
+// jitter in [d/2, d) so concurrent shippers do not retry in lockstep.
+func (sh *Shard) backoff(seq uint64, attempt int) time.Duration {
+	d := sh.shipBackoff << (attempt - 1)
+	if d > sh.shipBackoffMax {
+		d = sh.shipBackoffMax
+	}
+	h := splitmix64(uint64(uint32(sh.id))<<40 ^ seq<<8 ^ uint64(attempt))
+	return d/2 + time.Duration(h%uint64(d/2+1))
+}
+
+// dispatch ships one recorded chunk to every running follower through
+// the transport: bounded retries with exponential backoff + jitter per
+// follower, and on exhaustion the follower is flipped into resync (the
+// lag breaker) instead of blocking the caller. Runs OUTSIDE the shard
+// lock; per-link ordering comes from the sequence numbers, not from
+// delivery order.
+func (sh *Shard) dispatch(m shipMsg) {
+	if m.e == nil {
+		return
+	}
 	for _, r := range sh.replicas {
-		buf := ingest.GetEdgeBuf()
-		buf = append(buf, chunk...)
-		r.ship(shipEntry{edges: buf, epoch: epoch})
+		if r.stateNow() != replicaRunning {
+			// Already resyncing (it will replay this seq from the
+			// retention ring) or damaged: don't burn the retry budget.
+			sh.shipSkips.Add(1)
+			continue
+		}
+		link := chaos.Link{Shard: sh.id, Replica: r.id}
+		delivered := false
+		for attempt := 1; attempt <= sh.shipAttempts; attempt++ {
+			sh.shipsTotal.Add(1)
+			if err := sh.tr.Ship(link, m.seq, attempt, func() bool { return r.deliver(m) }); err == nil {
+				delivered = true
+				break
+			}
+			if attempt < sh.shipAttempts {
+				sh.shipRetries.Add(1)
+				time.Sleep(sh.backoff(m.seq, attempt))
+			}
+		}
+		if !delivered {
+			sh.shipGiveUps.Add(1)
+			r.fellBehind()
+		}
 	}
 }
 
 // shardApplier is the shard's side of the ingest.Applier contract. It
 // runs on the pipeline's single writer goroutine and owns the lock
 // ordering: every application takes the shard's exclusive lock, ends in
-// a snapshot publication, feeds the circuit breaker, and ships the
-// applied chunk to the followers.
+// a snapshot publication plus a ship-stream record, feeds the circuit
+// breaker, and dispatches the chunk to the followers outside the lock.
 type shardApplier struct {
 	sh *Shard
 }
 
 // Apply ingests one chunk under the exclusive lock and, on success,
-// republishes the snapshot and ships the chunk.
+// republishes the snapshot, records the chunk on the ship stream, and
+// dispatches it.
 func (a *shardApplier) Apply(chunk []graph.Edge) (int64, uint64, error) {
 	sh := a.sh
 	wctx := xpsim.NewCtx(xpsim.NodeUnbound)
 	sh.mu.Lock()
 	rep, err := sh.store.Ingest(chunk)
 	var epoch uint64
+	var msg shipMsg
 	if err == nil {
 		epoch = sh.publishLocked(wctx)
+		msg = sh.recordShipLocked(shipEntry{edges: chunk, epoch: epoch})
 	}
 	sh.mu.Unlock()
 
@@ -171,7 +306,7 @@ func (a *shardApplier) Apply(chunk []graph.Edge) (int64, uint64, error) {
 		return 0, 0, err
 	}
 	sh.br.recordSuccess()
-	sh.ship(chunk, epoch)
+	sh.dispatch(msg)
 	return rep.TotalNs(), epoch, nil
 }
 

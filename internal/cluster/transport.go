@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// The transport boundary between a shard leader and its followers
+// (DESIGN.md §14). Until PR 10 the leader called straight into the
+// replica's inbox channel and blocked forever when it was full; now
+// every shipped chunk crosses an explicit, fallible Transport carrying
+// a monotonic per-shard sequence number and a chunk id, the leader
+// retries failed attempts with bounded exponential backoff, and a
+// chunk that cannot be delivered is *abandoned* — the follower detects
+// the sequence hole and resyncs instead of the leader waiting.
+//
+// Transport semantics are deliberately weak, like a real fabric:
+//   - an attempt can fail with the message never arriving (drop,
+//     partition, full inbox), and the sender knows;
+//   - an attempt can "fail" with the message arriving anyway (a delay
+//     past the sender's patience), and the sender cannot know — which
+//     is why the receiver dedupes by sequence number;
+//   - duplicated and reordered deliveries are legal.
+// The replica's sequence/dedupe/resync machinery (replica.go) is the
+// reliability layer on top; the transport stays dumb.
+
+// Transport is one delivery fabric for leader→replica shipping.
+// Implementations must not block the caller beyond a bounded, small
+// time: injected delays are realized asynchronously.
+type Transport interface {
+	// Ship makes one delivery attempt (attempt is 1-based) of the
+	// chunk with sequence number seq on link. deliver runs the
+	// receiver's inbox admission and reports whether the message was
+	// accepted; the transport may invoke it zero times (drop), once,
+	// or more than once (duplication), synchronously or later.
+	// A nil return means the sender may consider the chunk delivered;
+	// an error means it should retry or give up — even though the
+	// message may still arrive (delayed delivery).
+	Ship(link chaos.Link, seq uint64, attempt int, deliver func() bool) error
+}
+
+// Typed transport failures (all transient by construction — the
+// sender's retry/give-up policy decides what to do with them).
+var (
+	// ErrShipDropped: the message was lost in flight.
+	ErrShipDropped = errors.New("transport: message dropped")
+	// ErrShipPartitioned: the link is partitioned; retries will keep
+	// failing until the partition heals.
+	ErrShipPartitioned = errors.New("transport: link partitioned")
+	// ErrShipBusy: the receiver's inbox refused the message
+	// (backpressure — the follower is not consuming).
+	ErrShipBusy = errors.New("transport: receiver inbox full")
+	// ErrShipTimeout: the delivery did not complete within the
+	// sender's patience; the message may or may not arrive later.
+	ErrShipTimeout = errors.New("transport: delivery timed out")
+)
+
+// perfectTransport is the default in-process fabric: one synchronous
+// delivery attempt, failing only on receiver backpressure.
+type perfectTransport struct{}
+
+func (perfectTransport) Ship(_ chaos.Link, _ uint64, _ int, deliver func() bool) error {
+	if !deliver() {
+		return ErrShipBusy
+	}
+	return nil
+}
+
+// ChaosTransport injects faults from a seeded chaos.Plan: drops,
+// duplicates, delays (realized on goroutines so the sender never
+// blocks), and seq-window partitions. Deterministic per
+// (seed, link, seq, attempt) — see internal/chaos.
+type ChaosTransport struct {
+	plan *chaos.Plan
+}
+
+// NewChaosTransport wraps a plan as a Transport. A nil or healed plan
+// behaves like the perfect transport.
+func NewChaosTransport(plan *chaos.Plan) *ChaosTransport {
+	return &ChaosTransport{plan: plan}
+}
+
+// Plan returns the underlying chaos plan (harnesses heal and inspect
+// it).
+func (t *ChaosTransport) Plan() *chaos.Plan { return t.plan }
+
+func (t *ChaosTransport) Ship(link chaos.Link, seq uint64, attempt int, deliver func() bool) error {
+	verdict, d := t.plan.Fate(link, seq, attempt)
+	switch verdict {
+	case chaos.Drop:
+		return ErrShipDropped
+	case chaos.Partition:
+		return ErrShipPartitioned
+	case chaos.Duplicate:
+		// One copy now, one later. The payload is immutable and shared,
+		// so the late copy needs no deep clone; the receiver dedupes.
+		go func() {
+			time.Sleep(d)
+			deliver()
+		}()
+		if !deliver() {
+			return ErrShipBusy
+		}
+		return nil
+	case chaos.Delay:
+		// The message will arrive after d, but the sender has already
+		// lost patience: it sees a timeout and may retry, producing a
+		// duplicate the receiver dedupes. This is the classic ambiguous
+		// RPC outcome.
+		go func() {
+			time.Sleep(d)
+			deliver()
+		}()
+		return ErrShipTimeout
+	default:
+		if !deliver() {
+			return ErrShipBusy
+		}
+		return nil
+	}
+}

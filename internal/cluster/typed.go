@@ -44,11 +44,19 @@ func (c *Cluster) RegisterLabel(name string) (uint16, error) {
 		} else {
 			err = sh.store.SetLabelDef(id, name)
 		}
+		var msg shipMsg
+		if err == nil {
+			msg = sh.recordShipLocked(shipEntry{
+				epoch: sh.pipe.Epoch(),
+				typed: true,
+				defs:  []labelDef{{id: id, name: name}},
+			})
+		}
 		sh.mu.Unlock()
 		if err != nil {
 			return 0, &ShardError{Shard: i, Err: err}
 		}
-		sh.shipTyped(nil, nil, nil, []labelDef{{id: id, name: name}}, sh.Epoch())
+		sh.dispatch(msg)
 	}
 	return id, nil
 }
@@ -111,15 +119,22 @@ func (c *Cluster) IngestTyped(edges []graph.Edge, labels []uint16, props []graph
 		if err == nil && len(pparts[i]) > 0 {
 			err = sh.store.SetProps(pparts[i])
 		}
-		var epoch uint64
+		var msg shipMsg
 		if err == nil {
-			epoch = sh.publishLocked(wctx)
+			epoch := sh.publishLocked(wctx)
+			msg = sh.recordShipLocked(shipEntry{
+				epoch:  epoch,
+				typed:  true,
+				edges:  eparts[i],
+				labels: lparts[i],
+				props:  pparts[i],
+			})
 		}
 		sh.mu.Unlock()
 		if err != nil {
 			return res, &ShardError{Shard: i, Err: err}
 		}
-		sh.shipTyped(eparts[i], lparts[i], pparts[i], nil, epoch)
+		sh.dispatch(msg)
 		res.Accepted += int64(len(eparts[i]))
 		res.Batches++
 		if simNs > res.SimNs {
@@ -128,23 +143,4 @@ func (c *Cluster) IngestTyped(edges []graph.Edge, labels []uint16, props []graph
 	}
 	res.Epochs = c.EpochVector()
 	return res, nil
-}
-
-// shipTyped fans one typed entry out to the shard's replicas; each
-// follower gets its own copies (the caller's slices are pooled or
-// stack-scoped).
-func (sh *Shard) shipTyped(edges []graph.Edge, labels []uint16, props []graph.PropSet, defs []labelDef, epoch uint64) {
-	for _, r := range sh.replicas {
-		e := shipEntry{epoch: epoch, typed: true}
-		if len(edges) > 0 {
-			buf := ingest.GetEdgeBuf()
-			e.edges = append(buf, edges...)
-		} else {
-			e.edges = ingest.GetEdgeBuf()
-		}
-		e.labels = append([]uint16(nil), labels...)
-		e.props = append([]graph.PropSet(nil), props...)
-		e.defs = append([]labelDef(nil), defs...)
-		r.ship(e)
-	}
 }

@@ -74,6 +74,50 @@ func (s *Store) SetLabelDef(id uint16, name string) error {
 	return s.props.SetLabelDef(ctx, id, name)
 }
 
+// PropsEnabled reports whether the store was built with Options.Props.
+func (s *Store) PropsEnabled() bool { return s.props != nil }
+
+// ExportPropState dumps the live property index as replayable writes:
+// one default-label edge-label record per typed edge (encoded as a typed
+// edge-label batch) and one PropSet per live vertex property. The
+// cluster's snapshot resync transfers follower state with it; the index
+// is read-latest, so restoring then replaying newer records converges.
+// Returns nils on a store without the property layer.
+func (s *Store) ExportPropState() (edges []graph.Edge, labels []uint16, sets []graph.PropSet) {
+	if s.props == nil {
+		return nil, nil, nil
+	}
+	s.props.VisitState(
+		func(src, dst uint32, lbl uint16) {
+			edges = append(edges, graph.Edge{Src: graph.VID(src), Dst: graph.VID(dst)})
+			labels = append(labels, lbl)
+		},
+		func(v uint32, key uint16, val int64) {
+			sets = append(sets, graph.PropSet{V: graph.VID(v), Key: key, Val: val})
+		},
+	)
+	return edges, labels, sets
+}
+
+// RestorePropState applies an ExportPropState dump to this store's
+// property index (label definitions transfer separately via
+// SetLabelDef). No-op on empty input; ErrNoProps without the layer.
+func (s *Store) RestorePropState(edges []graph.Edge, labels []uint16, sets []graph.PropSet) error {
+	if len(edges) == 0 && len(sets) == 0 {
+		return nil
+	}
+	if s.props == nil {
+		return ErrNoProps
+	}
+	if len(edges) > 0 {
+		s.props.ApplyEdgeLabels(edges, labels)
+	}
+	if len(sets) > 0 {
+		s.props.ApplyProps(sets)
+	}
+	return nil
+}
+
 // ---- view.Typed on the live store ----
 
 // Labels reports the label table ([""] when the layer is disabled: every

@@ -381,6 +381,28 @@ func (s *Store) VPropChecked(v uint32, key uint16) (int64, bool, error) {
 	return val, ok, nil
 }
 
+// VisitState enumerates the current property index — every live edge
+// label and every live vertex property — under the shared lock. Either
+// callback may be nil. Iteration order is unspecified; callers that
+// need determinism sort. The cluster's snapshot resync uses this to
+// transfer one follower's worth of typed state (DESIGN.md §14.3): the
+// index is read-latest, so the transfer is idempotent under a later
+// replay of the same records.
+func (s *Store) VisitState(edge func(src, dst uint32, lbl uint16), vp func(v uint32, key uint16, val int64)) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if edge != nil {
+		for k, lbl := range s.labels {
+			edge(uint32(k>>32), uint32(k), lbl)
+		}
+	}
+	if vp != nil {
+		for k, val := range s.vprops {
+			vp(uint32(k>>32), uint16(k), val)
+		}
+	}
+}
+
 // Damaged reports whether an unrecoverable block poisons the columns.
 func (s *Store) Damaged() bool {
 	s.mu.RLock()

@@ -350,6 +350,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			ServingReplica:        sh.ServingReplica,
 			Epoch:                 sh.Epoch,
 			ReplicaEpochs:         sh.ReplicaEpochs,
+			ReplicaStates:         sh.ReplicaStates,
 			DamagedVertices:       sh.Health.DamagedVertices,
 			UnrecoverableVertices: sh.Health.UnrecoverableVertices,
 			BreakerOpen:           sh.Breaker.Open,

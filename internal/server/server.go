@@ -440,9 +440,12 @@ type ShardHealthJSON struct {
 	Status string `json:"status"`
 	// ServingReplica is true when the partition's reads come from a
 	// follower because the leader is down.
-	ServingReplica        bool     `json:"serving_replica,omitempty"`
-	Epoch                 uint64   `json:"epoch"`
-	ReplicaEpochs         []uint64 `json:"replica_epochs,omitempty"`
+	ServingReplica bool     `json:"serving_replica,omitempty"`
+	Epoch          uint64   `json:"epoch"`
+	ReplicaEpochs  []uint64 `json:"replica_epochs,omitempty"`
+	// ReplicaStates names each follower's state machine position
+	// (running/resyncing/damaged), index-aligned with ReplicaEpochs.
+	ReplicaStates         []string `json:"replica_states,omitempty"`
 	DamagedVertices       int      `json:"damaged_vertices,omitempty"`
 	UnrecoverableVertices int      `json:"unrecoverable_vertices,omitempty"`
 	BreakerOpen           bool     `json:"breaker_open,omitempty"`

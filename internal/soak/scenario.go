@@ -46,6 +46,12 @@ type SLO struct {
 	// MaxReplicaLag bounds the worst leader−follower epoch gap seen at
 	// any scrape.
 	MaxReplicaLag int64 `json:"max_replica_lag"`
+	// TailReadP99Us bounds the p99 read latency over the post-overload
+	// tail only (reads arriving after OverloadAt+OverloadFor): the
+	// recovery-to-SLO assertion for overload scenarios. Zero is
+	// normalized to unchecked by withDefaults so pre-overload scenario
+	// literals keep their meaning.
+	TailReadP99Us float64 `json:"tail_read_p99_us"`
 }
 
 // Scenario fully describes one soak run. The zero value is not usable;
@@ -95,6 +101,23 @@ type Scenario struct {
 	BurstEvery time.Duration `json:"burst_every"`
 	BurstLen   time.Duration `json:"burst_len"`
 	BurstMult  int           `json:"burst_mult"`
+
+	// Sustained overload: one long over-capacity window (unlike the
+	// periodic bursts) — from OverloadAt the write arrival rate
+	// multiplies by OverloadMult for OverloadFor (0 disables). The SLO's
+	// TailReadP99Us judges the reads after the window ends.
+	OverloadAt   time.Duration `json:"overload_at,omitempty"`
+	OverloadFor  time.Duration `json:"overload_for,omitempty"`
+	OverloadMult int           `json:"overload_mult,omitempty"`
+
+	// BreakerSheds arms the per-shard overload circuit breaker in the
+	// virtual admission model (cluster.Breaker on the simulated clock,
+	// the same policy code the live pipeline runs): that many consecutive
+	// queue-full sheds open it, converting the 429 storm into typed
+	// circuit_open 503s until a half-open probe after BreakerCooldown is
+	// admitted. 0 leaves the breaker out of the model.
+	BreakerSheds    int           `json:"breaker_sheds,omitempty"`
+	BreakerCooldown time.Duration `json:"breaker_cooldown,omitempty"`
 
 	// Virtual ingest-pipeline knobs under test (the admission model the
 	// harness enforces on the virtual clock; DESIGN.md §12.3). With
@@ -149,6 +172,12 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.ScrapeEvery <= 0 {
 		sc.ScrapeEvery = 500 * time.Millisecond
 	}
+	if sc.BreakerSheds > 0 && sc.BreakerCooldown <= 0 {
+		sc.BreakerCooldown = 100 * time.Millisecond
+	}
+	if sc.SLO.TailReadP99Us == 0 {
+		sc.SLO.TailReadP99Us = -1
+	}
 	return sc
 }
 
@@ -168,6 +197,13 @@ const (
 	// design: the run demonstrates violation reporting and dumps
 	// seed + scenario + Chrome trace for replay.
 	FaultStorm = "fault-storm"
+	// SustainedOverload drives one long over-capacity ingest window into
+	// a small admission queue: queue-full 429 sheds trip the overload
+	// circuit breaker, refused writes become typed circuit_open 503s,
+	// half-open probes re-test the queue each cooldown, and once the
+	// window ends the breaker closes and the post-overload read tail
+	// must recover to its TailReadP99Us budget (ROADMAP item 2).
+	SustainedOverload = "sustained-overload"
 )
 
 // ByName returns a builtin scenario, seeded with its default seed.
@@ -277,10 +313,52 @@ func ByName(name string) (Scenario, error) {
 				MaxReplicaLag: -1,
 			},
 		}, nil
+	case SustainedOverload:
+		return Scenario{
+			Name:          SustainedOverload,
+			Seed:          0x50A6_0004,
+			Shards:        1,
+			Vertices:      1 << 16,
+			PMEMPerNodeMB: 256,
+			Horizon:       2 * time.Second,
+			WarmEdges:     30_000,
+			ReadsPerSec:   1500,
+			WritesPerSec:  40,
+			WriteBatch:    512,
+			ZipfSkew:      0.8,
+			Tenants:       1,
+			// Overload: 40x the offered write rate for 600ms against a
+			// queue that holds only two write batches — arrivals outrun
+			// the linger-bound drain, so refusals come in streaks.
+			OverloadAt:   500 * time.Millisecond,
+			OverloadFor:  600 * time.Millisecond,
+			OverloadMult: 40,
+			QueueCap:     1 << 10,
+			BatchEdges:   4096,
+			Linger:       2 * time.Millisecond,
+			// Two consecutive queue-full sheds trip the breaker; a probe
+			// re-tests the queue every 100ms.
+			BreakerSheds:    2,
+			BreakerCooldown: 100 * time.Millisecond,
+			ScrapeEvery:     250 * time.Millisecond,
+			SLO: SLO{
+				// The window is over capacity by design: the overall shed
+				// rate and write tail are unchecked. The assertion is the
+				// recovery — the post-overload read tail back inside 2ms.
+				ReadP99Us:     -1,
+				WriteP99Ms:    -1,
+				Max429Frac:    -1,
+				MaxErrorFrac:  0,
+				MaxReplicaLag: -1,
+				TailReadP99Us: 2000,
+			},
+		}, nil
 	}
-	return Scenario{}, fmt.Errorf("soak: unknown scenario %q (builtins: %s, %s, %s)",
-		name, ShortMix, BurstyIngest, FaultStorm)
+	return Scenario{}, fmt.Errorf("soak: unknown scenario %q (builtins: %s, %s, %s, %s)",
+		name, ShortMix, BurstyIngest, FaultStorm, SustainedOverload)
 }
 
 // Names lists the builtin scenarios.
-func Names() []string { return []string{ShortMix, BurstyIngest, FaultStorm} }
+func Names() []string {
+	return []string{ShortMix, BurstyIngest, FaultStorm, SustainedOverload}
+}

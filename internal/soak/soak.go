@@ -93,19 +93,28 @@ type Report struct {
 	EdgesOffered  int64 `json:"edges_offered"`
 	EdgesAccepted int64 `json:"edges_accepted"`
 	Shed429       int64 `json:"shed_429"`
+	Shed503       int64 `json:"shed_503"`
 	EdgesShed     int64 `json:"edges_shed"`
 	WriteErrors   int64 `json:"write_errors"`
+
+	// Virtual overload-breaker transitions (Scenario.BreakerSheds).
+	BreakerTrips  int64 `json:"breaker_trips,omitempty"`
+	BreakerCloses int64 `json:"breaker_closes,omitempty"`
+	BreakerProbes int64 `json:"breaker_probes,omitempty"`
 
 	// Errors histograms error-envelope codes across reads and writes.
 	Errors map[string]int64 `json:"errors,omitempty"`
 
-	ReadP50Us  float64 `json:"read_p50_us"`
-	ReadP95Us  float64 `json:"read_p95_us"`
-	ReadP99Us  float64 `json:"read_p99_us"`
-	ReadMaxUs  float64 `json:"read_max_us"`
-	WriteP50Ms float64 `json:"write_p50_ms"`
-	WriteP99Ms float64 `json:"write_p99_ms"`
-	WriteMaxMs float64 `json:"write_max_ms"`
+	ReadP50Us float64 `json:"read_p50_us"`
+	ReadP95Us float64 `json:"read_p95_us"`
+	ReadP99Us float64 `json:"read_p99_us"`
+	ReadMaxUs float64 `json:"read_max_us"`
+	// TailReadP99Us is the p99 over reads arriving after the sustained
+	// overload window closed (0 without an overload phase).
+	TailReadP99Us float64 `json:"tail_read_p99_us,omitempty"`
+	WriteP50Ms    float64 `json:"write_p50_ms"`
+	WriteP99Ms    float64 `json:"write_p99_ms"`
+	WriteMaxMs    float64 `json:"write_max_ms"`
 
 	Scrapes             int64    `json:"scrapes"`
 	MaxQueueDepthEdges  int64    `json:"max_queue_depth_edges"`
@@ -181,8 +190,15 @@ type runner struct {
 	// (MediaGuard scenarios only).
 	faults []*xpsim.Faults
 	shards []*shardModel
-	rng    rng
-	now    int64 // virtual ns
+	// vbr holds each shard's virtual overload breaker (BreakerSheds
+	// scenarios only): the real cluster.Breaker policy clocked by the
+	// simulated time, so its trips are deterministic.
+	vbr []*cluster.Breaker
+	// tailStart is when the sustained-overload window closes (-1 when
+	// the scenario has none); reads at or after it feed TailReadP99Us.
+	tailStart int64
+	rng       rng
+	now       int64 // virtual ns
 
 	// Observability surface: the soak registry carries the driver-side
 	// SLO histograms the scrape events gather; the tracer records the
@@ -191,8 +207,10 @@ type runner struct {
 	tracer    *obs.Tracer
 	latHist   *obs.HistogramVec
 	shedCtr   *obs.Counter
+	brShedCtr *obs.Counter
 	errCtr    *obs.CounterVec
 	readLatNs []int64
+	tailLatNs []int64
 	writeLat  []int64
 
 	rep Report
@@ -271,22 +289,38 @@ func newRunner(sc Scenario) (*runner, error) {
 	}
 
 	r := &runner{
-		sc:     sc,
-		cl:     cl,
-		faults: faults,
-		rng:    rng{s: sc.Seed},
-		tracer: obs.NewTracer(1 << 15),
-		reg:    obs.NewRegistry(),
+		sc:        sc,
+		cl:        cl,
+		faults:    faults,
+		tailStart: -1,
+		rng:       rng{s: sc.Seed},
+		tracer:    obs.NewTracer(1 << 15),
+		reg:       obs.NewRegistry(),
+	}
+	if sc.OverloadFor > 0 {
+		r.tailStart = int64(sc.OverloadAt + sc.OverloadFor)
+	}
+	if sc.BreakerSheds > 0 {
+		// The media arm is irrelevant on the virtual path (Ingest
+		// failures surface as write errors, not recordFailure calls);
+		// only the overload arm is exercised.
+		r.vbr = make([]*cluster.Breaker, sc.Shards)
+		for i := range r.vbr {
+			r.vbr[i] = cluster.NewBreaker(1<<30, sc.BreakerSheds, sc.BreakerCooldown)
+		}
 	}
 	r.latHist = obs.NewHistogramVec("soak_latency_seconds",
 		"Driver-observed request latency on the simulated clock.",
 		"op", obs.LogBuckets(1e-6, 2, 24))
 	r.shedCtr = obs.NewCounter("soak_shed_writes_total",
 		"Write parts shed by the virtual admission threshold (429).")
+	r.brShedCtr = obs.NewCounter("soak_breaker_shed_writes_total",
+		"Write parts refused by the open overload breaker (503 circuit_open).")
 	r.errCtr = obs.NewCounterVec("soak_errors_total",
 		"Error-envelope responses by code.", "code")
 	r.reg.Register(r.latHist)
 	r.reg.Register(r.shedCtr)
+	r.reg.Register(r.brShedCtr)
 	r.reg.Register(r.errCtr)
 
 	r.shards = make([]*shardModel, sc.Shards)
@@ -381,6 +415,20 @@ func (r *runner) inBurst(t int64) bool {
 	return t%int64(sc.BurstEvery) < int64(sc.BurstLen)
 }
 
+// inOverload reports whether virtual time t falls inside the sustained
+// overload window.
+func (r *runner) inOverload(t int64) bool {
+	sc := &r.sc
+	if sc.OverloadFor <= 0 || sc.OverloadMult <= 1 {
+		return false
+	}
+	return t >= int64(sc.OverloadAt) && t < int64(sc.OverloadAt+sc.OverloadFor)
+}
+
+// vclock materializes the virtual ns clock as a time.Time for the
+// breaker policy (which takes explicit nows for exactly this reason).
+func (r *runner) vclock() time.Time { return time.Unix(0, r.now) }
+
 // drive runs the discrete-event loop to the horizon. Streams are
 // merged by next-fire time with a fixed tie order (faults, scrapes,
 // writes, reads) so the event sequence — and therefore the rng
@@ -438,11 +486,13 @@ func (r *runner) drive() {
 		case 2:
 			r.write()
 			base := writeBase
-			if r.inBurst(t) {
+			if r.inOverload(t) {
+				base /= int64(sc.OverloadMult)
+			} else if r.inBurst(t) {
 				base /= int64(sc.BurstMult)
-				if base < 1 {
-					base = 1
-				}
+			}
+			if base < 1 {
+				base = 1
 			}
 			nextWrite += r.rng.jitter(base)
 		case 3:
@@ -598,6 +648,9 @@ func (r *runner) read() {
 	}
 	lat := waitNs + costNs
 	r.readLatNs = append(r.readLatNs, lat)
+	if r.tailStart >= 0 && r.now >= r.tailStart {
+		r.tailLatNs = append(r.tailLatNs, lat)
+	}
 	r.latHist.With("read").Observe(float64(lat) / 1e9)
 	if waitNs > 0 {
 		r.tracer.EmitPhase("read-wait", laneRead, r.now, lat)
@@ -627,6 +680,20 @@ func (r *runner) write() {
 		}
 		r.rep.WriteParts++
 		r.rep.EdgesOffered += int64(len(part))
+		// An open overload breaker refuses the part up front — the typed
+		// 503 the live handler maps BreakerOpenError to — before the
+		// queue is even consulted.
+		if r.vbr != nil {
+			if ok, _ := r.vbr[si].Allow(r.vclock()); !ok {
+				r.rep.Shed503++
+				r.rep.EdgesShed += int64(len(part))
+				r.rep.Errors["circuit_open"]++
+				r.errCtr.With("circuit_open").Inc()
+				r.brShedCtr.Inc()
+				r.tracer.EmitPhase("shed-503", laneShed, r.now, 0)
+				continue
+			}
+		}
 		tun := r.tuning(si)
 		depth := r.depthAt(si, r.now)
 		if depth+int64(len(part)) > int64(tun.AdmitEdges) {
@@ -634,7 +701,13 @@ func (r *runner) write() {
 			r.rep.EdgesShed += int64(len(part))
 			r.shedCtr.Inc()
 			r.tracer.EmitPhase("shed-429", laneShed, r.now, 0)
+			if r.vbr != nil {
+				r.vbr[si].NoteShed(r.vclock())
+			}
 			continue
+		}
+		if r.vbr != nil {
+			r.vbr[si].NoteAdmit()
 		}
 		if d := depth + int64(len(part)); d > r.rep.MaxQueueDepthEdges {
 			r.rep.MaxQueueDepthEdges = d
@@ -789,12 +862,19 @@ func (r *runner) finish() {
 	rep.ReadP95Us = float64(quantile(r.readLatNs, 0.95)) / 1e3
 	rep.ReadP99Us = float64(quantile(r.readLatNs, 0.99)) / 1e3
 	rep.ReadMaxUs = float64(quantile(r.readLatNs, 1)) / 1e3
+	rep.TailReadP99Us = float64(quantile(r.tailLatNs, 0.99)) / 1e3
 	rep.WriteP50Ms = float64(quantile(r.writeLat, 0.50)) / 1e6
 	rep.WriteP99Ms = float64(quantile(r.writeLat, 0.99)) / 1e6
 	rep.WriteMaxMs = float64(quantile(r.writeLat, 1)) / 1e6
 	rep.FinalEpochVector = r.cl.EpochVector()
 	if rep.FinalHealth == "" {
 		rep.FinalHealth = "ok"
+	}
+	for _, b := range r.vbr {
+		v := b.View(r.vclock())
+		rep.BreakerTrips += v.Trips
+		rep.BreakerCloses += v.Closes
+		rep.BreakerProbes += v.Probes
 	}
 	for si, sm := range r.shards {
 		tr := TuningReport{Shard: si}
@@ -836,6 +916,10 @@ func (s SLO) check(rep Report) []string {
 	if s.MaxReplicaLag >= 0 && rep.MaxReplicaLagEpochs > s.MaxReplicaLag {
 		v = append(v, fmt.Sprintf("replica lag %d epochs exceeds the %d budget",
 			rep.MaxReplicaLagEpochs, s.MaxReplicaLag))
+	}
+	if s.TailReadP99Us >= 0 && rep.TailReadP99Us > s.TailReadP99Us {
+		v = append(v, fmt.Sprintf("post-overload read p99 %.1fus exceeds the %.1fus recovery budget",
+			rep.TailReadP99Us, s.TailReadP99Us))
 	}
 	return v
 }

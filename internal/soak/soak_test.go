@@ -141,6 +141,57 @@ func TestFaultScenarioFailsSLO(t *testing.T) {
 	}
 }
 
+// TestSustainedOverloadBreaker runs the builtin sustained-overload
+// scenario and requires the full breaker story: the over-capacity
+// window fills the queue (429s), consecutive sheds trip the overload
+// breaker (typed circuit_open 503s), half-open probes re-test the
+// queue each cooldown, the breaker closes again, and the post-overload
+// read tail recovers to its SLO budget.
+func TestSustainedOverloadBreaker(t *testing.T) {
+	sc, err := ByName(SustainedOverload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("overload scenario violated its SLO: %v", rep.Violations)
+	}
+	if rep.Shed429 == 0 {
+		t.Fatalf("overload window never filled the queue: %+v", rep)
+	}
+	if rep.BreakerTrips == 0 {
+		t.Fatalf("queue-full sheds never tripped the breaker: %+v", rep)
+	}
+	if rep.Shed503 == 0 || rep.Errors["circuit_open"] == 0 {
+		t.Fatalf("open breaker refused nothing: shed503=%d errors=%v", rep.Shed503, rep.Errors)
+	}
+	if rep.BreakerProbes == 0 || rep.BreakerCloses == 0 {
+		t.Fatalf("breaker never completed a half-open probe cycle: probes=%d closes=%d",
+			rep.BreakerProbes, rep.BreakerCloses)
+	}
+	if rep.TailReadP99Us <= 0 {
+		t.Fatalf("no post-overload tail reads were sampled: %+v", rep)
+	}
+	// Writes must flow again once the window ends: the last accepted
+	// edges cannot all predate the overload.
+	if rep.EdgesAccepted == 0 {
+		t.Fatalf("no writes were ever accepted: %+v", rep)
+	}
+	// Same seed replays bit-identically, breaker transitions included.
+	again, err := Run(sc, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, again) {
+		aj, _ := json.Marshal(rep)
+		bj, _ := json.Marshal(again)
+		t.Fatalf("same seed, different overload reports:\n run 1: %s\n run 2: %s", aj, bj)
+	}
+}
+
 // TestAdaptiveBeatsStatic is the tentpole claim at test scale: under
 // the bursty-ingest scenario the AIMD admission controller must cut
 // the p99 read latency by at least 1.2x vs the static defaults (the

@@ -53,6 +53,15 @@ echo "== cluster router + failover (-race)"
 go test -race -run 'TestCluster|TestFailover|TestReplica|TestShutdown|TestEpochVector|TestBreaker' ./internal/cluster/
 go test -race -run 'TestHash64|TestOwner|TestSlot|TestSplit|TestNewSlotMap' ./internal/shard/
 
+echo "== chaos differential sweep (capped, -race)"
+# Seeded chaos schedules (drops, dups, delays, reorders, partitions) over
+# a 4-shard+replicas cluster must converge edge-for-edge and
+# label/prop-for-prop with a reference store once the chaos heals
+# (DESIGN.md §14.5). Short mode caps the sweep at 2 schedules; a failure
+# prints the exact -chaostest.seed replay command. The nightly widens the
+# sweep and the workload.
+go test -race -short ./internal/chaostest/
+
 echo "== wire bench + benchgate (DESIGN.md §10.3)"
 # Regenerate the binary-ingest/varint-density report at the same scale
 # as the committed BENCH_6.json and gate it: absolute floors (binary
